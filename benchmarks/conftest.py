@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Every bench prints the table it regenerates (the EXPERIMENTS.md rows);
+run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report so it survives capture (teardown section)."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _show

@@ -1,0 +1,67 @@
+"""ABLATION-HEURISTICS — heuristic routers vs the exact DP.
+
+How much optimality do the cheap sweeps give up?  On routable random
+instances (feasible by construction, confirmed by the DP), measure the
+success rates of first-fit, best-fit, randomized-restart, and the LP
+heuristic.  Paper-relevant shape: the LP relaxation's success is near
+total (Section IV-C); best-fit beats first-fit; restarts close most of
+the remaining gap at bounded extra cost.
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.errors import HeuristicFailure
+from repro.core.heuristics import (
+    route_best_fit,
+    route_first_fit,
+    route_random_restart,
+)
+from repro.core.lp import route_lp
+from repro.generators.random_instances import random_channel, random_feasible_instance
+
+N_INSTANCES = 24
+
+
+def _instances():
+    out = []
+    for seed in range(N_INSTANCES):
+        ch = random_channel(5, 40, 4.0, seed=seed)
+        try:
+            cs = random_feasible_instance(
+                ch, 14, seed=2000 + seed, max_segments=2
+            )
+        except Exception:
+            continue
+        out.append((ch, cs))
+    return out
+
+
+def _rates(instances):
+    routers = {
+        "first-fit": lambda ch, cs: route_first_fit(ch, cs, 2),
+        "best-fit": lambda ch, cs: route_best_fit(ch, cs, 2),
+        "random x32": lambda ch, cs: route_random_restart(ch, cs, 2, seed=1),
+        "LP relaxation": lambda ch, cs: route_lp(ch, cs, 2),
+    }
+    scores = {name: 0 for name in routers}
+    for ch, cs in instances:
+        for name, fn in routers.items():
+            try:
+                fn(ch, cs).validate(2)
+                scores[name] += 1
+            except HeuristicFailure:
+                pass
+    return scores
+
+
+def test_ablation_heuristics(benchmark, show):
+    instances = _instances()
+    scores = benchmark.pedantic(_rates, args=(instances,), rounds=1, iterations=1)
+    total = len(instances)
+    rows = [(name, f"{n}/{total}") for name, n in scores.items()]
+    show(
+        "ABLATION-HEURISTICS: success on DP-routable instances (K=2)\n"
+        + format_table(["router", "routed"], rows)
+    )
+    assert scores["best-fit"] >= scores["first-fit"]
+    assert scores["random x32"] >= scores["best-fit"] - 2
+    assert scores["LP relaxation"] >= total - 2  # the paper's observation

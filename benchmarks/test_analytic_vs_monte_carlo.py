@@ -1,0 +1,63 @@
+"""ANALYTIC — first-order routability model vs Monte-Carlo simulation.
+
+The DAC 1990 companion supports segmented-channel design with a
+probabilistic occupancy analysis; `design/analytic.py` implements a
+transparent first-order analogue for K=1 routing.  This bench compares it
+to the library's Monte-Carlo evaluation on a uniform staggered design
+over a track sweep.
+
+Shape requirements (not absolute accuracy — the model ignores positional
+effects by construction): both curves increase with track count, and the
+two agree on which side of ~50% each configuration falls for all but at
+most one sweep point.
+"""
+
+from repro.analysis.stats import format_table
+from repro.design.analytic import SegmentTypeSpec, analytic_routing_probability
+from repro.design.evaluate import routing_probability
+from repro.design.segmentation import staggered_uniform_segmentation
+from repro.design.stochastic import TrafficModel
+
+TRAFFIC = TrafficModel(lam=0.5, mean_length=3)
+N_COLUMNS = 40
+SEG_LEN = 10
+TRACKS = (4, 6, 8, 10, 12)
+TRIALS = 14
+
+
+def _compare():
+    mc = routing_probability(
+        lambda T, N: staggered_uniform_segmentation(T, N, SEG_LEN),
+        TRACKS, TRAFFIC, N_COLUMNS, TRIALS, max_segments=1, seed=31,
+    )
+    rows = []
+    for i, T in enumerate(TRACKS):
+        analytic = analytic_routing_probability(
+            [SegmentTypeSpec(T, SEG_LEN)], TRAFFIC, N_COLUMNS
+        )
+        rows.append((T, analytic, mc[i].probability))
+    return rows
+
+
+def test_analytic_vs_monte_carlo(benchmark, show):
+    rows = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    show(
+        "ANALYTIC: first-order model vs Monte-Carlo "
+        f"(K=1, staggered uniform({SEG_LEN}), E[density]="
+        f"{TRAFFIC.expected_density:g})\n"
+        + format_table(
+            ["tracks", "analytic P", "simulated P"],
+            [(t, f"{a:.2f}", f"{s:.2f}") for t, a, s in rows],
+        )
+        + "\n  (model is first-order: shape agreement is the claim)"
+    )
+    analytic = [a for _, a, _ in rows]
+    simulated = [s for _, _, s in rows]
+    # Both monotone non-decreasing in tracks.
+    assert analytic == sorted(analytic)
+    assert simulated == sorted(simulated)
+    # Coarse agreement: same side of 0.5 on all but at most two points.
+    disagreements = sum(
+        1 for a, s in zip(analytic, simulated) if (a >= 0.5) != (s >= 0.5)
+    )
+    assert disagreements <= 2

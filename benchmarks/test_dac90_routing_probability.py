@@ -1,0 +1,58 @@
+"""DAC90-P — routing probability vs track count (the DAC 1990 curves).
+
+For the stochastic traffic model, the probability that a complete
+(K-segment) routing exists rises sharply with the number of tracks; the
+curve for K=2 sits left of (i.e., dominates) the curve for K=1, because
+joining two segments recovers flexibility.  Both regenerated here with
+common random numbers over the geometric design.
+"""
+
+from repro.analysis.stats import format_table
+from repro.design.evaluate import routing_probability
+from repro.design.segmentation import geometric_segmentation
+from repro.design.stochastic import TrafficModel
+
+TRAFFIC = TrafficModel(lam=0.5, mean_length=6)
+N_COLUMNS = 48
+TRIALS = 14
+TRACKS = (4, 6, 8, 10, 12)
+
+
+def _designer(T, N):
+    return geometric_segmentation(T, N, 4, 2.0, 3)
+
+
+def _curves():
+    curves = {}
+    for k in (1, 2):
+        curves[k] = routing_probability(
+            _designer, TRACKS, TRAFFIC, N_COLUMNS, TRIALS,
+            max_segments=k, seed=21,
+        )
+    return curves
+
+
+def test_dac90_routing_probability(benchmark, show):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    rows = []
+    for i, T in enumerate(TRACKS):
+        rows.append(
+            (
+                T,
+                f"{curves[1][i].probability:.2f}",
+                f"{curves[2][i].probability:.2f}",
+            )
+        )
+    show(
+        "DAC90-P: routing probability vs tracks "
+        f"(E[density]={TRAFFIC.expected_density:g}, trials={TRIALS})\n"
+        + format_table(["tracks", "P(route | K=1)", "P(route | K=2)"], rows)
+    )
+    # Monotone in T (common random numbers) and K=2 dominates K=1.
+    for k in (1, 2):
+        probs = [r.probability for r in curves[k]]
+        assert probs == sorted(probs)
+    for i in range(len(TRACKS)):
+        assert curves[2][i].probability >= curves[1][i].probability
+    # Enough tracks ⇒ (near-)certain routing.
+    assert curves[2][-1].probability >= 0.9

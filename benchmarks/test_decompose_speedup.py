@@ -1,0 +1,97 @@
+"""DECOMP — clean cuts, explicit decomposition, and the DP's self-reset.
+
+On instances whose traffic respects periodic all-track switch boundaries,
+`route_dp_decomposed` solves independent sub-DPs.  The measured finding
+is sharper than expected: the *monolithic* DP's level width already
+equals the widest piece's — the frontier re-normalization to each next
+connection's left end forgets everything at a clean cut, so the DP
+self-decomposes.  Explicit decomposition therefore buys bounded peak
+memory (one piece's levels at a time) and embarrassing parallelism, not
+width — and this bench pins that equality so a regression in the
+normalization (which *would* blow the width up) gets caught.
+"""
+
+import time
+
+from repro.analysis.stats import format_table
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import ConnectionSet
+from repro.core.decompose import decompose, route_dp_decomposed
+from repro.core.dp import route_dp_with_stats
+from repro.substrate.prng import rng_from
+
+
+def _separable_instance(n_blocks, tracks=5, block=8, seed=1):
+    """Blocks share boundary switches (the clean cuts) but are
+    heterogeneously segmented inside, so the plain DP must track real
+    per-track diversity while the decomposed runs restart per block."""
+    n_cols = n_blocks * block
+    rng = rng_from(seed)
+    boundary = set(range(block, n_cols, block))
+    track_list = []
+    for _ in range(tracks):
+        inner = {
+            base + rng.randint(1, block - 1)
+            for base in range(0, n_cols, block)
+            if rng.random() < 0.8
+        }
+        track_list.append(Track(n_cols, tuple(sorted(boundary | inner))))
+    ch = SegmentedChannel(track_list)
+    spans = []
+    for base in range(0, n_cols, block):
+        for _ in range(tracks - 1):
+            l = base + rng.randint(1, block - 2)
+            spans.append((l, min(base + block, l + rng.randint(0, block // 2))))
+    return ch, ConnectionSet.from_spans(spans)
+
+
+def test_decompose_speedup(benchmark, show):
+    ch, cs = _separable_instance(8)
+    routing = benchmark(route_dp_decomposed, ch, cs)
+    routing.validate()
+
+    rows = []
+    piece_widths = []
+    plain_widths = []
+    for n_blocks in (4, 8, 16):
+        chB, csB = _separable_instance(n_blocks)
+        pieces = decompose(chB, csB)
+        t0 = time.perf_counter()
+        _, stats = route_dp_with_stats(chB, csB)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        route_dp_decomposed(chB, csB)
+        t_dec = time.perf_counter() - t0
+        widest_piece = 0
+        for g in pieces:
+            _, s = route_dp_with_stats(chB, g)
+            widest_piece = max(widest_piece, s.max_level_width)
+        piece_widths.append(widest_piece)
+        plain_widths.append(stats.max_level_width)
+        rows.append(
+            (
+                n_blocks,
+                len(csB),
+                len(pieces),
+                stats.max_level_width,
+                widest_piece,
+                f"{t_plain * 1000:.1f}ms",
+                f"{t_dec * 1000:.1f}ms",
+            )
+        )
+    show(
+        "DECOMP: decomposition at clean cuts (T=5, heterogeneous blocks)\n"
+        + format_table(
+            [
+                "blocks", "M", "pieces", "plain width", "piece width",
+                "plain", "decomposed",
+            ],
+            rows,
+        )
+        + "\n  (equal widths = the DP's frontier normalization already "
+        "resets at clean cuts; decomposition buys memory/parallelism)"
+    )
+    # Decomposition finds a piece per block, and the monolithic width
+    # equals the widest piece's — the self-reset property.
+    assert all(r[2] == r[0] for r in rows)
+    assert piece_widths == plain_widths

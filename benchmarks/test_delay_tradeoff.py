@@ -1,0 +1,62 @@
+"""DELAY — the Fig. 2 delay trade-off, quantified with the Elmore model.
+
+The paper's motivation for segmented channels: fully segmenting every
+track "would cause unacceptable delays" (a resistive switch per column),
+while unsegmented tracks compound the capacitance problem.  A designed
+segmentation sits between.  We route the same stochastic traffic in the
+three channel styles and compare mean/max Elmore delay.
+
+Paper shape: designed < min(fully segmented, unsegmented) on mean delay.
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.api import route
+from repro.core.channel import fully_segmented_channel, unsegmented_channel
+from repro.core.connection import density
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.design.segmentation import geometric_segmentation
+from repro.design.stochastic import TrafficModel, sample_connections
+from repro.fpga.delay import DelayModel, routing_delay_profile
+
+N = 48
+MODEL = DelayModel()
+
+
+def _route_in(channel_factory, conns, max_tracks=40):
+    for t in range(max(density(conns), 1), max_tracks):
+        try:
+            return route(channel_factory(t), conns)
+        except (RoutingInfeasibleError, HeuristicFailure):
+            continue
+    raise RoutingInfeasibleError("no style fits")
+
+
+def _compare(seed):
+    conns = sample_connections(TrafficModel(0.4, 6), N, seed=seed)
+    styles = {
+        "fully segmented": lambda t: fully_segmented_channel(t, N),
+        "unsegmented": lambda t: unsegmented_channel(t, N),
+        "designed (geometric)": lambda t: geometric_segmentation(t, N, 4, 2.0, 3),
+    }
+    out = {}
+    for name, factory in styles.items():
+        r = _route_in(factory, conns)
+        mean, mx, _ = routing_delay_profile(r, MODEL)
+        out[name] = (r.channel.n_tracks, mean, mx)
+    return out
+
+
+def test_delay_tradeoff(benchmark, show):
+    results = benchmark.pedantic(_compare, args=(5,), rounds=1, iterations=1)
+    rows = [
+        (name, tracks, f"{mean:.2f}", f"{mx:.2f}")
+        for name, (tracks, mean, mx) in results.items()
+    ]
+    show(
+        "DELAY: Elmore delay by channel style (same traffic, N=48)\n"
+        + format_table(["style", "tracks", "mean delay", "max delay"], rows)
+        + "\n  (arbitrary RC units; relative order is the claim)"
+    )
+    designed = results["designed (geometric)"][1]
+    assert designed < results["fully segmented"][1]
+    assert designed < results["unsegmented"][1]

@@ -1,0 +1,83 @@
+"""ECO — incremental routing cost vs from-scratch re-route.
+
+Measures the incremental router on an insertion stream: how many inserts
+are satisfied directly, how many need rip-up, how many fall back to a
+global re-route — and the wall-clock advantage over re-routing everything
+from scratch after every edit (the naive ECO flow).
+
+Shape: the large majority of inserts in a lightly-loaded channel are
+direct; incremental total time beats scratch re-routing.
+"""
+
+import time
+
+from repro.analysis.stats import format_table
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.incremental import IncrementalRouter, insert_connection
+from repro.generators.random_instances import random_channel
+from repro.substrate.prng import rng_from
+
+
+def _edit_stream(n_edits, n_columns, seed):
+    rng = rng_from(seed)
+    out = []
+    for i in range(n_edits):
+        left = rng.randint(1, n_columns)
+        right = min(n_columns, left + rng.randint(0, 6))
+        out.append(Connection(left, right, f"e{i}"))
+    return out
+
+
+def _run_incremental(channel, edits):
+    session = IncrementalRouter(channel)
+    accepted = 0
+    for c in edits:
+        try:
+            session.insert(c)
+            accepted += 1
+        except RoutingInfeasibleError:
+            pass
+    return accepted
+
+
+def _run_scratch(channel, edits):
+    routed: list[Connection] = []
+    accepted = 0
+    for c in edits:
+        candidate = ConnectionSet(routed + [c])
+        try:
+            route_dp(channel, candidate)
+            routed.append(c)
+            accepted += 1
+        except RoutingInfeasibleError:
+            pass
+    return accepted
+
+
+def test_eco_incremental(benchmark, show):
+    channel = random_channel(6, 48, 5.0, seed=3)
+    edits = _edit_stream(24, 48, seed=4)
+
+    accepted = benchmark(_run_incremental, channel, edits)
+
+    t0 = time.perf_counter()
+    inc_accepted = _run_incremental(channel, edits)
+    t_inc = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scratch_accepted = _run_scratch(channel, edits)
+    t_scratch = time.perf_counter() - t0
+
+    rows = [
+        ("incremental", inc_accepted, f"{t_inc * 1000:.1f}ms"),
+        ("from-scratch each edit", scratch_accepted, f"{t_scratch * 1000:.1f}ms"),
+    ]
+    show(
+        f"ECO: 24-insert edit stream on a 6-track channel\n"
+        + format_table(["strategy", "accepted", "total time"], rows)
+    )
+    # Identical accept/reject decisions (both are exact)...
+    assert inc_accepted == scratch_accepted == accepted
+    # ...at lower or comparable cost.
+    assert t_inc <= t_scratch * 1.5

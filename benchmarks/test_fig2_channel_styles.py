@@ -1,0 +1,83 @@
+"""FIG2 — the Fig. 2 trade-off: one connection set, five channel styles.
+
+Regenerates the figure's comparison: tracks needed by (b) unconstrained
+mask programming, (c) fully segmented tracks, (d) unsegmented tracks,
+(e) a segmentation designed for 1-segment routing, and (f) a coarser
+segmentation exploiting 2-segment routing.
+
+Paper's shape: (b) and (c) achieve the density; (d) needs one track per
+connection; (e) and (f) sit at or near the density with far fewer
+switches than (c).
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.channel import fully_segmented_channel, unsegmented_channel
+from repro.core.connection import density
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.left_edge import route_left_edge_unconstrained
+from repro.design.per_instance import (
+    segmentation_for_instance,
+    segmentation_for_two_segment,
+)
+from repro.generators.paper_examples import fig2_connections
+
+
+def _tracks_needed(make_channel, conns, max_segments=None, cap=12):
+    for t in range(1, cap + 1):
+        try:
+            route_dp(make_channel(t), conns, max_segments=max_segments)
+            return t
+        except RoutingInfeasibleError:
+            continue
+    return cap + 1
+
+
+def _run():
+    conns = fig2_connections()
+    n = 16
+    d = density(conns)
+    rows = []
+    # (b) unconstrained = left edge on freely customized tracks.
+    unconstrained = route_left_edge_unconstrained(conns, n_columns=n)
+    rows.append(("(b) unconstrained", unconstrained.channel.n_tracks, "-"))
+    # (c) fully segmented, unlimited joining.
+    t_full = _tracks_needed(lambda t: fully_segmented_channel(t, n), conns)
+    rows.append(("(c) fully segmented", t_full, "many switches"))
+    # (d) unsegmented: one connection per track.
+    t_unseg = _tracks_needed(lambda t: unsegmented_channel(t, n), conns)
+    rows.append(("(d) unsegmented", t_unseg, "no switches"))
+    # (e) segmented for 1-segment routing (the clairvoyant construction).
+    ch_e = segmentation_for_instance(conns, n)
+    route_one_segment_greedy(ch_e, conns).validate(1)
+    rows.append(
+        ("(e) designed, K=1", ch_e.n_tracks, f"{ch_e.n_switches} switches")
+    )
+    # (f) segmented for 2-segment routing: fewer switches, same tracks.
+    ch_f = segmentation_for_two_segment(conns, n)
+    route_dp(ch_f, conns, max_segments=2).validate(2)
+    rows.append(
+        ("(f) designed, K=2", ch_f.n_tracks, f"{ch_f.n_switches} switches")
+    )
+    return d, rows, ch_e, ch_f
+
+
+def test_fig2_channel_styles(benchmark, show):
+    d, rows, ch_e, ch_f = benchmark(_run)
+    conns = fig2_connections()
+    show(
+        "FIG2: tracks needed per channel style "
+        f"(M={len(conns)}, density={d})\n"
+        + format_table(["style", "tracks", "notes"], rows)
+    )
+    by_style = {r[0]: r[1] for r in rows}
+    # Paper's qualitative claims:
+    assert by_style["(b) unconstrained"] == d
+    assert by_style["(c) fully segmented"] == d
+    assert by_style["(d) unsegmented"] == len(conns)
+    # The designed channels match the density exactly (the figure's point),
+    # and (f) spends no more switches than (e).
+    assert by_style["(e) designed, K=1"] == d
+    assert by_style["(f) designed, K=2"] == d
+    assert ch_f.n_switches <= ch_e.n_switches

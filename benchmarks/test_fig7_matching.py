@@ -1,0 +1,48 @@
+"""FIG7 — optimal 1-segment routing via bipartite matching.
+
+Regenerates the Fig. 7 graph for the Fig. 3 instance and shows the
+minimum-weight matching (weight = occupied segment length) against the
+Theorem-3 greedy: the matching's total weight is never worse, and on the
+Fig. 3 instance the optimum is computed alongside the graph size the
+paper's O(V^3) bound refers to.
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.matching import (
+    one_segment_bipartite_graph,
+    route_one_segment_matching,
+)
+from repro.core.routing import occupied_length_weight
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+
+
+def test_fig7_matching(benchmark, show):
+    ch, cs = fig3_channel(), fig3_connections()
+    w = occupied_length_weight(ch)
+    optimal = benchmark(route_one_segment_matching, ch, cs, w)
+    optimal.validate(max_segments=1)
+    greedy = route_one_segment_greedy(ch, cs)
+    segments, adjacency = one_segment_bipartite_graph(ch, cs)
+    n_edges = sum(len(row) for row in adjacency)
+    rows = [
+        (
+            c.name,
+            f"t{optimal.assignment[i] + 1}",
+            w(c, optimal.assignment[i]),
+            f"t{greedy.assignment[i] + 1}",
+            w(c, greedy.assignment[i]),
+        )
+        for i, c in enumerate(cs)
+    ]
+    show(
+        "FIG7: weighted matching vs greedy on the Fig. 3 instance\n"
+        f"  bipartite graph: {len(cs)} + {len(segments)} nodes, {n_edges} edges\n"
+        + format_table(
+            ["conn", "opt track", "opt w", "greedy track", "greedy w"], rows
+        )
+        + f"\n  total: optimal={optimal.total_weight(w):g} "
+        f"greedy={greedy.total_weight(w):g}"
+    )
+    assert optimal.total_weight(w) <= greedy.total_weight(w)
+    assert len(segments) == 8

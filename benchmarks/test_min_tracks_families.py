@@ -1,0 +1,73 @@
+"""FAMILIES — minimum track count across design families.
+
+For a batch of stochastic traffic draws: the exact minimum track count of
+each segmentation family (via `analysis.minimum_tracks`), referenced to
+the unconstrained density.  The clairvoyant per-instance design achieves
+the density by construction; the statistical families pay measured
+premiums — quantifying how much of the "few tracks more" overhead is the
+price of not knowing the traffic in advance.
+"""
+
+from repro.analysis.min_tracks import minimum_tracks
+from repro.analysis.stats import format_table, summarize
+from repro.core.connection import density
+from repro.core.errors import ReproError
+from repro.design.per_instance import segmentation_for_instance
+from repro.design.segmentation import (
+    geometric_segmentation,
+    staggered_uniform_segmentation,
+)
+from repro.design.stochastic import TrafficModel, sample_connections
+
+TRAFFIC = TrafficModel(lam=0.45, mean_length=5)
+N_COLUMNS = 40
+TRIALS = 10
+
+
+def _families():
+    return {
+        "geometric": lambda T, N: geometric_segmentation(T, N, 4, 2.0, 3),
+        "staggered(5)": lambda T, N: staggered_uniform_segmentation(T, N, 5),
+    }
+
+
+def _sweep():
+    rows = []
+    draws = [
+        sample_connections(TRAFFIC, N_COLUMNS, seed=s) for s in range(TRIALS)
+    ]
+    draws = [d for d in draws if len(d) > 0]
+    per_family = {name: [] for name in _families()}
+    per_family["per-instance (clairvoyant)"] = []
+    densities = []
+    for conns in draws:
+        d = density(conns)
+        densities.append(d)
+        clairvoyant = segmentation_for_instance(conns, N_COLUMNS)
+        per_family["per-instance (clairvoyant)"].append(clairvoyant.n_tracks)
+        for name, designer in _families().items():
+            try:
+                per_family[name].append(
+                    minimum_tracks(
+                        designer, conns, N_COLUMNS, max_segments=2, limit=64
+                    )
+                )
+            except ReproError:
+                per_family[name].append(64)
+    for name, counts in per_family.items():
+        overhead = [c - d for c, d in zip(counts, densities)]
+        s = summarize(overhead)
+        rows.append((name, f"{s.mean:.2f}", int(s.minimum), int(s.maximum)))
+    return rows, sum(densities) / len(densities)
+
+
+def test_min_tracks_families(benchmark, show):
+    rows, mean_density = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(
+        "FAMILIES: min-track overhead vs unconstrained density "
+        f"(K=2, mean density {mean_density:.1f})\n"
+        + format_table(["design family", "mean overhead", "min", "max"], rows)
+    )
+    by_name = {r[0]: float(r[1]) for r in rows}
+    assert by_name["per-instance (clairvoyant)"] == 0.0
+    assert by_name["geometric"] <= 6.0

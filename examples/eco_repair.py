@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Engineering change orders: incremental routing with bounded rip-up.
+
+A routed channel receives a stream of late netlist edits — inserts and
+deletes.  The incremental router realizes each insert with the cheapest
+sufficient effort: a direct assignment when free segments exist, a
+bounded rip-up-and-reroute when they don't, and a full exact re-route
+only as a last resort.  Deletions always succeed and free capacity.
+
+Run:  python examples/eco_repair.py
+"""
+
+from repro import Connection, IncrementalRouter, RoutingInfeasibleError
+from repro.core.channel import channel_from_breaks
+from repro.viz import render_routing
+
+
+def main() -> None:
+    channel = channel_from_breaks(
+        16,
+        [
+            (4, 8, 12),
+            (6, 10),
+            (8,),
+        ],
+        name="eco",
+    )
+    session = IncrementalRouter(channel, max_segments=2, max_rip_up=2)
+
+    edits = [
+        ("insert", Connection(1, 4, "clk")),
+        ("insert", Connection(5, 8, "rst")),
+        ("insert", Connection(2, 6, "d0")),
+        ("insert", Connection(9, 12, "d1")),
+        ("insert", Connection(7, 10, "d2")),
+        ("insert", Connection(13, 16, "q0")),
+        ("remove", Connection(5, 8, "rst")),
+        ("insert", Connection(3, 8, "scan")),
+        ("insert", Connection(11, 16, "q1")),
+    ]
+
+    for op, conn in edits:
+        if op == "insert":
+            try:
+                session.insert(conn)
+                print(f"+ {conn.name:<5} [{conn.left:>2},{conn.right:>2}]  ok "
+                      f"({len(session)} routed)")
+            except RoutingInfeasibleError as exc:
+                print(f"+ {conn.name:<5} REJECTED: {exc}")
+        else:
+            session.remove(conn)
+            print(f"- {conn.name:<5} removed ({len(session)} routed)")
+
+    print("\nfinal channel state:")
+    print(render_routing(session.routing))
+    session.routing.validate(max_segments=2)
+    print("\nfinal routing validated (K <= 2).")
+
+
+if __name__ == "__main__":
+    main()

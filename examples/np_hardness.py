@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""NP-hardness, executed: the Theorem-1 reduction as working code.
+
+Builds the paper's Example 1 (Fig. 5) — the segmented channel routing
+instance Q encoding the numerical matching problem x=(2,5,8),
+y=(9,11,12), z=(11,17,19) — routes it, and reads the matching back out
+of the routing.  Then perturbs z to an unsolvable instance and watches
+the router prove Q unroutable.
+
+Run:  python examples/np_hardness.py
+"""
+
+from repro import (
+    NMTSInstance,
+    RoutingInfeasibleError,
+    build_unlimited_instance,
+    matching_from_routing,
+    normalize_nmts,
+    route_exact,
+    routing_from_matching,
+    solve_nmts,
+)
+from repro.generators.paper_examples import example1_nmts
+
+
+def main() -> None:
+    inst = example1_nmts()
+    print(f"NMTS instance: x={inst.xs}, y={inst.ys}, z={inst.zs}")
+
+    sol = solve_nmts(inst)
+    assert sol is not None
+    alpha, beta = sol
+    print(
+        "numerical matching found:",
+        ", ".join(
+            f"x{alpha[i] + 1}+y{beta[i] + 1}={inst.zs[i]}"
+            for i in range(inst.n)
+        ),
+    )
+
+    q = build_unlimited_instance(inst)
+    print(
+        f"\nreduction instance Q: {q.channel.n_tracks} tracks, "
+        f"{q.channel.n_columns} columns, {len(q.connections)} connections"
+    )
+
+    routing = routing_from_matching(q, alpha, beta)
+    routing.validate()
+    print("Lemma 1: built a valid routing of Q from the matching.")
+
+    alpha2, beta2 = matching_from_routing(q, routing)
+    print(
+        "Lemma 2: read a matching back out of the routing: "
+        f"alpha={tuple(a + 1 for a in alpha2)}, "
+        f"beta={tuple(b + 1 for b in beta2)}"
+    )
+
+    # Now the unsolvable twin: same x, y, rebalanced z.
+    bad = NMTSInstance((2, 5, 8), (9, 11, 12), (12, 16, 19))
+    assert solve_nmts(bad) is None
+    norm, _, _ = normalize_nmts(bad)
+    q_bad = build_unlimited_instance(norm)
+    print(f"\nperturbed z={bad.zs}: no numerical matching exists.")
+    try:
+        route_exact(q_bad.channel, q_bad.connections)
+    except RoutingInfeasibleError:
+        print(
+            "exact router proves Q unroutable — routing Q is exactly as "
+            "hard as numerical matching (Theorem 1)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Paper tour: every figure of the paper, regenerated in one run.
+
+Walks Figs. 2, 3, 4, 5(Example 1), 7, 8 and the Section IV-B frontier
+(Fig. 9) in order, printing the reproduced artifact for each with the
+paper's claim alongside.  The quantitative experiments (LP60, DAC90,
+bounds) live in `benchmarks/`; this script is the qualitative gallery.
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro import (
+    RoutingInfeasibleError,
+    build_unlimited_instance,
+    density,
+    matching_from_routing,
+    route_dp,
+    route_dp_with_stats,
+    route_generalized,
+    route_one_segment_greedy,
+    route_one_segment_matching,
+    route_two_segment_tracks_greedy,
+    routing_from_matching,
+    solve_nmts,
+)
+from repro.core.left_edge import route_left_edge_unconstrained
+from repro.core.routing import occupied_length_weight
+from repro.design.per_instance import segmentation_for_instance
+from repro.generators.paper_examples import (
+    example1_nmts,
+    fig2_connections,
+    fig3_channel,
+    fig3_connections,
+    fig4_channel,
+    fig4_connections,
+    fig8_channel,
+    fig8_connections,
+)
+from repro.viz.render import (
+    render_channel,
+    render_generalized_routing,
+    render_routing,
+)
+
+
+def banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def fig2() -> None:
+    banner("Fig. 2 — why segmented channels: the same nets, four ways")
+    conns = fig2_connections()
+    d = density(conns)
+    unconstrained = route_left_edge_unconstrained(conns, n_columns=16)
+    print(f"(b) mask-programmed left edge: {unconstrained.channel.n_tracks} "
+          f"tracks (= density {d})")
+    designed = segmentation_for_instance(conns, 16)
+    r = route_one_segment_greedy(designed, conns)
+    print(f"(e) designed segmentation: {designed.n_tracks} tracks, "
+          f"{designed.n_switches} switches, every connection 1 segment:")
+    print(render_routing(r))
+
+
+def fig3_and_9() -> None:
+    banner("Fig. 3 — the running example; Fig. 9 — its frontier")
+    ch, cs = fig3_channel(), fig3_connections()
+    print(render_channel(ch))
+    r = route_one_segment_greedy(ch, cs)
+    print("\n1-segment greedy (c1->s21, c2->s31 as printed):")
+    print(render_routing(r))
+    blocked = [0] * 3
+    for i in range(3):
+        blocked[r.assignment[i]] = ch.segment_end_at(
+            r.assignment[i], cs[i].right
+        )
+    frontier = [max(b + 1, cs[3].left) for b in blocked]
+    print(f"\nfrontier after c1..c3 relative to left(c4): {frontier} "
+          f"(Fig. 9 prints x = [7, 6, 6])")
+    _, stats = route_dp_with_stats(ch, cs)
+    print(f"assignment graph (Fig. 10): levels of width "
+          f"{list(stats.nodes_per_level)}")
+
+
+def fig4() -> None:
+    banner("Fig. 4 — when a connection must change tracks")
+    ch, cs = fig4_channel(), fig4_connections()
+    try:
+        route_dp(ch, cs)
+    except RoutingInfeasibleError:
+        print("track-per-connection routing: infeasible (DP proof)")
+    g = route_generalized(ch, cs)
+    print(render_generalized_routing(g))
+
+
+def fig5() -> None:
+    banner("Fig. 5 / Example 1 — NP-completeness as executable code")
+    nmts = example1_nmts()
+    q = build_unlimited_instance(nmts)
+    print(f"Q: T={q.channel.n_tracks}, N={q.channel.n_columns}, "
+          f"M={len(q.connections)}")
+    alpha, beta = solve_nmts(nmts)
+    routing = routing_from_matching(q, alpha, beta)
+    a2, b2 = matching_from_routing(q, routing)
+    pairs = ", ".join(
+        f"x{a2[i] + 1}+y{b2[i] + 1}={nmts.zs[i]}" for i in range(3)
+    )
+    print(f"matching -> routing -> matching round trip: {pairs}")
+
+
+def fig7() -> None:
+    banner("Fig. 7 — optimal 1-segment routing via matching")
+    ch, cs = fig3_channel(), fig3_connections()
+    w = occupied_length_weight(ch)
+    optimal = route_one_segment_matching(ch, cs, weight=w)
+    greedy = route_one_segment_greedy(ch, cs)
+    print(f"greedy weight {greedy.total_weight(w):g} -> "
+          f"matching optimum {optimal.total_weight(w):g}")
+
+
+def fig8() -> None:
+    banner("Fig. 8 — the two-segment pool greedy")
+    ch, cs = fig8_channel(), fig8_connections()
+    r = route_two_segment_tracks_greedy(ch, cs)
+    print(render_routing(r))
+    print("(c2 pooled, then flushed onto the last unoccupied track)")
+
+
+def main() -> None:
+    fig2()
+    fig3_and_9()
+    fig4()
+    fig5()
+    fig7()
+    fig8()
+    print("\nAll figures regenerated. Quantitative experiments: "
+          "pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

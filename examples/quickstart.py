@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: define a segmented channel, route connections, inspect.
+
+Covers the library's core loop in ~40 lines:
+
+1. build a channel (tracks divided into segments by switches);
+2. describe the connections to route;
+3. call :func:`repro.route` (Problems 1/2/3 of the paper);
+4. validate, render, and export the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ConnectionSet,
+    channel_from_breaks,
+    occupied_length_weight,
+    route,
+)
+from repro.io import routing_report
+from repro.viz import render_channel, render_connections, render_routing
+
+
+def main() -> None:
+    # A 3-track channel over 9 columns — the paper's Fig. 3 geometry.
+    # Track 1 has switches after columns 2 and 6; track 3 after column 5.
+    channel = channel_from_breaks(
+        9,
+        [
+            (2, 6),
+            (3, 6),
+            (5,),
+        ],
+        name="quickstart",
+    )
+
+    # Five two-pin connections, given as (left, right) column spans.
+    connections = ConnectionSet.from_spans(
+        [(1, 3), (2, 5), (4, 6), (6, 8), (7, 9)]
+    )
+
+    print("The connections:")
+    print(render_connections(connections, channel.n_columns))
+    print("\nThe channel (o = programmable switch):")
+    print(render_channel(channel))
+
+    # Problem 2 with K=1: each connection must fit a single segment.
+    routing = route(channel, connections, max_segments=1)
+    routing.validate(max_segments=1)
+    print("\n1-segment routing (= programmed segments, * = joined switch):")
+    print(render_routing(routing))
+
+    # Problem 3: minimize total occupied wire length.
+    weight = occupied_length_weight(channel)
+    optimal = route(channel, connections, max_segments=1, weight=weight)
+    print("\nOptimal (minimum occupied length) routing report:")
+    print(routing_report(optimal, weight))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""repro — Segmented Channel Routing.
+
+A full reproduction of *"Segmented Channel Routing"* (V. P. Roychowdhury,
+J. W. Greene, A. El Gamal; DAC 1990, extended in IEEE TCAD vol. 12 no. 1,
+1993): the routing problems of channeled field-programmable gate arrays,
+their NP-completeness, and the paper's exact, greedy, dynamic-programming
+and linear-programming algorithms — plus the FPGA architecture, channel
+design, and experiment substrates needed to regenerate every figure and
+result.
+
+Quickstart::
+
+    from repro import Connection, ConnectionSet, uniform_channel, route
+
+    channel = uniform_channel(n_tracks=4, n_columns=16, segment_length=4)
+    conns = ConnectionSet.from_spans([(1, 3), (2, 7), (5, 12), (9, 16)])
+    routing = route(channel, conns, max_segments=2)
+    print(routing.as_dict())
+"""
+
+from repro.core import *  # noqa: F401,F403 - the curated core namespace
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+__all__ = list(_core_all) + ["__version__"]

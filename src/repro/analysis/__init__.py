@@ -1,0 +1,28 @@
+"""Measurement and experiment utilities."""
+
+from repro.analysis.channel_stats import ChannelProfile, profile_channel
+from repro.analysis.complexity import (
+    theorem5_bound,
+    theorem6_bound,
+    theorem7_bound,
+    theorem8_bound,
+)
+from repro.analysis.min_tracks import minimum_tracks
+from repro.analysis.stats import Summary, format_table, success_rate, summarize
+from repro.analysis.utilization import UtilizationReport, utilization
+
+__all__ = [
+    "ChannelProfile",
+    "profile_channel",
+    "theorem5_bound",
+    "theorem6_bound",
+    "theorem7_bound",
+    "theorem8_bound",
+    "minimum_tracks",
+    "Summary",
+    "format_table",
+    "success_rate",
+    "summarize",
+    "UtilizationReport",
+    "utilization",
+]

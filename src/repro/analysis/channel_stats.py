@@ -1,0 +1,76 @@
+"""Channel structure statistics: the designer's census of a segmentation.
+
+Summarizes what a channel *is* — segment-length histogram, switches per
+track, type census, wire totals — so designs can be compared on paper
+before any routing runs.  The profile also costs the channel's switch
+budget, the resource Fig. 2 trades against routability.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.analysis.stats import format_table
+from repro.core.channel import SegmentedChannel
+
+__all__ = ["ChannelProfile", "profile_channel"]
+
+
+@dataclass(frozen=True)
+class ChannelProfile:
+    """Structural census of one segmented channel."""
+
+    n_tracks: int
+    n_columns: int
+    n_segments: int
+    n_switches: int
+    segment_length_histogram: tuple[tuple[int, int], ...]  #: (length, count)
+    switches_per_track: tuple[int, ...]
+    n_track_types: int
+
+    @property
+    def total_wire(self) -> int:
+        return self.n_tracks * self.n_columns
+
+    @property
+    def mean_segment_length(self) -> float:
+        return self.total_wire / self.n_segments if self.n_segments else 0.0
+
+    @property
+    def switch_density(self) -> float:
+        """Switches per column of wire — the delay-budget figure of merit
+        (0 for unsegmented, (N-1)/N for fully segmented tracks)."""
+        if self.total_wire == 0:
+            return 0.0
+        return self.n_switches / self.total_wire
+
+    def table(self) -> str:
+        """Segment-length histogram as an aligned text table."""
+        return format_table(
+            ["segment length", "count"],
+            list(self.segment_length_histogram),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"T={self.n_tracks} N={self.n_columns}: {self.n_segments} "
+            f"segments (mean {self.mean_segment_length:.1f}), "
+            f"{self.n_switches} switches "
+            f"({self.switch_density:.3f}/column), "
+            f"{self.n_track_types} track types"
+        )
+
+
+def profile_channel(channel: SegmentedChannel) -> ChannelProfile:
+    """Compute the structural census of ``channel``."""
+    lengths = Counter(s.length for s in channel.segments())
+    return ChannelProfile(
+        n_tracks=channel.n_tracks,
+        n_columns=channel.n_columns,
+        n_segments=channel.n_segments,
+        n_switches=channel.n_switches,
+        segment_length_histogram=tuple(sorted(lengths.items())),
+        switches_per_track=tuple(len(t.breaks) for t in channel),
+        n_track_types=len(channel.track_types()),
+    )

@@ -1,0 +1,51 @@
+"""Theoretical level-width bounds of Theorems 5-8, as executable formulas.
+
+The SCALE/THM benches compare these against the measured assignment-graph
+widths from :func:`repro.core.dp.route_dp_with_stats` and friends — the
+measured width must never exceed the bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "theorem5_bound",
+    "theorem6_bound",
+    "theorem7_bound",
+    "theorem8_bound",
+]
+
+
+def theorem5_bound(n_tracks: int) -> int:
+    """Theorem 5: distinct frontiers for unlimited routing <= 2^T * T!.
+
+    (The proof's finer count is ``2^(T-d) T!/(T-d)!`` for ``d`` connections
+    crossing the reference column; this is its maximum over ``d``.)
+    """
+    return (2 ** n_tracks) * math.factorial(n_tracks)
+
+
+def theorem6_bound(n_tracks: int, max_segments: int) -> int:
+    """Theorem 6: distinct frontiers for K-segment routing <= (K+1)^T."""
+    return (max_segments + 1) ** n_tracks
+
+
+def theorem7_bound(tracks_per_type: Sequence[int], max_segments: int) -> int:
+    """Theorem 7: canonical frontiers <= prod_i C(T_i + K, K).
+
+    The paper states the bound for two types as ``C(T1+K, K) * C(T2+K,
+    K)`` = ``O((T1 T2)^K)``; the product form generalizes to any number of
+    types exactly as the text's closing remark says.
+    """
+    bound = 1
+    for t_i in tracks_per_type:
+        bound *= math.comb(t_i + max_segments, max_segments)
+    return bound
+
+
+def theorem8_bound(n_tracks: int) -> int:
+    """Theorem 8: generalized-routing frontiers <= 2^T (T+1)^T (= L with
+    d <= T connections crossing the previous column)."""
+    return (2 ** n_tracks) * ((n_tracks + 1) ** n_tracks)

@@ -1,0 +1,88 @@
+"""Minimum track count: how many tracks of a design does an instance need?
+
+The channel-sizing question every bench asks informally, as a public,
+tested API.  Works over any *designer* (``(n_tracks, n_columns) ->
+channel``) using exponential probing + binary search on the track count,
+with the exact routers as the feasibility oracle.  Monotonicity — more
+tracks never hurt — holds for all the designer families in
+:mod:`repro.design.segmentation` because adding tracks only appends wire
+(verified for the library's designers in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.api import route
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import HeuristicFailure, ReproError, RoutingInfeasibleError
+
+__all__ = ["minimum_tracks"]
+
+Designer = Callable[[int, int], SegmentedChannel]
+
+
+def _routable(
+    designer: Designer,
+    n_tracks: int,
+    n_columns: int,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+) -> bool:
+    try:
+        route(
+            designer(n_tracks, n_columns),
+            connections,
+            max_segments=max_segments,
+        )
+        return True
+    except (RoutingInfeasibleError, HeuristicFailure):
+        return False
+
+
+def minimum_tracks(
+    designer: Designer,
+    connections: ConnectionSet,
+    n_columns: int,
+    max_segments: Optional[int] = None,
+    limit: int = 256,
+) -> int:
+    """Smallest track count at which ``designer``'s channel routes the
+    instance (with the given K).
+
+    Starts at the density lower bound, doubles until routable, then
+    binary-searches the gap.  Assumes designer monotonicity (checked for
+    the built-in families by tests); the result is exact under it.
+
+    Raises
+    ------
+    ReproError
+        If even ``limit`` tracks cannot route the instance (e.g. a
+        K-infeasible connection that no amount of tracks fixes).
+    """
+    if len(connections) == 0:
+        return 0
+    lo = max(1, density(connections))
+    if _routable(designer, lo, n_columns, connections, max_segments):
+        return lo
+    # Exponential probe for a feasible upper bound.
+    hi = lo
+    while True:
+        hi = min(limit, hi * 2)
+        if _routable(designer, hi, n_columns, connections, max_segments):
+            break
+        if hi >= limit:
+            raise ReproError(
+                f"instance not routable in this design family even with "
+                f"{limit} tracks (K={max_segments})"
+            )
+    # Binary search in (lo, hi].
+    infeasible, feasible = lo, hi
+    while feasible - infeasible > 1:
+        mid = (infeasible + feasible) // 2
+        if _routable(designer, mid, n_columns, connections, max_segments):
+            feasible = mid
+        else:
+            infeasible = mid
+    return feasible

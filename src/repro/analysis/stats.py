@@ -1,0 +1,76 @@
+"""Experiment aggregation helpers: summaries, rates, text tables.
+
+These back every bench's printed output, so all EXPERIMENTS.md tables come
+out of one formatting path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Summary", "summarize", "success_rate", "format_table"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n} mean={self.mean:.3f} std={self.std:.3f} "
+            f"min={self.minimum:g} max={self.maximum:g}"
+        )
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Sample summary (population std; exact zeros for n <= 1)."""
+    data = [float(v) for v in values]
+    n = len(data)
+    if n == 0:
+        return Summary(0, math.nan, math.nan, math.nan, math.nan)
+    mean = sum(data) / n
+    var = sum((v - mean) ** 2 for v in data) / n
+    return Summary(n, mean, math.sqrt(var), min(data), max(data))
+
+
+def success_rate(outcomes: Iterable[bool]) -> tuple[int, int, float]:
+    """Return ``(successes, trials, rate)``."""
+    data = [bool(v) for v in outcomes]
+    trials = len(data)
+    successes = sum(data)
+    return successes, trials, (successes / trials if trials else math.nan)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width text table (the benches print these; EXPERIMENTS.md
+    embeds them verbatim)."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(v) for v in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for ri, row in enumerate(cells):
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if ri == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.3f}"
+    return str(value)

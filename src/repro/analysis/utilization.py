@@ -1,0 +1,74 @@
+"""Wire utilization: how much of the channel a routing actually uses.
+
+Three ratios capture the cost of segmentation (Fig. 2's waste argument):
+
+* **used/occupied** — columns the connections span vs columns their
+  segments block: the *slack* a coarse segmentation forces a net to drag;
+* **occupied/total** — blocked wire vs all wire in the channel: raw
+  capacity consumption;
+* per-track occupancy — where the load sits.
+
+The unconstrained baseline has used == occupied by definition, so
+used/occupied is exactly the segmentation overhead factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.routing import Routing
+
+__all__ = ["UtilizationReport", "utilization"]
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Wire accounting for one routed channel."""
+
+    used_columns: int          #: columns actually spanned by connections
+    occupied_columns: int      #: columns blocked (whole segments)
+    total_columns: int         #: all wire in the channel (T * N)
+    per_track_occupied: tuple[int, ...]
+
+    @property
+    def slack_columns(self) -> int:
+        """Blocked but unused wire — the segmentation waste."""
+        return self.occupied_columns - self.used_columns
+
+    @property
+    def efficiency(self) -> float:
+        """used / occupied in (0, 1]; 1.0 = perfectly tight segments."""
+        if self.occupied_columns == 0:
+            return 1.0
+        return self.used_columns / self.occupied_columns
+
+    @property
+    def load(self) -> float:
+        """occupied / total channel wire."""
+        if self.total_columns == 0:
+            return 0.0
+        return self.occupied_columns / self.total_columns
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"used {self.used_columns} / occupied {self.occupied_columns} "
+            f"/ total {self.total_columns} columns "
+            f"(efficiency {self.efficiency:.0%}, load {self.load:.0%})"
+        )
+
+
+def utilization(routing: Routing) -> UtilizationReport:
+    """Measure wire utilization of a validated routing."""
+    channel = routing.channel
+    used = 0
+    per_track = [0] * channel.n_tracks
+    for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+        used += c.length
+        left, right = channel.occupied_span(t, c.left, c.right)
+        per_track[t] += right - left + 1
+    return UtilizationReport(
+        used_columns=used,
+        occupied_columns=sum(per_track),
+        total_columns=channel.n_tracks * channel.n_columns,
+        per_track_occupied=tuple(per_track),
+    )

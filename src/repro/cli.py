@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+Usage (also available as ``python -m repro``)::
+
+    segroute route INSTANCE.sch|@name [--k K] [--algorithm ALG] [--weight length]
+                                 [--format text|csv|json]
+    segroute render INSTANCE.sch [--routed] [--k K]
+    segroute generate --tracks T --columns N --connections M [--k K]
+                      [--seed S] [--mean-segment L] -o OUT.sch
+    segroute reduce --x 2,5,8 --y 9,11,12 --z 11,17,19 [--two-segment]
+                    -o OUT.sch
+    segroute chip NETLIST.net --rows R --cells-per-row C [--timing]
+
+Subcommands map 1:1 onto the library: ``route`` runs any of the paper's
+algorithms on an ``.sch`` instance, ``render`` draws it, ``generate``
+writes a random feasible instance, and ``reduce`` emits a Theorem-1/2
+NP-completeness instance from a numerical matching problem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.api import ALGORITHMS, route
+from repro.core.errors import ReproError
+from repro.core.npc import (
+    NMTSInstance,
+    build_two_segment_instance,
+    build_unlimited_instance,
+    normalize_nmts,
+)
+from repro.core.routing import occupied_length_weight, segment_count_weight
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+)
+from repro.io.registry import load_named_instance
+from repro.io.results import routing_report, routing_to_csv, routing_to_json
+from repro.io.text_format import dump_instance, load_instance
+from repro.viz.render import render_channel, render_connections, render_routing
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="segroute",
+        description="Segmented channel routing (Roychowdhury/Greene/El Gamal)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_route = sub.add_parser("route", help="route an .sch instance")
+    p_route.add_argument(
+        "instance", help=".sch file path, or @name for a registry instance"
+    )
+    p_route.add_argument("--k", type=int, default=None, help="K-segment limit")
+    p_route.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="auto",
+        help="routing algorithm (default: auto)",
+    )
+    p_route.add_argument(
+        "--weight", choices=("none", "length", "segments"), default="none",
+        help="Problem-3 objective to minimize",
+    )
+    p_route.add_argument(
+        "--format", choices=("text", "csv", "json"), default="text",
+        dest="out_format", help="output format",
+    )
+    p_route.add_argument(
+        "--generalized", action="store_true",
+        help="allow connections to change tracks (Problem 4)",
+    )
+    p_route.add_argument(
+        "--min-switches", action="store_true",
+        help="with --generalized: minimize programmed switches",
+    )
+
+    p_render = sub.add_parser("render", help="draw an .sch instance")
+    p_render.add_argument("instance")
+    p_render.add_argument(
+        "--routed", action="store_true", help="also route and draw the result"
+    )
+    p_render.add_argument("--k", type=int, default=None)
+
+    p_gen = sub.add_parser(
+        "generate", help="write a random feasible instance"
+    )
+    p_gen.add_argument("--tracks", type=int, required=True)
+    p_gen.add_argument("--columns", type=int, required=True)
+    p_gen.add_argument("--connections", type=int, required=True)
+    p_gen.add_argument("--k", type=int, default=None)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument(
+        "--mean-segment", type=float, default=5.0,
+        help="mean segment length of the random channel",
+    )
+    p_gen.add_argument("-o", "--output", required=True)
+
+    p_red = sub.add_parser(
+        "reduce", help="emit a Theorem-1/2 instance from an NMTS problem"
+    )
+    p_red.add_argument("--x", required=True, help="comma-separated xs")
+    p_red.add_argument("--y", required=True, help="comma-separated ys")
+    p_red.add_argument("--z", required=True, help="comma-separated zs")
+    p_red.add_argument(
+        "--two-segment", action="store_true",
+        help="build the Theorem-2 (K=2) instance instead of Theorem-1",
+    )
+    p_red.add_argument("-o", "--output", required=True)
+
+    p_chip = sub.add_parser(
+        "chip", help="route a .net netlist through the full FPGA flow"
+    )
+    p_chip.add_argument("netlist", help="path to the .net file")
+    p_chip.add_argument("--rows", type=int, required=True)
+    p_chip.add_argument("--cells-per-row", type=int, required=True)
+    p_chip.add_argument("--inputs", type=int, default=3)
+    p_chip.add_argument("--k", type=int, default=2)
+    p_chip.add_argument("--seed", type=int, default=0)
+    p_chip.add_argument(
+        "--timing", action="store_true", help="also run static timing analysis"
+    )
+    return parser
+
+
+def _load(spec: str):
+    """Load an instance from a path, or from the registry via ``@name``."""
+    if spec.startswith("@"):
+        return load_named_instance(spec[1:])
+    return load_instance(spec)
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    channel, conns = _load(args.instance)
+    if args.generalized:
+        return _route_generalized(channel, conns, args)
+    weight = None
+    if args.weight == "length":
+        weight = occupied_length_weight(channel)
+    elif args.weight == "segments":
+        weight = segment_count_weight(channel)
+    routing = route(
+        channel, conns, max_segments=args.k, weight=weight,
+        algorithm=args.algorithm,
+    )
+    if args.out_format == "csv":
+        sys.stdout.write(routing_to_csv(routing))
+    elif args.out_format == "json":
+        sys.stdout.write(routing_to_json(routing) + "\n")
+    else:
+        sys.stdout.write(routing_report(routing, weight))
+    return 0
+
+
+def _route_generalized(channel, conns, args: argparse.Namespace) -> int:
+    from repro.core.generalized import (
+        generalized_switch_count,
+        route_generalized,
+        route_generalized_min_switches,
+    )
+    from repro.viz.render import render_generalized_routing
+
+    if args.min_switches:
+        g, n_switches = route_generalized_min_switches(channel, conns)
+    else:
+        g = route_generalized(channel, conns)
+        n_switches = generalized_switch_count(g)
+    g.validate()
+    print(render_generalized_routing(g))
+    print(f"programmed switches: {n_switches}")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    channel, conns = _load(args.instance)
+    print(render_connections(conns, channel.n_columns))
+    print()
+    print(render_channel(channel))
+    if args.routed:
+        routing = route(channel, conns, max_segments=args.k)
+        print()
+        print(render_routing(routing))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    channel = random_channel(
+        args.tracks, args.columns, args.mean_segment, seed=args.seed
+    )
+    conns = random_feasible_instance(
+        channel, args.connections, seed=args.seed + 1, max_segments=args.k
+    )
+    dump_instance(args.output, channel, conns)
+    print(
+        f"wrote {args.output}: T={channel.n_tracks} N={channel.n_columns} "
+        f"M={len(conns)}"
+    )
+    return 0
+
+
+def _parse_ints(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(v) for v in text.split(","))
+    except ValueError:
+        raise ReproError(f"expected comma-separated integers, got {text!r}")
+
+
+def _cmd_reduce(args: argparse.Namespace) -> int:
+    nmts = NMTSInstance(
+        tuple(sorted(_parse_ints(args.x))),
+        tuple(sorted(_parse_ints(args.y))),
+        tuple(sorted(_parse_ints(args.z))),
+    )
+    norm, m, p = normalize_nmts(nmts)
+    builder = (
+        build_two_segment_instance if args.two_segment else build_unlimited_instance
+    )
+    instance = builder(norm)
+    dump_instance(args.output, instance.channel, instance.connections)
+    k_note = " (route with --k 2)" if args.two_segment else ""
+    print(
+        f"wrote {args.output}: {instance.kind} instance, "
+        f"T={instance.channel.n_tracks} M={len(instance.connections)} "
+        f"(normalized with m={m}, p={p}){k_note}"
+    )
+    return 0
+
+
+def _cmd_chip(args: argparse.Namespace) -> int:
+    from repro.fpga.delay import DelayModel
+    from repro.fpga.design_link import design_chip
+    from repro.fpga.timing import analyze_timing
+    from repro.io.netlist_format import load_netlist
+
+    netlist = load_netlist(args.netlist)
+    closure = design_chip(
+        netlist, args.rows, args.cells_per_row, args.inputs,
+        max_segments=args.k, seed=args.seed,
+    )
+    print(closure.summary())
+    print()
+    print(closure.routing.summary())
+    if not closure.routing.ok:
+        return 1
+    if args.timing:
+        report = analyze_timing(closure.routing, DelayModel())
+        print()
+        print(report.summary())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handler = {
+        "route": _cmd_route,
+        "render": _cmd_render,
+        "generate": _cmd_generate,
+        "reduce": _cmd_reduce,
+        "chip": _cmd_chip,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

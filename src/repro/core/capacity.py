@@ -1,0 +1,170 @@
+"""Routability diagnostics: bounds, bottlenecks, and explanations.
+
+When a router reports "infeasible", a user wants to know *why*.  This
+module provides cheap necessary conditions for routability and a
+diagnostic that names the first one violated:
+
+* **column capacity** — more connections crossing a column than tracks
+  (violates even generalized routing, Definition 2);
+* **K-fit** — a connection that occupies more than ``K`` segments in
+  every track (no K-segment routing can exist);
+* **segment-supply** — for 1-segment routing, Hall-style counting on a
+  column interval: more connections confined to the interval than
+  segments available inside it;
+* **extended density** — for identically segmented channels, the
+  Section IV-A extension bound.
+
+Diagnostics never prove routability — they prove *un*routability, or
+stay silent.  The exact routers remain the arbiters; the test suite
+checks the diagnostics are sound (never flag a routable instance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import Connection, ConnectionSet, density, extended_density
+
+__all__ = ["Bottleneck", "diagnose", "column_capacity_ok", "k_fit_ok"]
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One proven obstruction to routability."""
+
+    kind: str         #: "column-capacity" | "k-fit" | "segment-supply" | "extended-density"
+    detail: str       #: human-readable explanation
+    column: Optional[int] = None
+    connection: Optional[str] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.kind}] {self.detail}"
+
+
+def column_capacity_ok(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> Optional[Bottleneck]:
+    """Check density <= T at every column; return the first violation."""
+    counts = [0] * (channel.n_columns + 2)
+    for c in connections:
+        counts[c.left] += 1
+        counts[min(c.right + 1, channel.n_columns + 1)] -= 1
+    running = 0
+    for col in range(1, channel.n_columns + 1):
+        running += counts[col]
+        if running > channel.n_tracks:
+            return Bottleneck(
+                kind="column-capacity",
+                detail=(
+                    f"{running} connections cross column {col} but the "
+                    f"channel has only {channel.n_tracks} tracks — even "
+                    f"generalized routing is impossible"
+                ),
+                column=col,
+            )
+    return None
+
+
+def k_fit_ok(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+) -> Optional[Bottleneck]:
+    """Check every connection fits some track within K segments."""
+    if max_segments is None:
+        return None
+    for c in connections:
+        fits = any(
+            channel.segments_occupied(t, c.left, c.right) <= max_segments
+            for t in range(channel.n_tracks)
+        )
+        if not fits:
+            return Bottleneck(
+                kind="k-fit",
+                detail=(
+                    f"{c} occupies more than K={max_segments} segments in "
+                    f"every track"
+                ),
+                connection=c.name,
+            )
+    return None
+
+
+def _segment_supply(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> Optional[Bottleneck]:
+    """Hall-style counting for 1-segment routing on column intervals.
+
+    Hall's condition applied to interval-defined connection sets: for the
+    connections wholly inside ``[a, b]``, count the segments that cover at
+    least one of them (the exact bipartite neighbourhood of that set).
+    Fewer segments than connections proves no 1-segment routing exists.
+    """
+    points = sorted(
+        {1, channel.n_columns}
+        | {c.left for c in connections}
+        | {c.right for c in connections}
+    )
+    segments = list(channel.segments())
+    for ai in range(len(points)):
+        for bi in range(ai, len(points)):
+            a, b = points[ai], points[bi]
+            inside = [c for c in connections if a <= c.left and c.right <= b]
+            if not inside:
+                continue
+            supply = sum(
+                1
+                for s in segments
+                if any(s.covers(c.left, c.right) for c in inside)
+            )
+            if len(inside) > supply:
+                return Bottleneck(
+                    kind="segment-supply",
+                    detail=(
+                        f"{len(inside)} connections lie inside columns "
+                        f"[{a}, {b}] but only {supply} segments cover any of "
+                        f"them — no 1-segment routing exists (Hall)"
+                    ),
+                    column=a,
+                )
+    return None
+
+
+def diagnose(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+) -> list[Bottleneck]:
+    """All obstructions the cheap necessary conditions can prove.
+
+    An empty list means "no obstruction found", *not* "routable": run an
+    exact router for the final word.  Every returned bottleneck is a
+    sound proof of unroutability under the given ``max_segments``.
+    """
+    out: list[Bottleneck] = []
+    b = column_capacity_ok(channel, connections)
+    if b:
+        out.append(b)
+    b = k_fit_ok(channel, connections, max_segments)
+    if b:
+        out.append(b)
+    if max_segments == 1:
+        b = _segment_supply(channel, connections)
+        if b:
+            out.append(b)
+    if channel.is_identically_segmented():
+        ext = extended_density(connections, channel)
+        if ext > channel.n_tracks:
+            out.append(
+                Bottleneck(
+                    kind="extended-density",
+                    detail=(
+                        f"extended density {ext} (connections stretched to "
+                        f"switch-adjacent columns) exceeds "
+                        f"{channel.n_tracks} identical tracks"
+                    ),
+                )
+            )
+    return out

@@ -1,0 +1,438 @@
+"""Segmented channel data model.
+
+This module defines the geometric objects of the paper (Section II):
+
+* a :class:`Segment` — a maximal run of contiguous columns of one track with
+  no intervening switch;
+* a :class:`Track` — a horizontal wiring track spanning columns ``1..N``
+  divided into segments by switches placed *between* columns;
+* a :class:`SegmentedChannel` — a set of ``T`` tracks over ``N`` columns.
+
+Columns are 1-based and inclusive, exactly as in the paper: a track with
+``N = 9`` and switches after columns 3 and 6 has segments ``(1, 3)``,
+``(4, 6)`` and ``(7, 9)``.
+
+The model is deliberately immutable: algorithms never mutate a channel,
+they only compute assignments against it.  All occupancy geometry needed by
+the routing algorithms (which segments a connection would occupy in a
+track, whether it fits in a single segment, the right end of the segment
+containing a column) is provided here so that every algorithm shares one
+audited implementation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.errors import ChannelError
+
+__all__ = [
+    "Segment",
+    "Track",
+    "SegmentedChannel",
+    "unsegmented_channel",
+    "fully_segmented_channel",
+    "identical_channel",
+    "uniform_channel",
+    "staggered_channel",
+    "channel_from_breaks",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Segment:
+    """A maximal switch-free run of columns in one track.
+
+    Attributes
+    ----------
+    track:
+        0-based index of the track the segment belongs to.
+    index:
+        0-based index of the segment within its track, counted from the
+        left.
+    left, right:
+        First and last column (1-based, inclusive) in which the segment is
+        present; ``left(s)`` and ``right(s)`` in the paper's notation.
+    """
+
+    track: int
+    index: int
+    left: int
+    right: int
+
+    @property
+    def length(self) -> int:
+        """Number of columns spanned by the segment."""
+        return self.right - self.left + 1
+
+    def covers(self, left: int, right: int) -> bool:
+        """Return True if the span ``[left, right]`` lies inside this segment."""
+        return self.left <= left and right <= self.right
+
+    def overlaps(self, left: int, right: int) -> bool:
+        """Return True if the segment is occupied by a connection spanning
+        ``[left, right]`` assigned to its track (paper: ``right(s) >= left(c)
+        and left(s) <= right(c)``)."""
+        return self.right >= left and self.left <= right
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"s[{self.track}][{self.index}]=({self.left},{self.right})"
+
+
+@dataclass(frozen=True)
+class Track:
+    """One track of a segmented channel.
+
+    A track is fully described by the channel width ``n_columns`` and the
+    tuple of *break* positions: ``b`` in ``breaks`` means there is a switch
+    between column ``b`` and column ``b + 1``.  An empty ``breaks`` tuple is
+    a continuous (unsegmented) track.
+
+    The paper also allows the switches between adjacent segments of one
+    track to be *programmed*, joining the segments end to end; that freedom
+    belongs to routing (how many segments a connection occupies), not to
+    the static geometry captured here.
+    """
+
+    n_columns: int
+    breaks: tuple[int, ...] = ()
+    _bounds: tuple[tuple[int, int], ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if self.n_columns < 1:
+            raise ChannelError(f"track must span at least one column, got {self.n_columns}")
+        breaks = tuple(self.breaks)
+        if list(breaks) != sorted(set(breaks)):
+            raise ChannelError(f"break positions must be strictly increasing: {breaks!r}")
+        if breaks and (breaks[0] < 1 or breaks[-1] >= self.n_columns):
+            raise ChannelError(
+                f"break positions must lie in [1, {self.n_columns - 1}]: {breaks!r}"
+            )
+        object.__setattr__(self, "breaks", breaks)
+        bounds = []
+        left = 1
+        for b in breaks:
+            bounds.append((left, b))
+            left = b + 1
+        bounds.append((left, self.n_columns))
+        object.__setattr__(self, "_bounds", tuple(bounds))
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments in the track (= number of breaks + 1)."""
+        return len(self._bounds)
+
+    @property
+    def segment_bounds(self) -> tuple[tuple[int, int], ...]:
+        """``(left, right)`` bounds of each segment, left to right."""
+        return self._bounds
+
+    def segment_index_at(self, column: int) -> int:
+        """Return the 0-based index of the segment containing ``column``."""
+        if not 1 <= column <= self.n_columns:
+            raise ChannelError(
+                f"column {column} outside track columns 1..{self.n_columns}"
+            )
+        return bisect_left(self.breaks, column)
+
+    def segment_bounds_at(self, column: int) -> tuple[int, int]:
+        """Return the ``(left, right)`` bounds of the segment containing
+        ``column``."""
+        return self._bounds[self.segment_index_at(column)]
+
+    def segment_end_at(self, column: int) -> int:
+        """Right end of the segment containing ``column``.
+
+        This is the quantity the assignment-graph DP needs: after a
+        connection ending at ``column`` is assigned to this track, the
+        leftmost column of the track that is certainly unoccupied is
+        ``segment_end_at(column) + 1``.
+        """
+        return self.segment_bounds_at(column)[1]
+
+    def segment_start_at(self, column: int) -> int:
+        """Left end of the segment containing ``column``."""
+        return self.segment_bounds_at(column)[0]
+
+    def segments_spanned(self, left: int, right: int) -> range:
+        """Indices of the segments a connection ``[left, right]`` occupies.
+
+        Per the paper a segment ``s`` is occupied by connection ``c`` iff
+        ``right(s) >= left(c)`` and ``left(s) <= right(c)``; for contiguous
+        segments this is exactly the index range from the segment containing
+        ``left`` through the segment containing ``right``.
+        """
+        if left > right:
+            raise ChannelError(f"empty span [{left}, {right}]")
+        return range(self.segment_index_at(left), self.segment_index_at(right) + 1)
+
+    def segments_occupied(self, left: int, right: int) -> int:
+        """Number of segments a connection ``[left, right]`` occupies here."""
+        return len(self.segments_spanned(left, right))
+
+    def fits_single_segment(self, left: int, right: int) -> bool:
+        """True if the span ``[left, right]`` lies within one segment."""
+        return self.segment_index_at(left) == self.segment_index_at(right)
+
+    def occupied_span(self, left: int, right: int) -> tuple[int, int]:
+        """Columns actually blocked when ``[left, right]`` is assigned here.
+
+        The connection occupies whole segments, so the blocked region runs
+        from the left end of the first occupied segment to the right end of
+        the last one.
+        """
+        return (self.segment_start_at(left), self.segment_end_at(right))
+
+    def extend_to_switches(self, left: int, right: int) -> tuple[int, int]:
+        """Extend a span leftward/rightward until columns adjacent to a
+        switch (or the channel boundary) are reached.
+
+        Section IV-A: extending every connection this way before computing
+        density restores density as a valid upper bound on the number of
+        identically segmented tracks needed by the left-edge algorithm.
+        """
+        return self.occupied_span(left, right)
+
+    def is_identical_to(self, other: "Track") -> bool:
+        """True if ``other`` has switches at exactly the same positions."""
+        return self.n_columns == other.n_columns and self.breaks == other.breaks
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        return iter(self._bounds)
+
+
+class SegmentedChannel:
+    """A segmented routing channel: ``T`` tracks over columns ``1..N``.
+
+    Parameters
+    ----------
+    tracks:
+        The tracks, top to bottom.  All must span the same number of
+        columns.
+    name:
+        Optional label used in reports and rendered figures.
+    """
+
+    def __init__(self, tracks: Sequence[Track], name: str = "channel") -> None:
+        tracks = tuple(tracks)
+        if not tracks:
+            raise ChannelError("a channel needs at least one track")
+        widths = {t.n_columns for t in tracks}
+        if len(widths) != 1:
+            raise ChannelError(f"tracks span different column counts: {sorted(widths)}")
+        self._tracks = tracks
+        self._n_columns = tracks[0].n_columns
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic shape
+    # ------------------------------------------------------------------
+    @property
+    def tracks(self) -> tuple[Track, ...]:
+        return self._tracks
+
+    @property
+    def n_tracks(self) -> int:
+        """``T`` in the paper."""
+        return len(self._tracks)
+
+    @property
+    def n_columns(self) -> int:
+        """``N`` in the paper."""
+        return self._n_columns
+
+    @property
+    def n_switches(self) -> int:
+        """Total number of track-internal switches in the channel."""
+        return sum(len(t.breaks) for t in self._tracks)
+
+    @property
+    def n_segments(self) -> int:
+        """Total number of segments across all tracks."""
+        return sum(t.n_segments for t in self._tracks)
+
+    def track(self, index: int) -> Track:
+        """Return track ``index`` (0-based)."""
+        return self._tracks[index]
+
+    def __len__(self) -> int:
+        return len(self._tracks)
+
+    def __iter__(self) -> Iterator[Track]:
+        return iter(self._tracks)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentedChannel):
+            return NotImplemented
+        return self._tracks == other._tracks
+
+    def __hash__(self) -> int:
+        return hash(self._tracks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SegmentedChannel(name={self.name!r}, T={self.n_tracks}, "
+            f"N={self.n_columns}, segments={self.n_segments})"
+        )
+
+    # ------------------------------------------------------------------
+    # segments
+    # ------------------------------------------------------------------
+    def segment(self, track: int, index: int) -> Segment:
+        """Return the ``index``-th segment (0-based) of ``track``."""
+        left, right = self._tracks[track].segment_bounds[index]
+        return Segment(track=track, index=index, left=left, right=right)
+
+    def segments(self) -> Iterator[Segment]:
+        """Iterate over every segment of the channel, track by track."""
+        for ti, t in enumerate(self._tracks):
+            for si, (left, right) in enumerate(t.segment_bounds):
+                yield Segment(track=ti, index=si, left=left, right=right)
+
+    def segments_in_track(self, track: int) -> list[Segment]:
+        """All segments of one track, left to right."""
+        t = self._tracks[track]
+        return [
+            Segment(track=track, index=si, left=left, right=right)
+            for si, (left, right) in enumerate(t.segment_bounds)
+        ]
+
+    def segment_at(self, track: int, column: int) -> Segment:
+        """The segment of ``track`` present in ``column``."""
+        t = self._tracks[track]
+        si = t.segment_index_at(column)
+        left, right = t.segment_bounds[si]
+        return Segment(track=track, index=si, left=left, right=right)
+
+    # ------------------------------------------------------------------
+    # occupancy geometry (delegates to Track; kept here for call-site
+    # convenience in the algorithms)
+    # ------------------------------------------------------------------
+    def segments_occupied(self, track: int, left: int, right: int) -> int:
+        """Number of segments of ``track`` occupied by span ``[left, right]``."""
+        return self._tracks[track].segments_occupied(left, right)
+
+    def fits_single_segment(self, track: int, left: int, right: int) -> bool:
+        """True if span ``[left, right]`` lies inside one segment of ``track``."""
+        return self._tracks[track].fits_single_segment(left, right)
+
+    def segment_end_at(self, track: int, column: int) -> int:
+        """Right end of the segment of ``track`` containing ``column``."""
+        return self._tracks[track].segment_end_at(column)
+
+    def occupied_span(self, track: int, left: int, right: int) -> tuple[int, int]:
+        """Columns blocked in ``track`` by a connection spanning ``[left, right]``."""
+        return self._tracks[track].occupied_span(left, right)
+
+    def spanned_segments(self, track: int, left: int, right: int) -> list[Segment]:
+        """The actual :class:`Segment` objects occupied by ``[left, right]``."""
+        t = self._tracks[track]
+        return [self.segment(track, si) for si in t.segments_spanned(left, right)]
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def is_identically_segmented(self) -> bool:
+        """True if every track has switches at the same positions (the
+        left-edge special case of Section IV-A)."""
+        first = self._tracks[0]
+        return all(t.is_identical_to(first) for t in self._tracks)
+
+    def max_segments_per_track(self) -> int:
+        """Maximum number of segments any single track is divided into."""
+        return max(t.n_segments for t in self._tracks)
+
+    def track_types(self) -> dict[tuple[int, ...], list[int]]:
+        """Group track indices by segmentation pattern.
+
+        Returns a mapping from break-position tuple to the list of track
+        indices having exactly those breaks.  Theorem 7's algorithm is
+        efficient when this dict is small.
+        """
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for ti, t in enumerate(self._tracks):
+            groups.setdefault(t.breaks, []).append(ti)
+        return groups
+
+    def with_tracks_appended(self, tracks: Iterable[Track]) -> "SegmentedChannel":
+        """Return a new channel with extra tracks appended at the bottom."""
+        return SegmentedChannel(self._tracks + tuple(tracks), name=self.name)
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def unsegmented_channel(n_tracks: int, n_columns: int) -> SegmentedChannel:
+    """Channel of continuous tracks — Fig. 2(d): no internal switches."""
+    return SegmentedChannel(
+        [Track(n_columns) for _ in range(n_tracks)], name="unsegmented"
+    )
+
+
+def fully_segmented_channel(n_tracks: int, n_columns: int) -> SegmentedChannel:
+    """Channel with a switch between every pair of adjacent columns —
+    Fig. 2(c): tracks may be subdivided into segments of arbitrary length."""
+    breaks = tuple(range(1, n_columns))
+    return SegmentedChannel(
+        [Track(n_columns, breaks) for _ in range(n_tracks)], name="fully-segmented"
+    )
+
+
+def identical_channel(
+    n_tracks: int, n_columns: int, breaks: Sequence[int]
+) -> SegmentedChannel:
+    """Channel whose tracks are all segmented identically (Section IV-A)."""
+    b = tuple(breaks)
+    return SegmentedChannel(
+        [Track(n_columns, b) for _ in range(n_tracks)], name="identical"
+    )
+
+
+def uniform_channel(
+    n_tracks: int, n_columns: int, segment_length: int
+) -> SegmentedChannel:
+    """Identically segmented channel with segments of one uniform length.
+
+    The final segment of each track absorbs the remainder when
+    ``segment_length`` does not divide ``n_columns``.
+    """
+    if segment_length < 1:
+        raise ChannelError(f"segment_length must be >= 1, got {segment_length}")
+    breaks = tuple(range(segment_length, n_columns, segment_length))
+    return identical_channel(n_tracks, n_columns, breaks)
+
+
+def staggered_channel(
+    n_tracks: int, n_columns: int, segment_length: int
+) -> SegmentedChannel:
+    """Uniform-length segmentation with per-track offset stagger.
+
+    Track ``t`` has its first break at ``segment_length * (t % k) / k``-ish
+    offsets: the break grid of each track is shifted by
+    ``t * segment_length // n_tracks`` columns modulo the segment length.
+    Staggering avoids the pathological alignment where every track blocks
+    the same columns, and is the simplest of the "well-designed" channel
+    families of the DAC 1990 paper.
+    """
+    if segment_length < 1:
+        raise ChannelError(f"segment_length must be >= 1, got {segment_length}")
+    tracks = []
+    for ti in range(n_tracks):
+        offset = (ti * segment_length) // max(n_tracks, 1) % segment_length
+        start = offset if offset >= 1 else segment_length
+        breaks = tuple(b for b in range(start, n_columns, segment_length) if 1 <= b < n_columns)
+        tracks.append(Track(n_columns, breaks))
+    return SegmentedChannel(tracks, name="staggered")
+
+
+def channel_from_breaks(
+    n_columns: int, breaks_per_track: Sequence[Sequence[int]], name: str = "channel"
+) -> SegmentedChannel:
+    """Build a channel from an explicit list of break positions per track."""
+    return SegmentedChannel(
+        [Track(n_columns, tuple(b)) for b in breaks_per_track], name=name
+    )

@@ -1,0 +1,192 @@
+"""Connections and connection sets.
+
+A *connection* (Section II) is an interval of columns ``[left, right]``
+that must be realized on some track(s) of the channel.  The paper assumes
+throughout that connections are sorted by increasing left end; the
+:class:`ConnectionSet` container enforces that normalization once so every
+algorithm can rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.channel import SegmentedChannel
+from repro.core.errors import ConnectionError_
+
+__all__ = ["Connection", "ConnectionSet", "density", "extended_density"]
+
+
+@dataclass(frozen=True, order=True)
+class Connection:
+    """A two-pin connection spanning columns ``left..right`` inclusive.
+
+    ``name`` is carried for reporting; ordering and equality include it so
+    that distinct same-span connections (ubiquitous in the NP-completeness
+    constructions) remain distinguishable.
+    """
+
+    left: int
+    right: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.left < 1:
+            raise ConnectionError_(f"connection left end must be >= 1, got {self.left}")
+        if self.right < self.left:
+            raise ConnectionError_(
+                f"connection right end {self.right} precedes left end {self.left}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of columns spanned."""
+        return self.right - self.left + 1
+
+    def overlaps(self, other: "Connection") -> bool:
+        """Paper's overlap predicate: present in a common column."""
+        return self.left <= other.right and other.left <= self.right
+
+    def contains_column(self, column: int) -> bool:
+        return self.left <= column <= self.right
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "c"
+        return f"{label}[{self.left},{self.right}]"
+
+
+class ConnectionSet:
+    """An ordered set of connections, normalized as the paper assumes.
+
+    Connections are stored sorted by ``(left, right, name)``; index ``i``
+    in any routing result refers to position ``i`` of this ordering.
+    Duplicate ``(left, right, name)`` triples are rejected — give repeated
+    spans distinct names (the generators do this automatically).
+    """
+
+    def __init__(self, connections: Iterable[Connection]) -> None:
+        conns = sorted(connections)
+        seen: set[Connection] = set()
+        for c in conns:
+            if c in seen:
+                raise ConnectionError_(
+                    f"duplicate connection {c}; give repeated spans distinct names"
+                )
+            seen.add(c)
+        self._conns: tuple[Connection, ...] = tuple(conns)
+
+    @classmethod
+    def from_spans(
+        cls, spans: Iterable[tuple[int, int]], prefix: str = "c"
+    ) -> "ConnectionSet":
+        """Build from bare ``(left, right)`` pairs, naming them
+        ``{prefix}1, {prefix}2, ...`` in the given order."""
+        return cls(
+            Connection(left, right, f"{prefix}{i + 1}")
+            for i, (left, right) in enumerate(spans)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def connections(self) -> tuple[Connection, ...]:
+        return self._conns
+
+    def __len__(self) -> int:
+        return len(self._conns)
+
+    def __iter__(self) -> Iterator[Connection]:
+        return iter(self._conns)
+
+    def __getitem__(self, index: int) -> Connection:
+        return self._conns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConnectionSet):
+            return NotImplemented
+        return self._conns == other._conns
+
+    def __hash__(self) -> int:
+        return hash(self._conns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConnectionSet(M={len(self._conns)})"
+
+    def index_of(self, connection: Connection) -> int:
+        """Position of ``connection`` in the sorted order."""
+        try:
+            # connections are unique; linear scan is fine for the sizes we
+            # route, and avoids bisect subtleties with the name component.
+            return self._conns.index(connection)
+        except ValueError:
+            raise ConnectionError_(f"{connection} not in set") from None
+
+    def by_name(self, name: str) -> Connection:
+        """Look up a connection by its label."""
+        for c in self._conns:
+            if c.name == name:
+                return c
+        raise ConnectionError_(f"no connection named {name!r}")
+
+    def max_column(self) -> int:
+        """Rightmost column touched by any connection (0 if empty)."""
+        return max((c.right for c in self._conns), default=0)
+
+    def check_within(self, channel: SegmentedChannel) -> None:
+        """Raise if any connection extends beyond the channel columns."""
+        n = channel.n_columns
+        for c in self._conns:
+            if c.right > n:
+                raise ConnectionError_(
+                    f"{c} extends beyond channel with N={n} columns"
+                )
+
+    def total_length(self) -> int:
+        return sum(c.length for c in self._conns)
+
+
+def density(connections: Iterable[Connection]) -> int:
+    """Classic channel density: max number of connections crossing any
+    column boundary.
+
+    With mask-programmed (unconstrained) tracks and no vertical
+    constraints, the left-edge algorithm always routes in exactly this many
+    tracks (Section I / Fig. 2(b)); it is the natural lower bound every
+    segmented design is compared against.
+    """
+    events: list[tuple[int, int]] = []
+    for c in connections:
+        events.append((c.left, 1))
+        events.append((c.right + 1, -1))
+    events.sort()
+    best = cur = 0
+    for _, delta in events:
+        cur += delta
+        best = max(best, cur)
+    return best
+
+
+def extended_density(
+    connections: Iterable[Connection], channel: SegmentedChannel
+) -> int:
+    """Density after extending every connection to switch-adjacent columns.
+
+    Section IV-A: raw density is *not* an upper bound on the number of
+    identically segmented tracks required, but if each connection's ends
+    are first extended to the full extent of the segments it would occupy,
+    the resulting density is a valid upper bound for the left-edge
+    algorithm on identically segmented tracks.
+
+    Requires ``channel`` to be identically segmented (the extension is
+    ambiguous otherwise) and returns the density of the extended spans.
+    """
+    if not channel.is_identically_segmented():
+        raise ConnectionError_(
+            "extended density is defined for identically segmented channels"
+        )
+    track = channel.track(0)
+    extended = []
+    for c in connections:
+        left, right = track.occupied_span(c.left, c.right)
+        extended.append(Connection(left, right, c.name))
+    return density(extended)

@@ -1,0 +1,223 @@
+"""Assignment-graph dynamic programming (Section IV-B).
+
+The general algorithm of the paper: process connections in increasing
+left-end order, maintaining the set of distinct *frontiers* reachable by
+some valid partial routing.  The frontier after routing ``c_1..c_i`` is the
+``T``-tuple whose ``t``-th entry is the leftmost unoccupied column of track
+``t`` at or to the right of ``left(c_{i+1})``.
+
+Key facts implemented here:
+
+* Connection ``c_{i+1}`` may be assigned to track ``t`` iff
+  ``x[t] <= left(c_{i+1})`` (Section IV-B), and, for K-segment routing,
+  the span occupies at most ``K`` segments of ``t`` (a property of the
+  track geometry alone).
+* After assignment, the new frontier entry is the column following the
+  right end of the segment containing ``right(c)``; all entries are then
+  re-normalized to the next connection's left end, which is what keeps the
+  number of distinct frontiers bounded (``2^T T!`` for unlimited routing,
+  Theorem 5; ``(K+1)^T`` for K-segment routing, Theorem 6).
+* Each node keeps a parent pointer and, for Problem 3, the minimum weight
+  over all partial routings reaching it; tracing back from the single
+  level-``M`` node yields an optimal routing (the paper's "minor change").
+
+Instrumentation: :func:`route_dp_with_stats` exposes the per-level node
+counts so the Theorem 5/6 bounds can be checked experimentally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.routing import Routing, WeightFunction
+
+__all__ = ["DPStats", "route_dp", "route_dp_with_stats", "assignment_graph_levels"]
+
+
+@dataclass(frozen=True)
+class DPStats:
+    """Assignment-graph shape: one entry per level (connection)."""
+
+    nodes_per_level: tuple[int, ...]
+    edges_per_level: tuple[int, ...]
+
+    @property
+    def max_level_width(self) -> int:
+        """``L`` in the paper's ``O(M L T^2)`` bound."""
+        return max(self.nodes_per_level, default=0)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(self.nodes_per_level)
+
+    @property
+    def total_edges(self) -> int:
+        return sum(self.edges_per_level)
+
+
+def _run_dp(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight: Optional[WeightFunction],
+    node_limit: int,
+) -> tuple[Routing, DPStats]:
+    connections.check_within(channel)
+    conns = connections.connections
+    M = len(conns)
+    T = channel.n_tracks
+    if M == 0:
+        return Routing(channel, connections, ()), DPStats((), ())
+
+    # Per-connection, per-track static feasibility (the K-segment limit)
+    # and post-assignment blocked end; both independent of the frontier.
+    seg_ok: list[list[bool]] = []
+    blocked_end: list[list[int]] = []
+    for c in conns:
+        ok_row, end_row = [], []
+        for t in range(T):
+            track = channel.track(t)
+            if max_segments is not None:
+                ok_row.append(
+                    track.segments_occupied(c.left, c.right) <= max_segments
+                )
+            else:
+                ok_row.append(True)
+            end_row.append(track.segment_end_at(c.right))
+        seg_ok.append(ok_row)
+        blocked_end.append(end_row)
+
+    # Level 0: nothing assigned; frontier normalized to left(c_1).
+    ref0 = conns[0].left
+    root = (ref0,) * T
+    # levels[i]: frontier -> (cost, parent_frontier, track_assigned)
+    levels: list[dict[tuple[int, ...], tuple[float, Optional[tuple[int, ...]], int]]]
+    levels = [{root: (0.0, None, -1)}]
+    nodes_per_level: list[int] = []
+    edges_per_level: list[int] = []
+    total_nodes = 1
+
+    for i, c in enumerate(conns):
+        next_ref = conns[i + 1].left if i + 1 < M else channel.n_columns + 1
+        current = levels[-1]
+        nxt: dict[tuple[int, ...], tuple[float, Optional[tuple[int, ...]], int]] = {}
+        edges = 0
+        ok_row = seg_ok[i]
+        end_row = blocked_end[i]
+        for frontier, (cost, _, _) in current.items():
+            for t in range(T):
+                # x[t] <= left(c): the segment of track t present in column
+                # left(c) is unoccupied.  Frontier values are always segment
+                # right-ends + 1, so this single comparison is exact.
+                if frontier[t] > c.left or not ok_row[t]:
+                    continue
+                edges += 1
+                new_cost = cost + (weight(c, t) if weight is not None else 0.0)
+                new_frontier = tuple(
+                    max(end_row[t] + 1, next_ref)
+                    if k == t
+                    else max(frontier[k], next_ref)
+                    for k in range(T)
+                )
+                prev = nxt.get(new_frontier)
+                if prev is None or new_cost < prev[0]:
+                    nxt[new_frontier] = (new_cost, frontier, t)
+        if not nxt:
+            raise RoutingInfeasibleError(
+                f"assignment graph empty at level {i + 1}: no valid "
+                f"{'routing' if max_segments is None else f'{max_segments}-segment routing'} "
+                f"of {conns[i]} extends any partial routing of c1..c{i}"
+            )
+        nodes_per_level.append(len(nxt))
+        edges_per_level.append(edges)
+        total_nodes += len(nxt)
+        if total_nodes > node_limit:
+            raise RoutingInfeasibleError(
+                f"assignment graph exceeded node limit ({node_limit}); "
+                f"use route_exact or the LP heuristic for this instance"
+            )
+        levels.append(nxt)
+
+    # Level M normalizes every frontier to N+1, so it holds a single node
+    # (the paper's F_M) carrying the minimum cost.
+    final_level = levels[-1]
+    assert len(final_level) == 1, "normalization should collapse level M"
+    frontier = next(iter(final_level))
+    assignment = [-1] * M
+    for i in range(M, 0, -1):
+        cost, parent, t = levels[i][frontier]
+        assignment[i - 1] = t
+        frontier = parent  # type: ignore[assignment]
+    routing = Routing(channel, connections, tuple(assignment))
+    return routing, DPStats(tuple(nodes_per_level), tuple(edges_per_level))
+
+
+def route_dp(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+    weight: Optional[WeightFunction] = None,
+    node_limit: int = 2_000_000,
+) -> Routing:
+    """Solve Problems 1, 2 or 3 exactly with the assignment-graph DP.
+
+    Parameters
+    ----------
+    max_segments:
+        ``K`` of Problem 2; ``None`` for unlimited-segment routing.
+    weight:
+        ``w(c, t)`` of Problem 3; when given, the returned routing has
+        minimum total weight among all valid (K-segment) routings.
+    node_limit:
+        Guard on total assignment-graph size; exceeded only when ``T`` is
+        large and the channel segmentation is adversarial (Theorem 5's
+        ``2^T T!`` is a real worst case).
+    """
+    routing, _ = _run_dp(channel, connections, max_segments, weight, node_limit)
+    return routing
+
+
+def route_dp_with_stats(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+    weight: Optional[WeightFunction] = None,
+    node_limit: int = 2_000_000,
+) -> tuple[Routing, DPStats]:
+    """Like :func:`route_dp` but also returns assignment-graph statistics
+    (used by the Theorem 5/6 bound experiments)."""
+    return _run_dp(channel, connections, max_segments, weight, node_limit)
+
+
+def assignment_graph_levels(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+    node_limit: int = 2_000_000,
+) -> list[int]:
+    """Per-level distinct-frontier counts, or the counts accumulated up to
+    the level where the instance became infeasible.
+
+    Unlike :func:`route_dp_with_stats`, this does not raise on infeasible
+    instances; it reports the graph that was built.
+    """
+    try:
+        _, stats = _run_dp(channel, connections, max_segments, None, node_limit)
+        return list(stats.nodes_per_level)
+    except RoutingInfeasibleError:
+        # Re-run level by level to collect what exists; cheap enough for
+        # the instrumentation use case.
+        conns = connections.connections
+        counts: list[int] = []
+        for m in range(1, len(conns) + 1):
+            prefix = ConnectionSet(conns[:m])
+            try:
+                _, stats = _run_dp(channel, prefix, max_segments, None, node_limit)
+            except RoutingInfeasibleError:
+                break
+            counts = list(stats.nodes_per_level)
+        return counts

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the segmented channel routing library.
+
+All exceptions raised deliberately by :mod:`repro` derive from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish modelling errors
+(bad input data) from algorithmic outcomes (no routing exists).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ChannelError(ReproError):
+    """A segmented channel definition is malformed.
+
+    Raised for switch positions outside the channel, unsorted or duplicate
+    break positions, non-positive dimensions, and similar modelling errors.
+    """
+
+
+class ConnectionError_(ReproError):
+    """A connection or connection set is malformed.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`ConnectionError` (an OSError subclass unrelated to routing).
+    """
+
+
+class RoutingInfeasibleError(ReproError):
+    """No routing satisfying the requested constraints exists.
+
+    Algorithms that *prove* infeasibility (exact DP, exact backtracking,
+    the Theorem-3 greedy for 1-segment routing) raise this.  Heuristics
+    that merely *fail to find* a routing raise :class:`HeuristicFailure`
+    instead, because the instance may still be routable.
+    """
+
+
+class HeuristicFailure(ReproError):
+    """A heuristic algorithm failed to find a routing.
+
+    Unlike :class:`RoutingInfeasibleError` this carries no proof of
+    infeasibility; an exact algorithm may still succeed.
+    """
+
+
+class ValidationError(ReproError):
+    """A routing object violates the rules of Definition 1 or 2.
+
+    Raised by the validators in :mod:`repro.core.routing` when a segment is
+    occupied by more than one connection, a connection exceeds its segment
+    budget, or an assignment refers to a nonexistent track.
+    """
+
+
+class FormatError(ReproError):
+    """A serialized channel/connection/routing file cannot be parsed."""

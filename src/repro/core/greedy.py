@@ -1,0 +1,155 @@
+"""Geometric greedy routers (Section IV-A).
+
+* :func:`route_one_segment_greedy` — the Theorem-3 algorithm: exact for
+  1-segment routing (Problem 2 with ``K = 1``) in ``O(MT)``.  Connections
+  are assigned in increasing left-end order; each goes to an unoccupied
+  segment that covers it whose **right end is leftmost**.
+
+* :func:`route_two_segment_tracks_greedy` — the Theorem-4 algorithm: exact
+  for channels in which every track has at most two segments.  It follows
+  the 1-segment greedy, parking connections that fit no single segment in
+  a pool ``P`` of whole-track consumers, and commits the pool whenever its
+  size reaches the number of still-unoccupied tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import Segment, SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.routing import Routing
+
+__all__ = ["route_one_segment_greedy", "route_two_segment_tracks_greedy"]
+
+
+def route_one_segment_greedy(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> Routing:
+    """Theorem-3 greedy for 1-segment routing.
+
+    For each connection (in increasing left-end order): collect the tracks
+    where it would occupy exactly one segment, drop those whose segment is
+    already occupied, and among the rest pick one whose covering segment
+    has the smallest right end (ties broken toward the lowest track
+    index, matching "broken arbitrarily" in the paper).
+
+    By Theorem 3 this greedy is exact: if it fails, *no* 1-segment routing
+    exists, and :class:`RoutingInfeasibleError` carries that proof.
+    """
+    connections.check_within(channel)
+    occupied: set[tuple[int, int]] = set()  # (track, segment index)
+    assignment = [-1] * len(connections)
+    for i, c in enumerate(connections):
+        best_track = -1
+        best_end = None
+        for t in range(channel.n_tracks):
+            track = channel.track(t)
+            si = track.segment_index_at(c.left)
+            left, right = track.segment_bounds[si]
+            if right < c.right:
+                continue  # spans more than one segment here
+            if (t, si) in occupied:
+                continue
+            if best_end is None or right < best_end:
+                best_end = right
+                best_track = t
+        if best_track < 0:
+            raise RoutingInfeasibleError(
+                f"{c}: no unoccupied single segment covers it; "
+                f"by Theorem 3 no 1-segment routing exists"
+            )
+        track = channel.track(best_track)
+        occupied.add((best_track, track.segment_index_at(c.left)))
+        assignment[i] = best_track
+    return Routing(channel, connections, tuple(assignment))
+
+
+def route_two_segment_tracks_greedy(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> Routing:
+    """Theorem-4 greedy for channels with at most two segments per track.
+
+    Follows the 1-segment greedy; a connection that fits no unoccupied
+    single segment joins the pool ``P`` of whole-track consumers.  Whenever
+    ``|P|`` equals the number of tracks with no assignment at all, the pool
+    is flushed onto those tracks (each pooled connection necessarily spans
+    both segments of every still-unoccupied track, so it consumes the whole
+    track); if ``|P|`` ever exceeds that number, no routing exists.
+
+    Raises
+    ------
+    ChannelError
+        If some track has more than two segments.
+    RoutingInfeasibleError
+        If no routing exists (exact by Theorem 4).
+    """
+    if channel.max_segments_per_track() > 2:
+        raise ChannelError(
+            "route_two_segment_tracks_greedy requires <= 2 segments per track"
+        )
+    connections.check_within(channel)
+
+    T = channel.n_tracks
+    occupied_segments: set[tuple[int, int]] = set()
+    # A track is "unoccupied" while no connection has been assigned to it.
+    track_used = [False] * T
+    assignment = [-1] * len(connections)
+    pool: list[int] = []  # indices of examined-but-unassigned connections
+
+    def unoccupied_tracks() -> list[int]:
+        return [t for t in range(T) if not track_used[t]]
+
+    def flush_pool_onto(tracks: list[int]) -> None:
+        for conn_index, t in zip(pool, tracks):
+            assignment[conn_index] = t
+            track_used[t] = True
+            # A pooled connection consumes the whole track.
+            for si in range(channel.track(t).n_segments):
+                occupied_segments.add((t, si))
+        del pool[: len(tracks)]
+
+    for i, c in enumerate(connections):
+        best_track = -1
+        best_end = None
+        for t in range(T):
+            track = channel.track(t)
+            si = track.segment_index_at(c.left)
+            left, right = track.segment_bounds[si]
+            if right < c.right:
+                continue
+            if (t, si) in occupied_segments:
+                continue
+            if best_end is None or right < best_end:
+                best_end = right
+                best_track = t
+        if best_track >= 0:
+            track = channel.track(best_track)
+            occupied_segments.add(
+                (best_track, track.segment_index_at(c.left))
+            )
+            track_used[best_track] = True
+            assignment[i] = best_track
+        else:
+            pool.append(i)
+
+        free = unoccupied_tracks()
+        if len(pool) > len(free):
+            raise RoutingInfeasibleError(
+                f"{c}: pool of whole-track connections ({len(pool)}) exceeds "
+                f"unoccupied tracks ({len(free)}); by Theorem 4 no routing exists"
+            )
+        if pool and len(pool) == len(free):
+            flush_pool_onto(free)
+
+    if pool:
+        free = unoccupied_tracks()
+        if len(pool) > len(free):
+            raise RoutingInfeasibleError(
+                f"final pool of {len(pool)} whole-track connections exceeds "
+                f"{len(free)} unoccupied tracks; by Theorem 4 no routing exists"
+            )
+        flush_pool_onto(free)
+
+    return Routing(channel, connections, tuple(assignment))

@@ -1,0 +1,133 @@
+"""Practical heuristic routers, and why the paper's rules matter.
+
+The paper's exact special-case algorithms rest on carefully chosen rules
+(Theorem 3's *minimum right end* segment choice, Theorem 4's pool).  This
+module provides the "obvious" heuristics a practitioner might try first —
+first-fit, best-fit, randomized-restart greedy — so their failure modes
+can be measured against the exact algorithms (the ABLATION benches do
+exactly that).  They are also genuinely useful: the randomized greedy
+routes large instances far outside the DP's comfortable range.
+
+None of these carry an infeasibility proof: they raise
+:class:`HeuristicFailure` on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import HeuristicFailure
+from repro.core.routing import Routing
+from repro.substrate.prng import SeedLike, rng_from
+
+__all__ = [
+    "route_first_fit",
+    "route_best_fit",
+    "route_random_restart",
+]
+
+
+def _greedy_sweep(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    choose: Callable[[list[int], object], int],
+) -> Routing:
+    """Shared left-to-right sweep: ``choose`` picks among feasible tracks."""
+    connections.check_within(channel)
+    blocked_until = [0] * channel.n_tracks
+    assignment = [-1] * len(connections)
+    for i, c in enumerate(connections):
+        feasible = []
+        for t in range(channel.n_tracks):
+            if blocked_until[t] >= channel.track(t).segment_start_at(c.left):
+                continue
+            if max_segments is not None:
+                if channel.segments_occupied(t, c.left, c.right) > max_segments:
+                    continue
+            feasible.append(t)
+        if not feasible:
+            raise HeuristicFailure(
+                f"{c}: no feasible track under this heuristic ordering "
+                f"(the instance may still be routable)"
+            )
+        t = choose(feasible, c)
+        assignment[i] = t
+        blocked_until[t] = channel.segment_end_at(t, c.right)
+    return Routing(channel, connections, tuple(assignment))
+
+
+def route_first_fit(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+) -> Routing:
+    """First-fit: lowest-numbered feasible track.
+
+    The classic left-edge rule — exact on identically segmented tracks,
+    but *not* in general (the ABLATION-GREEDY bench exhibits instances it
+    loses that Theorem 3's rule wins).
+    """
+    return _greedy_sweep(
+        channel, connections, max_segments, lambda feas, _c: feas[0]
+    )
+
+
+def route_best_fit(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+) -> Routing:
+    """Best-fit: feasible track minimizing wasted blocked length.
+
+    Waste = (occupied span length) − (connection length): the slack of
+    the segments consumed.  Equivalent to Theorem 3's minimum-right-end
+    rule for 1-segment candidates (and exact there), a sensible greedy
+    elsewhere.
+    """
+
+    def choose(feasible, c):
+        def waste(t: int) -> tuple[int, int]:
+            left, right = channel.occupied_span(t, c.left, c.right)
+            return (right - left + 1 - c.length, t)
+
+        return min(feasible, key=waste)
+
+    return _greedy_sweep(channel, connections, max_segments, choose)
+
+
+def route_random_restart(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+    n_restarts: int = 32,
+    seed: SeedLike = 0,
+) -> Routing:
+    """Randomized greedy with restarts.
+
+    Each attempt sweeps left to right picking a random feasible track,
+    biased toward low waste (two candidates sampled, the lower-waste one
+    kept — the "power of two choices").  First complete sweep wins.
+    """
+    rng = rng_from(seed)
+    last_error: Optional[HeuristicFailure] = None
+    for _ in range(max(n_restarts, 1)):
+        def choose(feasible, c):
+            a = rng.choice(feasible)
+            b = rng.choice(feasible)
+
+            def waste(t: int) -> int:
+                left, right = channel.occupied_span(t, c.left, c.right)
+                return right - left + 1 - c.length
+
+            return a if waste(a) <= waste(b) else b
+
+        try:
+            return _greedy_sweep(channel, connections, max_segments, choose)
+        except HeuristicFailure as exc:
+            last_error = exc
+    raise HeuristicFailure(
+        f"all {n_restarts} randomized restarts failed: {last_error}"
+    )

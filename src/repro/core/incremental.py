@@ -1,0 +1,249 @@
+"""Incremental routing: grow and repair an existing routing.
+
+FPGA flows rarely route from scratch: engineering-change orders add a few
+connections to a routed channel, and a good tool inserts them without
+disturbing what already works — falling back to a bounded rip-up-and-
+reroute only when necessary.  This module provides that workflow on top
+of the paper's exact routers:
+
+* :func:`insert_connection` — add one connection, trying (1) a direct
+  assignment into free segments, then (2) rip-up-and-reroute of at most
+  ``max_rip_up`` conflicting connections (exact within the ripped set via
+  the assignment-graph DP on the affected subproblem), then (3) full
+  re-route as a last resort.
+* :func:`remove_connection` — delete a connection (always succeeds).
+* :class:`IncrementalRouter` — stateful wrapper bundling the two with
+  occupancy bookkeeping.
+
+The returned routings are always validated; an insertion that cannot be
+realized raises :class:`RoutingInfeasibleError` if full re-route proves
+infeasibility.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.routing import Routing
+
+__all__ = ["insert_connection", "remove_connection", "IncrementalRouter"]
+
+
+def _occupied_segments(routing: Routing) -> dict[tuple[int, int], int]:
+    """(track, segment index) -> connection index."""
+    occ: dict[tuple[int, int], int] = {}
+    channel = routing.channel
+    for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+        for si in channel.track(t).segments_spanned(c.left, c.right):
+            occ[(t, si)] = i
+    return occ
+
+
+def _direct_tracks(
+    routing: Routing,
+    connection: Connection,
+    max_segments: Optional[int],
+) -> list[int]:
+    """Tracks where ``connection`` fits without touching anything."""
+    channel = routing.channel
+    occ = _occupied_segments(routing)
+    out = []
+    for t in range(channel.n_tracks):
+        track = channel.track(t)
+        spanned = list(track.segments_spanned(connection.left, connection.right))
+        if max_segments is not None and len(spanned) > max_segments:
+            continue
+        if all((t, si) not in occ for si in spanned):
+            out.append(t)
+    return out
+
+
+def insert_connection(
+    routing: Routing,
+    connection: Connection,
+    max_segments: Optional[int] = None,
+    max_rip_up: int = 3,
+) -> Routing:
+    """Insert ``connection`` into an existing routing.
+
+    Strategy, cheapest first:
+
+    1. **Direct**: a track whose relevant segments are all free (the
+       track with the tightest fit — smallest blocked span — is chosen).
+    2. **Local rip-up**: for each candidate track, rip the (at most
+       ``max_rip_up``) connections occupying the needed segments and
+       re-route *the ripped set plus the new connection* exactly with the
+       DP against the remaining occupancy, by re-routing the whole set of
+       affected + new connections over the channel with all untouched
+       connections pinned.
+    3. **Global**: exact re-route of everything.
+
+    Raises
+    ------
+    RoutingInfeasibleError
+        Only when the global re-route proves the enlarged instance
+        unroutable.
+    """
+    channel = routing.channel
+    if connection in routing.connections.connections:
+        raise RoutingInfeasibleError(f"{connection} already routed")
+    new_set = ConnectionSet(list(routing.connections) + [connection])
+    new_index = new_set.index_of(connection)
+
+    # 1. direct insertion.
+    direct = _direct_tracks(routing, connection, max_segments)
+    if direct:
+        best = min(
+            direct,
+            key=lambda t: channel.occupied_span(
+                t, connection.left, connection.right
+            )[1]
+            - channel.occupied_span(t, connection.left, connection.right)[0],
+        )
+        assignment = list(routing.assignment)
+        assignment.insert(new_index, best)
+        out = Routing(channel, new_set, tuple(assignment))
+        out.validate(max_segments)
+        return out
+
+    # 2. local rip-up & exact re-route of the affected set.
+    occ = _occupied_segments(routing)
+    for t in range(channel.n_tracks):
+        track = channel.track(t)
+        spanned = list(track.segments_spanned(connection.left, connection.right))
+        if max_segments is not None and len(spanned) > max_segments:
+            continue
+        blockers = sorted(
+            {occ[(t, si)] for si in spanned if (t, si) in occ}
+        )
+        if not blockers or len(blockers) > max_rip_up:
+            continue
+        ripped = {routing.connections[i] for i in blockers}
+        kept = [
+            (c, tr)
+            for c, tr in zip(routing.connections, routing.assignment)
+            if c not in ripped
+        ]
+        trial = _reroute_with_pinned(
+            channel, kept, sorted(ripped) + [connection], max_segments
+        )
+        if trial is not None:
+            return trial
+
+    # 3. global re-route.
+    out = route_dp(channel, new_set, max_segments=max_segments)
+    out.validate(max_segments)
+    return out
+
+
+def _reroute_with_pinned(
+    channel: SegmentedChannel,
+    pinned: list[tuple[Connection, int]],
+    loose: list[Connection],
+    max_segments: Optional[int],
+) -> Optional[Routing]:
+    """Exactly route ``pinned + loose`` where pinned keep their tracks.
+
+    Implemented by running the DP over the full connection set with the
+    pinned connections' candidate tracks restricted to their current
+    assignment (a weight that forbids other tracks would also work; a
+    restricted DP is simpler and exact).
+    """
+    all_conns = ConnectionSet([c for c, _ in pinned] + list(loose))
+    pin_track = {c: t for c, t in pinned}
+
+    # Small local DP: frontier over tracks, but each pinned connection has
+    # exactly one candidate track.
+    conns = all_conns.connections
+    T = channel.n_tracks
+    M = len(conns)
+    ref0 = conns[0].left if M else 1
+    levels: list[dict[tuple[int, ...], tuple[Optional[tuple], int]]] = [
+        {(ref0,) * T: (None, -1)}
+    ]
+    for i, c in enumerate(conns):
+        next_ref = conns[i + 1].left if i + 1 < M else channel.n_columns + 1
+        candidates = (
+            [pin_track[c]]
+            if c in pin_track
+            else [
+                t
+                for t in range(T)
+                if max_segments is None
+                or channel.segments_occupied(t, c.left, c.right) <= max_segments
+            ]
+        )
+        nxt: dict[tuple[int, ...], tuple[Optional[tuple], int]] = {}
+        for frontier, _ in levels[-1].items():
+            for t in candidates:
+                if frontier[t] > c.left:
+                    continue
+                end = channel.segment_end_at(t, c.right)
+                new_frontier = tuple(
+                    max(end + 1, next_ref)
+                    if k == t
+                    else max(frontier[k], next_ref)
+                    for k in range(T)
+                )
+                if new_frontier not in nxt:
+                    nxt[new_frontier] = (frontier, t)
+        if not nxt:
+            return None
+        levels.append(nxt)
+    frontier = next(iter(levels[-1]))
+    assignment = [-1] * M
+    for i in range(M, 0, -1):
+        parent, t = levels[i][frontier]
+        assignment[i - 1] = t
+        frontier = parent  # type: ignore[assignment]
+    out = Routing(channel, all_conns, tuple(assignment))
+    out.validate(max_segments)
+    return out
+
+
+def remove_connection(routing: Routing, connection: Connection) -> Routing:
+    """Remove ``connection`` from a routing (frees its segments)."""
+    idx = routing.connections.index_of(connection)
+    conns = [c for i, c in enumerate(routing.connections) if i != idx]
+    assignment = tuple(
+        t for i, t in enumerate(routing.assignment) if i != idx
+    )
+    return Routing(routing.channel, ConnectionSet(conns), assignment)
+
+
+class IncrementalRouter:
+    """Stateful incremental routing session over one channel."""
+
+    def __init__(
+        self,
+        channel: SegmentedChannel,
+        max_segments: Optional[int] = None,
+        max_rip_up: int = 3,
+    ) -> None:
+        self.channel = channel
+        self.max_segments = max_segments
+        self.max_rip_up = max_rip_up
+        self._routing = Routing(channel, ConnectionSet([]), ())
+
+    @property
+    def routing(self) -> Routing:
+        return self._routing
+
+    def insert(self, connection: Connection) -> Routing:
+        """Add a connection (see :func:`insert_connection`)."""
+        self._routing = insert_connection(
+            self._routing, connection, self.max_segments, self.max_rip_up
+        )
+        return self._routing
+
+    def remove(self, connection: Connection) -> Routing:
+        """Remove a connection."""
+        self._routing = remove_connection(self._routing, connection)
+        return self._routing
+
+    def __len__(self) -> int:
+        return len(self._routing.connections)

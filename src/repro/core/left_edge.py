@@ -1,0 +1,105 @@
+"""Left-edge algorithms (Section IV-A, "Identically Segmented Tracks").
+
+Two routers live here:
+
+* :func:`route_left_edge_identical` — the paper's observation that when all
+  tracks have switches at the same positions, the classical left-edge
+  algorithm of Hashimoto & Stevens solves Problems 1 and 2 in ``O(MT)``:
+  assign connections by increasing left end to the first track in which
+  none of the segments they would occupy are occupied.
+
+* :func:`route_left_edge_unconstrained` — the mask-programmed baseline of
+  Fig. 2(b): freely customized tracks, where left-edge always achieves the
+  density bound.  This is the baseline every segmented design is compared
+  against in the DAC90 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel, Track, fully_segmented_channel
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.routing import Routing
+from repro.substrate.intervals import pack_intervals_left_edge
+
+__all__ = ["route_left_edge_identical", "route_left_edge_unconstrained"]
+
+
+def route_left_edge_identical(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+) -> Routing:
+    """Left-edge routing for identically segmented channels.
+
+    Because the tracks are identical, a connection occupies the same
+    segment set in every track, and the per-track K-segment feasibility is
+    uniform; the only question is occupancy.  Connections are processed in
+    increasing left-end order and placed on the first track whose relevant
+    segments are all free.
+
+    Since connections arrive sorted by left end and occupancy is
+    segment-aligned, the occupied region of each track at or beyond the
+    current connection's occupied-span start is a prefix; a single
+    "blocked through column" per track suffices.
+
+    Raises
+    ------
+    RoutingInfeasibleError
+        If some connection fits no track.  For identically segmented
+        channels this greedy is exact: failure proves no routing with the
+        given ``max_segments`` exists in this channel.
+    """
+    if not channel.is_identically_segmented():
+        raise ChannelError(
+            "route_left_edge_identical requires identically segmented tracks; "
+            "use the DP or greedy routers instead"
+        )
+    connections.check_within(channel)
+    template = channel.track(0)
+    blocked_until = [0] * channel.n_tracks  # rightmost occupied column
+    assignment = [-1] * len(connections)
+    for i, c in enumerate(connections):
+        if max_segments is not None:
+            if template.segments_occupied(c.left, c.right) > max_segments:
+                raise RoutingInfeasibleError(
+                    f"{c} spans {template.segments_occupied(c.left, c.right)} "
+                    f"segments > K={max_segments} in every (identical) track"
+                )
+        occ_left, occ_right = template.occupied_span(c.left, c.right)
+        for t in range(channel.n_tracks):
+            if blocked_until[t] < occ_left:
+                assignment[i] = t
+                blocked_until[t] = occ_right
+                break
+        else:
+            raise RoutingInfeasibleError(
+                f"{c}: all {channel.n_tracks} identical tracks blocked"
+            )
+    return Routing(channel, connections, tuple(assignment))
+
+
+def route_left_edge_unconstrained(
+    connections: ConnectionSet, n_columns: Optional[int] = None
+) -> Routing:
+    """Freely customized (mask-programmed) routing — the Fig. 2(b) baseline.
+
+    Packs the connections onto the minimum number of freely customizable
+    tracks using the classical left-edge algorithm; with no vertical
+    constraints the number of tracks used equals the channel density.
+
+    The returned :class:`Routing` is expressed against a *fully segmented*
+    channel of exactly that many tracks: mask programming gives per-column
+    freedom, which in the segmented-channel model is a switch at every
+    column boundary (the paper's Fig. 2(c) observation) — so span-disjoint
+    connections may share a track, exactly as in Fig. 2(b).
+    """
+    if n_columns is None:
+        n_columns = max(connections.max_column(), 1)
+    spans = [(c.left, c.right) for c in connections]
+    n_rows, row_of = pack_intervals_left_edge(spans)
+    n_rows = max(n_rows, 1)
+    channel = fully_segmented_channel(n_rows, n_columns)
+    return Routing(channel, connections, tuple(row_of))

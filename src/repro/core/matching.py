@@ -1,0 +1,113 @@
+"""Optimal 1-segment routing via bipartite matching (Fig. 7, Section IV-A).
+
+Problem 3 restricted to ``K = 1`` reduces to weighted bipartite matching:
+one left node per connection, one right node per segment, an edge wherever
+the connection fits entirely inside the segment, weighted by ``w(c, t)``
+of the segment's track.  A minimum-weight complete matching is an optimal
+routing; the paper cites ``O(V^3)`` using the best matching algorithms,
+which is what the Hungarian substrate provides.
+
+Feasibility alone (does any 1-segment routing exist?) is answered faster
+by Hopcroft–Karp, and fastest by the Theorem-3 greedy; all three must
+agree, which the test suite checks exhaustively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.channel import Segment, SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.routing import Routing, WeightFunction
+from repro.substrate.bipartite import hopcroft_karp
+from repro.substrate.hungarian import AssignmentInfeasible, hungarian
+
+__all__ = [
+    "one_segment_bipartite_graph",
+    "route_one_segment_matching",
+    "one_segment_feasible",
+]
+
+
+def one_segment_bipartite_graph(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> tuple[list[Segment], list[list[int]]]:
+    """Build the Fig. 7 graph.
+
+    Returns ``(segments, adjacency)`` where ``segments`` lists every
+    segment of the channel (the right side) and ``adjacency[i]`` gives,
+    for connection ``i``, the indices into ``segments`` of the segments
+    that fully contain it.
+    """
+    connections.check_within(channel)
+    segments = list(channel.segments())
+    # Index segments by track for the containment scan.
+    adjacency: list[list[int]] = []
+    for c in connections:
+        row = []
+        for si, seg in enumerate(segments):
+            if seg.covers(c.left, c.right):
+                row.append(si)
+        adjacency.append(row)
+    return segments, adjacency
+
+
+def one_segment_feasible(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> bool:
+    """True iff a 1-segment routing exists (maximum matching saturates all
+    connections)."""
+    segments, adjacency = one_segment_bipartite_graph(channel, connections)
+    size, _, _ = hopcroft_karp(len(connections), len(segments), adjacency)
+    return size == len(connections)
+
+
+def route_one_segment_matching(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    weight: Optional[WeightFunction] = None,
+) -> Routing:
+    """Optimal 1-segment routing (Problem 3 with ``K = 1``).
+
+    With ``weight=None`` any complete matching is returned (Problem 1/2
+    behaviour); otherwise the routing minimizes ``sum w(c_i, t_i)``.
+
+    Raises
+    ------
+    RoutingInfeasibleError
+        If no complete matching exists — a proof that no 1-segment routing
+        exists at all.
+    """
+    segments, adjacency = one_segment_bipartite_graph(channel, connections)
+    M = len(connections)
+    if M == 0:
+        return Routing(channel, connections, ())
+    if len(segments) < M or any(not row for row in adjacency):
+        raise RoutingInfeasibleError(
+            "a connection fits no segment; no 1-segment routing exists"
+        )
+
+    if weight is None:
+        size, match_left, _ = hopcroft_karp(M, len(segments), adjacency)
+        if size != M:
+            raise RoutingInfeasibleError(
+                f"maximum matching saturates only {size} of {M} connections; "
+                f"no 1-segment routing exists"
+            )
+        assignment = tuple(segments[match_left[i]].track for i in range(M))
+        return Routing(channel, connections, assignment)
+
+    cost = [[math.inf] * len(segments) for _ in range(M)]
+    for i, c in enumerate(connections):
+        for si in adjacency[i]:
+            cost[i][si] = weight(c, segments[si].track)
+    try:
+        _, match = hungarian(cost)
+    except AssignmentInfeasible:
+        raise RoutingInfeasibleError(
+            "no complete finite-weight matching; no 1-segment routing exists"
+        ) from None
+    assignment = tuple(segments[match[i]].track for i in range(M))
+    return Routing(channel, connections, assignment)

@@ -1,0 +1,506 @@
+"""NP-completeness constructions (Section III and the Appendix).
+
+The paper proves Problems 1 and 2 strongly NP-complete by reduction from
+**Numerical Matching with Target Sums** (NMTS, Garey & Johnson problem
+[SP17]): given positive integers ``x_1..x_n``, ``y_1..y_n``, ``z_1..z_n``
+with ``sum(x) + sum(y) = sum(z)``, do permutations ``alpha, beta`` exist
+with ``x[alpha(i)] + y[beta(i)] = z[i]`` for all ``i``?
+
+This module implements, faithfully to the text:
+
+* the normalization transformations (*scaling* by ``m`` and *translation*
+  by ``p``) that establish the wlog assumptions ``x_{i+1} - x_i >= n`` and
+  ``x_1 + y_1 = x_n + n`` (and, for Theorem 2, ``z_1 >= x_n + n``);
+* the Theorem-1 construction ``Q`` (unlimited segment routing instance
+  with ``n^2`` tracks);
+* the Theorem-2 construction ``Q2`` (2-segment routing instance with
+  ``2 n^2 - n`` tracks);
+* an exact NMTS solver (backtracking; instances in this library are tiny);
+* witness converters in both directions: an NMTS solution yields a routing
+  via the Lemma-1 recipe, and a routing yields permutations via the
+  Lemma-2 argument.
+
+Everything here is executable mathematics: the test suite and the FIG5 /
+NPC2 benches verify the *iff* of both reductions on enumerated instances.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import ReproError
+from repro.core.routing import Routing
+
+__all__ = [
+    "NMTSInstance",
+    "solve_nmts",
+    "normalize_nmts",
+    "ReductionInstance",
+    "build_unlimited_instance",
+    "build_two_segment_instance",
+    "routing_from_matching",
+    "matching_from_routing",
+]
+
+
+@dataclass(frozen=True)
+class NMTSInstance:
+    """A Numerical Matching with Target Sums instance.
+
+    ``xs``, ``ys``, ``zs`` must each be sorted ascending (the paper's wlog
+    assumption); the balance condition ``sum(xs) + sum(ys) == sum(zs)`` is
+    required at construction.
+    """
+
+    xs: tuple[int, ...]
+    ys: tuple[int, ...]
+    zs: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.xs)
+        if not (len(self.ys) == len(self.zs) == n) or n == 0:
+            raise ReproError("NMTS needs equal-length nonempty xs, ys, zs")
+        for seq, label in ((self.xs, "xs"), (self.ys, "ys"), (self.zs, "zs")):
+            if any(v < 1 for v in seq):
+                raise ReproError(f"NMTS {label} must be positive: {seq}")
+            if list(seq) != sorted(seq):
+                raise ReproError(f"NMTS {label} must be sorted ascending: {seq}")
+        if sum(self.xs) + sum(self.ys) != sum(self.zs):
+            raise ReproError(
+                f"NMTS balance violated: sum(x)+sum(y)="
+                f"{sum(self.xs) + sum(self.ys)} != sum(z)={sum(self.zs)}"
+            )
+
+    @property
+    def n(self) -> int:
+        return len(self.xs)
+
+    def is_normalized(self) -> bool:
+        """True if the paper's wlog conditions hold: strictly increasing
+        ``xs`` with consecutive gaps >= n, and ``x_1 + y_1 >= x_n + n``."""
+        n = self.n
+        gaps_ok = all(
+            self.xs[i + 1] - self.xs[i] >= n for i in range(n - 1)
+        )
+        return gaps_ok and self.xs[0] + self.ys[0] >= self.xs[-1] + n
+
+    def check_solution(self, alpha: tuple[int, ...], beta: tuple[int, ...]) -> bool:
+        """Verify permutations (0-based) satisfy ``x[alpha(i)] + y[beta(i)]
+        == z[i]`` for all ``i``."""
+        n = self.n
+        if sorted(alpha) != list(range(n)) or sorted(beta) != list(range(n)):
+            return False
+        return all(
+            self.xs[alpha[i]] + self.ys[beta[i]] == self.zs[i] for i in range(n)
+        )
+
+
+def solve_nmts(instance: NMTSInstance) -> Optional[tuple[tuple[int, ...], tuple[int, ...]]]:
+    """Exact NMTS solver by backtracking over target slots.
+
+    Returns 0-based permutations ``(alpha, beta)`` or ``None``.  Intended
+    for the small ``n`` of reduction experiments; NMTS is strongly
+    NP-complete so no polynomial algorithm is expected.
+    """
+    n = instance.n
+    xs, ys, zs = instance.xs, instance.ys, instance.zs
+    # Index y values for O(1) complement lookup (duplicates allowed).
+    y_slots: dict[int, list[int]] = {}
+    for j, y in enumerate(ys):
+        y_slots.setdefault(y, []).append(j)
+    used_x = [False] * n
+    alpha = [-1] * n
+    beta = [-1] * n
+
+    # Fill the largest targets first: fewer candidate pairs, better pruning.
+    order = sorted(range(n), key=lambda i: -zs[i])
+
+    def backtrack(pos: int) -> bool:
+        if pos == n:
+            return True
+        i = order[pos]
+        z = zs[i]
+        for j in range(n):
+            if used_x[j]:
+                continue
+            need = z - xs[j]
+            slots = y_slots.get(need)
+            if not slots:
+                continue
+            k = slots.pop()
+            used_x[j] = True
+            alpha[i], beta[i] = j, k
+            if backtrack(pos + 1):
+                return True
+            used_x[j] = False
+            slots.append(k)
+            alpha[i] = beta[i] = -1
+        return False
+
+    if backtrack(0):
+        return tuple(alpha), tuple(beta)
+    return None
+
+
+def normalize_nmts(instance: NMTSInstance) -> tuple[NMTSInstance, int, int]:
+    """Apply the paper's scaling and translation transformations.
+
+    Returns ``(normalized, m, p)`` where ``m`` is the scaling factor and
+    ``p`` the translation; the normalized instance has a solution iff the
+    input does.  Requires strictly increasing ``xs`` (equal x values cannot
+    be separated by scaling; the paper's wlog is strict inequality).
+    """
+    n = instance.n
+    xs, ys, zs = list(instance.xs), list(instance.ys), list(instance.zs)
+    if n > 1:
+        min_gap = min(xs[i + 1] - xs[i] for i in range(n - 1))
+        if min_gap == 0:
+            raise ReproError(
+                "the reduction requires strictly increasing xs "
+                "(the paper's wlog assumption)"
+            )
+        m = max(1, math.ceil(n / min_gap))
+    else:
+        m = 1
+    if m > 1:
+        xs = [m * x for x in xs]
+        ys = [m * y for y in ys]
+        zs = [m * z for z in zs]
+    p = xs[-1] + n - (ys[0] + xs[0])
+    if p > 0:
+        ys = [y + p for y in ys]
+        zs = [z + p for z in zs]
+    else:
+        p = 0
+    # One extra translation the paper leaves implicit: the construction
+    # needs x_1 >= 2 so that every block track's first segment (which ends
+    # at left(b_ij) - 1 >= x_1 + 3) can hold an e connection spanning
+    # (1, 5).  Shifting xs and zs together preserves solutions, balance,
+    # the gap condition, and x_1 + y_1 - (x_n + n).
+    q = max(0, 2 - xs[0])
+    if q:
+        xs = [x + q for x in xs]
+        zs = [z + q for z in zs]
+    out = NMTSInstance(tuple(xs), tuple(ys), tuple(zs))
+    if not out.is_normalized():  # pragma: no cover - defensive
+        raise ReproError(f"normalization failed to establish wlog conditions: {out}")
+    return out, m, p
+
+
+@dataclass(frozen=True)
+class ReductionInstance:
+    """A routing instance produced by a reduction, with its provenance.
+
+    ``kind`` is ``"theorem1"`` (unlimited-segment ``Q``) or ``"theorem2"``
+    (2-segment ``Q2``); ``max_segments`` is the K to route with (None or 2).
+    """
+
+    nmts: NMTSInstance
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    kind: str
+    max_segments: Optional[int]
+    #: name of the a-connection for x_i (0-based i)
+    a_names: tuple[str, ...] = field(default=())
+    #: b_names[i][j]: connection for (y_i, x_j), 0-based
+    b_names: tuple[tuple[str, ...], ...] = field(default=())
+
+
+def _require_constructible(nmts: NMTSInstance, need_z1: bool) -> None:
+    n = nmts.n
+    if not nmts.is_normalized():
+        raise ReproError(
+            "instance must be normalized first (use normalize_nmts)"
+        )
+    if nmts.xs[0] < 2:
+        raise ReproError(
+            "construction requires x_1 >= 2 (normalize_nmts establishes it)"
+        )
+    if nmts.zs[-1] > nmts.xs[-1] + nmts.ys[-1]:
+        raise ReproError(
+            f"z_n={nmts.zs[-1]} exceeds x_n+y_n="
+            f"{nmts.xs[-1] + nmts.ys[-1]}: the instance is trivially "
+            f"unsolvable and the construction's tracks would be malformed"
+        )
+    if need_z1 and nmts.zs[0] < nmts.xs[-1] + n:
+        raise ReproError(
+            f"Theorem-2 construction assumes z_1 >= x_n + n "
+            f"({nmts.zs[0]} < {nmts.xs[-1] + n}); the instance is trivially "
+            f"unsolvable (every pair sum is >= x_1 + y_1 >= x_n + n)"
+        )
+
+
+def _b_span(nmts: NMTSInstance, i: int, j: int) -> tuple[int, int]:
+    """Span of connection ``b_{ij}`` (y index ``i``, x index ``j``, 0-based):
+    ``left = x_j + 4 + (n - (i+1))``, ``right = x_j + y_i + 4``."""
+    n = nmts.n
+    left = nmts.xs[j] + 4 + (n - (i + 1))
+    right = nmts.xs[j] + nmts.ys[i] + 4
+    return left, right
+
+
+def _block_tracks(nmts: NMTSInstance, n_columns: int) -> list[Track]:
+    """The ``n^2 - n`` three-segment "block" tracks shared by Q and Q2.
+
+    Block ``i`` (for ``y_i``) holds ``n - 1`` tracks; the ``j``-th has
+    middle segment ``(left(b_ij), right(b_i(j+1)))`` so it accommodates
+    ``b_ij`` or ``b_i(j+1)``.
+    """
+    n = nmts.n
+    tracks = []
+    for i in range(n):
+        for j in range(n - 1):
+            left_ij, _ = _b_span(nmts, i, j)
+            _, right_next = _b_span(nmts, i, j + 1)
+            tracks.append(Track(n_columns, (left_ij - 1, right_next)))
+    return tracks
+
+
+def build_unlimited_instance(nmts: NMTSInstance) -> ReductionInstance:
+    """Theorem-1 construction: NMTS -> unlimited segment routing ``Q``.
+
+    The channel has ``n^2`` tracks over ``N = x_n + y_n + 7`` columns; the
+    connection set contains the ``a_i`` (one per ``x_i``), the ``b_ij``
+    (one per ``(y_i, x_j)`` pair), ``n`` short ``d`` connections, ``n^2 -
+    n`` medium ``e`` connections and ``n^2`` far-right ``f`` connections.
+    ``Q`` is routable iff the NMTS instance has a solution (Lemmas 1 and 2).
+    """
+    _require_constructible(nmts, need_z1=False)
+    n = nmts.n
+    N = nmts.xs[-1] + nmts.ys[-1] + 7
+
+    conns: list[Connection] = []
+    a_names = tuple(f"a{i + 1}" for i in range(n))
+    for i in range(n):
+        conns.append(Connection(4, nmts.xs[i] + 3, a_names[i]))
+    b_names = tuple(
+        tuple(f"b{i + 1}_{j + 1}" for j in range(n)) for i in range(n)
+    )
+    for i in range(n):
+        for j in range(n):
+            left, right = _b_span(nmts, i, j)
+            conns.append(Connection(left, right, b_names[i][j]))
+    for i in range(n):
+        conns.append(Connection(1, 3, f"d{i + 1}"))
+    for i in range(n * n - n):
+        conns.append(Connection(1, 5, f"e{i + 1}"))
+    for i in range(n * n):
+        conns.append(Connection(N - 2, N, f"f{i + 1}"))
+
+    tracks: list[Track] = []
+    for i in range(n):
+        # (1,3), unit segments over columns 4 .. z_i + 4, then (z_i+5, N).
+        z = nmts.zs[i]
+        breaks = (3,) + tuple(range(4, z + 5))
+        tracks.append(Track(N, breaks))
+    tracks.extend(_block_tracks(nmts, N))
+
+    return ReductionInstance(
+        nmts=nmts,
+        channel=SegmentedChannel(tracks, name=f"Q(n={n})"),
+        connections=ConnectionSet(conns),
+        kind="theorem1",
+        max_segments=None,
+        a_names=a_names,
+        b_names=b_names,
+    )
+
+
+def build_two_segment_instance(nmts: NMTSInstance) -> ReductionInstance:
+    """Theorem-2 (Appendix) construction: NMTS -> 2-segment routing ``Q2``.
+
+    ``2 n^2 - n`` tracks: each ``t_i`` of ``Q`` becomes ``n`` five-segment
+    tracks ``t_{ij}``; the block tracks carry over unchanged.  The ``d``
+    connections disappear, ``n^2 - n`` whole-track ``g`` connections are
+    added, and the ``f`` family grows to ``2 n^2 - n``.  ``Q2`` has a
+    2-segment routing iff the NMTS instance has a solution (Theorem 2).
+    """
+    _require_constructible(nmts, need_z1=True)
+    n = nmts.n
+    N = nmts.xs[-1] + nmts.ys[-1] + 7
+
+    conns: list[Connection] = []
+    a_names = tuple(f"a{i + 1}" for i in range(n))
+    for i in range(n):
+        conns.append(Connection(4, nmts.xs[i] + 3, a_names[i]))
+    b_names = tuple(
+        tuple(f"b{i + 1}_{j + 1}" for j in range(n)) for i in range(n)
+    )
+    for i in range(n):
+        for j in range(n):
+            left, right = _b_span(nmts, i, j)
+            conns.append(Connection(left, right, b_names[i][j]))
+    for i in range(n * n - n):
+        conns.append(Connection(1, 5, f"e{i + 1}"))
+    for i in range(2 * n * n - n):
+        conns.append(Connection(N - 2, N, f"f{i + 1}"))
+    for i in range(n):
+        for j in range(n - 1):
+            conns.append(Connection(4, nmts.zs[i] + 4, f"g{i + 1}_{j + 1}"))
+
+    tracks: list[Track] = []
+    for i in range(n):
+        z = nmts.zs[i]
+        for j in range(n):
+            right_aj = nmts.xs[j] + 3
+            tracks.append(Track(N, (2, 3, right_aj, z + 4)))
+    tracks.extend(_block_tracks(nmts, N))
+
+    return ReductionInstance(
+        nmts=nmts,
+        channel=SegmentedChannel(tracks, name=f"Q2(n={n})"),
+        connections=ConnectionSet(conns),
+        kind="theorem2",
+        max_segments=2,
+        a_names=a_names,
+        b_names=b_names,
+    )
+
+
+def routing_from_matching(
+    instance: ReductionInstance,
+    alpha: tuple[int, ...],
+    beta: tuple[int, ...],
+) -> Routing:
+    """Lemma-1 direction: build a routing of ``Q`` from an NMTS solution.
+
+    Follows the constructive proofs.  Theorem 1 (``Q``): ``a_{alpha(i)}``
+    and ``b_{beta(i), alpha(i)}`` share track ``t_i``; the leftover
+    ``b_ij`` cascade through block ``i``'s tracks; ``d``/``e``/``f`` fill
+    the remaining slots per Proposition 1.  Theorem 2 (``Q2``): the pair
+    for target ``z_i`` lands on track ``t_{i, alpha(i)}`` (whose middle
+    segments are sized exactly for ``a_{alpha(i)}`` and the matching
+    ``b``), the ``g_i`` fill the other ``n - 1`` tracks of group ``i``,
+    and ``e``/``f``/``b``-cascade go as in ``Q``.
+    """
+    if instance.kind == "theorem2":
+        return _routing_from_matching_q2(instance, alpha, beta)
+    if instance.kind != "theorem1":
+        raise ReproError(f"unknown reduction kind {instance.kind!r}")
+    nmts = instance.nmts
+    n = nmts.n
+    if not nmts.check_solution(alpha, beta):
+        raise ReproError("(alpha, beta) is not a valid NMTS solution")
+    channel, connections = instance.channel, instance.connections
+
+    assignment: dict[str, int] = {}
+    # Step 1/2: a_{alpha(i)} and b_{beta(i) alpha(i)} on track t_i; d_i on
+    # t_i's first segment; f's one per track; e's on the block tracks.
+    for i in range(n):
+        assignment[instance.a_names[alpha[i]]] = i
+        assignment[instance.b_names[beta[i]][alpha[i]]] = i
+        assignment[f"d{i + 1}"] = i
+    for i in range(n * n):
+        assignment[f"f{i + 1}"] = i
+    for i in range(n * n - n):
+        assignment[f"e{i + 1}"] = n + i
+
+    # Step 3: cascade the unassigned b_ij of each y-block through the
+    # block's tracks.  Block i's j-th track accommodates b_ij or b_i(j+1).
+    for i in range(n):
+        # beta is a permutation, so exactly one slot uses y_i:
+        slot = beta.index(i)
+        assigned_j = alpha[slot]
+        base = n + i * (n - 1)  # first track of block i
+        # Tracks j = 0..n-2 take b_i(j) or b_i(j+1); walk left of the
+        # assigned one downward, right of it upward (the paper's cascade).
+        for j in range(assigned_j):
+            assignment[instance.b_names[i][j]] = base + j
+        for j in range(assigned_j + 1, n):
+            assignment[instance.b_names[i][j]] = base + j - 1
+    order = [assignment[c.name] for c in connections]
+    routing = Routing(channel, connections, tuple(order))
+    routing.validate()
+    return routing
+
+
+def _routing_from_matching_q2(
+    instance: ReductionInstance,
+    alpha: tuple[int, ...],
+    beta: tuple[int, ...],
+) -> Routing:
+    """Theorem-2 constructive direction (see the Appendix's three steps)."""
+    nmts = instance.nmts
+    n = nmts.n
+    if not nmts.check_solution(alpha, beta):
+        raise ReproError("(alpha, beta) is not a valid NMTS solution")
+    channel, connections = instance.channel, instance.connections
+
+    assignment: dict[str, int] = {}
+    # Group i's tracks are i*n .. i*n + n - 1 (t_{i1}..t_{in}); block
+    # tracks start at n*n.
+    for i in range(n):
+        pair_track = i * n + alpha[i]
+        assignment[instance.a_names[alpha[i]]] = pair_track
+        assignment[instance.b_names[beta[i]][alpha[i]]] = pair_track
+        others = [i * n + k for k in range(n) if k != alpha[i]]
+        for j, t in enumerate(others):
+            assignment[f"g{i + 1}_{j + 1}"] = t
+    for k in range(2 * n * n - n):
+        assignment[f"f{k + 1}"] = k
+    for k in range(n * n - n):
+        assignment[f"e{k + 1}"] = n * n + k
+    # Cascade the unpaired b_ij through block i exactly as in Q.
+    for i in range(n):
+        slot = beta.index(i)
+        assigned_j = alpha[slot]
+        base = n * n + i * (n - 1)
+        for j in range(assigned_j):
+            assignment[instance.b_names[i][j]] = base + j
+        for j in range(assigned_j + 1, n):
+            assignment[instance.b_names[i][j]] = base + j - 1
+    order = [assignment[c.name] for c in connections]
+    routing = Routing(channel, connections, tuple(order))
+    routing.validate(max_segments=2)
+    return routing
+
+
+def matching_from_routing(
+    instance: ReductionInstance, routing: Routing
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Lemma-2 direction: extract the NMTS solution from a routing of ``Q``.
+
+    By Propositions 1-10, in any valid routing each of the first ``n``
+    tracks carries exactly one ``a`` and one ``b``, and those pairs encode
+    the permutations.  Raises if the routing does not exhibit the structure
+    (which would falsify the paper's propositions).
+    """
+    if instance.kind != "theorem1":
+        raise ReproError("matching_from_routing expects a theorem1 instance")
+    nmts = instance.nmts
+    n = nmts.n
+    by_track: dict[int, list[str]] = {}
+    for c, t in zip(routing.connections, routing.assignment):
+        by_track.setdefault(t, []).append(c.name)
+
+    alpha = [-1] * n
+    beta = [-1] * n
+    for i in range(n):
+        names = by_track.get(i, [])
+        a_here = [nm for nm in names if nm.startswith("a")]
+        b_here = [nm for nm in names if nm.startswith("b")]
+        if len(a_here) != 1 or len(b_here) != 1:
+            raise ReproError(
+                f"track t_{i + 1} carries a={a_here}, b={b_here}; "
+                f"Proposition 10 structure violated"
+            )
+        a_idx = int(a_here[0][1:]) - 1
+        yi, xj = b_here[0][1:].split("_")
+        b_y, b_x = int(yi) - 1, int(xj) - 1
+        if b_x != a_idx:
+            raise ReproError(
+                f"track t_{i + 1}: b pairs x_{b_x + 1} but a is a_{a_idx + 1} "
+                f"(Lemma 2 Claim a violated)"
+            )
+        alpha[i] = a_idx
+        beta[i] = b_y
+    result = (tuple(alpha), tuple(beta))
+    if not nmts.check_solution(*result):
+        raise ReproError(
+            f"extracted permutations do not solve the NMTS instance: {result}"
+        )
+    return result

@@ -1,0 +1,316 @@
+"""Routing results and validators.
+
+Two result types mirror the paper's two definitions:
+
+* :class:`Routing` — Definition 1: every connection is assigned to exactly
+  one track, occupying all segments of that track overlapping its span.
+* :class:`GeneralizedRouting` — Definition 2: a connection may be split at
+  columns and its parts assigned to different tracks.
+
+Both carry a full validator so that *every* algorithm's output in this
+library is checked against the formal definition rather than against the
+algorithm's own bookkeeping.  The validators are also the property-test
+workhorses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.channel import Segment, SegmentedChannel
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import ValidationError
+
+__all__ = [
+    "Routing",
+    "GeneralizedRouting",
+    "WeightFunction",
+    "occupied_length_weight",
+    "segment_count_weight",
+    "uniform_weight",
+]
+
+#: Signature of the weight ``w(c, t)`` of Problem 3: cost of assigning
+#: connection ``c`` to track index ``t``.
+WeightFunction = Callable[[Connection, int], float]
+
+
+def occupied_length_weight(channel: SegmentedChannel) -> WeightFunction:
+    """The paper's example weight: total length of the segments occupied
+    when the connection is assigned to the track."""
+
+    def w(c: Connection, track: int) -> float:
+        left, right = channel.occupied_span(track, c.left, c.right)
+        return float(right - left + 1)
+
+    return w
+
+
+def segment_count_weight(channel: SegmentedChannel) -> WeightFunction:
+    """Weight = number of segments occupied (penalizes joined segments;
+    with this weight Problem 3 subsumes Problem 2 by thresholding)."""
+
+    def w(c: Connection, track: int) -> float:
+        return float(channel.segments_occupied(track, c.left, c.right))
+
+    return w
+
+
+def uniform_weight(_channel: SegmentedChannel) -> WeightFunction:
+    """Weight = 1 for every feasible assignment (any routing is optimal)."""
+
+    def w(_c: Connection, _track: int) -> float:
+        return 1.0
+
+    return w
+
+
+@dataclass(frozen=True)
+class Routing:
+    """A Definition-1 routing: one track per connection.
+
+    Attributes
+    ----------
+    channel, connections:
+        The instance routed.
+    assignment:
+        ``assignment[i]`` is the 0-based track index of connection ``i``
+        (position ``i`` of the sorted :class:`ConnectionSet`).
+    """
+
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    assignment: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.assignment) != len(self.connections):
+            raise ValidationError(
+                f"assignment covers {len(self.assignment)} of "
+                f"{len(self.connections)} connections"
+            )
+
+    # ------------------------------------------------------------------
+    def track_of(self, connection: Connection) -> int:
+        """Track index assigned to ``connection``."""
+        return self.assignment[self.connections.index_of(connection)]
+
+    def segments_used(self, index: int) -> list[Segment]:
+        """Segments occupied by connection ``index``."""
+        c = self.connections[index]
+        return self.channel.spanned_segments(self.assignment[index], c.left, c.right)
+
+    def segments_used_count(self, index: int) -> int:
+        c = self.connections[index]
+        return self.channel.segments_occupied(self.assignment[index], c.left, c.right)
+
+    def max_segments_used(self) -> int:
+        """Largest per-connection segment count — the ``K`` this routing
+        achieves."""
+        return max(
+            (self.segments_used_count(i) for i in range(len(self.connections))),
+            default=0,
+        )
+
+    def occupancy(self) -> dict[Segment, int]:
+        """Map each occupied segment to the index of its occupant."""
+        occ: dict[Segment, int] = {}
+        for i in range(len(self.connections)):
+            for seg in self.segments_used(i):
+                if seg in occ:
+                    raise ValidationError(
+                        f"segment {seg} occupied by connections "
+                        f"{occ[seg]} and {i}"
+                    )
+                occ[seg] = i
+        return occ
+
+    def total_weight(self, weight: WeightFunction) -> float:
+        """Sum of ``w(c_i, t_i)`` over the assignment (Problem 3 objective)."""
+        return sum(
+            weight(c, t) for c, t in zip(self.connections, self.assignment)
+        )
+
+    # ------------------------------------------------------------------
+    def validate(self, max_segments: Optional[int] = None) -> None:
+        """Check Definition 1 (and the K-segment limit if given).
+
+        Raises :class:`ValidationError` on the first violation.
+        """
+        T = self.channel.n_tracks
+        self.connections.check_within(self.channel)
+        for i, t in enumerate(self.assignment):
+            if not 0 <= t < T:
+                raise ValidationError(
+                    f"connection {i} assigned to nonexistent track {t}"
+                )
+        self.occupancy()  # raises on double occupancy
+        if max_segments is not None:
+            for i in range(len(self.connections)):
+                used = self.segments_used_count(i)
+                if used > max_segments:
+                    raise ValidationError(
+                        f"connection {i} occupies {used} segments "
+                        f"> K={max_segments}"
+                    )
+
+    def is_valid(self, max_segments: Optional[int] = None) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(max_segments)
+        except ValidationError:
+            return False
+        return True
+
+    def as_dict(self) -> dict[str, int]:
+        """Readable mapping ``connection name -> track index``."""
+        return {
+            (c.name or f"c{i + 1}"): t
+            for i, (c, t) in enumerate(zip(self.connections, self.assignment))
+        }
+
+
+@dataclass(frozen=True)
+class GeneralizedRouting:
+    """A Definition-2 routing: each connection split into column-contiguous
+    parts assigned to (possibly) different tracks.
+
+    Attributes
+    ----------
+    pieces:
+        ``pieces[i]`` is a tuple of ``(track, left, right)`` triples for
+        connection ``i``.  Parts must tile the connection span exactly and
+        appear left to right.
+    """
+
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    pieces: tuple[tuple[tuple[int, int, int], ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pieces) != len(self.connections):
+            raise ValidationError(
+                f"pieces cover {len(self.pieces)} of "
+                f"{len(self.connections)} connections"
+            )
+
+    def n_track_changes(self, index: int) -> int:
+        """Number of columns at which connection ``index`` changes tracks."""
+        parts = self.pieces[index]
+        return sum(
+            1 for a, b in zip(parts, parts[1:]) if a[0] != b[0]
+        )
+
+    def tracks_of(self, index: int) -> list[int]:
+        """Distinct tracks used by connection ``index``, in span order."""
+        seen: list[int] = []
+        for t, _, _ in self.pieces[index]:
+            if not seen or seen[-1] != t:
+                seen.append(t)
+        return seen
+
+    def segments_used(self, index: int) -> list[Segment]:
+        """Distinct segments occupied by connection ``index``."""
+        segs: list[Segment] = []
+        seen: set[Segment] = set()
+        for t, left, right in self.pieces[index]:
+            for seg in self.channel.spanned_segments(t, left, right):
+                if seg not in seen:
+                    seen.add(seg)
+                    segs.append(seg)
+        return segs
+
+    def occupancy(self) -> dict[Segment, int]:
+        """Map each occupied segment to its single occupant connection.
+
+        Pieces of the *same* connection may share a segment (that is the
+        point of Proposition 11); different connections may not.
+        """
+        occ: dict[Segment, int] = {}
+        for i in range(len(self.connections)):
+            for seg in self.segments_used(i):
+                if seg in occ and occ[seg] != i:
+                    raise ValidationError(
+                        f"segment {seg} occupied by connections {occ[seg]} and {i}"
+                    )
+                occ[seg] = i
+        return occ
+
+    def validate(
+        self,
+        max_segments: Optional[int] = None,
+        max_tracks: Optional[int] = None,
+        allowed_change_columns: Optional[set[int]] = None,
+    ) -> None:
+        """Check Definition 2 plus the optional restrictions of Section II.
+
+        Parameters
+        ----------
+        max_segments:
+            Restriction 1: at most this many segments per connection.
+        max_tracks:
+            Restriction 2: at most this many distinct tracks per connection.
+        allowed_change_columns:
+            Restriction 3: track changes may occur only at these columns
+            (a change "at column l" means the split ``(.., l-1), (l, ..)``).
+        """
+        T = self.channel.n_tracks
+        self.connections.check_within(self.channel)
+        for i, c in enumerate(self.connections):
+            parts = self.pieces[i]
+            if not parts:
+                raise ValidationError(f"connection {i} has no pieces")
+            expect = c.left
+            for t, left, right in parts:
+                if not 0 <= t < T:
+                    raise ValidationError(
+                        f"connection {i} piece on nonexistent track {t}"
+                    )
+                if left != expect:
+                    raise ValidationError(
+                        f"connection {i} pieces do not tile the span: expected "
+                        f"column {expect}, got piece starting at {left}"
+                    )
+                if right < left:
+                    raise ValidationError(f"connection {i} has empty piece")
+                expect = right + 1
+            if expect != c.right + 1:
+                raise ValidationError(
+                    f"connection {i} pieces end at {expect - 1}, span ends at {c.right}"
+                )
+            if allowed_change_columns is not None:
+                for a, b in zip(parts, parts[1:]):
+                    if a[0] != b[0] and b[1] not in allowed_change_columns:
+                        raise ValidationError(
+                            f"connection {i} changes tracks at column {b[1]}, "
+                            f"not an allowed change column"
+                        )
+            if max_tracks is not None and len(set(self.tracks_of(i))) > max_tracks:
+                raise ValidationError(
+                    f"connection {i} uses {len(set(self.tracks_of(i)))} tracks "
+                    f"> limit {max_tracks}"
+                )
+            if max_segments is not None:
+                used = len(self.segments_used(i))
+                if used > max_segments:
+                    raise ValidationError(
+                        f"connection {i} occupies {used} segments > K={max_segments}"
+                    )
+        self.occupancy()
+
+    def is_valid(self, **kwargs) -> bool:
+        try:
+            self.validate(**kwargs)
+        except ValidationError:
+            return False
+        return True
+
+    @classmethod
+    def from_routing(cls, routing: Routing) -> "GeneralizedRouting":
+        """Embed a Definition-1 routing as a (trivial) generalized routing."""
+        pieces = tuple(
+            ((t, c.left, c.right),)
+            for c, t in zip(routing.connections, routing.assignment)
+        )
+        return cls(routing.channel, routing.connections, pieces)

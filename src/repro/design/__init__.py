@@ -1,0 +1,51 @@
+"""Segmented-channel *design*: choosing segment lengths and positions.
+
+The paper's introduction frames the design trade-off (Fig. 2) and cites
+the companion results [10][11] that "a well-designed segmented channel
+needs only a few tracks more than a freely customized channel".  This
+package supplies what those experiments need: a stochastic channel
+traffic model in the style of El Gamal's master-slice analysis (ref [9]),
+parametric segmentation designers, and Monte-Carlo evaluation of routing
+probability and track overhead.
+"""
+
+from repro.design.analytic import SegmentTypeSpec, analytic_routing_probability
+from repro.design.evaluate import (
+    DesignEvaluation,
+    routing_probability,
+    track_overhead_vs_unconstrained,
+)
+from repro.design.segmentation import (
+    design_for_lengths,
+    geometric_segmentation,
+    staggered_uniform_segmentation,
+    uniform_segmentation,
+)
+from repro.design.optimizer import GeometricDesign, optimize_geometric_design
+from repro.design.pareto import DesignPoint, explore_design_space, pareto_front
+from repro.design.per_instance import (
+    segmentation_for_instance,
+    segmentation_for_two_segment,
+)
+from repro.design.stochastic import TrafficModel, sample_connections
+
+__all__ = [
+    "TrafficModel",
+    "sample_connections",
+    "uniform_segmentation",
+    "staggered_uniform_segmentation",
+    "geometric_segmentation",
+    "design_for_lengths",
+    "SegmentTypeSpec",
+    "analytic_routing_probability",
+    "segmentation_for_instance",
+    "segmentation_for_two_segment",
+    "DesignPoint",
+    "explore_design_space",
+    "pareto_front",
+    "GeometricDesign",
+    "optimize_geometric_design",
+    "DesignEvaluation",
+    "routing_probability",
+    "track_overhead_vs_unconstrained",
+]

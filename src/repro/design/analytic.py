@@ -1,0 +1,120 @@
+"""First-order analytic routability model (theory vs. simulation).
+
+The DAC 1990 companion paper supports its channel designs with a
+probabilistic analysis of segment occupancy.  This module provides a
+transparent first-order analogue for 1-segment routing so the Monte-Carlo
+curves of :mod:`repro.design.evaluate` can be compared against a closed
+form (the ANALYTIC bench):
+
+Model.  Traffic: Poisson starts (rate ``lam``/column), geometric lengths
+(mean ``L``).  A connection of length ``l`` needs a free segment of
+length ``>= l`` covering it.  For a channel with ``n_k`` tracks of
+segment length ``s_k`` (uniform per type), a segment is modelled as
+occupied independently with probability equal to its expected
+utilization under random 1-segment loading::
+
+    rho_k  =  min(1, traffic carried by type k / wire provided by type k)
+
+where traffic is apportioned to the shortest type that fits each length
+class (the same rule the matched designer uses).  The probability a
+connection of length ``l`` routes is then ``1 - prod_k rho_k^(a_k(l))``
+with ``a_k(l)`` the number of type-``k`` segments that could host it
+(0 for ``s_k < l``, ``n_k`` otherwise — position effects are ignored,
+which makes the model optimistic at high load and slightly pessimistic
+at low load; the bench checks the *shape*, not the absolute values).
+
+``P(route all) = prod over connections E[P(route | length)]`` with the
+expectation taken over the geometric length distribution and the Poisson
+connection count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ReproError
+from repro.design.stochastic import TrafficModel
+
+__all__ = ["SegmentTypeSpec", "analytic_routing_probability"]
+
+
+@dataclass(frozen=True)
+class SegmentTypeSpec:
+    """One track type: ``n_tracks`` tracks of uniform ``segment_length``."""
+
+    n_tracks: int
+    segment_length: int
+
+    def __post_init__(self) -> None:
+        if self.n_tracks < 0 or self.segment_length < 1:
+            raise ReproError("invalid segment type spec")
+
+
+def _length_pmf(mean_length: float, n_columns: int) -> list[float]:
+    """Geometric(1/mean) truncated at the channel width; 1-indexed."""
+    p = 1.0 / mean_length
+    pmf = [0.0] * (n_columns + 1)
+    survive = 1.0
+    for l in range(1, n_columns):
+        pmf[l] = survive * p
+        survive *= 1.0 - p
+    pmf[n_columns] = survive
+    return pmf
+
+
+def analytic_routing_probability(
+    types: Sequence[SegmentTypeSpec],
+    traffic: TrafficModel,
+    n_columns: int,
+) -> float:
+    """First-order estimate of P(all connections route, K = 1).
+
+    See the module docstring for the model and its biases.
+    """
+    if not types:
+        raise ReproError("need at least one segment type")
+    pmf = _length_pmf(traffic.mean_length, n_columns)
+    expected_m = traffic.lam * n_columns
+
+    # Wire supplied per type (columns of track).
+    supply = {k: t.n_tracks * n_columns for k, t in enumerate(types)}
+    order = sorted(range(len(types)), key=lambda k: types[k].segment_length)
+
+    # Apportion expected carried wire to the shortest fitting type.
+    carried = {k: 0.0 for k in range(len(types))}
+    for l in range(1, n_columns + 1):
+        if pmf[l] == 0.0:
+            continue
+        fitting = [k for k in order if types[k].segment_length >= l]
+        if not fitting:
+            continue
+        k = fitting[0]
+        # A length-l connection consumes a whole segment of type k.
+        carried[k] += expected_m * pmf[l] * types[k].segment_length
+
+    rho = {
+        k: min(1.0, carried[k] / supply[k]) if supply[k] else 1.0
+        for k in range(len(types))
+    }
+
+    # Per-connection success probability, averaged over lengths.
+    p_conn = 0.0
+    covered_mass = 0.0
+    for l in range(1, n_columns + 1):
+        if pmf[l] == 0.0:
+            continue
+        fail = 1.0
+        for k, t in enumerate(types):
+            if t.segment_length >= l and t.n_tracks > 0:
+                fail *= rho[k] ** t.n_tracks
+        p_conn += pmf[l] * (1.0 - fail)
+        covered_mass += pmf[l]
+    if covered_mass == 0.0:
+        return 0.0
+    p_conn /= covered_mass
+
+    # All connections independently (the first-order step); Poisson count.
+    # E[p^M] for M ~ Poisson(mu) is exp(-mu (1 - p)).
+    return math.exp(-expected_m * (1.0 - p_conn))

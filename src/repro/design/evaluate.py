@@ -1,0 +1,126 @@
+"""Monte-Carlo evaluation of segmented channel designs (DAC90-style).
+
+Two headline measurements:
+
+* :func:`routing_probability` — over random traffic draws, the fraction
+  routable in a given channel (per K), as a function of track count: the
+  DAC90 routability curves.
+* :func:`track_overhead_vs_unconstrained` — how many tracks a design
+  needs beyond the unconstrained density (the "few tracks more" claim
+  quoted in the paper's introduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.api import route
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.design.stochastic import TrafficModel, sample_connections
+from repro.substrate.prng import SeedLike, rng_from
+
+__all__ = [
+    "DesignEvaluation",
+    "routing_probability",
+    "track_overhead_vs_unconstrained",
+]
+
+#: Signature of a segmentation designer: (n_tracks, n_columns) -> channel.
+Designer = Callable[[int, int], SegmentedChannel]
+
+
+@dataclass(frozen=True)
+class DesignEvaluation:
+    """One (design, track count) evaluation row."""
+
+    n_tracks: int
+    trials: int
+    successes: int
+    mean_density: float
+
+    @property
+    def probability(self) -> float:
+        return self.successes / self.trials if self.trials else float("nan")
+
+
+def _routable(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+) -> bool:
+    try:
+        route(channel, connections, max_segments=max_segments)
+        return True
+    except (RoutingInfeasibleError, HeuristicFailure):
+        return False
+
+
+def routing_probability(
+    designer: Designer,
+    track_counts: Sequence[int],
+    traffic: TrafficModel,
+    n_columns: int,
+    n_trials: int,
+    max_segments: Optional[int] = None,
+    seed: SeedLike = None,
+) -> list[DesignEvaluation]:
+    """Probability of complete routing vs. number of tracks.
+
+    For each track count ``T`` the same ``n_trials`` traffic draws are
+    used (common random numbers), so the resulting curve is monotone up to
+    sampling noise exactly as in the DAC90 figures.
+    """
+    rng = rng_from(seed)
+    draws = [
+        sample_connections(traffic, n_columns, seed=rng.getrandbits(48))
+        for _ in range(n_trials)
+    ]
+    rows = []
+    for n_tracks in track_counts:
+        channel = designer(n_tracks, n_columns)
+        successes = sum(
+            1 for conns in draws if _routable(channel, conns, max_segments)
+        )
+        mean_density = sum(density(d) for d in draws) / max(len(draws), 1)
+        rows.append(
+            DesignEvaluation(n_tracks, n_trials, successes, mean_density)
+        )
+    return rows
+
+
+def track_overhead_vs_unconstrained(
+    designer: Designer,
+    traffic: TrafficModel,
+    n_columns: int,
+    n_trials: int,
+    max_segments: Optional[int] = None,
+    max_extra: int = 12,
+    seed: SeedLike = None,
+) -> list[tuple[int, int, int]]:
+    """Per traffic draw: (density, tracks needed by the design, overhead).
+
+    For each draw, the unconstrained baseline needs exactly ``density``
+    tracks; the designed channel's requirement is found by increasing the
+    track count from the density upward until routing succeeds (or
+    ``max_extra`` is exhausted, reported as ``density + max_extra + 1``).
+    """
+    rng = rng_from(seed)
+    rows = []
+    for _ in range(n_trials):
+        conns = sample_connections(traffic, n_columns, seed=rng.getrandbits(48))
+        d = density(conns)
+        if d == 0:
+            continue
+        needed = None
+        for extra in range(0, max_extra + 1):
+            channel = designer(d + extra, n_columns)
+            if _routable(channel, conns, max_segments):
+                needed = d + extra
+                break
+        if needed is None:
+            needed = d + max_extra + 1
+        rows.append((d, needed, needed - d))
+    return rows

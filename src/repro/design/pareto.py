@@ -1,0 +1,90 @@
+"""Design-space exploration: the switch-count / routability Pareto front.
+
+Fig. 2's qualitative trade-off, quantified: every candidate segmentation
+spends switches (delay, area) to buy routability.  This module sweeps a
+design family over its parameters, evaluates each point by Monte-Carlo
+routing probability and by its structural switch budget, and extracts the
+Pareto-efficient set — the designs not dominated on (fewer switches,
+higher routability).
+
+This is the chart a channeled-FPGA architect actually draws before
+committing a mask set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.channel_stats import profile_channel
+from repro.core.channel import SegmentedChannel
+from repro.design.evaluate import routing_probability
+from repro.design.stochastic import TrafficModel
+from repro.substrate.prng import SeedLike
+
+__all__ = ["DesignPoint", "explore_design_space", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated candidate segmentation."""
+
+    label: str
+    n_switches: int
+    switch_density: float
+    probability: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        no_worse = (
+            self.n_switches <= other.n_switches
+            and self.probability >= other.probability
+        )
+        better = (
+            self.n_switches < other.n_switches
+            or self.probability > other.probability
+        )
+        return no_worse and better
+
+
+def explore_design_space(
+    candidates: Sequence[tuple[str, Callable[[int, int], SegmentedChannel]]],
+    n_tracks: int,
+    traffic: TrafficModel,
+    n_columns: int,
+    n_trials: int,
+    max_segments: Optional[int] = 2,
+    seed: SeedLike = 0,
+) -> list[DesignPoint]:
+    """Evaluate every candidate at a fixed track budget.
+
+    ``candidates`` are ``(label, designer)`` pairs; all are scored with
+    common random traffic draws so comparisons are paired.
+    """
+    points = []
+    for label, designer in candidates:
+        channel = designer(n_tracks, n_columns)
+        profile = profile_channel(channel)
+        rows = routing_probability(
+            designer, [n_tracks], traffic, n_columns, n_trials,
+            max_segments=max_segments, seed=seed,
+        )
+        points.append(
+            DesignPoint(
+                label=label,
+                n_switches=profile.n_switches,
+                switch_density=profile.switch_density,
+                probability=rows[0].probability,
+            )
+        )
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+    """The non-dominated subset, sorted by ascending switch count."""
+    front = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: (p.n_switches, -p.probability))

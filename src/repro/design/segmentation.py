@@ -1,0 +1,140 @@
+"""Segmentation designers: produce channels matched to expected traffic.
+
+Four families, from naive to traffic-aware:
+
+* :func:`uniform_segmentation` — every track cut into equal segments.
+* :func:`staggered_uniform_segmentation` — equal segments with per-track
+  offsets so switch positions do not align across tracks (cheap and
+  effective; the break grid covers all phases).
+* :func:`geometric_segmentation` — track *types* with segment lengths in
+  a geometric progression (short tracks for short wires, long tracks for
+  long wires), the classic channeled-FPGA recipe.
+* :func:`design_for_lengths` — given an empirical length distribution,
+  allocate track types proportionally to the traffic each length class
+  carries and size their segments at the class's ~80th percentile, so
+  most connections route in one segment (the paper's Fig. 2(e) ideal).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.errors import ReproError
+
+__all__ = [
+    "uniform_segmentation",
+    "staggered_uniform_segmentation",
+    "geometric_segmentation",
+    "design_for_lengths",
+]
+
+
+def _track_with_period(n_columns: int, period: int, offset: int = 0) -> Track:
+    """A track cut every ``period`` columns, starting at ``offset``."""
+    if period < 1:
+        raise ReproError("segment period must be >= 1")
+    offset = offset % period
+    start = offset if offset >= 1 else period
+    breaks = tuple(b for b in range(start, n_columns, period))
+    return Track(n_columns, breaks)
+
+
+def uniform_segmentation(
+    n_tracks: int, n_columns: int, segment_length: int
+) -> SegmentedChannel:
+    """All tracks identical with equal-length segments."""
+    return SegmentedChannel(
+        [_track_with_period(n_columns, segment_length) for _ in range(n_tracks)],
+        name=f"uniform-{segment_length}",
+    )
+
+
+def staggered_uniform_segmentation(
+    n_tracks: int, n_columns: int, segment_length: int
+) -> SegmentedChannel:
+    """Equal-length segments, breaks staggered across tracks.
+
+    Track ``t`` is offset by ``t * segment_length / n_tracks`` columns
+    (rounded), cycling through all phases of the break grid.
+    """
+    tracks = []
+    for t in range(n_tracks):
+        offset = round(t * segment_length / max(n_tracks, 1))
+        tracks.append(_track_with_period(n_columns, segment_length, offset))
+    return SegmentedChannel(tracks, name=f"staggered-{segment_length}")
+
+
+def geometric_segmentation(
+    n_tracks: int,
+    n_columns: int,
+    shortest: int = 4,
+    ratio: float = 2.0,
+    n_types: int = 4,
+) -> SegmentedChannel:
+    """Track types with geometrically increasing segment lengths.
+
+    Type ``k`` (0-based) has segment length ``shortest * ratio^k`` capped
+    at the channel width; tracks are distributed round-robin over types so
+    every type gets roughly ``n_tracks / n_types`` tracks, and breaks of
+    consecutive same-type tracks are staggered by half a period.
+    """
+    if shortest < 1 or ratio <= 1.0 or n_types < 1:
+        raise ReproError("need shortest >= 1, ratio > 1, n_types >= 1")
+    tracks = []
+    per_type_count: dict[int, int] = {}
+    for t in range(n_tracks):
+        k = t % n_types
+        seen = per_type_count.get(k, 0)
+        per_type_count[k] = seen + 1
+        period = min(n_columns, max(1, round(shortest * ratio**k)))
+        offset = (seen * period) // 2
+        tracks.append(_track_with_period(n_columns, period, offset))
+    return SegmentedChannel(tracks, name=f"geometric-{shortest}x{ratio}")
+
+
+def design_for_lengths(
+    n_tracks: int,
+    n_columns: int,
+    lengths: Sequence[int],
+    n_types: int = 3,
+) -> SegmentedChannel:
+    """Traffic-matched design from an empirical length sample.
+
+    The sample is split into ``n_types`` quantile classes by length; each
+    class receives tracks in proportion to the *wire length* it carries
+    (length x count), and its tracks use segments sized at the class's
+    80th percentile (so ~80% of that class routes in one segment, the
+    rest joins two).
+    """
+    if not lengths:
+        raise ReproError("need a nonempty length sample")
+    if n_types < 1:
+        raise ReproError("n_types must be >= 1")
+    data = sorted(int(v) for v in lengths)
+    n_types = min(n_types, len(set(data)))
+    # Quantile class boundaries.
+    classes: list[list[int]] = []
+    for k in range(n_types):
+        lo = int(k * len(data) / n_types)
+        hi = int((k + 1) * len(data) / n_types)
+        chunk = data[lo:hi]
+        if chunk:
+            classes.append(chunk)
+    # Track shares proportional to carried wirelength.
+    weights = [sum(c) for c in classes]
+    total = sum(weights)
+    shares = [max(1, round(n_tracks * w / total)) for w in weights]
+    # Adjust rounding drift to hit n_tracks exactly.
+    while sum(shares) > n_tracks:
+        shares[shares.index(max(shares))] -= 1
+    while sum(shares) < n_tracks:
+        shares[shares.index(min(shares))] += 1
+    tracks = []
+    for chunk, count in zip(classes, shares):
+        period = min(n_columns, max(1, chunk[min(len(chunk) - 1, int(0.8 * len(chunk)))]))
+        for i in range(count):
+            offset = (i * period) // max(count, 1)
+            tracks.append(_track_with_period(n_columns, period, offset))
+    return SegmentedChannel(tracks, name=f"designed-{n_types}types")

@@ -1,0 +1,50 @@
+"""Channeled FPGA substrate (the Fig. 1 architecture).
+
+Rows of logic cells separated by segmented routing channels; cell pins
+connect to dedicated vertical segments; programmable switches sit at every
+vertical/horizontal crossing and between adjacent horizontal segments of a
+track.  This package provides everything needed to run the paper's
+routing algorithms inside a realistic FPGA flow: netlists, placement,
+global routing (net -> per-channel horizontal connections), detailed
+routing (the core algorithms), an Elmore RC delay model for the Fig. 2
+trade-off, and bitstream (programmed-switch) extraction.
+"""
+
+from repro.fpga.architecture import FPGAArchitecture, PinRef
+from repro.fpga.bitstream import Bitstream, extract_bitstream
+from repro.fpga.delay import DelayModel, net_delays, routing_delay_profile
+from repro.fpga.detail_route import ChipRouting, route_chip
+from repro.fpga.global_route import ChannelDemand, global_route
+from repro.fpga.netlist import Cell, Net, Netlist, random_netlist
+from repro.fpga.placement import Placement, place_greedy, improve_placement
+from repro.fpga.congestion import route_chip_negotiated
+from repro.fpga.design_link import DesignClosure, design_chip
+from repro.fpga.render import render_chip
+from repro.fpga.timing import TimingReport, analyze_timing
+
+__all__ = [
+    "FPGAArchitecture",
+    "PinRef",
+    "Cell",
+    "Net",
+    "Netlist",
+    "random_netlist",
+    "Placement",
+    "place_greedy",
+    "improve_placement",
+    "ChannelDemand",
+    "global_route",
+    "ChipRouting",
+    "route_chip",
+    "DelayModel",
+    "net_delays",
+    "routing_delay_profile",
+    "Bitstream",
+    "extract_bitstream",
+    "TimingReport",
+    "analyze_timing",
+    "render_chip",
+    "route_chip_negotiated",
+    "DesignClosure",
+    "design_chip",
+]

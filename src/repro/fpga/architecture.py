@@ -1,0 +1,134 @@
+"""The channeled FPGA architecture model (Fig. 1).
+
+Geometry conventions:
+
+* ``n_rows`` rows of logic cells, ``cells_per_row`` cells per row.
+* ``n_rows + 1`` segmented routing channels: channel ``c`` runs *above*
+  row ``c`` (channel 0 is the top edge, channel ``n_rows`` the bottom).
+  Row ``r`` is adjacent to channels ``r`` and ``r + 1``.
+* Each cell has ``n_inputs`` input pins and one output pin; every pin
+  occupies its own column, so a cell is ``n_inputs + 1`` columns wide and
+  every channel has ``cells_per_row * (n_inputs + 1)`` columns.
+* Every pin drives a dedicated **vertical segment**.  Input verticals span
+  the two channels adjacent to their row.  Output verticals span a
+  configurable number of channels in each direction (``output_span``),
+  modelling the longer output segments (plus feedthroughs) of channeled
+  FPGAs; the global router may only land a net's horizontal trunk in a
+  channel crossed by both the driver's and the sink's verticals.
+
+The horizontal segmentation of each channel is supplied by the caller
+(any :class:`~repro.core.channel.SegmentedChannel` builder or a designer
+from :mod:`repro.design.segmentation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.channel import SegmentedChannel
+from repro.core.errors import ReproError
+
+__all__ = ["PinRef", "FPGAArchitecture"]
+
+
+@dataclass(frozen=True, order=True)
+class PinRef:
+    """A pin of a placed cell: ``kind`` is ``"out"`` or ``"in"``;
+    ``index`` numbers input pins from 0 (ignored for outputs)."""
+
+    cell: str
+    kind: str
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("out", "in"):
+            raise ReproError(f"pin kind must be 'out' or 'in', got {self.kind!r}")
+
+
+class FPGAArchitecture:
+    """A concrete channeled FPGA: rows, columns, and channel segmentations.
+
+    Parameters
+    ----------
+    n_rows, cells_per_row, n_inputs:
+        Array shape; see the module docstring.
+    channel_factory:
+        Called as ``channel_factory(n_columns)`` once per channel to build
+        its horizontal segmentation.
+    output_span:
+        How many channels above and below its row an output vertical
+        reaches (1 = only the two adjacent channels, like inputs).
+    """
+
+    def __init__(
+        self,
+        n_rows: int,
+        cells_per_row: int,
+        n_inputs: int,
+        channel_factory: Callable[[int], SegmentedChannel],
+        output_span: int = 2,
+    ) -> None:
+        if n_rows < 1 or cells_per_row < 1 or n_inputs < 1:
+            raise ReproError("n_rows, cells_per_row, n_inputs must be >= 1")
+        if output_span < 1:
+            raise ReproError("output_span must be >= 1")
+        self.n_rows = n_rows
+        self.cells_per_row = cells_per_row
+        self.n_inputs = n_inputs
+        self.cell_width = n_inputs + 1
+        self.n_columns = cells_per_row * self.cell_width
+        self.output_span = output_span
+        self.channels: tuple[SegmentedChannel, ...] = tuple(
+            channel_factory(self.n_columns) for _ in range(n_rows + 1)
+        )
+        for ch in self.channels:
+            if ch.n_columns != self.n_columns:
+                raise ReproError(
+                    f"channel_factory produced {ch.n_columns} columns, "
+                    f"architecture needs {self.n_columns}"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_channels(self) -> int:
+        return self.n_rows + 1
+
+    @property
+    def n_sites(self) -> int:
+        """Total cell sites."""
+        return self.n_rows * self.cells_per_row
+
+    def site_column(self, slot: int, pin_offset: int) -> int:
+        """Column (1-based) of pin ``pin_offset`` of the cell in row slot
+        ``slot`` (0-based within the row).  Offsets 0..n_inputs-1 are the
+        inputs, offset n_inputs is the output."""
+        if not 0 <= slot < self.cells_per_row:
+            raise ReproError(f"slot {slot} outside row of {self.cells_per_row}")
+        if not 0 <= pin_offset <= self.n_inputs:
+            raise ReproError(f"pin offset {pin_offset} outside cell pins")
+        return slot * self.cell_width + pin_offset + 1
+
+    def adjacent_channels(self, row: int) -> tuple[int, int]:
+        """Channels directly above and below row ``row``."""
+        if not 0 <= row < self.n_rows:
+            raise ReproError(f"row {row} outside 0..{self.n_rows - 1}")
+        return row, row + 1
+
+    def input_channels(self, row: int) -> range:
+        """Channels an *input* vertical of a cell in ``row`` crosses."""
+        return range(row, row + 2)
+
+    def output_channels(self, row: int) -> range:
+        """Channels an *output* vertical of a cell in ``row`` crosses
+        (clamped to the die)."""
+        lo = max(0, row + 1 - self.output_span)
+        hi = min(self.n_channels - 1, row + self.output_span)
+        return range(lo, hi + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FPGAArchitecture(rows={self.n_rows}, cells/row="
+            f"{self.cells_per_row}, inputs={self.n_inputs}, "
+            f"columns={self.n_columns}, channels={self.n_channels})"
+        )

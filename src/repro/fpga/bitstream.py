@@ -1,0 +1,86 @@
+"""Bitstream extraction: the programmed switches realizing a routing.
+
+A channeled FPGA is configured by programming (i) cross switches where a
+connection's endpoints meet its track, and (ii) track switches joining
+adjacent horizontal segments a connection occupies end-to-end.  This
+module derives that switch list from a :class:`~repro.core.routing.Routing`
+and verifies physical consistency (each switch programmed by at most one
+net) — the final sanity layer of the FPGA flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ValidationError
+from repro.core.routing import Routing
+
+__all__ = ["SwitchRef", "Bitstream", "extract_bitstream"]
+
+
+@dataclass(frozen=True, order=True)
+class SwitchRef:
+    """One programmable switch.
+
+    ``kind``: ``"cross"`` (vertical/horizontal crossing, located at
+    ``(track, column)``) or ``"track"`` (between the two horizontal
+    segments of ``track`` adjacent to break ``column``).
+    """
+
+    kind: str
+    track: int
+    column: int
+
+
+@dataclass(frozen=True)
+class Bitstream:
+    """Programmed switches of one channel plus the owning connection."""
+
+    switches: tuple[SwitchRef, ...]
+    owner: dict[SwitchRef, str]
+
+    @property
+    def n_programmed(self) -> int:
+        return len(self.switches)
+
+    def n_cross(self) -> int:
+        return sum(1 for s in self.switches if s.kind == "cross")
+
+    def n_track(self) -> int:
+        return sum(1 for s in self.switches if s.kind == "track")
+
+
+def extract_bitstream(routing: Routing) -> Bitstream:
+    """Derive the programmed-switch list from a channel routing.
+
+    Per connection: two cross switches (entry at its left column, exit at
+    its right column) and one track switch per segment boundary interior
+    to its span.  Raises :class:`ValidationError` if two connections claim
+    the same switch — impossible for a valid routing, so this doubles as
+    an independent consistency check.
+    """
+    owner: dict[SwitchRef, str] = {}
+    channel = routing.channel
+    for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+        name = c.name or f"c{i + 1}"
+        for ref in (
+            SwitchRef("cross", t, c.left),
+            SwitchRef("cross", t, c.right),
+        ):
+            if ref in owner and owner[ref] != name:
+                raise ValidationError(
+                    f"switch {ref} programmed by both {owner[ref]} and {name}"
+                )
+            owner[ref] = name
+        track = channel.track(t)
+        for b in track.breaks:
+            if c.left <= b < c.right:
+                ref = SwitchRef("track", t, b)
+                if ref in owner and owner[ref] != name:
+                    raise ValidationError(
+                        f"switch {ref} programmed by both {owner[ref]} and {name}"
+                    )
+                owner[ref] = name
+    switches = tuple(sorted(owner))
+    return Bitstream(switches, owner)

@@ -1,0 +1,176 @@
+"""Congestion negotiation: reroute failing channels by moving nets.
+
+:func:`repro.fpga.detail_route.route_chip` reports per-channel failures;
+this module closes the loop.  When a channel cannot be routed, sinks
+whose nets have alternative channels (the driver's vertical crosses more
+than one channel shared with the sink) are migrated out of the congested
+channel — most-flexible, longest-interval first — and the channel pair is
+re-routed.  This is a small negotiated-congestion router in the spirit of
+PathFinder, scoped to the paper's per-channel problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ReproError
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.detail_route import ChipRouting, route_chip
+from repro.fpga.global_route import ChannelDemand, global_route
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Placement
+
+__all__ = ["route_chip_negotiated"]
+
+
+@dataclass
+class _SinkAssignment:
+    """Mutable per-sink channel choice used during negotiation."""
+
+    net: str
+    sink_cell: str
+    drv_col: int
+    sink_col: int
+    options: tuple[int, ...]
+    chosen: int
+
+    @property
+    def span(self) -> int:
+        return abs(self.sink_col - self.drv_col) + 1
+
+
+def _sink_assignments(
+    architecture: FPGAArchitecture, netlist: Netlist, placement: Placement
+) -> list[_SinkAssignment]:
+    out = []
+    load = [0] * architecture.n_channels
+    for net in netlist.nets:
+        drv_row = placement.row_of(net.driver.cell)
+        drv_col = placement.pin_column(net.driver.cell, "out")
+        drv_channels = set(architecture.output_channels(drv_row))
+        for sink in net.sinks:
+            sink_row = placement.row_of(sink.cell)
+            sink_col = placement.pin_column(sink.cell, "in", sink.index)
+            options = tuple(
+                c
+                for c in architecture.input_channels(sink_row)
+                if c in drv_channels
+            )
+            if not options:
+                raise ReproError(
+                    f"net {net.name}: sink {sink.cell} shares no channel "
+                    f"with its driver"
+                )
+            chosen = min(options, key=lambda c: (load[c], c))
+            load[chosen] += abs(sink_col - drv_col) + 1
+            out.append(
+                _SinkAssignment(
+                    net.name, sink.cell, drv_col, sink_col, options, chosen
+                )
+            )
+    return out
+
+
+def _demands_from(
+    architecture: FPGAArchitecture, assignments: list[_SinkAssignment]
+) -> list[ChannelDemand]:
+    demands = [ChannelDemand(c) for c in range(architecture.n_channels)]
+    for a in assignments:
+        demands[a.chosen].add(a.net, a.drv_col, a.sink_col)
+    for d in demands:
+        d.merge()
+    return demands
+
+
+def route_chip_negotiated(
+    architecture: FPGAArchitecture,
+    netlist: Netlist,
+    placement: Placement,
+    max_segments: Optional[int] = None,
+    algorithm: str = "auto",
+    max_rounds: int = 8,
+) -> ChipRouting:
+    """Detailed routing with congestion negotiation between channels.
+
+    Round 0 is plain :func:`route_chip`.  Each later round moves, for
+    every failing channel, its most movable demand (a sink with an
+    alternative channel, longest interval first) to its least-loaded
+    alternative, then re-routes.  Returns the first fully routed result,
+    or the best (fewest failing channels) attempt after ``max_rounds``.
+    """
+    first = route_chip(
+        architecture, netlist, placement, max_segments, algorithm
+    )
+    if first.ok:
+        return first
+    best = first
+
+    assignments = _sink_assignments(architecture, netlist, placement)
+    for _ in range(max_rounds):
+        failing = set(best.failed_channels)
+        if not failing:
+            break
+        moved = False
+        load = [0] * architecture.n_channels
+        for a in assignments:
+            load[a.chosen] += a.span
+        # Longest movable demands in failing channels move first.
+        movable = sorted(
+            (
+                a
+                for a in assignments
+                if a.chosen in failing and len(a.options) > 1
+            ),
+            key=lambda a: -a.span,
+        )
+        for a in movable:
+            alternatives = [c for c in a.options if c != a.chosen]
+            target = min(alternatives, key=lambda c: (load[c], c))
+            load[a.chosen] -= a.span
+            load[target] += a.span
+            a.chosen = target
+            moved = True
+            # Move one demand per failing channel per round.
+            failing.discard(a.chosen)
+            if not failing:
+                break
+        if not moved:
+            break
+
+        demands = _demands_from(architecture, assignments)
+        from repro.fpga.detail_route import ChannelResult, _empty_routing
+        from repro.core.api import route as core_route
+        from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+
+        results = []
+        for demand in demands:
+            conns = demand.connection_set()
+            channel = architecture.channels[demand.channel_index]
+            if len(conns) == 0:
+                results.append(
+                    ChannelResult(
+                        demand.channel_index, demand, _empty_routing(channel)
+                    )
+                )
+                continue
+            try:
+                routing = core_route(
+                    channel, conns, max_segments=max_segments,
+                    algorithm=algorithm,
+                )
+                results.append(
+                    ChannelResult(demand.channel_index, demand, routing)
+                )
+            except (RoutingInfeasibleError, HeuristicFailure) as exc:
+                results.append(
+                    ChannelResult(
+                        demand.channel_index, demand, None, failure=str(exc)
+                    )
+                )
+        attempt = ChipRouting(architecture, netlist, placement, tuple(results))
+        if attempt.ok:
+            return attempt
+        if len(attempt.failed_channels) < len(best.failed_channels):
+            best = attempt
+    return best

@@ -1,0 +1,90 @@
+"""Elmore RC delay through programmed switches (the Fig. 2 trade-off).
+
+The paper motivates segmentation with the delay of programmed switches:
+fully segmenting every track adds a resistive switch per column crossed
+(Fig. 2(c)); unsegmented tracks avoid switches but drag the capacitance of
+a full-width segment (Fig. 2(d)); a designed segmentation sits between.
+
+Model: a routed connection is driven through
+
+* the driver resistance ``r_driver``;
+* one programmed cross switch (vertical -> horizontal), resistance
+  ``r_switch``;
+* the chain of horizontal segments it occupies, each with capacitance
+  ``c_column * length``, joined end-to-end by programmed track switches
+  (``r_switch`` each);
+* one programmed cross switch to the sink vertical, capacitance
+  ``c_vertical + c_input``.
+
+The Elmore delay of this RC ladder is computed exactly.  Crucially, a
+connection's capacitive load includes the *whole* of every segment it
+occupies — the slack beyond its endpoints is exactly the waste a good
+segmentation minimizes, which is what makes the DELAY bench reproduce the
+paper's qualitative trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.routing import Routing
+
+__all__ = ["DelayModel", "connection_delay", "net_delays", "routing_delay_profile"]
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """RC parameters (arbitrary consistent units; defaults are loosely
+    antifuse-era: ~0.5 kOhm switches, ~0.1 pF/column in ns/kOhm/pF)."""
+
+    r_driver: float = 1.0
+    r_switch: float = 0.5
+    c_column: float = 0.1
+    c_vertical: float = 0.2
+    c_input: float = 0.05
+
+
+def connection_delay(routing: Routing, index: int, model: DelayModel) -> float:
+    """Elmore delay of connection ``index`` in ``routing``.
+
+    The RC ladder: driver (R=r_driver) -> cross switch (r_switch) ->
+    segment 1 (C=c_column*len) -> track switch -> segment 2 -> ... ->
+    cross switch -> sink (C=c_vertical + c_input).
+    """
+    segments = routing.segments_used(index)
+    seg_caps = [model.c_column * s.length for s in segments]
+    sink_cap = model.c_vertical + model.c_input
+
+    # Nodes along the ladder: after each resistance, the downstream
+    # capacitance seen.  Elmore = sum over resistances of R * C_downstream.
+    total_cap = sum(seg_caps) + sink_cap
+    delay = model.r_driver * total_cap
+    # Cross switch into the first segment: sees everything.
+    delay += model.r_switch * total_cap
+    # Track switches between consecutive segments: switch k sees segments
+    # k+1.. plus the sink.
+    downstream = total_cap
+    for cap in seg_caps[:-1]:
+        downstream -= cap
+        delay += model.r_switch * downstream
+    # Cross switch out to the sink vertical: sees only the sink.
+    delay += model.r_switch * sink_cap
+    return delay
+
+
+def net_delays(routing: Routing, model: DelayModel) -> dict[str, float]:
+    """Per-connection Elmore delays, keyed by connection name."""
+    return {
+        (c.name or f"c{i + 1}"): connection_delay(routing, i, model)
+        for i, c in enumerate(routing.connections)
+    }
+
+
+def routing_delay_profile(
+    routing: Routing, model: DelayModel
+) -> tuple[float, float, float]:
+    """``(mean, max, total)`` Elmore delay over all connections."""
+    values = list(net_delays(routing, model).values())
+    if not values:
+        return (0.0, 0.0, 0.0)
+    return (sum(values) / len(values), max(values), sum(values))

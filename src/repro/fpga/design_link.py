@@ -1,0 +1,140 @@
+"""Design closure: size and segment a chip's channels from its own traffic.
+
+The missing link between the FPGA flow and the design tools: given a
+netlist and an array shape, (1) place once, (2) extract the per-channel
+horizontal demand, (3) design each channel's segmentation from the
+*measured* interval lengths (`design_for_lengths`) with tracks sized by
+binary search to the channel's own demand, then (4) route the chip on
+the tailored architecture.  The result is an architecture tuned to the
+workload family the netlist represents — the workflow a channeled-FPGA
+vendor would run over a suite of customer designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import density
+from repro.core.errors import ReproError
+from repro.design.segmentation import design_for_lengths
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.detail_route import ChipRouting, route_chip
+from repro.fpga.global_route import global_route
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import improve_placement, place_greedy
+
+__all__ = ["DesignClosure", "design_chip"]
+
+
+@dataclass(frozen=True)
+class DesignClosure:
+    """Outcome of the closure loop."""
+
+    architecture: FPGAArchitecture
+    routing: ChipRouting
+    tracks_per_channel: tuple[int, ...]
+    demand_density: tuple[int, ...]
+
+    @property
+    def total_tracks(self) -> int:
+        return sum(self.tracks_per_channel)
+
+    def summary(self) -> str:
+        lines = [
+            f"design closure: {self.total_tracks} tracks over "
+            f"{len(self.tracks_per_channel)} channels — "
+            f"{'ROUTED' if self.routing.ok else 'FAILED'}"
+        ]
+        for c, (t, d) in enumerate(
+            zip(self.tracks_per_channel, self.demand_density)
+        ):
+            lines.append(f"  channel {c}: density {d}, tracks {t}")
+        return "\n".join(lines)
+
+
+def design_chip(
+    netlist: Netlist,
+    n_rows: int,
+    cells_per_row: int,
+    n_inputs: int,
+    max_segments: Optional[int] = 2,
+    slack_tracks: int = 2,
+    max_extra: int = 8,
+    seed: int = 0,
+) -> DesignClosure:
+    """Run the closure loop; see the module docstring.
+
+    ``slack_tracks`` is the initial margin over each channel's demand
+    density; channels that still fail get up to ``max_extra`` more tracks
+    before the loop gives up (reported in the returned routing).
+    """
+    if netlist.n_cells > n_rows * cells_per_row:
+        raise ReproError("netlist does not fit the requested array")
+
+    # Step 1-2: place against a throwaway architecture (channel shape is
+    # irrelevant to placement and global routing) and measure demand.
+    n_columns = cells_per_row * (n_inputs + 1)
+    probe = FPGAArchitecture(
+        n_rows, cells_per_row, n_inputs,
+        channel_factory=lambda n: SegmentedChannel([Track(n)], name="probe"),
+    )
+    placement = improve_placement(
+        place_greedy(probe, netlist, seed=seed), netlist, seed=seed + 1
+    )
+    demands = global_route(probe, netlist, placement)
+
+    # Step 3: per channel, design from measured lengths & sized tracks.
+    per_channel_tracks: list[int] = []
+    designed: list[SegmentedChannel] = []
+    densities: list[int] = []
+    for demand in demands:
+        conns = demand.connection_set()
+        d = density(conns)
+        densities.append(d)
+        if len(conns) == 0:
+            per_channel_tracks.append(1)
+            designed.append(SegmentedChannel([Track(n_columns)]))
+            continue
+        lengths = [c.length for c in conns]
+        tracks = max(1, d + slack_tracks)
+        channel = None
+        from repro.core.api import route as core_route
+        from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+
+        for extra in range(max_extra + 1):
+            candidate = design_for_lengths(
+                tracks + extra, n_columns, lengths, n_types=3
+            )
+            try:
+                core_route(candidate, conns, max_segments=max_segments)
+                channel = candidate
+                tracks = tracks + extra
+                break
+            except (RoutingInfeasibleError, HeuristicFailure):
+                continue
+        if channel is None:
+            channel = design_for_lengths(
+                tracks + max_extra, n_columns, lengths, n_types=3
+            )
+            tracks = tracks + max_extra
+        per_channel_tracks.append(tracks)
+        designed.append(channel)
+
+    # Step 4: build the tailored architecture and route for real.
+    designs = iter(designed)
+
+    def factory(n: int) -> SegmentedChannel:
+        return next(designs)
+
+    arch = FPGAArchitecture(
+        n_rows, cells_per_row, n_inputs, channel_factory=factory
+    )
+    routing = route_chip(arch, netlist, placement, max_segments=max_segments)
+    return DesignClosure(
+        architecture=arch,
+        routing=routing,
+        tracks_per_channel=tuple(per_channel_tracks),
+        demand_density=tuple(densities),
+    )

@@ -1,0 +1,126 @@
+"""Detailed routing: run the paper's algorithms inside every channel.
+
+:func:`route_chip` takes an architecture, netlist and placement, performs
+global routing, then routes each channel's demand with the core library
+(defaulting to ``route(..., algorithm="auto")``).  The result records the
+per-channel routings, which channels failed (if any), and aggregate
+statistics used by the flow example and the FPGA benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.api import route
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.core.routing import Routing
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.global_route import ChannelDemand, global_route
+from repro.fpga.netlist import Netlist
+from repro.fpga.placement import Placement
+
+__all__ = ["ChannelResult", "ChipRouting", "route_chip"]
+
+
+@dataclass(frozen=True)
+class ChannelResult:
+    """Outcome of one channel: either a routing or a failure reason."""
+
+    channel_index: int
+    demand: ChannelDemand
+    routing: Optional[Routing]
+    failure: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.routing is not None
+
+    @property
+    def density(self) -> int:
+        return density(self.demand.connection_set())
+
+
+@dataclass(frozen=True)
+class ChipRouting:
+    """Whole-chip detailed routing result."""
+
+    architecture: FPGAArchitecture
+    netlist: Netlist
+    placement: Placement
+    channels: tuple[ChannelResult, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(c.ok for c in self.channels)
+
+    @property
+    def failed_channels(self) -> list[int]:
+        return [c.channel_index for c in self.channels if not c.ok]
+
+    @property
+    def n_connections(self) -> int:
+        return sum(c.demand.n_connections for c in self.channels)
+
+    def max_segments_used(self) -> int:
+        return max(
+            (c.routing.max_segments_used() for c in self.channels if c.routing),
+            default=0,
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"chip routing: {self.n_connections} connections over "
+            f"{len(self.channels)} channels — "
+            f"{'COMPLETE' if self.ok else 'FAILED in ' + str(self.failed_channels)}"
+        ]
+        for c in self.channels:
+            status = "ok" if c.ok else f"FAILED ({c.failure})"
+            kmax = c.routing.max_segments_used() if c.routing else "-"
+            lines.append(
+                f"  channel {c.channel_index}: {c.demand.n_connections:>3} "
+                f"connections, density {c.density:>2}, max segs {kmax}: {status}"
+            )
+        return "\n".join(lines)
+
+
+def route_chip(
+    architecture: FPGAArchitecture,
+    netlist: Netlist,
+    placement: Placement,
+    max_segments: Optional[int] = None,
+    algorithm: str = "auto",
+) -> ChipRouting:
+    """Global + detailed routing of a placed netlist.
+
+    Channels that cannot be routed are reported in the result rather than
+    raised, so a caller can inspect partial outcomes (e.g. to decide to
+    add tracks and retry — which is what the design-evaluation loop in
+    :mod:`repro.design.evaluate` does).
+    """
+    demands = global_route(architecture, netlist, placement)
+    results: list[ChannelResult] = []
+    for demand in demands:
+        conns = demand.connection_set()
+        channel = architecture.channels[demand.channel_index]
+        if len(conns) == 0:
+            results.append(
+                ChannelResult(demand.channel_index, demand, _empty_routing(channel))
+            )
+            continue
+        try:
+            routing = route(
+                channel, conns, max_segments=max_segments, algorithm=algorithm
+            )
+            results.append(ChannelResult(demand.channel_index, demand, routing))
+        except (RoutingInfeasibleError, HeuristicFailure) as exc:
+            results.append(
+                ChannelResult(demand.channel_index, demand, None, failure=str(exc))
+            )
+    return ChipRouting(architecture, netlist, placement, tuple(results))
+
+
+def _empty_routing(channel: SegmentedChannel) -> Routing:
+    return Routing(channel, ConnectionSet([]), ())

@@ -1,0 +1,105 @@
+"""Global routing: nets -> per-channel horizontal connections.
+
+Each net is realized as in Fig. 1: the driver's vertical output segment
+crosses one or more channels; each sink's vertical input segment crosses
+the two channels adjacent to its row.  For every sink we pick a channel
+crossed by *both* verticals (preferring the less congested one) and add a
+horizontal connection there spanning from the driver column to the sink
+column.  Per channel, a net's sink intervals are merged (they belong to
+one electrical net, so they may share horizontal wire).
+
+The output is a :class:`ChannelDemand` per channel — exactly the input
+shape of the paper's segmented channel routing problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import ReproError
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.netlist import Net, Netlist
+from repro.fpga.placement import Placement
+from repro.substrate.intervals import merge_intervals
+
+__all__ = ["ChannelDemand", "global_route"]
+
+
+@dataclass
+class ChannelDemand:
+    """The horizontal connections one channel must realize.
+
+    ``intervals`` maps net name -> merged column intervals in this
+    channel (usually one per net).  :meth:`connection_set` flattens them
+    into the router's input, naming pieces ``<net>`` or ``<net>@k``.
+    """
+
+    channel_index: int
+    intervals: dict[str, list[tuple[int, int]]] = field(default_factory=dict)
+
+    def add(self, net: str, left: int, right: int) -> None:
+        if left > right:
+            left, right = right, left
+        self.intervals.setdefault(net, []).append((left, right))
+
+    def merge(self) -> None:
+        """Merge overlapping intervals of each net (same electrical net)."""
+        for net, spans in self.intervals.items():
+            self.intervals[net] = merge_intervals(spans)
+
+    @property
+    def n_connections(self) -> int:
+        return sum(len(v) for v in self.intervals.values())
+
+    def connection_set(self) -> ConnectionSet:
+        conns = []
+        for net, spans in sorted(self.intervals.items()):
+            for k, (left, right) in enumerate(spans):
+                name = net if len(spans) == 1 else f"{net}@{k + 1}"
+                conns.append(Connection(left, right, name))
+        return ConnectionSet(conns)
+
+
+def global_route(
+    architecture: FPGAArchitecture,
+    netlist: Netlist,
+    placement: Placement,
+) -> list[ChannelDemand]:
+    """Decompose every net into per-channel horizontal connections.
+
+    Channel choice per sink: among channels crossed by both the driver's
+    output vertical and the sink's input vertical, pick the one currently
+    carrying the least total demanded wire length (a standard congestion-
+    driven global routing rule).  Raises if a sink shares no channel with
+    the driver — the architecture's ``output_span`` is too small for this
+    placement (the caller can re-place or widen the span).
+    """
+    demands = [ChannelDemand(c) for c in range(architecture.n_channels)]
+    load = [0] * architecture.n_channels  # total columns demanded so far
+
+    for net in netlist.nets:
+        drv_row = placement.row_of(net.driver.cell)
+        drv_col = placement.pin_column(net.driver.cell, "out")
+        drv_channels = set(architecture.output_channels(drv_row))
+        for sink in net.sinks:
+            sink_row = placement.row_of(sink.cell)
+            sink_col = placement.pin_column(sink.cell, "in", sink.index)
+            options = [
+                c
+                for c in architecture.input_channels(sink_row)
+                if c in drv_channels
+            ]
+            if not options:
+                raise ReproError(
+                    f"net {net.name}: sink {sink.cell} (row {sink_row}) shares "
+                    f"no channel with driver {net.driver.cell} (row {drv_row}); "
+                    f"increase output_span or improve the placement"
+                )
+            span_len = abs(sink_col - drv_col) + 1
+            chosen = min(options, key=lambda c: (load[c], c))
+            demands[chosen].add(net.name, drv_col, sink_col)
+            load[chosen] += span_len
+    for d in demands:
+        d.merge()
+    return demands

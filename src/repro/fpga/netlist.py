@@ -1,0 +1,194 @@
+"""Netlists for the channeled FPGA: cells, nets, and a random generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.errors import ReproError
+from repro.fpga.architecture import PinRef
+from repro.substrate.prng import SeedLike, rng_from
+
+__all__ = ["Cell", "Net", "Netlist", "random_netlist"]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A logic cell: a name and its input count (single output assumed)."""
+
+    name: str
+    n_inputs: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ReproError("cell needs a nonempty name")
+        if self.n_inputs < 1:
+            raise ReproError(f"cell {self.name}: n_inputs must be >= 1")
+
+
+@dataclass(frozen=True)
+class Net:
+    """A net: one driver pin and one or more sink pins."""
+
+    name: str
+    driver: PinRef
+    sinks: tuple[PinRef, ...]
+
+    def __post_init__(self) -> None:
+        if self.driver.kind != "out":
+            raise ReproError(f"net {self.name}: driver must be an output pin")
+        if not self.sinks:
+            raise ReproError(f"net {self.name}: needs at least one sink")
+        for s in self.sinks:
+            if s.kind != "in":
+                raise ReproError(f"net {self.name}: sink {s} is not an input pin")
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def pins(self) -> tuple[PinRef, ...]:
+        return (self.driver,) + self.sinks
+
+
+class Netlist:
+    """A validated collection of cells and nets.
+
+    Validation: unique cell names, pins reference existing cells and
+    in-range input indices, each input pin is driven by at most one net,
+    and no net drives one of its own driver's inputs twice.
+    """
+
+    def __init__(self, cells: Iterable[Cell], nets: Iterable[Net]) -> None:
+        self.cells: dict[str, Cell] = {}
+        for cell in cells:
+            if cell.name in self.cells:
+                raise ReproError(f"duplicate cell name {cell.name!r}")
+            self.cells[cell.name] = cell
+        self.nets: tuple[Net, ...] = tuple(nets)
+        seen_inputs: set[tuple[str, int]] = set()
+        seen_net_names: set[str] = set()
+        for net in self.nets:
+            if net.name in seen_net_names:
+                raise ReproError(f"duplicate net name {net.name!r}")
+            seen_net_names.add(net.name)
+            for pin in net.pins():
+                cell = self.cells.get(pin.cell)
+                if cell is None:
+                    raise ReproError(f"net {net.name}: unknown cell {pin.cell!r}")
+                if pin.kind == "in" and not 0 <= pin.index < cell.n_inputs:
+                    raise ReproError(
+                        f"net {net.name}: input index {pin.index} outside "
+                        f"cell {cell.name} with {cell.n_inputs} inputs"
+                    )
+            for s in net.sinks:
+                key = (s.cell, s.index)
+                if key in seen_inputs:
+                    raise ReproError(
+                        f"input pin {key} driven by more than one net"
+                    )
+                seen_inputs.add(key)
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_nets(self) -> int:
+        return len(self.nets)
+
+    def cell_names(self) -> list[str]:
+        return list(self.cells)
+
+    def nets_of_cell(self, name: str) -> list[Net]:
+        """All nets touching cell ``name`` (as driver or sink)."""
+        return [
+            net
+            for net in self.nets
+            if net.driver.cell == name or any(s.cell == name for s in net.sinks)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Netlist(cells={self.n_cells}, nets={self.n_nets})"
+
+
+def random_netlist(
+    n_cells: int,
+    n_inputs: int,
+    seed: SeedLike = None,
+    mean_fanout: float = 2.0,
+    input_fill: float = 0.7,
+    locality: float = 0.7,
+) -> Netlist:
+    """Random combinational netlist with tunable fanout and locality.
+
+    Cells are generated in a linear order and nets are strictly
+    feed-forward (a net from cell ``i`` only sinks into cells ``j > i``),
+    so the netlist is always a DAG — combinational, as the timing
+    analyzer requires.  A net prefers sinks near its driver (with
+    probability ``locality``, drawn from a window of ``~n_cells / 4``
+    following cells), mimicking the locality a placement would create.
+    ``input_fill`` is the target fraction of input pins connected; the
+    feed-forward restriction may leave it slightly under-achieved.
+    """
+    if n_cells < 2:
+        raise ReproError("need at least two cells")
+    rng = rng_from(seed)
+    cells = [Cell(f"g{i + 1}", n_inputs) for i in range(n_cells)]
+    free_inputs = [
+        (cell.name, idx) for cell in cells for idx in range(n_inputs)
+    ]
+    rng.shuffle(free_inputs)
+    target_connected = int(input_fill * len(free_inputs))
+    # index free inputs by cell position for locality-biased draws
+    pos = {cell.name: i for i, cell in enumerate(cells)}
+    window = max(2, n_cells // 4)
+
+    nets: list[Net] = []
+    connected = 0
+    drivers = list(range(n_cells))
+    rng.shuffle(drivers)
+    di = 0
+    # Each cell output drives at most one net, so each driver is used once.
+    while connected < target_connected and free_inputs and di < n_cells:
+        driver_i = drivers[di]
+        di += 1
+        driver = cells[driver_i]
+        fanout = 1
+        while fanout < 8 and rng.random() > 1.0 / mean_fanout:
+            fanout += 1
+        # Feed-forward only: sinks strictly after the driver in cell order.
+        forward = [
+            k for k, (cn, _) in enumerate(free_inputs) if pos[cn] > driver_i
+        ]
+        if not forward:
+            continue
+        sinks: list[PinRef] = []
+        for _ in range(fanout):
+            forward = [
+                k for k, (cn, _) in enumerate(free_inputs) if pos[cn] > driver_i
+            ]
+            if not forward:
+                break
+            if rng.random() < locality:
+                local = [
+                    k
+                    for k in forward
+                    if pos[free_inputs[k][0]] - driver_i <= window
+                ]
+                k = rng.choice(local) if local else rng.choice(forward)
+            else:
+                k = rng.choice(forward)
+            cn, idx = free_inputs.pop(k)
+            sinks.append(PinRef(cn, "in", idx))
+        if not sinks:
+            continue
+        nets.append(
+            Net(
+                f"n{len(nets) + 1}",
+                PinRef(driver.name, "out"),
+                tuple(sinks),
+            )
+        )
+        connected += len(sinks)
+    return Netlist(cells, nets)

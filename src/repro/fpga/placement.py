@@ -1,0 +1,144 @@
+"""Placement: assign netlist cells to FPGA sites.
+
+A simple but real placer: a connectivity-driven greedy constructive pass
+(place each cell at the free site minimizing the half-perimeter estimate
+of its already-placed nets) followed by pairwise-swap improvement.  It is
+deterministic given the seed, and good enough to produce channel routing
+instances with realistic density profiles — the placer's quality is not
+under test, the router is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import ReproError
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.netlist import Net, Netlist
+from repro.substrate.prng import SeedLike, rng_from
+
+__all__ = ["Placement", "place_greedy", "improve_placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Cell name -> (row, slot)."""
+
+    architecture: FPGAArchitecture
+    sites: dict[str, tuple[int, int]]
+
+    def row_of(self, cell: str) -> int:
+        return self.sites[cell][0]
+
+    def slot_of(self, cell: str) -> int:
+        return self.sites[cell][1]
+
+    def pin_column(self, cell: str, kind: str, index: int = 0) -> int:
+        """Column of a pin of a placed cell (inputs at offsets
+        ``0..n_inputs-1``, output at offset ``n_inputs``)."""
+        arch = self.architecture
+        row, slot = self.sites[cell]
+        offset = arch.n_inputs if kind == "out" else index
+        return arch.site_column(slot, offset)
+
+    def half_perimeter(self, net: Net) -> int:
+        """Half-perimeter wirelength estimate of a net (columns + rows)."""
+        cols = []
+        rows = []
+        for pin in net.pins():
+            row, _ = self.sites[pin.cell]
+            cols.append(self.pin_column(pin.cell, pin.kind, pin.index))
+            rows.append(row)
+        return (max(cols) - min(cols)) + (max(rows) - min(rows))
+
+    def total_half_perimeter(self, netlist: Netlist) -> int:
+        return sum(self.half_perimeter(net) for net in netlist.nets)
+
+
+def place_greedy(
+    architecture: FPGAArchitecture,
+    netlist: Netlist,
+    seed: SeedLike = None,
+) -> Placement:
+    """Constructive placement: highest-connectivity cells first, each to
+    the free site minimizing the incremental half-perimeter."""
+    if netlist.n_cells > architecture.n_sites:
+        raise ReproError(
+            f"{netlist.n_cells} cells exceed {architecture.n_sites} sites"
+        )
+    rng = rng_from(seed)
+    # Order: by number of incident nets, heaviest first; random tie-break.
+    incident: dict[str, int] = {name: 0 for name in netlist.cells}
+    for net in netlist.nets:
+        for pin in net.pins():
+            incident[pin.cell] += 1
+    order = sorted(
+        netlist.cells, key=lambda n: (-incident[n], rng.random())
+    )
+    free = [
+        (r, s)
+        for r in range(architecture.n_rows)
+        for s in range(architecture.cells_per_row)
+    ]
+    sites: dict[str, tuple[int, int]] = {}
+    placement = Placement(architecture, sites)
+
+    for name in order:
+        nets = netlist.nets_of_cell(name)
+        best_site = None
+        best_cost = None
+        for site in free:
+            sites[name] = site
+            cost = 0
+            for net in nets:
+                placed = [p for p in net.pins() if p.cell in sites]
+                if len(placed) < 2:
+                    continue
+                cols = [
+                    placement.pin_column(p.cell, p.kind, p.index) for p in placed
+                ]
+                rows = [sites[p.cell][0] for p in placed]
+                cost += (max(cols) - min(cols)) + (max(rows) - min(rows))
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_site = site
+        del sites[name]
+        assert best_site is not None
+        sites[name] = best_site
+        free.remove(best_site)
+    return Placement(architecture, dict(sites))
+
+
+def improve_placement(
+    placement: Placement,
+    netlist: Netlist,
+    seed: SeedLike = None,
+    n_passes: int = 2,
+) -> Placement:
+    """Pairwise-swap improvement: accept swaps that reduce the total
+    half-perimeter; a few passes over random cell pairs."""
+    rng = rng_from(seed)
+    sites = dict(placement.sites)
+    current = Placement(placement.architecture, sites)
+    names = list(sites)
+    if len(names) < 2:
+        return current
+    affected: dict[str, list[Net]] = {
+        name: netlist.nets_of_cell(name) for name in names
+    }
+
+    def local_cost(cells: set[str]) -> int:
+        nets = {net.name: net for c in cells for net in affected[c]}
+        return sum(current.half_perimeter(net) for net in nets.values())
+
+    for _ in range(n_passes):
+        pairs = [(a, b) for i, a in enumerate(names) for b in names[i + 1 :]]
+        rng.shuffle(pairs)
+        for a, b in pairs:
+            before = local_cost({a, b})
+            sites[a], sites[b] = sites[b], sites[a]
+            after = local_cost({a, b})
+            if after >= before:
+                sites[a], sites[b] = sites[b], sites[a]
+    return Placement(placement.architecture, dict(sites))

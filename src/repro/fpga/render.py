@@ -1,0 +1,50 @@
+"""Whole-chip ASCII rendering: cell rows interleaved with routed channels.
+
+Extends :mod:`repro.viz.render` to the Fig. 1 picture — rows of logic
+cells with their placed cell names, separated by the routed segmented
+channels.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.detail_route import ChipRouting
+from repro.viz.render import render_routing
+
+__all__ = ["render_chip"]
+
+
+def _render_cell_row(chip: ChipRouting, row: int) -> str:
+    """One row of cells as fixed-width boxes aligned to their columns."""
+    arch = chip.architecture
+    slots = [""] * arch.cells_per_row
+    for name, (r, s) in chip.placement.sites.items():
+        if r == row:
+            slots[s] = name
+    cell_w = arch.cell_width * 3  # 3 chars per column in channel renders
+    boxes = []
+    for s, name in enumerate(slots):
+        label = (name or "·")[: cell_w - 2]
+        boxes.append("[" + label.center(cell_w - 2) + "]")
+    return "row" + str(row) + " " + "".join(boxes)
+
+
+def render_chip(chip: ChipRouting) -> str:
+    """Draw the whole chip: channel 0, row 0, channel 1, row 1, ...
+
+    Channels with no routed connections are drawn as their bare track
+    count to keep the figure compact.
+    """
+    lines: list[str] = []
+    arch = chip.architecture
+    for c in range(arch.n_channels):
+        result = chip.channels[c]
+        lines.append(f"--- channel {c} ---")
+        if result.routing is not None and len(result.routing.connections):
+            lines.append(render_routing(result.routing))
+        elif result.routing is not None:
+            lines.append(f"(empty; {arch.channels[c].n_tracks} tracks)")
+        else:
+            lines.append(f"(UNROUTED: {result.failure})")
+        if c < arch.n_rows:
+            lines.append(_render_cell_row(chip, c))
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Static timing analysis over a routed chip.
+
+Combines the logic-cell delay model with the per-connection Elmore
+routing delays of :mod:`repro.fpga.delay` into a whole-chip longest-path
+analysis: arrival times are propagated through the netlist in topological
+order (combinational loops are rejected), and the critical path is
+reported cell by cell with its routing contributions.
+
+This is the natural consumer of the routing results — the reason the
+paper cares about K-segment limits at all is that every extra programmed
+switch on a net adds delay to paths like these.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+from repro.core.errors import ReproError
+from repro.fpga.delay import DelayModel, connection_delay
+from repro.fpga.detail_route import ChipRouting
+
+__all__ = ["TimingReport", "analyze_timing"]
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Result of static timing analysis.
+
+    ``arrival``: cell output arrival times; ``critical_path``: cell names
+    from a primary input to the latest output; ``critical_delay``: its
+    total delay.
+    """
+
+    arrival: dict[str, float]
+    critical_path: tuple[str, ...]
+    critical_delay: float
+
+    def summary(self) -> str:
+        path = " -> ".join(self.critical_path)
+        return (
+            f"critical path delay {self.critical_delay:.2f} through "
+            f"{len(self.critical_path)} cells: {path}"
+        )
+
+
+def _net_sink_delays(
+    chip: ChipRouting, model: DelayModel
+) -> dict[str, dict[str, float]]:
+    """For every net, the routing delay to each sink cell.
+
+    A net may be decomposed across channels; each sink's delay is the
+    delay of the channel connection that carries it (named ``<net>`` or
+    ``<net>@k``).  Sinks on a connection share its Elmore delay — the
+    single-trunk approximation.
+    """
+    placement = chip.placement
+    out: dict[str, dict[str, float]] = defaultdict(dict)
+    for net in chip.netlist.nets:
+        for sink in net.sinks:
+            sink_col = placement.pin_column(sink.cell, "in", sink.index)
+            sink_rows = set(
+                chip.architecture.input_channels(placement.row_of(sink.cell))
+            )
+            delay = None
+            for result in chip.channels:
+                if result.channel_index not in sink_rows or result.routing is None:
+                    continue
+                routing = result.routing
+                for i, c in enumerate(routing.connections):
+                    name = c.name or ""
+                    if name != net.name and not name.startswith(net.name + "@"):
+                        continue
+                    if c.left <= sink_col <= c.right:
+                        d = connection_delay(routing, i, model)
+                        delay = d if delay is None else min(delay, d)
+            if delay is None:
+                raise ReproError(
+                    f"net {net.name}: no routed connection covers sink "
+                    f"{sink.cell} (chip routing incomplete?)"
+                )
+            out[net.name][sink.cell] = delay
+    return out
+
+
+def analyze_timing(
+    chip: ChipRouting,
+    model: DelayModel,
+    cell_delay: float = 1.0,
+) -> TimingReport:
+    """Longest-path analysis of a completely routed chip.
+
+    Parameters
+    ----------
+    cell_delay:
+        Intrinsic delay of every logic cell (input to output).
+
+    Raises
+    ------
+    ReproError
+        If the chip routing is incomplete or the netlist has a
+        combinational cycle.
+    """
+    if not chip.ok:
+        raise ReproError(
+            f"chip routing incomplete (channels {chip.failed_channels}); "
+            f"route before timing"
+        )
+    sink_delays = _net_sink_delays(chip, model)
+
+    # Build the cell graph: driver cell -> sink cell with edge delay =
+    # routing delay of that sink.
+    edges: dict[str, list[tuple[str, float]]] = defaultdict(list)
+    indegree: dict[str, int] = {name: 0 for name in chip.netlist.cells}
+    for net in chip.netlist.nets:
+        src = net.driver.cell
+        for sink in net.sinks:
+            edges[src].append((sink.cell, sink_delays[net.name][sink.cell]))
+            indegree[sink.cell] += 1
+
+    # Kahn topological order.
+    queue = deque(name for name, deg in indegree.items() if deg == 0)
+    arrival: dict[str, float] = {name: cell_delay for name in queue}
+    parent: dict[str, str] = {}
+    seen = 0
+    order = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        seen += 1
+        for v, d in edges[u]:
+            cand = arrival[u] + d + cell_delay
+            if cand > arrival.get(v, float("-inf")):
+                arrival[v] = cand
+                parent[v] = u
+            indegree[v] -= 1
+            if indegree[v] == 0:
+                queue.append(v)
+    if seen != len(indegree):
+        raise ReproError("netlist contains a combinational cycle")
+
+    end = max(arrival, key=arrival.get)
+    path = [end]
+    while path[-1] in parent:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return TimingReport(
+        arrival=dict(arrival),
+        critical_path=tuple(path),
+        critical_delay=arrival[end],
+    )

@@ -1,0 +1,33 @@
+"""Workload generators: the paper's printed examples and random instances."""
+
+from repro.generators.paper_examples import (
+    example1_nmts,
+    fig2_connections,
+    fig3_channel,
+    fig3_connections,
+    fig4_channel,
+    fig4_connections,
+    fig8_channel,
+    fig8_connections,
+)
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+    random_nonoverlapping_instance,
+    random_uniform_instance,
+)
+
+__all__ = [
+    "example1_nmts",
+    "fig2_connections",
+    "fig3_channel",
+    "fig3_connections",
+    "fig4_channel",
+    "fig4_connections",
+    "fig8_channel",
+    "fig8_connections",
+    "random_channel",
+    "random_feasible_instance",
+    "random_nonoverlapping_instance",
+    "random_uniform_instance",
+]

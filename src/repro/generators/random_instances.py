@@ -1,0 +1,193 @@
+"""Random instance generators.
+
+Two families, matching how the Section IV-C simulations must have been
+run (the paper does not fully specify its distribution, so both are
+provided and reported separately in EXPERIMENTS.md):
+
+* **feasible-by-construction** — draw a random *routing* first (walk each
+  track left to right, carving segment-aligned spans), then present its
+  connections as the instance.  Guaranteed routable, so heuristic success
+  rates measure the heuristic, not the workload.
+* **unconditioned uniform** — independent random spans; may or may not be
+  routable.
+
+Plus a random *channel* generator with geometric segment lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import ReproError
+from repro.substrate.prng import SeedLike, rng_from
+
+__all__ = [
+    "random_channel",
+    "random_feasible_instance",
+    "random_nonoverlapping_instance",
+    "random_uniform_instance",
+]
+
+
+def random_channel(
+    n_tracks: int,
+    n_columns: int,
+    mean_segment_length: float,
+    seed: SeedLike = None,
+) -> SegmentedChannel:
+    """Random channel: per track, i.i.d. geometric segment lengths.
+
+    Each track is cut by a switch after each column independently with
+    probability ``1 / mean_segment_length``, giving geometric lengths with
+    the requested mean.
+    """
+    if mean_segment_length < 1:
+        raise ReproError("mean_segment_length must be >= 1")
+    rng = rng_from(seed)
+    p = 1.0 / mean_segment_length
+    tracks = []
+    for _ in range(n_tracks):
+        breaks = tuple(
+            b for b in range(1, n_columns) if rng.random() < p
+        )
+        tracks.append(Track(n_columns, breaks))
+    return SegmentedChannel(tracks, name="random")
+
+
+def random_feasible_instance(
+    channel: SegmentedChannel,
+    n_connections: int,
+    seed: SeedLike = None,
+    max_segments: Optional[int] = None,
+    mean_length: float = 4.0,
+    max_attempts: int = 200,
+) -> ConnectionSet:
+    """Generate ``n_connections`` connections that are routable in
+    ``channel`` by construction (a witness routing is drawn first).
+
+    Each track is walked left to right: skip a geometric gap, then carve a
+    connection with geometric length, snapped to satisfy the K-segment
+    limit if one is given.  Tracks are revisited round-robin in random
+    order until the target count is reached.
+
+    Raises
+    ------
+    ReproError
+        If the channel cannot host that many connections even after
+        ``max_attempts`` re-draws (the channel is too small).
+    """
+    rng = rng_from(seed)
+    if mean_length < 1:
+        raise ReproError("mean_length must be >= 1")
+    for _ in range(max_attempts):
+        conns = _draw_feasible(channel, n_connections, rng, max_segments, mean_length)
+        if conns is not None:
+            return ConnectionSet.from_spans(conns)
+    raise ReproError(
+        f"could not place {n_connections} connections in {channel!r} "
+        f"after {max_attempts} attempts"
+    )
+
+
+def _draw_feasible(
+    channel: SegmentedChannel,
+    n_connections: int,
+    rng,
+    max_segments: Optional[int],
+    mean_length: float,
+) -> Optional[list[tuple[int, int]]]:
+    N = channel.n_columns
+    p_len = 1.0 / mean_length
+    cursor = [1] * channel.n_tracks  # next free column per track
+    spans: list[tuple[int, int]] = []
+    stalled = 0
+    while len(spans) < n_connections and stalled < 4 * channel.n_tracks:
+        t = rng.randrange(channel.n_tracks)
+        track = channel.track(t)
+        start = cursor[t]
+        if start > N:
+            stalled += 1
+            continue
+        # Geometric gap before the connection (>= 0 columns).
+        gap = 0
+        while start + gap <= N and rng.random() < 0.5 and gap < 3:
+            gap += 1
+        left = start + gap
+        if left > N:
+            stalled += 1
+            continue
+        # Geometric length.
+        right = left
+        while right < N and rng.random() > p_len:
+            right += 1
+        if max_segments is not None:
+            # Shrink until the span fits the K-segment budget on this track.
+            while (
+                right > left
+                and track.segments_occupied(left, right) > max_segments
+            ):
+                right -= 1
+            if track.segments_occupied(left, right) > max_segments:
+                stalled += 1
+                continue
+        spans.append((left, right))
+        cursor[t] = track.segment_end_at(right) + 1
+        stalled = 0
+    if len(spans) < n_connections:
+        return None
+    return spans
+
+
+def random_uniform_instance(
+    n_connections: int,
+    n_columns: int,
+    seed: SeedLike = None,
+    mean_length: float = 4.0,
+) -> ConnectionSet:
+    """Unconditioned instance: i.i.d. uniform left ends, geometric lengths.
+
+    May be unroutable in any given channel; used for the generator-bias
+    ablation of the LP60 experiment.
+    """
+    rng = rng_from(seed)
+    p_len = 1.0 / max(mean_length, 1.0)
+    spans = []
+    for _ in range(n_connections):
+        left = rng.randint(1, n_columns)
+        right = left
+        while right < n_columns and rng.random() > p_len:
+            right += 1
+        spans.append((left, right))
+    return ConnectionSet.from_spans(spans)
+
+
+def random_nonoverlapping_instance(
+    n_connections: int,
+    n_columns: int,
+    seed: SeedLike = None,
+    mean_length: float = 3.0,
+    mean_gap: float = 2.0,
+) -> ConnectionSet:
+    """Pairwise non-overlapping connections (Section VI open problem 3).
+
+    Lays connections left to right with geometric lengths and gaps; the
+    result fits the requested column budget by truncation, so fewer than
+    ``n_connections`` may be returned on narrow channels.
+    """
+    rng = rng_from(seed)
+    p_len = 1.0 / max(mean_length, 1.0)
+    p_gap = 1.0 / max(mean_gap, 1.0)
+    spans = []
+    col = 1
+    while len(spans) < n_connections and col <= n_columns:
+        left = col
+        right = left
+        while right < n_columns and rng.random() > p_len:
+            right += 1
+        spans.append((left, right))
+        col = right + 2  # at least one empty column between connections
+        while col <= n_columns and rng.random() > p_gap:
+            col += 1
+    return ConnectionSet.from_spans(spans)

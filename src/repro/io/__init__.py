@@ -1,0 +1,38 @@
+"""Interchange formats: the `.sch` text format and result reports."""
+
+from repro.io.netlist_format import (
+    dump_netlist,
+    dumps_netlist,
+    load_netlist,
+    loads_netlist,
+)
+from repro.io.registry import instance_names, load_named_instance
+from repro.io.results import (
+    routing_from_json,
+    routing_report,
+    routing_to_csv,
+    routing_to_json,
+)
+from repro.io.text_format import (
+    dump_instance,
+    dumps_instance,
+    load_instance,
+    loads_instance,
+)
+
+__all__ = [
+    "dump_instance",
+    "dumps_instance",
+    "load_instance",
+    "loads_instance",
+    "dump_netlist",
+    "dumps_netlist",
+    "load_netlist",
+    "loads_netlist",
+    "instance_names",
+    "load_named_instance",
+    "routing_from_json",
+    "routing_report",
+    "routing_to_csv",
+    "routing_to_json",
+]

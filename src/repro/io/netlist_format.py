@@ -1,0 +1,117 @@
+"""The ``.net`` text format for FPGA netlists.
+
+A minimal structural netlist description so FPGA-flow inputs can be
+archived and shared, mirroring the ``.sch`` channel format::
+
+    # half adder-ish
+    cell g1 3
+    cell g2 3
+    cell g3 3
+    net n1 g1.out g2.in0 g3.in1
+    net n2 g2.out g3.in0
+    end
+
+Grammar: ``cell <name> <n_inputs>`` lines, then ``net <name> <driver>
+<sink> [<sink> ...]`` lines where pins are ``<cell>.out`` or
+``<cell>.in<k>`` (0-based), then ``end``.  ``#`` comments and blank lines
+are ignored.  All `Netlist` validation (driver uniqueness, pin ranges)
+applies on load.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.core.errors import FormatError, ReproError
+from repro.fpga.architecture import PinRef
+from repro.fpga.netlist import Cell, Net, Netlist
+
+__all__ = ["dumps_netlist", "dump_netlist", "loads_netlist", "load_netlist"]
+
+
+def _pin_str(pin: PinRef) -> str:
+    return f"{pin.cell}.out" if pin.kind == "out" else f"{pin.cell}.in{pin.index}"
+
+
+def dumps_netlist(netlist: Netlist) -> str:
+    """Serialize a netlist to the ``.net`` text format."""
+    out = io.StringIO()
+    out.write("# fpga netlist\n")
+    for cell in netlist.cells.values():
+        out.write(f"cell {cell.name} {cell.n_inputs}\n")
+    for net in netlist.nets:
+        pins = " ".join(_pin_str(p) for p in net.pins())
+        out.write(f"net {net.name} {pins}\n")
+    out.write("end\n")
+    return out.getvalue()
+
+
+def dump_netlist(path: Union[str, Path], netlist: Netlist) -> None:
+    """Write a netlist to ``path`` in the ``.net`` format."""
+    Path(path).write_text(dumps_netlist(netlist))
+
+
+def _parse_pin(token: str, lineno: int) -> PinRef:
+    if "." not in token:
+        raise FormatError(f"line {lineno}: pin must be <cell>.<pin>, got {token!r}")
+    cell, pin = token.rsplit(".", 1)
+    if not cell:
+        raise FormatError(f"line {lineno}: empty cell name in {token!r}")
+    if pin == "out":
+        return PinRef(cell, "out")
+    if pin.startswith("in"):
+        try:
+            return PinRef(cell, "in", int(pin[2:]))
+        except ValueError:
+            pass
+    raise FormatError(
+        f"line {lineno}: pin must be 'out' or 'in<k>', got {pin!r}"
+    )
+
+
+def loads_netlist(text: str) -> Netlist:
+    """Parse the ``.net`` format; inverse of :func:`dumps_netlist`."""
+    cells: list[Cell] = []
+    nets: list[Net] = []
+    saw_end = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise FormatError(f"line {lineno}: content after 'end'")
+        fields = line.split()
+        if fields[0] == "cell":
+            if len(fields) != 3:
+                raise FormatError(f"line {lineno}: 'cell <name> <n_inputs>'")
+            try:
+                cells.append(Cell(fields[1], int(fields[2])))
+            except (ValueError, ReproError) as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+        elif fields[0] == "net":
+            if len(fields) < 4:
+                raise FormatError(
+                    f"line {lineno}: 'net <name> <driver> <sink>...'"
+                )
+            pins = [_parse_pin(tok, lineno) for tok in fields[2:]]
+            try:
+                nets.append(Net(fields[1], pins[0], tuple(pins[1:])))
+            except ReproError as exc:
+                raise FormatError(f"line {lineno}: {exc}") from exc
+        elif fields[0] == "end":
+            saw_end = True
+        else:
+            raise FormatError(f"line {lineno}: unexpected {fields[0]!r}")
+    if not saw_end:
+        raise FormatError("missing 'end' line")
+    try:
+        return Netlist(cells, nets)
+    except ReproError as exc:
+        raise FormatError(str(exc)) from exc
+
+
+def load_netlist(path: Union[str, Path]) -> Netlist:
+    """Read a netlist from a ``.net`` file."""
+    return loads_netlist(Path(path).read_text())

@@ -1,0 +1,98 @@
+"""Named instance registry.
+
+A single place to get every instance this repository talks about:
+the paper's figures, the Example-1 reduction instances, and seeded
+random families — addressable by name from code and from the CLI
+(``segroute route @fig3``).
+
+Names:
+
+* ``fig2``, ``fig3``, ``fig4``, ``fig8`` — the printed examples (with
+  their reconstructed channels);
+* ``example1-q`` / ``example1-q2`` — the Theorem-1 / Theorem-2 reduction
+  instances built from Example 1;
+* ``random-T<j>-M<k>[-s<seed>]`` — seeded random feasible instances, e.g.
+  ``random-T5-M20-s7``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import ReproError
+from repro.core.left_edge import route_left_edge_unconstrained
+from repro.core.npc import build_two_segment_instance, build_unlimited_instance
+from repro.generators.paper_examples import (
+    example1_nmts,
+    fig2_connections,
+    fig3_channel,
+    fig3_connections,
+    fig4_channel,
+    fig4_connections,
+    fig8_channel,
+    fig8_connections,
+)
+from repro.generators.random_instances import random_channel, random_feasible_instance
+
+__all__ = ["instance_names", "load_named_instance"]
+
+_RANDOM = re.compile(r"^random-T(\d+)-M(\d+)(?:-s(\d+))?$")
+
+
+def instance_names() -> list[str]:
+    """The fixed registry names (random instances are parameterized)."""
+    return [
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig8",
+        "example1-q",
+        "example1-q2",
+        "random-T<tracks>-M<connections>[-s<seed>]",
+    ]
+
+
+def load_named_instance(name: str) -> tuple[SegmentedChannel, ConnectionSet]:
+    """Resolve a registry name to ``(channel, connections)``.
+
+    Raises
+    ------
+    ReproError
+        For unknown names (the message lists what exists).
+    """
+    key = name.lower()
+    if key == "fig2":
+        conns = fig2_connections()
+        # Fig. 2 is about channel styles; pair with the clairvoyant
+        # 1-segment design so the instance is self-contained and routable.
+        from repro.design.per_instance import segmentation_for_instance
+
+        return segmentation_for_instance(conns, 16), conns
+    if key == "fig3":
+        return fig3_channel(), fig3_connections()
+    if key == "fig4":
+        return fig4_channel(), fig4_connections()
+    if key == "fig8":
+        return fig8_channel(), fig8_connections()
+    if key == "example1-q":
+        q = build_unlimited_instance(example1_nmts())
+        return q.channel, q.connections
+    if key == "example1-q2":
+        q2 = build_two_segment_instance(example1_nmts())
+        return q2.channel, q2.connections
+    match = _RANDOM.match(name)
+    if match:
+        tracks, m, seed = (
+            int(match.group(1)),
+            int(match.group(2)),
+            int(match.group(3) or 0),
+        )
+        n_columns = max(16, 4 * m)
+        channel = random_channel(tracks, n_columns, 5.0, seed=seed)
+        conns = random_feasible_instance(channel, m, seed=seed + 1)
+        return channel, conns
+    raise ReproError(
+        f"unknown instance {name!r}; known: {', '.join(instance_names())}"
+    )

@@ -1,0 +1,124 @@
+"""Routing result reports and exports (text, CSV, JSON), with a JSON
+loader so routings can be archived and restored bit-for-bit."""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import FormatError
+from repro.core.routing import Routing, WeightFunction
+
+__all__ = [
+    "routing_report",
+    "routing_to_csv",
+    "routing_to_json",
+    "routing_from_json",
+]
+
+
+def routing_report(
+    routing: Routing, weight: Optional[WeightFunction] = None
+) -> str:
+    """Human-readable summary: one line per connection plus totals."""
+    out = io.StringIO()
+    ch = routing.channel
+    out.write(
+        f"routing of {len(routing.connections)} connections in "
+        f"{ch.name} (T={ch.n_tracks}, N={ch.n_columns})\n"
+    )
+    total_w = 0.0
+    for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+        segs = routing.segments_used(i)
+        seg_str = ", ".join(f"({s.left},{s.right})" for s in segs)
+        line = (
+            f"  {c.name or f'c{i + 1}':>6}  [{c.left:>3},{c.right:>3}]"
+            f" -> track {t + 1}  segments {seg_str}"
+        )
+        if weight is not None:
+            w = weight(c, t)
+            total_w += w
+            line += f"  w={w:g}"
+        out.write(line + "\n")
+    out.write(f"  max segments per connection: {routing.max_segments_used()}\n")
+    if weight is not None:
+        out.write(f"  total weight: {total_w:g}\n")
+    return out.getvalue()
+
+
+def routing_to_csv(routing: Routing) -> str:
+    """CSV export: ``name,left,right,track,segments_used``."""
+    out = io.StringIO()
+    out.write("name,left,right,track,segments_used\n")
+    for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+        out.write(
+            f"{c.name or f'c{i + 1}'},{c.left},{c.right},{t + 1},"
+            f"{routing.segments_used_count(i)}\n"
+        )
+    return out.getvalue()
+
+
+def routing_to_json(routing: Routing) -> str:
+    """JSON export with channel shape and per-connection assignments."""
+    ch = routing.channel
+    payload = {
+        "channel": {
+            "name": ch.name,
+            "n_tracks": ch.n_tracks,
+            "n_columns": ch.n_columns,
+            "breaks": [list(t.breaks) for t in ch],
+        },
+        "connections": [
+            {
+                "name": c.name or f"c{i + 1}",
+                "left": c.left,
+                "right": c.right,
+                "track": t + 1,
+                "segments_used": routing.segments_used_count(i),
+            }
+            for i, (c, t) in enumerate(
+                zip(routing.connections, routing.assignment)
+            )
+        ],
+        "max_segments_used": routing.max_segments_used(),
+    }
+    return json.dumps(payload, indent=2)
+
+
+def routing_from_json(text: str) -> Routing:
+    """Inverse of :func:`routing_to_json`: rebuild and validate a routing.
+
+    Raises
+    ------
+    FormatError
+        On malformed payloads; :class:`ValidationError` if the recorded
+        assignment does not actually constitute a valid routing.
+    """
+    try:
+        payload = json.loads(text)
+        n_columns = payload["channel"]["n_columns"]
+        breaks = payload["channel"]["breaks"]
+        name = payload["channel"].get("name", "channel")
+        records = payload["connections"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise FormatError(f"malformed routing JSON: {exc}") from exc
+    channel = SegmentedChannel(
+        [Track(n_columns, tuple(b)) for b in breaks], name=name
+    )
+    conns = []
+    track_of: dict[str, int] = {}
+    for rec in records:
+        try:
+            c = Connection(rec["left"], rec["right"], rec["name"])
+            track_of[rec["name"]] = int(rec["track"]) - 1
+        except (KeyError, TypeError) as exc:
+            raise FormatError(f"malformed connection record: {rec}") from exc
+        conns.append(c)
+    connection_set = ConnectionSet(conns)
+    assignment = tuple(track_of[c.name] for c in connection_set)
+    routing = Routing(channel, connection_set, assignment)
+    routing.validate()
+    return routing

@@ -1,0 +1,148 @@
+"""The ``.sch`` text format for segmented channel routing instances.
+
+A small, human-readable format so instances can be archived, diffed, and
+shared.  Example (the Fig. 3 instance)::
+
+    # segmented channel routing instance
+    channel fig3
+    columns 9
+    track 2 6
+    track 3 6
+    track 5
+    connections
+    c1 1 3
+    c2 2 5
+    c3 4 6
+    c4 6 8
+    c5 7 9
+    end
+
+Grammar: a ``channel <name>`` line, a ``columns <N>`` line, one ``track``
+line per track listing its break positions (``track -`` for an
+unsegmented track), a ``connections`` line, one ``<name> <left> <right>``
+line per connection, and ``end``.  ``#`` starts a comment; blank lines are
+ignored.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.errors import FormatError
+
+__all__ = ["dumps_instance", "dump_instance", "loads_instance", "load_instance"]
+
+
+def dumps_instance(
+    channel: SegmentedChannel, connections: ConnectionSet
+) -> str:
+    """Serialize an instance to the ``.sch`` text format."""
+    out = io.StringIO()
+    out.write("# segmented channel routing instance\n")
+    out.write(f"channel {channel.name}\n")
+    out.write(f"columns {channel.n_columns}\n")
+    for track in channel:
+        if track.breaks:
+            out.write("track " + " ".join(str(b) for b in track.breaks) + "\n")
+        else:
+            out.write("track -\n")
+    out.write("connections\n")
+    for c in connections:
+        out.write(f"{c.name or 'c'} {c.left} {c.right}\n")
+    out.write("end\n")
+    return out.getvalue()
+
+
+def dump_instance(
+    path: Union[str, Path],
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+) -> None:
+    """Write an instance to ``path`` in the ``.sch`` format."""
+    Path(path).write_text(dumps_instance(channel, connections))
+
+
+def loads_instance(text: str) -> tuple[SegmentedChannel, ConnectionSet]:
+    """Parse the ``.sch`` format; inverse of :func:`dumps_instance`."""
+    name = "channel"
+    n_columns = None
+    breaks: list[tuple[int, ...]] = []
+    conns: list[Connection] = []
+    mode = "header"
+    saw_end = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if saw_end:
+            raise FormatError(f"line {lineno}: content after 'end'")
+        fields = line.split()
+        if mode == "header":
+            if fields[0] == "channel":
+                if len(fields) != 2:
+                    raise FormatError(f"line {lineno}: 'channel <name>' expected")
+                name = fields[1]
+            elif fields[0] == "columns":
+                n_columns = _int_field(fields, 1, lineno, expect_len=2)
+            elif fields[0] == "track":
+                if n_columns is None:
+                    raise FormatError(f"line {lineno}: 'columns' must precede tracks")
+                if fields[1:] == ["-"]:
+                    breaks.append(())
+                else:
+                    breaks.append(
+                        tuple(_parse_int(f, lineno) for f in fields[1:])
+                    )
+            elif fields[0] == "connections":
+                mode = "connections"
+            else:
+                raise FormatError(f"line {lineno}: unexpected {fields[0]!r}")
+        else:  # connections
+            if fields[0] == "end":
+                saw_end = True
+                continue
+            if len(fields) != 3:
+                raise FormatError(
+                    f"line {lineno}: '<name> <left> <right>' expected, got {line!r}"
+                )
+            conns.append(
+                Connection(
+                    _parse_int(fields[1], lineno),
+                    _parse_int(fields[2], lineno),
+                    fields[0],
+                )
+            )
+    if n_columns is None:
+        raise FormatError("missing 'columns' line")
+    if not breaks:
+        raise FormatError("no tracks defined")
+    if not saw_end:
+        raise FormatError("missing 'end' line")
+    channel = SegmentedChannel(
+        [Track(n_columns, b) for b in breaks], name=name
+    )
+    connections = ConnectionSet(conns)
+    connections.check_within(channel)
+    return channel, connections
+
+
+def load_instance(path: Union[str, Path]) -> tuple[SegmentedChannel, ConnectionSet]:
+    """Read an instance from a ``.sch`` file."""
+    return loads_instance(Path(path).read_text())
+
+
+def _parse_int(field: str, lineno: int) -> int:
+    try:
+        return int(field)
+    except ValueError:
+        raise FormatError(f"line {lineno}: integer expected, got {field!r}") from None
+
+
+def _int_field(fields: list[str], idx: int, lineno: int, expect_len: int) -> int:
+    if len(fields) != expect_len:
+        raise FormatError(f"line {lineno}: malformed directive {' '.join(fields)!r}")
+    return _parse_int(fields[idx], lineno)

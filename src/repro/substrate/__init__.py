@@ -1,0 +1,21 @@
+"""Self-contained algorithmic substrates.
+
+Everything the routing algorithms depend on — bipartite matching, an LP
+solver, interval sweeps, deterministic PRNG helpers — is implemented here
+from scratch so the library has no hidden algorithmic dependencies.
+Third-party packages (scipy, networkx) are used only inside the test suite
+as independent oracles.
+"""
+
+from repro.substrate.bipartite import hopcroft_karp, maximum_bipartite_matching
+from repro.substrate.hungarian import hungarian
+from repro.substrate.simplex import LinearProgram, SimplexResult, simplex_solve
+
+__all__ = [
+    "hopcroft_karp",
+    "maximum_bipartite_matching",
+    "hungarian",
+    "LinearProgram",
+    "SimplexResult",
+    "simplex_solve",
+]

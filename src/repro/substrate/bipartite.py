@@ -1,0 +1,118 @@
+"""Maximum-cardinality bipartite matching (Hopcroft–Karp).
+
+Used by :mod:`repro.core.matching` to decide feasibility of 1-segment
+routing before the weighted phase, and by the test suite as a primitive
+that networkx independently verifies.
+
+The implementation is the standard Hopcroft–Karp algorithm: repeated
+phases of BFS layering followed by DFS augmentation along vertex-disjoint
+shortest augmenting paths, ``O(E * sqrt(V))`` overall.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence
+
+__all__ = ["hopcroft_karp", "maximum_bipartite_matching"]
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    n_left: int, n_right: int, adjacency: Sequence[Sequence[int]]
+) -> tuple[int, list[int], list[int]]:
+    """Compute a maximum matching of a bipartite graph.
+
+    Parameters
+    ----------
+    n_left, n_right:
+        Number of vertices on each side.
+    adjacency:
+        ``adjacency[u]`` lists the right-side neighbours of left vertex
+        ``u`` (0-based on both sides).
+
+    Returns
+    -------
+    (size, match_left, match_right):
+        ``size`` is the cardinality of the matching; ``match_left[u]`` is
+        the right vertex matched to ``u`` or ``-1``; ``match_right[v]``
+        symmetric.
+    """
+    if len(adjacency) != n_left:
+        raise ValueError(
+            f"adjacency has {len(adjacency)} rows for {n_left} left vertices"
+        )
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            if not 0 <= v < n_right:
+                raise ValueError(f"edge ({u}, {v}) outside right side 0..{n_right - 1}")
+
+    match_left = [-1] * n_left
+    match_right = [-1] * n_right
+    dist = [0.0] * n_left
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in range(n_left):
+            if match_left[u] == -1:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right[v]
+                if w == -1:
+                    found = True
+                elif dist[w] == _INF:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right[v]
+            if w == -1 or (dist[w] == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    size = 0
+    while bfs():
+        for u in range(n_left):
+            if match_left[u] == -1 and dfs(u):
+                size += 1
+    return size, match_left, match_right
+
+
+def maximum_bipartite_matching(
+    adjacency: Mapping[object, Sequence[object]],
+) -> dict[object, object]:
+    """Convenience wrapper over :func:`hopcroft_karp` for hashable labels.
+
+    ``adjacency`` maps each left label to an iterable of right labels.
+    Returns a dict from matched left labels to their right partners.
+    """
+    left_labels = list(adjacency.keys())
+    right_labels: list[object] = []
+    right_index: dict[object, int] = {}
+    rows: list[list[int]] = []
+    for u in left_labels:
+        row = []
+        for v in adjacency[u]:
+            if v not in right_index:
+                right_index[v] = len(right_labels)
+                right_labels.append(v)
+            row.append(right_index[v])
+        rows.append(row)
+    _, match_left, _ = hopcroft_karp(len(left_labels), len(right_labels), rows)
+    return {
+        left_labels[u]: right_labels[v]
+        for u, v in enumerate(match_left)
+        if v != -1
+    }

@@ -1,0 +1,86 @@
+"""Interval utilities shared across the library.
+
+Small, heavily used helpers: sweep-line density, interval overlap tests,
+merging, and a left-edge interval packer used both by the unconstrained
+baseline (Fig. 2(b)) and by the placement substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Sequence
+
+__all__ = [
+    "intervals_overlap",
+    "merge_intervals",
+    "sweep_density",
+    "pack_intervals_left_edge",
+]
+
+
+def intervals_overlap(a: tuple[int, int], b: tuple[int, int]) -> bool:
+    """True if closed intervals ``a`` and ``b`` share a point."""
+    return a[0] <= b[1] and b[0] <= a[1]
+
+
+def merge_intervals(intervals: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge overlapping/adjacent closed integer intervals."""
+    items = sorted(intervals)
+    merged: list[tuple[int, int]] = []
+    for left, right in items:
+        if left > right:
+            raise ValueError(f"empty interval ({left}, {right})")
+        if merged and left <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], right))
+        else:
+            merged.append((left, right))
+    return merged
+
+
+def sweep_density(intervals: Iterable[tuple[int, int]]) -> int:
+    """Maximum number of closed intervals covering a single point."""
+    events: list[tuple[int, int]] = []
+    for left, right in intervals:
+        events.append((left, 1))
+        events.append((right + 1, -1))
+    events.sort()
+    best = cur = 0
+    for _, delta in events:
+        cur += delta
+        best = max(best, cur)
+    return best
+
+
+def pack_intervals_left_edge(
+    intervals: Sequence[tuple[int, int]],
+) -> tuple[int, list[int]]:
+    """Pack closed intervals into a minimum number of rows, greedily.
+
+    This is the classical left-edge algorithm on unconstrained tracks:
+    process intervals by increasing left end, placing each on the
+    lowest-numbered row whose last interval ends before it starts.  The
+    number of rows used always equals the density.
+
+    Returns ``(n_rows, row_of)`` where ``row_of[i]`` is the row of the
+    ``i``-th input interval.
+    """
+    order = sorted(range(len(intervals)), key=lambda i: intervals[i])
+    row_of = [-1] * len(intervals)
+    # Min-heap of (last_right, row) for rows in reuse order; plus a heap of
+    # free row ids so that we always pick the lowest-numbered reusable row.
+    busy: list[tuple[int, int]] = []  # (right_end, row)
+    free_rows: list[int] = []
+    n_rows = 0
+    for i in order:
+        left, right = intervals[i]
+        while busy and busy[0][0] < left:
+            _, row = heapq.heappop(busy)
+            heapq.heappush(free_rows, row)
+        if free_rows:
+            row = heapq.heappop(free_rows)
+        else:
+            row = n_rows
+            n_rows += 1
+        row_of[i] = row
+        heapq.heappush(busy, (right, row))
+    return n_rows, row_of

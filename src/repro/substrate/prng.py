@@ -1,0 +1,28 @@
+"""Deterministic randomness for reproducible experiments.
+
+All stochastic generators in the library take a seed (or an existing
+:class:`random.Random`) and derive their streams through :func:`rng_from`,
+so that every experiment in EXPERIMENTS.md can be regenerated bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+__all__ = ["rng_from", "spawn"]
+
+SeedLike = Union[int, random.Random, None]
+
+
+def rng_from(seed: SeedLike) -> random.Random:
+    """Return a :class:`random.Random` from a seed, an existing Random, or
+    None (fresh nondeterministic stream — avoided inside experiments)."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def spawn(rng: random.Random, stream: str) -> random.Random:
+    """Derive an independent, reproducible substream named ``stream``."""
+    return random.Random(f"{rng.getrandbits(64)}:{stream}")

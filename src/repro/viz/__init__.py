@@ -1,0 +1,16 @@
+"""ASCII rendering of channels and routings, in the style of the paper's
+figures."""
+
+from repro.viz.render import (
+    render_channel,
+    render_connections,
+    render_generalized_routing,
+    render_routing,
+)
+
+__all__ = [
+    "render_channel",
+    "render_connections",
+    "render_generalized_routing",
+    "render_routing",
+]

@@ -1,0 +1,148 @@
+"""ASCII figures: channels, connection sets, routings.
+
+Mirrors the paper's drawing conventions: ``o`` is an unprogrammed switch,
+``*`` a programmed one; a routed connection shows as ``=`` over the
+columns it spans, with the rest of each occupied segment drawn ``-``
+(occupied-but-unused slack); free track wire is ``.``.
+
+Each column is two characters wide so switch markers (drawn between
+columns) stay legible.  Output is deterministic and ends with a newline-
+free last line, convenient for doctests and golden-file tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.routing import GeneralizedRouting, Routing
+
+__all__ = [
+    "render_channel",
+    "render_connections",
+    "render_routing",
+    "render_generalized_routing",
+]
+
+
+def _column_ruler(n_columns: int) -> str:
+    cells = []
+    for col in range(1, n_columns + 1):
+        cells.append(f"{col % 100:>2}")
+    return "  " + " ".join(cells)
+
+
+def render_connections(connections: ConnectionSet, n_columns: Optional[int] = None) -> str:
+    """Draw each connection as a labelled horizontal extent."""
+    n = n_columns or connections.max_column()
+    lines = [_column_ruler(n)]
+    for c in connections:
+        row = []
+        for col in range(1, n + 1):
+            row.append("==" if c.left <= col <= c.right else "  ")
+        label = (c.name or "c")[:6]
+        lines.append("  " + " ".join(row) + f"   {label} [{c.left},{c.right}]")
+    return "\n".join(lines)
+
+
+def render_channel(channel: SegmentedChannel) -> str:
+    """Draw the bare channel: track wires with ``o`` switches between
+    segment-adjacent columns."""
+    lines = [_column_ruler(channel.n_columns)]
+    for ti, track in enumerate(channel):
+        breaks = set(track.breaks)
+        row = []
+        for col in range(1, channel.n_columns + 1):
+            row.append("--")
+            if col in breaks:
+                row.append("o")
+            elif col < channel.n_columns:
+                row.append("-")
+        lines.append(f"t{ti + 1:<2}" + "".join(row))
+    return "\n".join(lines)
+
+
+def render_routing(routing: Routing) -> str:
+    """Draw a routing: ``=`` where a connection runs, ``-`` over the
+    occupied remainder of its segments, ``.`` on free wire, ``*`` on a
+    programmed (joining) switch."""
+    channel = routing.channel
+    n = channel.n_columns
+    lines = [_column_ruler(n)]
+    # Build per-track column annotations.
+    for ti, track in enumerate(channel):
+        fill = [" "] * (n + 1)  # 1-based; "." free, "-" slack, "=" used
+        owner = [""] * (n + 1)
+        for col in range(1, n + 1):
+            fill[col] = "."
+        programmed: set[int] = set()
+        for i, (c, t) in enumerate(zip(routing.connections, routing.assignment)):
+            if t != ti:
+                continue
+            occ_left, occ_right = channel.occupied_span(ti, c.left, c.right)
+            for col in range(occ_left, occ_right + 1):
+                fill[col] = "=" if c.left <= col <= c.right else "-"
+                owner[col] = c.name or f"c{i + 1}"
+            # Switches joined end-to-end inside the occupied span.
+            for b in track.breaks:
+                if occ_left <= b < occ_right:
+                    programmed.add(b)
+        breaks = set(track.breaks)
+        row = []
+        for col in range(1, n + 1):
+            row.append(fill[col] * 2)
+            if col in breaks:
+                row.append("*" if col in programmed else "o")
+            elif col < n:
+                row.append(fill[col] if fill[col] == fill[col + 1] == "=" else " ")
+        labels = sorted({owner[col] for col in range(1, n + 1) if owner[col]})
+        suffix = ("   " + ", ".join(labels)) if labels else ""
+        lines.append(f"t{ti + 1:<2}" + "".join(row) + suffix)
+    return "\n".join(lines)
+
+
+def render_generalized_routing(routing: GeneralizedRouting) -> str:
+    """Draw a generalized routing: per track, ``=`` where a piece runs,
+    with the owning connection labels; track-change columns are listed
+    below the channel."""
+    channel = routing.channel
+    n = channel.n_columns
+    lines = [_column_ruler(n)]
+    per_track_fill: list[list[str]] = [
+        ["."] * (n + 1) for _ in range(channel.n_tracks)
+    ]
+    per_track_owner: list[list[str]] = [
+        [""] * (n + 1) for _ in range(channel.n_tracks)
+    ]
+    changes: list[str] = []
+    for i, c in enumerate(routing.connections):
+        name = c.name or f"c{i + 1}"
+        parts = routing.pieces[i]
+        for t, left, right in parts:
+            for col in range(left, right + 1):
+                per_track_fill[t][col] = "="
+                per_track_owner[t][col] = name
+        for a, b in zip(parts, parts[1:]):
+            if a[0] != b[0]:
+                changes.append(
+                    f"{name}: t{a[0] + 1} -> t{b[0] + 1} at column {b[1]}"
+                )
+    for ti, track in enumerate(channel):
+        breaks = set(track.breaks)
+        row = []
+        fill = per_track_fill[ti]
+        for col in range(1, n + 1):
+            row.append(fill[col] * 2)
+            if col in breaks:
+                row.append("o")
+            elif col < n:
+                row.append(fill[col] if fill[col] == fill[col + 1] == "=" else " ")
+        labels = sorted(
+            {v for v in per_track_owner[ti] if v}
+        )
+        suffix = ("   " + ", ".join(labels)) if labels else ""
+        lines.append(f"t{ti + 1:<2}" + "".join(row) + suffix)
+    if changes:
+        lines.append("track changes: " + "; ".join(changes))
+    return "\n".join(lines)

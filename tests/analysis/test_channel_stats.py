@@ -1,0 +1,54 @@
+"""Channel census tests."""
+
+import pytest
+
+from repro.analysis.channel_stats import profile_channel
+from repro.core.channel import (
+    channel_from_breaks,
+    fully_segmented_channel,
+    unsegmented_channel,
+    uniform_channel,
+)
+from repro.design.segmentation import geometric_segmentation
+
+
+def test_unsegmented_profile():
+    p = profile_channel(unsegmented_channel(3, 10))
+    assert p.n_segments == 3
+    assert p.n_switches == 0
+    assert p.switch_density == 0.0
+    assert p.segment_length_histogram == ((10, 3),)
+    assert p.mean_segment_length == 10.0
+
+
+def test_fully_segmented_profile():
+    p = profile_channel(fully_segmented_channel(2, 5))
+    assert p.n_switches == 8
+    assert p.switch_density == pytest.approx(0.8)
+    assert p.segment_length_histogram == ((1, 10),)
+
+
+def test_uniform_profile():
+    p = profile_channel(uniform_channel(2, 12, 4))
+    assert p.segment_length_histogram == ((4, 6),)
+    assert p.switches_per_track == (2, 2)
+    assert p.n_track_types == 1
+
+
+def test_mixed_types_counted():
+    ch = channel_from_breaks(12, [(4, 8), (6,), (6,)])
+    p = profile_channel(ch)
+    assert p.n_track_types == 2
+    assert p.switches_per_track == (2, 1, 1)
+
+
+def test_geometric_design_histogram_spread():
+    p = profile_channel(geometric_segmentation(9, 64, 4, 2.0, 3))
+    lengths = [l for l, _ in p.segment_length_histogram]
+    assert min(lengths) < 8 < max(lengths)  # short and long types present
+
+
+def test_table_renders():
+    p = profile_channel(uniform_channel(2, 12, 4))
+    assert "segment length" in p.table()
+    assert "4" in p.table()

@@ -1,0 +1,46 @@
+"""Bound-formula tests."""
+
+import math
+
+from repro.analysis.complexity import (
+    theorem5_bound,
+    theorem6_bound,
+    theorem7_bound,
+    theorem8_bound,
+)
+
+
+def test_theorem5_small_values():
+    assert theorem5_bound(1) == 2
+    assert theorem5_bound(2) == 8
+    assert theorem5_bound(3) == 48
+
+
+def test_theorem6_formula():
+    assert theorem6_bound(3, 1) == 8
+    assert theorem6_bound(2, 2) == 9
+    assert theorem6_bound(4, 0) == 1
+
+
+def test_theorem6_below_theorem5_for_small_k():
+    for t in range(1, 8):
+        assert theorem6_bound(t, 1) <= theorem5_bound(t)
+
+
+def test_theorem7_two_types():
+    # C(T1+K, K) * C(T2+K, K)
+    assert theorem7_bound((3, 4), 2) == math.comb(5, 2) * math.comb(6, 2)
+
+
+def test_theorem7_single_type():
+    assert theorem7_bound((5,), 1) == 6
+
+
+def test_theorem7_beats_theorem6_for_many_tracks():
+    t1 = t2 = 8
+    assert theorem7_bound((t1, t2), 2) < theorem6_bound(t1 + t2, 2)
+
+
+def test_theorem8_positive_and_growing():
+    assert theorem8_bound(1) == 4
+    assert theorem8_bound(2) < theorem8_bound(3)

@@ -1,0 +1,67 @@
+"""Minimum-track search tests."""
+
+import pytest
+
+from repro.analysis.min_tracks import minimum_tracks
+from repro.core.channel import fully_segmented_channel, unsegmented_channel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import ReproError, RoutingInfeasibleError
+from repro.core.api import route
+from repro.design.segmentation import geometric_segmentation, uniform_segmentation
+
+
+def _geo(T, N):
+    return geometric_segmentation(T, N, 4, 2.0, 3)
+
+
+class TestMinimumTracks:
+    def test_fully_segmented_needs_density(self):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 9), (8, 12)])
+        t = minimum_tracks(
+            lambda T, N: fully_segmented_channel(T, N), cs, 12
+        )
+        assert t == density(cs)
+
+    def test_unsegmented_needs_m(self):
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12)])
+        t = minimum_tracks(lambda T, N: unsegmented_channel(T, N), cs, 12)
+        assert t == 3  # one connection per continuous track
+
+    def test_result_is_minimal(self):
+        cs = ConnectionSet.from_spans(
+            [(1, 6), (2, 9), (4, 12), (7, 15), (10, 16), (13, 16)]
+        )
+        t = minimum_tracks(_geo, cs, 16, max_segments=2)
+        # t routes:
+        route(_geo(t, 16), cs, max_segments=2).validate(2)
+        # t - 1 does not (if above the density floor):
+        if t - 1 >= 1:
+            with pytest.raises(Exception):
+                route(_geo(t - 1, 16), cs, max_segments=2)
+
+    def test_empty(self):
+        assert minimum_tracks(_geo, ConnectionSet([]), 16) == 0
+
+    def test_impossible_raises(self):
+        # A connection crossing many switches with K=1 never routes in a
+        # fully segmented channel, regardless of track count.
+        cs = ConnectionSet.from_spans([(1, 5)])
+        with pytest.raises(ReproError):
+            minimum_tracks(
+                lambda T, N: fully_segmented_channel(T, N),
+                cs, 8, max_segments=1, limit=16,
+            )
+
+    def test_designer_monotonicity_of_builtin_families(self):
+        # Adding tracks to the built-in designers only appends wire:
+        # routable at T implies routable at T+1.
+        cs = ConnectionSet.from_spans([(1, 6), (3, 9), (5, 12)])
+        for designer in (
+            _geo,
+            lambda T, N: uniform_segmentation(T, N, 6),
+        ):
+            t = minimum_tracks(designer, cs, 12, max_segments=2, limit=32)
+            for extra in (1, 2):
+                route(
+                    designer(t + extra, 12), cs, max_segments=2
+                ).validate(2)

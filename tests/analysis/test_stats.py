@@ -1,0 +1,43 @@
+"""Stats helper tests."""
+
+import math
+
+from repro.analysis.stats import Summary, format_table, success_rate, summarize
+
+
+def test_summarize_basic():
+    s = summarize([1, 2, 3, 4])
+    assert s.n == 4
+    assert s.mean == 2.5
+    assert s.minimum == 1 and s.maximum == 4
+
+
+def test_summarize_empty_is_nan():
+    s = summarize([])
+    assert s.n == 0 and math.isnan(s.mean)
+
+
+def test_summarize_singleton_zero_std():
+    assert summarize([7]).std == 0.0
+
+
+def test_success_rate():
+    assert success_rate([True, True, False, True]) == (3, 4, 0.75)
+
+
+def test_success_rate_empty():
+    s, t, rate = success_rate([])
+    assert (s, t) == (0, 0) and math.isnan(rate)
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "long"], [[1, 2.0], [333, True]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert all(len(l) == len(lines[0]) for l in lines)
+
+
+def test_format_table_value_renderings():
+    text = format_table(["v"], [[True], [False], [1.5], [float("nan")], ["x"]])
+    assert "yes" in text and "no" in text
+    assert "1.500" in text and "-" in text and "x" in text

@@ -1,0 +1,59 @@
+"""Wire-utilization tests."""
+
+import pytest
+
+from repro.analysis.utilization import utilization
+from repro.core.channel import channel_from_breaks, fully_segmented_channel
+from repro.core.connection import ConnectionSet
+from repro.core.left_edge import route_left_edge_unconstrained
+from repro.core.routing import Routing
+
+
+def test_tight_segments_full_efficiency():
+    ch = channel_from_breaks(9, [(3, 6)])
+    cs = ConnectionSet.from_spans([(1, 3), (4, 6)])
+    u = utilization(Routing(ch, cs, (0, 0)))
+    assert u.used_columns == 6
+    assert u.occupied_columns == 6
+    assert u.efficiency == 1.0
+    assert u.slack_columns == 0
+
+
+def test_slack_measured():
+    ch = channel_from_breaks(10, [()])
+    cs = ConnectionSet.from_spans([(3, 4)])
+    u = utilization(Routing(ch, cs, (0,)))
+    assert u.used_columns == 2
+    assert u.occupied_columns == 10
+    assert u.slack_columns == 8
+    assert u.efficiency == pytest.approx(0.2)
+
+
+def test_per_track_split():
+    ch = channel_from_breaks(10, [(5,), (5,)])
+    cs = ConnectionSet.from_spans([(1, 5), (6, 10)])
+    u = utilization(Routing(ch, cs, (0, 1)))
+    assert u.per_track_occupied == (5, 5)
+    assert u.load == pytest.approx(0.5)
+
+
+def test_unconstrained_baseline_is_perfectly_efficient():
+    cs = ConnectionSet.from_spans([(1, 4), (2, 7), (6, 9)])
+    r = route_left_edge_unconstrained(cs)
+    u = utilization(r)
+    assert u.efficiency == 1.0
+
+
+def test_empty_routing():
+    ch = fully_segmented_channel(2, 5)
+    u = utilization(Routing(ch, ConnectionSet([]), ()))
+    assert u.used_columns == 0
+    assert u.efficiency == 1.0
+    assert u.load == 0.0
+
+
+def test_coarser_segmentation_lower_efficiency():
+    cs = ConnectionSet.from_spans([(2, 4), (7, 8)])
+    fine = Routing(channel_from_breaks(10, [(4, 6)]), cs, (0, 0))
+    coarse = Routing(channel_from_breaks(10, [(5,)]), cs, (0, 0))
+    assert utilization(fine).efficiency > utilization(coarse).efficiency

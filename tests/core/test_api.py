@@ -1,0 +1,92 @@
+"""Tests for the route() facade."""
+
+import pytest
+
+from repro.core.api import ALGORITHMS, route
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.core.routing import occupied_length_weight
+
+
+@pytest.fixture
+def channel():
+    return channel_from_breaks(9, [(3, 6), (5,), ()])
+
+
+@pytest.fixture
+def conns():
+    return ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9), (2, 5)])
+
+
+class TestDispatch:
+    def test_unknown_algorithm(self, channel, conns):
+        with pytest.raises(ValueError):
+            route(channel, conns, algorithm="magic")
+
+    @pytest.mark.parametrize(
+        "alg", [a for a in ALGORITHMS if a not in ("left_edge", "greedy2")]
+    )
+    def test_every_algorithm_routes_or_reports(self, channel, conns, alg):
+        if alg in ("greedy1", "matching"):
+            cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+            r = route(channel, cs, algorithm=alg)
+            r.validate(max_segments=1)
+        else:
+            r = route(channel, conns, algorithm=alg)
+            r.validate()
+
+    def test_left_edge_on_identical(self, conns):
+        ch = identical_channel(3, 9, (3, 6))
+        r = route(ch, conns, algorithm="left_edge")
+        r.validate()
+
+    def test_greedy2_on_two_segment_channel(self):
+        ch = channel_from_breaks(9, [(4,), (6,)])
+        cs = ConnectionSet.from_spans([(1, 3), (5, 9)])
+        route(ch, cs, algorithm="greedy2").validate()
+
+    def test_auto_identical_uses_left_edge(self, conns):
+        ch = identical_channel(3, 9, (3, 6))
+        route(ch, conns).validate()
+
+    def test_auto_k1(self, channel):
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+        r = route(channel, cs, max_segments=1)
+        r.validate(max_segments=1)
+        assert r.max_segments_used() == 1
+
+    def test_auto_k1_weighted(self, channel):
+        cs = ConnectionSet.from_spans([(1, 3), (7, 9)])
+        w = occupied_length_weight(channel)
+        r = route(channel, cs, max_segments=1, weight=w)
+        r.validate(max_segments=1)
+
+    def test_auto_weighted_general(self, channel, conns):
+        w = occupied_length_weight(channel)
+        r = route(channel, conns, weight=w)
+        r.validate()
+        # Must equal the exact optimum.
+        expected = route(channel, conns, weight=w, algorithm="exact")
+        assert r.total_weight(w) == expected.total_weight(w)
+
+    def test_auto_infeasible(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        with pytest.raises(RoutingInfeasibleError):
+            route(ch, cs)
+
+    def test_results_always_validated(self, channel, conns):
+        for alg in ("dp", "dp_types", "exact", "lp"):
+            r = route(channel, conns, algorithm=alg, max_segments=2)
+            r.validate(2)
+
+    def test_auto_many_tracks_few_types(self):
+        # 14 tracks, 2 types: auto must not explode (typed DP path).
+        breaks = [(4, 8)] * 7 + [(6,)] * 7
+        ch = channel_from_breaks(12, breaks)
+        cs = ConnectionSet.from_spans(
+            [(1, 4)] * 5 + [(5, 8)] * 5 + [(9, 12)] * 4
+        )
+        r = route(ch, cs, max_segments=1)
+        r.validate(1)

@@ -1,0 +1,133 @@
+"""Diagnostics tests — soundness above all: a diagnostic may only fire on
+instances an exact router proves infeasible."""
+
+import random
+
+import pytest
+
+from repro.core.capacity import column_capacity_ok, diagnose, k_fit_ok
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import route_generalized
+from repro.core.greedy import route_one_segment_greedy
+
+
+class TestColumnCapacity:
+    def test_fires_on_overload(self):
+        ch = channel_from_breaks(6, [(3,), ()])
+        cs = ConnectionSet.from_spans([(1, 4), (2, 5), (3, 6)])
+        b = column_capacity_ok(ch, cs)
+        assert b is not None
+        assert b.kind == "column-capacity"
+        assert b.column == 3
+
+    def test_silent_when_ok(self):
+        ch = channel_from_breaks(6, [(3,), ()])
+        cs = ConnectionSet.from_spans([(1, 4), (2, 5)])
+        assert column_capacity_ok(ch, cs) is None
+
+    def test_sound_vs_generalized(self):
+        # Whenever it fires, even generalized routing must fail.
+        rng = random.Random(1)
+        fired = 0
+        for _ in range(50):
+            ch = channel_from_breaks(8, [(4,), (2, 6)])
+            spans = []
+            for _ in range(rng.randint(2, 5)):
+                l = rng.randint(1, 8)
+                spans.append((l, min(8, l + rng.randint(0, 5))))
+            cs = ConnectionSet.from_spans(spans)
+            if column_capacity_ok(ch, cs) is not None:
+                fired += 1
+                with pytest.raises(RoutingInfeasibleError):
+                    route_generalized(ch, cs)
+        assert fired > 0
+
+
+class TestKFit:
+    def test_fires(self):
+        ch = channel_from_breaks(9, [(3, 6), (4,)])
+        cs = ConnectionSet.from_spans([(1, 9)])
+        b = k_fit_ok(ch, cs, 1)
+        assert b is not None and b.kind == "k-fit"
+
+    def test_silent_when_some_track_fits(self):
+        ch = channel_from_breaks(9, [(3, 6), ()])
+        cs = ConnectionSet.from_spans([(1, 9)])
+        assert k_fit_ok(ch, cs, 1) is None
+
+    def test_none_k_always_silent(self):
+        ch = channel_from_breaks(9, [(3, 6)])
+        cs = ConnectionSet.from_spans([(1, 9)])
+        assert k_fit_ok(ch, cs, None) is None
+
+
+class TestDiagnose:
+    def test_empty_on_routable(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+        assert diagnose(ch, cs, max_segments=1) == []
+
+    def test_segment_supply_fires(self):
+        # Two connections inside [1,4]; only one segment covers either.
+        ch = channel_from_breaks(8, [(4,), (2, 6)])
+        cs = ConnectionSet.from_spans([(1, 3), (1, 4)])
+        # track 2's (3,6) doesn't cover them; track 1's (1,4) covers both;
+        # track 2's (1,2)? covers neither ((1,3) not within (1,2)).
+        out = diagnose(ch, cs, max_segments=1)
+        assert any(b.kind == "segment-supply" for b in out)
+
+    def test_extended_density_fires(self):
+        ch = identical_channel(1, 9, (4,))
+        cs = ConnectionSet.from_spans([(3, 5)] + [(1, 2)])
+        # (3,5) stretches to (1,9); (1,2) stretches to (1,4): overlap -> 2 > 1.
+        out = diagnose(ch, cs)
+        assert any(b.kind == "extended-density" for b in out)
+
+    def test_soundness_random_k1(self):
+        rng = random.Random(7)
+        fired = 0
+        for _ in range(120):
+            T = rng.randint(1, 3)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, 8), rng.randint(0, 3))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(8, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 4)):
+                l = rng.randint(1, 8)
+                spans.append((l, min(8, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            out = diagnose(ch, cs, max_segments=1)
+            if out:
+                fired += 1
+                with pytest.raises(RoutingInfeasibleError):
+                    route_one_segment_greedy(ch, cs)
+        assert fired > 5
+
+    def test_soundness_random_unlimited(self):
+        rng = random.Random(8)
+        for _ in range(80):
+            T = rng.randint(1, 3)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, 8), rng.randint(0, 3))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(8, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 4)):
+                l = rng.randint(1, 8)
+                spans.append((l, min(8, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            if diagnose(ch, cs):
+                with pytest.raises(RoutingInfeasibleError):
+                    route_dp(ch, cs)
+
+    def test_bottleneck_str(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 4), (2, 5)])
+        out = diagnose(ch, cs)
+        assert out and "column" in str(out[0])

@@ -1,0 +1,270 @@
+"""Tests for the channel data model (Segment, Track, SegmentedChannel)."""
+
+import pytest
+
+from repro.core.channel import (
+    Segment,
+    SegmentedChannel,
+    Track,
+    channel_from_breaks,
+    fully_segmented_channel,
+    identical_channel,
+    staggered_channel,
+    unsegmented_channel,
+    uniform_channel,
+)
+from repro.core.errors import ChannelError
+
+
+class TestSegment:
+    def test_length(self):
+        assert Segment(0, 0, 3, 7).length == 5
+
+    def test_single_column_length(self):
+        assert Segment(0, 0, 4, 4).length == 1
+
+    def test_covers_inside(self):
+        assert Segment(0, 0, 3, 7).covers(4, 6)
+
+    def test_covers_exact(self):
+        assert Segment(0, 0, 3, 7).covers(3, 7)
+
+    def test_covers_fails_left(self):
+        assert not Segment(0, 0, 3, 7).covers(2, 6)
+
+    def test_covers_fails_right(self):
+        assert not Segment(0, 0, 3, 7).covers(4, 8)
+
+    def test_overlaps_partial(self):
+        assert Segment(0, 0, 3, 7).overlaps(6, 9)
+
+    def test_overlaps_touching_edge(self):
+        assert Segment(0, 0, 3, 7).overlaps(7, 9)
+
+    def test_overlaps_disjoint(self):
+        assert not Segment(0, 0, 3, 7).overlaps(8, 9)
+
+    def test_ordering_is_by_track_then_index(self):
+        a = Segment(0, 1, 5, 9)
+        b = Segment(1, 0, 1, 4)
+        assert a < b
+
+
+class TestTrack:
+    def test_no_breaks_single_segment(self):
+        t = Track(10)
+        assert t.n_segments == 1
+        assert t.segment_bounds == ((1, 10),)
+
+    def test_breaks_make_segments(self):
+        t = Track(9, (3, 6))
+        assert t.segment_bounds == ((1, 3), (4, 6), (7, 9))
+
+    def test_break_at_first_column(self):
+        t = Track(5, (1,))
+        assert t.segment_bounds == ((1, 1), (2, 5))
+
+    def test_break_at_last_allowed_position(self):
+        t = Track(5, (4,))
+        assert t.segment_bounds == ((1, 4), (5, 5))
+
+    def test_break_out_of_range_raises(self):
+        with pytest.raises(ChannelError):
+            Track(5, (5,))
+
+    def test_break_zero_raises(self):
+        with pytest.raises(ChannelError):
+            Track(5, (0,))
+
+    def test_unsorted_breaks_raise(self):
+        with pytest.raises(ChannelError):
+            Track(9, (6, 3))
+
+    def test_duplicate_breaks_raise(self):
+        with pytest.raises(ChannelError):
+            Track(9, (3, 3))
+
+    def test_empty_track_raises(self):
+        with pytest.raises(ChannelError):
+            Track(0)
+
+    def test_segment_index_at(self):
+        t = Track(9, (3, 6))
+        assert [t.segment_index_at(c) for c in range(1, 10)] == [
+            0, 0, 0, 1, 1, 1, 2, 2, 2,
+        ]
+
+    def test_segment_index_out_of_range(self):
+        t = Track(9, (3, 6))
+        with pytest.raises(ChannelError):
+            t.segment_index_at(10)
+        with pytest.raises(ChannelError):
+            t.segment_index_at(0)
+
+    def test_segment_end_at(self):
+        t = Track(9, (3, 6))
+        assert t.segment_end_at(1) == 3
+        assert t.segment_end_at(4) == 6
+        assert t.segment_end_at(9) == 9
+
+    def test_segment_start_at(self):
+        t = Track(9, (3, 6))
+        assert t.segment_start_at(3) == 1
+        assert t.segment_start_at(7) == 7
+
+    def test_segments_spanned(self):
+        t = Track(9, (3, 6))
+        assert list(t.segments_spanned(2, 5)) == [0, 1]
+        assert list(t.segments_spanned(4, 6)) == [1]
+        assert list(t.segments_spanned(1, 9)) == [0, 1, 2]
+
+    def test_segments_spanned_empty_raises(self):
+        t = Track(9, (3, 6))
+        with pytest.raises(ChannelError):
+            t.segments_spanned(5, 4)
+
+    def test_segments_occupied_counts(self):
+        t = Track(9, (3, 6))
+        assert t.segments_occupied(1, 3) == 1
+        assert t.segments_occupied(3, 4) == 2
+        assert t.segments_occupied(1, 7) == 3
+
+    def test_fits_single_segment(self):
+        t = Track(9, (3, 6))
+        assert t.fits_single_segment(4, 6)
+        assert not t.fits_single_segment(3, 4)
+
+    def test_occupied_span_snaps_to_segments(self):
+        t = Track(9, (3, 6))
+        assert t.occupied_span(2, 4) == (1, 6)
+        assert t.occupied_span(4, 5) == (4, 6)
+
+    def test_extend_to_switches_is_occupied_span(self):
+        t = Track(9, (3, 6))
+        assert t.extend_to_switches(2, 4) == t.occupied_span(2, 4)
+
+    def test_identical_comparison(self):
+        assert Track(9, (3,)).is_identical_to(Track(9, (3,)))
+        assert not Track(9, (3,)).is_identical_to(Track(9, (4,)))
+        assert not Track(9, (3,)).is_identical_to(Track(8, (3,)))
+
+    def test_iter_yields_bounds(self):
+        assert list(Track(9, (3, 6))) == [(1, 3), (4, 6), (7, 9)]
+
+
+class TestSegmentedChannel:
+    def test_requires_tracks(self):
+        with pytest.raises(ChannelError):
+            SegmentedChannel([])
+
+    def test_requires_equal_widths(self):
+        with pytest.raises(ChannelError):
+            SegmentedChannel([Track(9), Track(8)])
+
+    def test_shape_properties(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,), ()])
+        assert ch.n_tracks == 3
+        assert ch.n_columns == 9
+        assert ch.n_switches == 3
+        assert ch.n_segments == 6
+        assert len(ch) == 3
+
+    def test_segment_lookup(self):
+        ch = channel_from_breaks(9, [(3, 6)])
+        seg = ch.segment(0, 1)
+        assert (seg.left, seg.right) == (4, 6)
+        assert seg.track == 0 and seg.index == 1
+
+    def test_segments_iteration_order(self):
+        ch = channel_from_breaks(9, [(3,), (6,)])
+        segs = list(ch.segments())
+        assert [(s.track, s.index) for s in segs] == [
+            (0, 0), (0, 1), (1, 0), (1, 1),
+        ]
+
+    def test_segments_in_track(self):
+        ch = channel_from_breaks(9, [(3, 6), ()])
+        assert len(ch.segments_in_track(0)) == 3
+        assert len(ch.segments_in_track(1)) == 1
+
+    def test_segment_at(self):
+        ch = channel_from_breaks(9, [(3, 6)])
+        assert ch.segment_at(0, 5).index == 1
+
+    def test_occupancy_delegation(self):
+        ch = channel_from_breaks(9, [(3, 6)])
+        assert ch.segments_occupied(0, 2, 5) == 2
+        assert ch.fits_single_segment(0, 4, 6)
+        assert ch.segment_end_at(0, 2) == 3
+        assert ch.occupied_span(0, 2, 4) == (1, 6)
+        assert len(ch.spanned_segments(0, 2, 4)) == 2
+
+    def test_is_identically_segmented(self):
+        assert identical_channel(3, 9, (3, 6)).is_identically_segmented()
+        assert not channel_from_breaks(9, [(3,), (4,)]).is_identically_segmented()
+
+    def test_max_segments_per_track(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,), ()])
+        assert ch.max_segments_per_track() == 3
+
+    def test_track_types_groups(self):
+        ch = channel_from_breaks(9, [(3,), (5,), (3,), ()])
+        groups = ch.track_types()
+        assert groups[(3,)] == [0, 2]
+        assert groups[(5,)] == [1]
+        assert groups[()] == [3]
+
+    def test_with_tracks_appended(self):
+        ch = channel_from_breaks(9, [(3,)])
+        bigger = ch.with_tracks_appended([Track(9, (5,))])
+        assert bigger.n_tracks == 2
+        assert ch.n_tracks == 1  # original untouched
+
+    def test_equality_and_hash(self):
+        a = channel_from_breaks(9, [(3,)])
+        b = channel_from_breaks(9, [(3,)], name="other")
+        assert a == b  # name is cosmetic
+        assert hash(a) == hash(b)
+        assert a != channel_from_breaks(9, [(4,)])
+
+
+class TestBuilders:
+    def test_unsegmented(self):
+        ch = unsegmented_channel(3, 10)
+        assert ch.n_segments == 3
+        assert all(t.n_segments == 1 for t in ch)
+
+    def test_fully_segmented(self):
+        ch = fully_segmented_channel(2, 5)
+        assert all(t.n_segments == 5 for t in ch)
+        assert all(s.length == 1 for s in ch.segments())
+
+    def test_identical(self):
+        ch = identical_channel(4, 9, (3, 6))
+        assert ch.is_identically_segmented()
+        assert ch.n_tracks == 4
+
+    def test_uniform(self):
+        ch = uniform_channel(2, 10, 4)
+        assert ch.track(0).segment_bounds == ((1, 4), (5, 8), (9, 10))
+
+    def test_uniform_exact_division(self):
+        ch = uniform_channel(1, 12, 4)
+        assert ch.track(0).segment_bounds == ((1, 4), (5, 8), (9, 12))
+
+    def test_uniform_bad_length(self):
+        with pytest.raises(ChannelError):
+            uniform_channel(1, 10, 0)
+
+    def test_staggered_phases_differ(self):
+        ch = staggered_channel(4, 24, 8)
+        patterns = {t.breaks for t in ch}
+        assert len(patterns) > 1  # offsets actually vary
+
+    def test_staggered_valid_breaks(self):
+        ch = staggered_channel(5, 17, 4)
+        for t in ch:
+            assert all(1 <= b < 17 for b in t.breaks)
+
+    def test_channel_from_breaks_name(self):
+        assert channel_from_breaks(5, [()], name="x").name == "x"

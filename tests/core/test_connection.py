@@ -1,0 +1,151 @@
+"""Tests for Connection, ConnectionSet, density, extended density."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import (
+    Connection,
+    ConnectionSet,
+    density,
+    extended_density,
+)
+from repro.core.errors import ConnectionError_
+
+
+class TestConnection:
+    def test_length(self):
+        assert Connection(3, 7).length == 5
+
+    def test_single_column(self):
+        assert Connection(4, 4).length == 1
+
+    def test_left_below_one_raises(self):
+        with pytest.raises(ConnectionError_):
+            Connection(0, 4)
+
+    def test_inverted_raises(self):
+        with pytest.raises(ConnectionError_):
+            Connection(5, 4)
+
+    def test_overlap_symmetric(self):
+        a, b = Connection(1, 4), Connection(4, 8)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_no_overlap_adjacent(self):
+        assert not Connection(1, 4).overlaps(Connection(5, 8))
+
+    def test_contains_column(self):
+        c = Connection(3, 5)
+        assert c.contains_column(3) and c.contains_column(5)
+        assert not c.contains_column(6)
+
+    def test_ordering_by_left_then_right(self):
+        assert Connection(1, 9) < Connection(2, 3)
+        assert Connection(1, 3) < Connection(1, 9)
+
+
+class TestConnectionSet:
+    def test_sorted_on_construction(self):
+        cs = ConnectionSet([Connection(5, 6, "b"), Connection(1, 2, "a")])
+        assert [c.left for c in cs] == [1, 5]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ConnectionError_):
+            ConnectionSet([Connection(1, 2, "x"), Connection(1, 2, "x")])
+
+    def test_same_span_distinct_names_ok(self):
+        cs = ConnectionSet([Connection(1, 2, "x"), Connection(1, 2, "y")])
+        assert len(cs) == 2
+
+    def test_from_spans_names(self):
+        cs = ConnectionSet.from_spans([(3, 4), (1, 2)])
+        # Named in input order, then sorted by span.
+        assert cs[0].name == "c2" and cs[1].name == "c1"
+
+    def test_index_of(self):
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        assert cs.index_of(cs[1]) == 1
+
+    def test_index_of_missing(self):
+        cs = ConnectionSet.from_spans([(1, 2)])
+        with pytest.raises(ConnectionError_):
+            cs.index_of(Connection(9, 9, "zzz"))
+
+    def test_by_name(self):
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        assert cs.by_name("c2").left == 3
+
+    def test_by_name_missing(self):
+        with pytest.raises(ConnectionError_):
+            ConnectionSet.from_spans([(1, 2)]).by_name("nope")
+
+    def test_max_column(self):
+        assert ConnectionSet.from_spans([(1, 2), (3, 9)]).max_column() == 9
+
+    def test_max_column_empty(self):
+        assert ConnectionSet([]).max_column() == 0
+
+    def test_check_within(self):
+        ch = channel_from_breaks(5, [()])
+        ConnectionSet.from_spans([(1, 5)]).check_within(ch)
+        with pytest.raises(ConnectionError_):
+            ConnectionSet.from_spans([(1, 6)]).check_within(ch)
+
+    def test_total_length(self):
+        assert ConnectionSet.from_spans([(1, 2), (4, 7)]).total_length() == 6
+
+    def test_equality_and_hash(self):
+        a = ConnectionSet.from_spans([(1, 2)])
+        b = ConnectionSet.from_spans([(1, 2)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_getitem(self):
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        assert cs[0].left == 1
+
+
+class TestDensity:
+    def test_empty(self):
+        assert density([]) == 0
+
+    def test_disjoint(self):
+        assert density([Connection(1, 2), Connection(3, 4)]) == 1
+
+    def test_nested(self):
+        assert density([Connection(1, 9), Connection(3, 4), Connection(5, 6)]) == 2
+
+    def test_stack(self):
+        conns = [Connection(2, 5, str(i)) for i in range(4)]
+        assert density(conns) == 4
+
+    def test_touching_columns_count(self):
+        # Both present in column 4.
+        assert density([Connection(1, 4), Connection(4, 8)]) == 2
+
+    def test_adjacent_do_not_count(self):
+        assert density([Connection(1, 4), Connection(5, 8)]) == 1
+
+
+class TestExtendedDensity:
+    def test_requires_identical(self):
+        ch = channel_from_breaks(9, [(3,), (4,)])
+        with pytest.raises(ConnectionError_):
+            extended_density([Connection(1, 2)], ch)
+
+    def test_extension_raises_density(self):
+        # Two connections in different segments have raw density 1, but
+        # both extend into overlapping segment spans.
+        ch = identical_channel(2, 9, (4,))
+        conns = [Connection(2, 4), Connection(5, 6)]
+        assert density(conns) == 1
+        # (2,4) extends to (1,4); (5,6) extends to (5,9): still disjoint.
+        assert extended_density(conns, ch) == 1
+        # Now a connection crossing the switch extends to the whole track.
+        conns2 = [Connection(4, 5), Connection(1, 2), Connection(7, 8)]
+        assert density(conns2) == 1
+        assert extended_density(conns2, ch) == 2
+
+    def test_extended_at_least_raw(self):
+        ch = identical_channel(2, 12, (3, 6, 9))
+        conns = [Connection(2, 5), Connection(4, 8), Connection(10, 11)]
+        assert extended_density(conns, ch) >= density(conns)

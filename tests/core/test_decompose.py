@@ -1,0 +1,118 @@
+"""Instance decomposition tests."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import ConnectionSet
+from repro.core.decompose import clean_cuts, decompose, route_dp_decomposed
+from repro.core.dp import route_dp, route_dp_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.routing import occupied_length_weight
+
+
+class TestCleanCuts:
+    def test_needs_all_track_switch(self):
+        ch = channel_from_breaks(10, [(5,), ()])
+        cs = ConnectionSet.from_spans([(1, 3), (7, 9)])
+        assert clean_cuts(ch, cs) == []  # track 2 has no switch at 5
+
+    def test_needs_no_spanning_connection(self):
+        ch = identical_channel(2, 10, (5,))
+        cs = ConnectionSet.from_spans([(3, 7)])
+        assert clean_cuts(ch, cs) == []
+
+    def test_finds_cut(self):
+        ch = identical_channel(2, 10, (5,))
+        cs = ConnectionSet.from_spans([(1, 4), (6, 9)])
+        assert clean_cuts(ch, cs) == [5]
+
+    def test_multiple_cuts(self):
+        ch = identical_channel(2, 12, (4, 8))
+        cs = ConnectionSet.from_spans([(1, 3), (5, 8), (9, 12)])
+        assert clean_cuts(ch, cs) == [4, 8]
+
+
+class TestDecompose:
+    def test_groups_by_cut(self):
+        ch = identical_channel(2, 12, (4, 8))
+        cs = ConnectionSet.from_spans([(1, 3), (2, 4), (5, 8), (9, 12)])
+        groups = decompose(ch, cs)
+        assert [len(g) for g in groups] == [2, 1, 1]
+
+    def test_no_cuts_single_group(self):
+        ch = channel_from_breaks(10, [(5,), ()])
+        cs = ConnectionSet.from_spans([(1, 3), (7, 9)])
+        groups = decompose(ch, cs)
+        assert len(groups) == 1
+
+    def test_empty(self):
+        ch = identical_channel(2, 10, (5,))
+        assert decompose(ch, ConnectionSet([])) == []
+
+
+class TestRouteDecomposed:
+    def test_agrees_with_plain_dp(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            n_cols = 16
+            ch = identical_channel(rng.randint(1, 3), n_cols, (4, 8, 12))
+            spans = []
+            for _ in range(rng.randint(1, 6)):
+                l = rng.randint(1, n_cols)
+                spans.append((l, min(n_cols, l + rng.randint(0, 6))))
+            cs = ConnectionSet.from_spans(spans)
+            plain_ok = True
+            try:
+                route_dp(ch, cs)
+            except RoutingInfeasibleError:
+                plain_ok = False
+            try:
+                route_dp_decomposed(ch, cs).validate()
+                got = True
+            except RoutingInfeasibleError:
+                got = False
+            assert got == plain_ok
+
+    def test_weighted_optimum_preserved(self):
+        ch = identical_channel(2, 12, (4, 8))
+        cs = ConnectionSet.from_spans([(1, 3), (2, 4), (5, 7), (9, 11)])
+        w = occupied_length_weight(ch)
+        a = route_dp(ch, cs, weight=w)
+        b = route_dp_decomposed(ch, cs, weight=w)
+        b.validate()
+        assert b.total_weight(w) == a.total_weight(w)
+
+    def test_k_limit_respected(self):
+        ch = identical_channel(2, 12, (4, 8))
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12)])
+        r = route_dp_decomposed(ch, cs, max_segments=1)
+        r.validate(1)
+
+    def test_width_reduction_on_separable_instances(self):
+        # A long identical channel with periodic all-track switches and
+        # traffic confined between them: the decomposed run never sees
+        # the full simultaneous occupancy.
+        n_cols = 48
+        ch = identical_channel(4, n_cols, tuple(range(8, n_cols, 8)))
+        spans = []
+        for base in range(0, n_cols, 8):
+            spans += [
+                (base + 1, base + 4),
+                (base + 2, base + 6),
+                (base + 5, base + 8),
+            ]
+        cs = ConnectionSet.from_spans(spans)
+        _, stats = route_dp_with_stats(ch, cs)
+        decomposed_groups = decompose(ch, cs)
+        assert len(decomposed_groups) == 6
+        r = route_dp_decomposed(ch, cs)
+        r.validate()
+        # Same feasibility; piecewise levels are narrower than the worst
+        # single-shot level (each group re-starts from an empty frontier).
+        widest_piece = 0
+        for g in decomposed_groups:
+            _, s = route_dp_with_stats(ch, g)
+            widest_piece = max(widest_piece, s.max_level_width)
+        assert widest_piece <= stats.max_level_width

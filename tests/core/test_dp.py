@@ -1,0 +1,185 @@
+"""Tests for the assignment-graph DP (Section IV-B)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.analysis.complexity import theorem5_bound, theorem6_bound
+from repro.core.channel import channel_from_breaks, fully_segmented_channel
+from repro.core.connection import ConnectionSet
+from repro.core.dp import assignment_graph_levels, route_dp, route_dp_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.exact import count_routings, route_exact_optimal
+from repro.core.routing import occupied_length_weight, segment_count_weight
+
+
+class TestRouteDP:
+    def test_basic(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9), (1, 5)])
+        route_dp(ch, cs).validate()
+
+    def test_k_segment(self):
+        ch = channel_from_breaks(9, [(3, 6), ()])
+        cs = ConnectionSet.from_spans([(1, 8)])
+        r = route_dp(ch, cs, max_segments=1)
+        assert r.assignment == (1,)
+
+    def test_infeasible(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs)
+
+    def test_empty(self):
+        ch = channel_from_breaks(6, [()])
+        assert route_dp(ch, ConnectionSet([])).assignment == ()
+
+    def test_node_limit(self):
+        ch = fully_segmented_channel(4, 12)
+        cs = ConnectionSet.from_spans([(i, i + 1) for i in range(1, 11)])
+        with pytest.raises(RoutingInfeasibleError, match="node limit"):
+            route_dp(ch, cs, node_limit=2)
+
+    def test_feasibility_matches_exact_enumerated(self):
+        ch = channel_from_breaks(6, [(3,), (2, 4)])
+        spans = [(1, 2), (2, 4), (3, 6), (5, 6), (1, 6), (4, 5)]
+        for m in (2, 3):
+            for combo in itertools.combinations_with_replacement(spans, m):
+                cs = ConnectionSet.from_spans(list(combo))
+                dp_ok = True
+                try:
+                    route_dp(ch, cs).validate()
+                except RoutingInfeasibleError:
+                    dp_ok = False
+                assert dp_ok == (count_routings(ch, cs) > 0), combo
+
+    def test_feasibility_matches_exact_random_k(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            T = rng.randint(2, 4)
+            N = rng.randint(6, 12)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 3))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 6)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 5))))
+            cs = ConnectionSet.from_spans(spans)
+            k = rng.choice([None, 1, 2])
+            dp_ok = True
+            try:
+                route_dp(ch, cs, max_segments=k).validate(k)
+            except RoutingInfeasibleError:
+                dp_ok = False
+            assert dp_ok == (count_routings(ch, cs, max_segments=k) > 0)
+
+
+class TestWeightedDP:
+    def test_optimal_matches_branch_and_bound(self):
+        rng = random.Random(23)
+        for _ in range(40):
+            T = rng.randint(2, 3)
+            N = rng.randint(6, 12)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 5)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            w = occupied_length_weight(ch)
+            try:
+                expected = route_exact_optimal(ch, cs, w).total_weight(w)
+            except RoutingInfeasibleError:
+                with pytest.raises(RoutingInfeasibleError):
+                    route_dp(ch, cs, weight=w)
+                continue
+            got = route_dp(ch, cs, weight=w)
+            got.validate()
+            assert got.total_weight(w) == expected
+
+    def test_problem3_subsumes_problem2(self):
+        # With the segment-count weight, an optimal routing minimizes the
+        # total number of segments; if a 1-segment routing exists, the
+        # optimum uses M segments.
+        ch = channel_from_breaks(9, [(3, 6), (4,)])
+        cs = ConnectionSet.from_spans([(1, 3), (5, 9)])
+        w = segment_count_weight(ch)
+        r = route_dp(ch, cs, weight=w)
+        assert r.total_weight(w) == 2.0
+        assert r.max_segments_used() == 1
+
+
+class TestStatsAndBounds:
+    def test_stats_shape(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+        routing, stats = route_dp_with_stats(ch, cs)
+        routing.validate()
+        assert len(stats.nodes_per_level) == len(cs)
+        assert stats.nodes_per_level[-1] == 1  # normalized final level
+        assert stats.max_level_width >= 1
+        assert stats.total_edges >= stats.total_nodes - 1
+
+    def test_theorem5_bound_holds(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            T = rng.randint(2, 4)
+            N = 10
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 4))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(2, 6)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                _, stats = route_dp_with_stats(ch, cs)
+            except RoutingInfeasibleError:
+                continue
+            assert stats.max_level_width <= theorem5_bound(T)
+
+    def test_theorem6_bound_holds(self):
+        rng = random.Random(4)
+        for _ in range(20):
+            T = rng.randint(2, 4)
+            N = 10
+            K = rng.choice([1, 2])
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 4))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(2, 6)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                _, stats = route_dp_with_stats(ch, cs, max_segments=K)
+            except RoutingInfeasibleError:
+                continue
+            assert stats.max_level_width <= theorem6_bound(T, K)
+
+    def test_assignment_graph_levels_on_infeasible(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5), (4, 6)])
+        levels = assignment_graph_levels(ch, cs)
+        assert len(levels) < len(cs)  # graph died early
+
+    def test_assignment_graph_levels_on_feasible(self):
+        ch = channel_from_breaks(6, [(3,), ()])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        levels = assignment_graph_levels(ch, cs)
+        assert len(levels) == 2

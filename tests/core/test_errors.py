@@ -1,0 +1,37 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import errors
+
+
+def test_all_derive_from_repro_error():
+    for name in (
+        "ChannelError",
+        "ConnectionError_",
+        "RoutingInfeasibleError",
+        "HeuristicFailure",
+        "ValidationError",
+        "FormatError",
+    ):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_connection_error_does_not_shadow_builtin():
+    assert errors.ConnectionError_ is not ConnectionError
+    assert not issubclass(errors.ConnectionError_, OSError)
+
+
+def test_heuristic_failure_distinct_from_infeasible():
+    assert not issubclass(errors.HeuristicFailure, errors.RoutingInfeasibleError)
+    assert not issubclass(errors.RoutingInfeasibleError, errors.HeuristicFailure)
+
+
+def test_catchable_as_family():
+    with pytest.raises(errors.ReproError):
+        raise errors.ValidationError("x")

@@ -1,0 +1,140 @@
+"""Tests for the exact backtracking solvers."""
+
+import itertools
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.exact import count_routings, route_exact, route_exact_optimal
+from repro.core.routing import Routing, occupied_length_weight
+from tests.conftest import brute_force_routable
+
+
+@pytest.fixture
+def channel():
+    return channel_from_breaks(8, [(4,), (2, 6), ()])
+
+
+class TestRouteExact:
+    def test_finds_valid_routing(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 8)])
+        route_exact(channel, cs).validate()
+
+    def test_respects_k(self, channel):
+        cs = ConnectionSet.from_spans([(1, 8)])
+        r = route_exact(channel, cs, max_segments=1)
+        r.validate(max_segments=1)
+        assert r.assignment == (2,)  # only the unsegmented track
+
+    def test_infeasible_raises(self, channel):
+        cs = ConnectionSet.from_spans([(1, 8), (1, 8, ), (1, 8)])
+        # three full-width connections need three tracks... each occupies
+        # everything; actually feasible.  Use four.
+        cs = ConnectionSet.from_spans([(1, 8)] * 4)
+        with pytest.raises(RoutingInfeasibleError):
+            route_exact(channel, cs)
+
+    def test_agrees_with_brute_force(self):
+        ch = channel_from_breaks(6, [(3,), (2, 4)])
+        spans = [(1, 2), (2, 4), (3, 6), (5, 6), (1, 6)]
+        for m in (2, 3):
+            for combo in itertools.combinations_with_replacement(spans, m):
+                cs = ConnectionSet.from_spans(list(combo))
+                expected = brute_force_routable(ch, cs)
+                try:
+                    route_exact(ch, cs).validate()
+                    got = True
+                except RoutingInfeasibleError:
+                    got = False
+                assert got == expected, combo
+
+    def test_agrees_with_brute_force_k2(self):
+        ch = channel_from_breaks(6, [(2,), (2, 4)])
+        spans = [(1, 3), (2, 5), (4, 6), (1, 6)]
+        for combo in itertools.combinations_with_replacement(spans, 2):
+            cs = ConnectionSet.from_spans(list(combo))
+            expected = brute_force_routable(ch, cs, max_segments=2)
+            try:
+                route_exact(ch, cs, max_segments=2).validate(2)
+                got = True
+            except RoutingInfeasibleError:
+                got = False
+            assert got == expected, combo
+
+    def test_node_limit(self, channel):
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4), (5, 6)])
+        with pytest.raises(RoutingInfeasibleError, match="node limit"):
+            route_exact(channel, cs, node_limit=1)
+
+    def test_empty(self, channel):
+        assert route_exact(channel, ConnectionSet([])).assignment == ()
+
+
+class TestCountRoutings:
+    def test_count_matches_enumeration(self):
+        ch = channel_from_breaks(6, [(3,), (2, 4)])
+        spans = [(1, 2), (2, 4), (3, 6), (5, 6)]
+        for combo in itertools.combinations(spans, 2):
+            cs = ConnectionSet.from_spans(list(combo))
+            brute = sum(
+                1
+                for assign in itertools.product(range(2), repeat=2)
+                if Routing(ch, cs, assign).is_valid()
+            )
+            assert count_routings(ch, cs) == brute, combo
+
+    def test_zero_for_infeasible(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        assert count_routings(ch, cs) == 0
+
+    def test_k_reduces_count(self):
+        ch = channel_from_breaks(6, [(3,), (3,)])
+        cs = ConnectionSet.from_spans([(2, 5)])
+        assert count_routings(ch, cs) == 2
+        assert count_routings(ch, cs, max_segments=1) == 0
+
+
+class TestRouteExactOptimal:
+    def test_minimizes_weight_vs_enumeration(self):
+        ch = channel_from_breaks(8, [(4,), (2, 6), ()])
+        w = occupied_length_weight(ch)
+        spans_sets = [
+            [(1, 3), (2, 5)],
+            [(1, 2), (3, 4), (5, 8)],
+            [(2, 6), (1, 4)],
+        ]
+        for spans in spans_sets:
+            cs = ConnectionSet.from_spans(spans)
+            best = None
+            for assign in itertools.product(range(3), repeat=len(cs)):
+                r = Routing(ch, cs, assign)
+                if r.is_valid():
+                    cost = r.total_weight(w)
+                    best = cost if best is None else min(best, cost)
+            got = route_exact_optimal(ch, cs, w)
+            got.validate()
+            assert got.total_weight(w) == best, spans
+
+    def test_optimal_respects_k(self):
+        ch = channel_from_breaks(8, [(4,), ()])
+        w = occupied_length_weight(ch)
+        cs = ConnectionSet.from_spans([(3, 6)])
+        r = route_exact_optimal(ch, cs, w, max_segments=1)
+        assert r.assignment == (1,)
+
+    def test_infeasible_raises(self):
+        ch = channel_from_breaks(8, [(4,)])
+        w = occupied_length_weight(ch)
+        cs = ConnectionSet.from_spans([(3, 6)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_exact_optimal(ch, cs, w, max_segments=1)
+
+    def test_no_feasible_track_at_all(self):
+        ch = channel_from_breaks(8, [(2, 4, 6)])
+        w = occupied_length_weight(ch)
+        cs = ConnectionSet.from_spans([(1, 8)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_exact_optimal(ch, cs, w, max_segments=2)

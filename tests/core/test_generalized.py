@@ -1,0 +1,169 @@
+"""Tests for generalized routing (Section V, Problem 4)."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import (
+    route_generalized,
+    route_generalized_with_stats,
+)
+
+
+class TestBasics:
+    def test_single_track_instances_still_work(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+        g = route_generalized(ch, cs)
+        g.validate()
+
+    def test_empty(self):
+        ch = channel_from_breaks(9, [(3,)])
+        g = route_generalized(ch, ConnectionSet([]))
+        assert g.pieces == ()
+
+    def test_fig4_needs_generalized(self):
+        from repro.generators.paper_examples import fig4_channel, fig4_connections
+
+        ch, cs = fig4_channel(), fig4_connections()
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs)
+        g = route_generalized(ch, cs)
+        g.validate()
+        # The weaving connection c4 = (3,7) uses s22 (track 2) and s33
+        # (track 3), as the Section II discussion of Fig. 4 describes.
+        i = cs.index_of(cs.by_name("c4"))
+        segs = {(s.track, s.left, s.right) for s in g.segments_used(i)}
+        assert segs == {(1, 3, 6), (2, 6, 7)}
+
+    def test_generalized_at_least_as_powerful(self):
+        rng = random.Random(17)
+        for _ in range(40):
+            T = rng.randint(2, 3)
+            N = rng.randint(5, 9)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 4)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            single_ok = True
+            try:
+                route_dp(ch, cs)
+            except RoutingInfeasibleError:
+                single_ok = False
+            gen_ok = True
+            try:
+                route_generalized(ch, cs).validate()
+            except RoutingInfeasibleError:
+                gen_ok = False
+            assert gen_ok or not single_ok  # single-track => generalized
+
+    def test_column_capacity_bound(self):
+        # More connections crossing a column than tracks: even generalized
+        # routing must fail.
+        ch = channel_from_breaks(6, [(3,), (2, 4)])
+        cs = ConnectionSet.from_spans([(2, 4), (3, 5), (1, 6)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_generalized(ch, cs)
+
+    def test_stats(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        g, stats = route_generalized_with_stats(ch, cs)
+        g.validate()
+        assert stats.n_pieces == 6
+        assert len(stats.nodes_per_level) == 6
+
+
+class TestRestrictions:
+    @pytest.fixture
+    def weaving_instance(self):
+        from repro.generators.paper_examples import fig4_channel, fig4_connections
+
+        return fig4_channel(), fig4_connections()
+
+    def test_allowed_change_columns_permissive(self, weaving_instance):
+        ch, cs = weaving_instance
+        # Allowing a change everywhere must match the unrestricted result.
+        g = route_generalized(ch, cs, allowed_change_columns=range(1, 10))
+        g.validate(allowed_change_columns=set(range(1, 10)))
+
+    def test_allowed_change_columns_blocking(self, weaving_instance):
+        ch, cs = weaving_instance
+        # The instance requires a track change somewhere; forbidding all
+        # changes makes it as hard as single-track routing -> infeasible.
+        with pytest.raises(RoutingInfeasibleError):
+            route_generalized(ch, cs, allowed_change_columns=[])
+
+    def test_allowed_change_column_specific(self, weaving_instance):
+        ch, cs = weaving_instance
+        # c4 weaves s22 -> s33 at column 7.
+        g = route_generalized(ch, cs, allowed_change_columns=[7])
+        g.validate(allowed_change_columns={7})
+
+    def test_max_track_changes_zero_equals_single_track(self):
+        rng = random.Random(19)
+        for _ in range(25):
+            T = rng.randint(2, 3)
+            N = rng.randint(5, 8)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 3)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            single_ok = True
+            try:
+                route_dp(ch, cs)
+            except RoutingInfeasibleError:
+                single_ok = False
+            restricted_ok = True
+            try:
+                g = route_generalized(ch, cs, max_track_changes=0)
+                g.validate()
+                assert all(g.n_track_changes(i) == 0 for i in range(len(cs)))
+            except RoutingInfeasibleError:
+                restricted_ok = False
+            assert restricted_ok == single_ok
+
+    def test_max_track_changes_one(self, weaving_instance):
+        ch, cs = weaving_instance
+        g = route_generalized(ch, cs, max_track_changes=1)
+        g.validate()
+        assert all(g.n_track_changes(i) <= 1 for i in range(len(cs)))
+
+    def test_overlap_switches_restriction(self, weaving_instance):
+        ch, cs = weaving_instance
+        # c4's change at column 7: the old track's segment s22 ends at 6,
+        # so it does NOT extend through column 7 — under the overlap rule
+        # that change is illegal.  The instance may route another way or
+        # fail; either way every change in a returned routing must satisfy
+        # the rule.
+        try:
+            g = route_generalized(ch, cs, overlap_switches=True)
+        except RoutingInfeasibleError:
+            return
+        g.validate()
+        for i in range(len(cs)):
+            parts = g.pieces[i]
+            for a, b in zip(parts, parts[1:]):
+                if a[0] != b[0]:
+                    change_col = b[1]
+                    old_track = a[0]
+                    assert (
+                        ch.segment_end_at(old_track, change_col - 1)
+                        >= change_col
+                    )

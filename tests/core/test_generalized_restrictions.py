@@ -1,0 +1,124 @@
+"""Section II restricted cases 1 and 2 for generalized routing:
+per-connection segment and distinct-track budgets in the DP."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import route_generalized
+
+
+@pytest.fixture
+def fig4():
+    from repro.generators.paper_examples import fig4_channel, fig4_connections
+
+    return fig4_channel(), fig4_connections()
+
+
+class TestMaxSegments:
+    def test_budget_respected(self, fig4):
+        ch, cs = fig4
+        g = route_generalized(ch, cs, max_segments=3)
+        g.validate(max_segments=3)
+        assert all(len(g.segments_used(i)) <= 3 for i in range(len(cs)))
+
+    def test_tight_budget_may_be_infeasible(self):
+        # A connection that must join segments in every realization.
+        ch = channel_from_breaks(8, [(4,)])
+        cs = ConnectionSet.from_spans([(2, 6)])
+        route_generalized(ch, cs, max_segments=2).validate(max_segments=2)
+        with pytest.raises(RoutingInfeasibleError):
+            route_generalized(ch, cs, max_segments=1)
+
+    def test_k1_matches_single_segment_feasibility(self):
+        # With K=1, generalized routing cannot split (a split needs >= 2
+        # segments), so feasibility equals 1-segment routing feasibility.
+        from repro.core.matching import one_segment_feasible
+
+        rng = random.Random(5)
+        for _ in range(30):
+            T = rng.randint(1, 3)
+            N = rng.randint(5, 9)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 3)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 3))))
+            cs = ConnectionSet.from_spans(spans)
+            expected = one_segment_feasible(ch, cs)
+            try:
+                g = route_generalized(ch, cs, max_segments=1)
+                g.validate(max_segments=1)
+                got = True
+            except RoutingInfeasibleError:
+                got = False
+            assert got == expected
+
+    def test_budget_relaxation_monotone(self, fig4):
+        ch, cs = fig4
+        feasible_at = {}
+        for k in (1, 2, 3, 4, None):
+            try:
+                route_generalized(ch, cs, max_segments=k)
+                feasible_at[k] = True
+            except RoutingInfeasibleError:
+                feasible_at[k] = False
+        # Once feasible, stays feasible as K grows.
+        order = [1, 2, 3, 4, None]
+        seen_true = False
+        for k in order:
+            if feasible_at[k]:
+                seen_true = True
+            elif seen_true:
+                pytest.fail(f"feasibility not monotone at K={k}")
+
+
+class TestMaxTracks:
+    def test_budget_respected(self, fig4):
+        ch, cs = fig4
+        g = route_generalized(ch, cs, max_tracks=2)
+        g.validate(max_tracks=2)
+        assert all(
+            len(set(g.tracks_of(i))) <= 2 for i in range(len(cs))
+        )
+
+    def test_single_track_budget_equals_problem1(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            T = rng.randint(1, 3)
+            N = rng.randint(5, 9)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 3)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 3))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                route_dp(ch, cs)
+                expected = True
+            except RoutingInfeasibleError:
+                expected = False
+            try:
+                g = route_generalized(ch, cs, max_tracks=1)
+                g.validate(max_tracks=1)
+                got = True
+            except RoutingInfeasibleError:
+                got = False
+            assert got == expected
+
+    def test_combined_budgets(self, fig4):
+        ch, cs = fig4
+        g = route_generalized(ch, cs, max_segments=3, max_tracks=2)
+        g.validate(max_segments=3, max_tracks=2)

@@ -1,0 +1,104 @@
+"""Minimum-switch generalized routing tests."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, uniform_channel
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import (
+    generalized_switch_count,
+    route_generalized,
+    route_generalized_min_switches,
+)
+from repro.core.routing import GeneralizedRouting
+
+
+class TestSwitchCount:
+    def test_single_segment_connection(self):
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(1, 3)])
+        g = GeneralizedRouting(ch, cs, (((0, 1, 3),),))
+        assert generalized_switch_count(g) == 2  # entry + exit cross
+
+    def test_single_column_connection(self):
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(3, 3)])
+        g = GeneralizedRouting(ch, cs, (((0, 3, 3),),))
+        assert generalized_switch_count(g) == 1
+
+    def test_join_counts_one(self):
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(2, 7)])
+        g = GeneralizedRouting(ch, cs, (((0, 2, 7),),))
+        assert generalized_switch_count(g) == 3  # 2 cross + 1 join
+
+    def test_track_change_counts_two(self):
+        ch = channel_from_breaks(9, [(4,), (4,)])
+        cs = ConnectionSet.from_spans([(2, 7)])
+        g = GeneralizedRouting(ch, cs, (((0, 2, 4), (1, 5, 7)),))
+        assert generalized_switch_count(g) == 4  # 2 cross + 2 for the jog
+
+    def test_join_split_across_pieces_same_track(self):
+        # Two pieces on the same track meeting exactly at a break: still
+        # one join switch.
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(2, 7)])
+        g = GeneralizedRouting(ch, cs, (((0, 2, 4), (0, 5, 7)),))
+        assert generalized_switch_count(g) == 3
+
+
+class TestMinimization:
+    def test_never_more_than_first_found(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            T = rng.randint(2, 3)
+            N = rng.randint(6, 10)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 2))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 4)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                plain = route_generalized(ch, cs)
+            except RoutingInfeasibleError:
+                continue
+            optimal, n = route_generalized_min_switches(ch, cs)
+            optimal.validate()
+            assert n <= generalized_switch_count(plain)
+
+    def test_avoids_gratuitous_weaving(self):
+        # The first-found DP may weave connections across tracks for no
+        # benefit; the minimizer must stay on single tracks when the
+        # instance admits a plain routing of equal switch cost.
+        ch = uniform_channel(4, 16, 4)
+        cs = ConnectionSet.from_spans([(1, 3), (2, 7), (5, 12), (9, 16)])
+        optimal, n = route_generalized_min_switches(ch, cs)
+        optimal.validate()
+        assert all(optimal.n_track_changes(i) == 0 for i in range(len(cs)))
+
+    def test_matches_single_track_cost_when_possible(self):
+        # When a single-track routing exists, the generalized optimum's
+        # switch count is at most the best single-track embedding's.
+        ch = channel_from_breaks(12, [(4, 8), (6,)])
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12), (2, 10)])
+        single = route_dp(ch, cs)
+        embedded = GeneralizedRouting.from_routing(single)
+        _, n = route_generalized_min_switches(ch, cs)
+        assert n <= generalized_switch_count(embedded)
+
+    def test_weaving_used_only_when_needed(self):
+        from repro.generators.paper_examples import fig4_channel, fig4_connections
+
+        ch, cs = fig4_channel(), fig4_connections()
+        optimal, n = route_generalized_min_switches(ch, cs)
+        optimal.validate()
+        changes = sum(optimal.n_track_changes(i) for i in range(len(cs)))
+        assert changes == 1  # exactly the one forced weave

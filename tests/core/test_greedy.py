@@ -1,0 +1,126 @@
+"""Tests for the Theorem-3 and Theorem-4 greedy routers."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.greedy import (
+    route_one_segment_greedy,
+    route_two_segment_tracks_greedy,
+)
+
+
+class TestOneSegmentGreedy:
+    def test_fig3_unambiguous_assignments(self, fig3):
+        ch, cs = fig3
+        r = route_one_segment_greedy(ch, cs)
+        r.validate(max_segments=1)
+        # The two printed assignments that survive the scan: c1 -> s21
+        # (track 2), c2 -> s31 (track 3); 0-based tracks 1 and 2.
+        assert r.as_dict()["c1"] == 1
+        assert r.as_dict()["c2"] == 2
+
+    def test_min_right_end_rule(self):
+        # Connection fits segments ending at 4 (track1) and 9 (track0);
+        # the rule picks the earlier-ending one.
+        ch = channel_from_breaks(9, [(), (4,)])
+        cs = ConnectionSet.from_spans([(1, 3)])
+        r = route_one_segment_greedy(ch, cs)
+        assert r.assignment == (1,)
+
+    def test_tie_breaks_low_track(self):
+        ch = channel_from_breaks(9, [(4,), (4,)])
+        cs = ConnectionSet.from_spans([(1, 3)])
+        r = route_one_segment_greedy(ch, cs)
+        assert r.assignment == (0,)
+
+    def test_occupied_segments_skipped(self):
+        ch = channel_from_breaks(9, [(4,), (4,)])
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        r = route_one_segment_greedy(ch, cs)
+        r.validate(max_segments=1)
+        assert r.assignment[0] != r.assignment[1]
+
+    def test_multi_segment_fit_not_allowed(self):
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(3, 6)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_one_segment_greedy(ch, cs)
+
+    def test_infeasible_when_all_occupied(self):
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_one_segment_greedy(ch, cs)
+
+    def test_empty(self):
+        ch = channel_from_breaks(9, [(4,)])
+        assert route_one_segment_greedy(ch, ConnectionSet([])).assignment == ()
+
+    def test_all_results_single_segment(self):
+        ch = channel_from_breaks(12, [(3, 6, 9), (4, 8), ()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 4), (5, 6), (7, 9), (10, 12)])
+        r = route_one_segment_greedy(ch, cs)
+        r.validate(max_segments=1)
+        assert r.max_segments_used() == 1
+
+
+class TestTwoSegmentGreedy:
+    def test_rejects_three_segment_tracks(self):
+        ch = channel_from_breaks(9, [(3, 6)])
+        with pytest.raises(ChannelError):
+            route_two_segment_tracks_greedy(ch, ConnectionSet.from_spans([(1, 2)]))
+
+    def test_fig8_walkthrough(self):
+        from repro.generators.paper_examples import fig8_channel, fig8_connections
+
+        r = route_two_segment_tracks_greedy(fig8_channel(), fig8_connections())
+        r.validate()
+        # c1 -> t1; c2 pooled then flushed to t3; c3 tie (t2,t3) -> t2;
+        # c4 -> t1's right segment.
+        assert r.as_dict() == {"c1": 0, "c2": 2, "c3": 1, "c4": 0}
+
+    def test_pool_overflow_is_infeasible(self):
+        # Two whole-track connections, one track.
+        ch = channel_from_breaks(9, [(4,)])
+        cs = ConnectionSet.from_spans([(2, 6), (3, 7)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_two_segment_tracks_greedy(ch, cs)
+
+    def test_pool_flushed_at_end(self):
+        ch = channel_from_breaks(9, [(4,), (4,)])
+        cs = ConnectionSet.from_spans([(2, 6)])
+        r = route_two_segment_tracks_greedy(ch, cs)
+        r.validate()
+
+    def test_pooled_connection_consumes_whole_track(self):
+        ch = channel_from_breaks(9, [(4,), (4,)])
+        # (2,6) pools; (5,9) and (1,3) fit single segments.
+        cs = ConnectionSet.from_spans([(1, 3), (2, 6), (5, 9)])
+        r = route_two_segment_tracks_greedy(ch, cs)
+        r.validate()
+        d = r.as_dict()
+        assert d["c2"] not in (d["c1"], d["c3"])
+
+    def test_single_segment_priority_preserved(self):
+        # Matches the 1-segment greedy when everything fits one segment.
+        ch = channel_from_breaks(9, [(4,), (6,)])
+        cs = ConnectionSet.from_spans([(1, 3), (5, 9), (7, 9)])
+        r = route_two_segment_tracks_greedy(ch, cs)
+        r1 = route_one_segment_greedy(ch, cs)
+        assert r.assignment == r1.assignment
+
+    def test_unsegmented_tracks_allowed(self):
+        ch = channel_from_breaks(9, [(), ()])
+        cs = ConnectionSet.from_spans([(1, 5), (4, 9)])
+        r = route_two_segment_tracks_greedy(ch, cs)
+        r.validate()
+        assert set(r.assignment) == {0, 1}
+
+    def test_empty(self):
+        ch = channel_from_breaks(9, [(4,)])
+        assert (
+            route_two_segment_tracks_greedy(ch, ConnectionSet([])).assignment
+            == ()
+        )

@@ -1,0 +1,139 @@
+"""Exactness of the greedy routers (Theorems 3 and 4), proven empirically.
+
+Theorem 3: the 1-segment greedy succeeds iff a 1-segment routing exists.
+Theorem 4: the pool greedy succeeds iff any routing exists on channels
+with at most two segments per track.
+
+Both are checked against two independent oracles — the assignment-graph
+DP and the raw brute-force assignment enumeration — over exhaustive small
+instance families and randomized larger ones.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.greedy import (
+    route_one_segment_greedy,
+    route_two_segment_tracks_greedy,
+)
+from tests.conftest import brute_force_routable
+
+
+def _greedy1_ok(ch, cs):
+    try:
+        route_one_segment_greedy(ch, cs).validate(max_segments=1)
+        return True
+    except RoutingInfeasibleError:
+        return False
+
+
+def _greedy2_ok(ch, cs):
+    try:
+        route_two_segment_tracks_greedy(ch, cs).validate()
+        return True
+    except RoutingInfeasibleError:
+        return False
+
+
+def _dp_ok(ch, cs, k=None):
+    try:
+        route_dp(ch, cs, max_segments=k).validate(k)
+        return True
+    except RoutingInfeasibleError:
+        return False
+
+
+class TestTheorem3Exhaustive:
+    def test_against_dp_on_enumerated_instances(self):
+        n = 6
+        spans = [(l, r) for l in range(1, n + 1) for r in range(l, n + 1)]
+        breaks_options = [(), (2,), (4,), (2, 4)]
+        checked = 0
+        for b1, b2 in itertools.product(breaks_options, repeat=2):
+            ch = channel_from_breaks(n, [b1, b2])
+            for combo in itertools.combinations(spans, 2):
+                cs = ConnectionSet.from_spans(list(combo))
+                assert _greedy1_ok(ch, cs) == _dp_ok(ch, cs, k=1), (
+                    b1, b2, combo,
+                )
+                checked += 1
+        assert checked > 1000
+
+    def test_against_brute_force_three_connections(self):
+        ch = channel_from_breaks(6, [(2,), (3,), (2, 4)])
+        spans = [(1, 2), (2, 3), (3, 4), (4, 6), (5, 6), (1, 4)]
+        for combo in itertools.combinations(spans, 3):
+            cs = ConnectionSet.from_spans(list(combo))
+            assert _greedy1_ok(ch, cs) == brute_force_routable(ch, cs, 1), combo
+
+
+class TestTheorem3Random:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(seed)
+        for _ in range(30):
+            T = rng.randint(2, 4)
+            N = rng.randint(6, 14)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 3))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            M = rng.randint(1, 6)
+            spans = []
+            for _ in range(M):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 5))))
+            cs = ConnectionSet.from_spans(spans)
+            assert _greedy1_ok(ch, cs) == _dp_ok(ch, cs, k=1)
+
+
+class TestTheorem4Exhaustive:
+    def test_against_dp_on_enumerated_instances(self):
+        n = 6
+        spans = [(l, r) for l in range(1, n + 1) for r in range(l, n + 1)]
+        breaks_options = [(), (2,), (4,)]
+        checked = 0
+        for b1, b2 in itertools.product(breaks_options, repeat=2):
+            ch = channel_from_breaks(n, [b1, b2])
+            for combo in itertools.combinations(spans, 2):
+                cs = ConnectionSet.from_spans(list(combo))
+                assert _greedy2_ok(ch, cs) == _dp_ok(ch, cs), (b1, b2, combo)
+                checked += 1
+        assert checked > 500
+
+    def test_three_tracks_three_connections(self):
+        ch = channel_from_breaks(6, [(2,), (4,), ()])
+        spans = [(1, 2), (2, 4), (3, 5), (4, 6), (1, 5), (5, 6)]
+        for combo in itertools.combinations_with_replacement(spans, 3):
+            cs = ConnectionSet.from_spans(list(combo))
+            assert _greedy2_ok(ch, cs) == _dp_ok(ch, cs), combo
+
+
+class TestTheorem4Random:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances(self, seed):
+        rng = random.Random(100 + seed)
+        for _ in range(30):
+            T = rng.randint(2, 5)
+            N = rng.randint(6, 14)
+            breaks = []
+            for _ in range(T):
+                if rng.random() < 0.3:
+                    breaks.append(())
+                else:
+                    breaks.append((rng.randint(1, N - 1),))
+            ch = channel_from_breaks(N, breaks)
+            M = rng.randint(1, 7)
+            spans = []
+            for _ in range(M):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 6))))
+            cs = ConnectionSet.from_spans(spans)
+            assert _greedy2_ok(ch, cs) == _dp_ok(ch, cs)

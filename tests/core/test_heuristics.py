@@ -1,0 +1,156 @@
+"""Heuristic router tests."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, identical_channel
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.core.heuristics import (
+    route_best_fit,
+    route_first_fit,
+    route_random_restart,
+)
+
+
+@pytest.fixture
+def channel():
+    return channel_from_breaks(12, [(4, 8), (6,), ()])
+
+
+class TestFirstFit:
+    def test_routes_valid(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12), (1, 6)])
+        r = route_first_fit(channel, cs)
+        r.validate()
+
+    def test_takes_lowest_track(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4)])
+        assert route_first_fit(channel, cs).assignment == (0,)
+
+    def test_k_respected(self, channel):
+        cs = ConnectionSet.from_spans([(1, 10)])
+        r = route_first_fit(channel, cs, max_segments=1)
+        r.validate(max_segments=1)
+        assert r.assignment == (2,)
+
+    def test_failure_not_a_proof(self, channel):
+        # First-fit can fail on routable instances; when it fails it must
+        # raise HeuristicFailure, never claim infeasibility.
+        rng = random.Random(0)
+        failures = 0
+        for _ in range(60):
+            spans = []
+            for _ in range(rng.randint(2, 5)):
+                l = rng.randint(1, 12)
+                spans.append((l, min(12, l + rng.randint(0, 6))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                route_first_fit(channel, cs).validate()
+            except HeuristicFailure:
+                failures += 1
+        assert failures >= 0  # smoke: no other exception type escaped
+
+    def test_exact_on_identical_tracks(self):
+        ch = identical_channel(3, 12, (4, 8))
+        rng = random.Random(1)
+        for _ in range(40):
+            spans = []
+            for _ in range(rng.randint(1, 6)):
+                l = rng.randint(1, 12)
+                spans.append((l, min(12, l + rng.randint(0, 5))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                route_dp(ch, cs)
+                feasible = True
+            except RoutingInfeasibleError:
+                feasible = False
+            try:
+                route_first_fit(ch, cs).validate()
+                got = True
+            except HeuristicFailure:
+                got = False
+            assert got == feasible
+
+
+class TestBestFit:
+    def test_routes_valid(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 8), (9, 12)])
+        route_best_fit(channel, cs).validate()
+
+    def test_prefers_tight_segment(self, channel):
+        # (1,4) fits track0 (1,4) with waste 0 vs track1 (1,6) waste 2 vs
+        # track2 whole track waste 8.
+        cs = ConnectionSet.from_spans([(1, 4)])
+        assert route_best_fit(channel, cs).assignment == (0,)
+
+    def test_matches_theorem3_rule_for_k1(self, channel):
+        from repro.core.greedy import route_one_segment_greedy
+
+        rng = random.Random(2)
+        agreements = 0
+        for _ in range(40):
+            spans = []
+            for _ in range(rng.randint(1, 5)):
+                l = rng.randint(1, 12)
+                spans.append((l, min(12, l + rng.randint(0, 4))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                exact = route_one_segment_greedy(channel, cs)
+            except RoutingInfeasibleError:
+                continue
+            got = route_best_fit(channel, cs, max_segments=1)
+            got.validate(1)
+            agreements += 1
+        assert agreements > 10
+
+
+class TestRandomRestart:
+    def test_routes_valid(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 8), (9, 12)])
+        r = route_random_restart(channel, cs, seed=3)
+        r.validate()
+
+    def test_deterministic_given_seed(self, channel):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 8)])
+        a = route_random_restart(channel, cs, seed=4)
+        b = route_random_restart(channel, cs, seed=4)
+        assert a.assignment == b.assignment
+
+    def test_restarts_recover_first_fit_failures(self):
+        # Find instances where first-fit fails but the instance is
+        # routable; random restarts should succeed on most.
+        rng = random.Random(5)
+        ch = channel_from_breaks(12, [(4, 8), (6,), (3, 9)])
+        recovered = tried = 0
+        for _ in range(300):
+            spans = []
+            for _ in range(rng.randint(3, 6)):
+                l = rng.randint(1, 12)
+                spans.append((l, min(12, l + rng.randint(0, 6))))
+            cs = ConnectionSet.from_spans(spans)
+            try:
+                route_first_fit(ch, cs)
+                continue
+            except HeuristicFailure:
+                pass
+            try:
+                route_dp(ch, cs)
+            except RoutingInfeasibleError:
+                continue
+            tried += 1
+            try:
+                route_random_restart(ch, cs, n_restarts=64, seed=tried)
+                recovered += 1
+            except HeuristicFailure:
+                pass
+        assert tried > 0
+        assert recovered >= tried * 0.6
+
+    def test_failure_raises_heuristic(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        with pytest.raises(HeuristicFailure):
+            route_random_restart(ch, cs, n_restarts=4, seed=6)

@@ -1,0 +1,146 @@
+"""Tests for incremental (ECO) routing."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.incremental import (
+    IncrementalRouter,
+    insert_connection,
+    remove_connection,
+)
+from repro.core.routing import Routing
+
+
+@pytest.fixture
+def channel():
+    return channel_from_breaks(12, [(4, 8), (6,), ()])
+
+
+def _routed(channel, spans):
+    cs = ConnectionSet.from_spans(spans)
+    return route_dp(channel, cs)
+
+
+class TestInsert:
+    def test_direct_insert(self, channel):
+        r = _routed(channel, [(1, 4), (5, 8)])
+        r2 = insert_connection(r, Connection(9, 12, "new"))
+        r2.validate()
+        assert len(r2.connections) == 3
+
+    def test_direct_prefers_tight_fit(self, channel):
+        r = Routing(channel, ConnectionSet([]), ())
+        r2 = insert_connection(r, Connection(1, 4, "new"))
+        # (1,4) fits exactly in track 0's first segment: the tightest.
+        assert r2.assignment == (0,)
+
+    def test_ripup_insert(self, channel):
+        # Block the only direct options so a rip-up is needed.
+        r = _routed(channel, [(2, 6), (1, 10)])
+        # (1,4): track0 segment (1,4) blocked by... construct carefully:
+        new = Connection(3, 4, "new")
+        r2 = insert_connection(r, new)
+        r2.validate()
+        assert new in r2.connections.connections
+
+    def test_insert_duplicate_rejected(self, channel):
+        cs = ConnectionSet([Connection(1, 4, "a")])
+        r = Routing(channel, cs, (0,))
+        with pytest.raises(RoutingInfeasibleError):
+            insert_connection(r, Connection(1, 4, "a"))
+
+    def test_insert_infeasible(self):
+        ch = channel_from_breaks(6, [()])
+        r = Routing(ch, ConnectionSet([Connection(1, 4, "a")]), (0,))
+        with pytest.raises(RoutingInfeasibleError):
+            insert_connection(r, Connection(3, 6, "b"))
+
+    def test_respects_k(self, channel):
+        r = Routing(channel, ConnectionSet([]), ())
+        r2 = insert_connection(r, Connection(1, 10, "long"), max_segments=1)
+        r2.validate(max_segments=1)
+        assert r2.assignment == (2,)  # only the unsegmented track
+
+    def test_matches_from_scratch_feasibility(self, channel):
+        rng = random.Random(3)
+        for _ in range(25):
+            spans = []
+            for _ in range(rng.randint(1, 4)):
+                l = rng.randint(1, 12)
+                spans.append((l, min(12, l + rng.randint(0, 6))))
+            base = spans[:-1]
+            extra = spans[-1]
+            cs_all = ConnectionSet.from_spans(spans)
+            try:
+                route_dp(channel, cs_all)
+                should_work = True
+            except RoutingInfeasibleError:
+                should_work = False
+            try:
+                r = (
+                    route_dp(channel, ConnectionSet.from_spans(base))
+                    if base
+                    else Routing(channel, ConnectionSet([]), ())
+                )
+            except RoutingInfeasibleError:
+                continue
+            name = f"x{rng.randrange(10**6)}"
+            try:
+                r2 = insert_connection(r, Connection(extra[0], extra[1], name))
+                r2.validate()
+                worked = True
+            except RoutingInfeasibleError:
+                worked = False
+            assert worked == should_work
+
+
+class TestRemove:
+    def test_remove_frees_segments(self, channel):
+        r = _routed(channel, [(1, 4), (5, 8)])
+        c = r.connections[0]
+        r2 = remove_connection(r, c)
+        assert len(r2.connections) == 1
+        r2.validate()
+
+    def test_remove_then_reinsert(self, channel):
+        r = _routed(channel, [(1, 4), (5, 8)])
+        c = r.connections[0]
+        r2 = remove_connection(r, c)
+        r3 = insert_connection(r2, c)
+        r3.validate()
+        assert len(r3.connections) == 2
+
+
+class TestIncrementalRouter:
+    def test_session(self, channel):
+        session = IncrementalRouter(channel, max_segments=2)
+        a = Connection(1, 4, "a")
+        b = Connection(5, 8, "b")
+        session.insert(a)
+        session.insert(b)
+        assert len(session) == 2
+        session.routing.validate(2)
+        session.remove(a)
+        assert len(session) == 1
+
+    def test_session_many_random(self, channel):
+        rng = random.Random(9)
+        session = IncrementalRouter(channel)
+        inserted = []
+        for i in range(12):
+            l = rng.randint(1, 12)
+            c = Connection(l, min(12, l + rng.randint(0, 4)), f"n{i}")
+            try:
+                session.insert(c)
+                inserted.append(c)
+            except RoutingInfeasibleError:
+                pass
+            if inserted and rng.random() < 0.3:
+                session.remove(inserted.pop(rng.randrange(len(inserted))))
+            session.routing.validate()
+        assert len(session) == len(inserted)

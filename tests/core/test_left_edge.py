@@ -1,0 +1,118 @@
+"""Tests for the left-edge routers (Section IV-A identical tracks +
+unconstrained baseline)."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, identical_channel, unsegmented_channel
+from repro.core.connection import ConnectionSet, density
+from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.left_edge import (
+    route_left_edge_identical,
+    route_left_edge_unconstrained,
+)
+
+
+class TestIdentical:
+    def test_rejects_non_identical(self):
+        ch = channel_from_breaks(9, [(3,), (4,)])
+        with pytest.raises(ChannelError):
+            route_left_edge_identical(ch, ConnectionSet.from_spans([(1, 2)]))
+
+    def test_routes_simple(self):
+        ch = identical_channel(2, 9, (3, 6))
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9), (1, 6)])
+        r = route_left_edge_identical(ch, cs)
+        r.validate()
+
+    def test_respects_segment_occupancy_not_just_span(self):
+        # Two span-disjoint connections in the same segment conflict.
+        ch = identical_channel(2, 9, (4,))
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        r = route_left_edge_identical(ch, cs)
+        r.validate()
+        assert r.assignment[0] != r.assignment[1]
+
+    def test_infeasible_raises(self):
+        ch = identical_channel(1, 9, (4,))
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_left_edge_identical(ch, cs)
+
+    def test_k_limit_checked_upfront(self):
+        ch = identical_channel(3, 9, (3, 6))
+        cs = ConnectionSet.from_spans([(1, 9)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_left_edge_identical(ch, cs, max_segments=2)
+        route_left_edge_identical(ch, cs, max_segments=3).validate(3)
+
+    def test_exactness_on_identical_tracks(self):
+        # Greedy-left-edge failure == true infeasibility; cross-check with
+        # the DP on a batch of instances.
+        from repro.core.dp import route_dp
+
+        ch = identical_channel(2, 8, (4,))
+        spans_pool = [(1, 2), (2, 4), (3, 5), (5, 8), (6, 7), (1, 8)]
+        import itertools
+
+        for m in (2, 3):
+            for combo in itertools.combinations(spans_pool, m):
+                cs = ConnectionSet.from_spans(list(combo))
+                try:
+                    route_left_edge_identical(ch, cs).validate()
+                    le_ok = True
+                except RoutingInfeasibleError:
+                    le_ok = False
+                try:
+                    route_dp(ch, cs).validate()
+                    dp_ok = True
+                except RoutingInfeasibleError:
+                    dp_ok = False
+                assert le_ok == dp_ok, combo
+
+    def test_empty_connections(self):
+        ch = identical_channel(2, 9, (3,))
+        r = route_left_edge_identical(ch, ConnectionSet([]))
+        assert r.assignment == ()
+
+
+class TestUnconstrained:
+    def test_track_count_equals_density(self):
+        cs = ConnectionSet.from_spans([(1, 4), (2, 6), (5, 9), (7, 9)])
+        r = route_left_edge_unconstrained(cs)
+        assert r.channel.n_tracks == density(cs)
+        r.validate()
+
+    def test_nested_intervals(self):
+        cs = ConnectionSet.from_spans([(1, 9), (2, 3), (4, 5), (6, 8)])
+        r = route_left_edge_unconstrained(cs)
+        assert r.channel.n_tracks == 2
+        r.validate()
+
+    def test_disjoint_share_one_track(self):
+        cs = ConnectionSet.from_spans([(1, 2), (3, 4), (5, 6)])
+        r = route_left_edge_unconstrained(cs)
+        assert r.channel.n_tracks == 1
+
+    def test_explicit_columns(self):
+        cs = ConnectionSet.from_spans([(1, 2)])
+        r = route_left_edge_unconstrained(cs, n_columns=20)
+        assert r.channel.n_columns == 20
+
+    def test_empty(self):
+        r = route_left_edge_unconstrained(ConnectionSet([]))
+        assert r.channel.n_tracks == 1
+        assert r.assignment == ()
+
+    def test_density_optimality_random(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(25):
+            spans = []
+            for _ in range(rng.randint(1, 12)):
+                l = rng.randint(1, 15)
+                spans.append((l, min(16, l + rng.randint(0, 6))))
+            cs = ConnectionSet.from_spans(spans)
+            r = route_left_edge_unconstrained(cs)
+            r.validate()
+            assert r.channel.n_tracks == density(cs)

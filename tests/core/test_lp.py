@@ -1,0 +1,100 @@
+"""Tests for the Section IV-C LP heuristic."""
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks, staggered_channel
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.core.lp import build_routing_lp, lp_relaxation_report, route_lp
+from repro.generators.random_instances import random_channel, random_feasible_instance
+
+
+class TestModel:
+    def test_variable_count(self):
+        ch = channel_from_breaks(6, [(3,), ()])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        lp, keys = build_routing_lp(ch, cs)
+        assert len(keys) == 4  # every (connection, track) pair feasible
+        assert lp.n_variables == 4
+
+    def test_k_limit_prunes_variables(self):
+        ch = channel_from_breaks(6, [(3,), ()])
+        cs = ConnectionSet.from_spans([(2, 5)])
+        _, keys = build_routing_lp(ch, cs, max_segments=1)
+        assert keys == [(0, 1)]  # only the unsegmented track
+
+    def test_constraint_count(self):
+        ch = channel_from_breaks(6, [(3,)])
+        cs = ConnectionSet.from_spans([(1, 2), (2, 3)])
+        lp, _ = build_routing_lp(ch, cs)
+        # 2 per-connection rows + 1 shared-segment row.
+        assert lp.n_constraints == 3
+
+
+class TestRelaxationReport:
+    def test_feasible_instance_routes_directly(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+        report = lp_relaxation_report(ch, cs)
+        assert report.all_assigned
+        assert report.m_connections == 3
+
+    def test_infeasible_instance_objective_below_m(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        report = lp_relaxation_report(ch, cs)
+        assert report.objective < 2 - 1e-6
+        assert not report.routed_directly
+
+
+class TestRouteLP:
+    def test_routes_valid(self):
+        ch = channel_from_breaks(9, [(3, 6), (5,)])
+        cs = ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9), (1, 5)])
+        r = route_lp(ch, cs)
+        r.validate()
+
+    def test_respects_k(self):
+        ch = channel_from_breaks(9, [(3, 6), ()])
+        cs = ConnectionSet.from_spans([(1, 8)])
+        r = route_lp(ch, cs, max_segments=1)
+        r.validate(max_segments=1)
+        assert r.assignment == (1,)
+
+    def test_infeasibility_detected_via_bound(self):
+        ch = channel_from_breaks(6, [()])
+        cs = ConnectionSet.from_spans([(1, 3), (2, 5)])
+        with pytest.raises(HeuristicFailure, match="proves"):
+            route_lp(ch, cs)
+
+    def test_empty(self):
+        ch = channel_from_breaks(6, [()])
+        assert route_lp(ch, ConnectionSet([])).assignment == ()
+
+    def test_agreement_with_dp_on_random_feasible(self):
+        rng = random.Random(41)
+        for trial in range(12):
+            ch = random_channel(4, 20, 5.0, seed=rng.getrandbits(32))
+            cs = random_feasible_instance(
+                ch, 8, seed=rng.getrandbits(32), max_segments=2
+            )
+            # DP confirms feasibility; the LP heuristic should route too
+            # (by construction these are the benign instances the paper's
+            # simulations found the LP to handle).
+            route_dp(ch, cs, max_segments=2).validate(2)
+            r = route_lp(ch, cs, max_segments=2)
+            r.validate(2)
+
+    def test_paper_scale_m60_t25(self):
+        # One paper-scale instance routed through the relaxation.
+        ch = staggered_channel(25, 80, 8)
+        cs = random_feasible_instance(ch, 60, seed=123, mean_length=8.0)
+        report = lp_relaxation_report(ch, cs)
+        assert report.m_connections == 60
+        assert report.n_tracks == 25
+        assert report.all_assigned  # relaxation reaches M
+        r = route_lp(ch, cs)
+        r.validate()

@@ -1,0 +1,119 @@
+"""Tests for the Fig. 7 matching reduction (optimal 1-segment routing)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.exact import route_exact_optimal
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.matching import (
+    one_segment_bipartite_graph,
+    one_segment_feasible,
+    route_one_segment_matching,
+)
+from repro.core.routing import occupied_length_weight
+
+
+class TestGraphConstruction:
+    def test_fig7_shape(self, fig3):
+        ch, cs = fig3
+        segments, adjacency = one_segment_bipartite_graph(ch, cs)
+        assert len(segments) == 8  # s11..s13, s21..s23, s31..s32
+        assert len(adjacency) == 5
+        # c1=(1,3) fits s21=(1,3) and s31=(1,5) only.
+        fits = {
+            (segments[si].track, segments[si].index) for si in adjacency[0]
+        }
+        assert fits == {(1, 0), (2, 0)}
+
+    def test_edges_are_containments(self):
+        ch = channel_from_breaks(9, [(3, 6), ()])
+        cs = ConnectionSet.from_spans([(2, 5), (4, 6)])
+        segments, adjacency = one_segment_bipartite_graph(ch, cs)
+        for i, c in enumerate(cs):
+            for si in adjacency[i]:
+                assert segments[si].covers(c.left, c.right)
+
+
+class TestFeasibility:
+    def test_matches_greedy_enumerated(self):
+        ch = channel_from_breaks(6, [(3,), (2, 4)])
+        spans = [(l, r) for l in range(1, 7) for r in range(l, 7)]
+        for combo in itertools.combinations(spans, 2):
+            cs = ConnectionSet.from_spans(list(combo))
+            greedy_ok = True
+            try:
+                route_one_segment_greedy(ch, cs)
+            except RoutingInfeasibleError:
+                greedy_ok = False
+            assert one_segment_feasible(ch, cs) == greedy_ok, combo
+
+    def test_empty_feasible(self):
+        ch = channel_from_breaks(6, [(3,)])
+        assert one_segment_feasible(ch, ConnectionSet([]))
+
+
+class TestRouting:
+    def test_unweighted_routes(self, fig3):
+        ch, cs = fig3
+        r = route_one_segment_matching(ch, cs)
+        r.validate(max_segments=1)
+
+    def test_infeasible_raises(self):
+        ch = channel_from_breaks(6, [(3,)])
+        cs = ConnectionSet.from_spans([(1, 2), (2, 3)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_one_segment_matching(ch, cs)
+
+    def test_connection_fits_nothing(self):
+        ch = channel_from_breaks(6, [(3,)])
+        cs = ConnectionSet.from_spans([(2, 5)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_one_segment_matching(ch, cs)
+
+    def test_empty(self):
+        ch = channel_from_breaks(6, [(3,)])
+        assert route_one_segment_matching(ch, ConnectionSet([])).assignment == ()
+
+
+class TestOptimality:
+    def test_minimum_weight_vs_exact(self):
+        rng = random.Random(31)
+        for _ in range(40):
+            T = rng.randint(2, 4)
+            N = rng.randint(6, 12)
+            breaks = [
+                tuple(sorted(rng.sample(range(1, N), rng.randint(0, 3))))
+                for _ in range(T)
+            ]
+            ch = channel_from_breaks(N, breaks)
+            spans = []
+            for _ in range(rng.randint(1, 5)):
+                l = rng.randint(1, N)
+                spans.append((l, min(N, l + rng.randint(0, 3))))
+            cs = ConnectionSet.from_spans(spans)
+            w = occupied_length_weight(ch)
+            try:
+                expected = route_exact_optimal(
+                    ch, cs, w, max_segments=1
+                ).total_weight(w)
+            except RoutingInfeasibleError:
+                with pytest.raises(RoutingInfeasibleError):
+                    route_one_segment_matching(ch, cs, weight=w)
+                continue
+            got = route_one_segment_matching(ch, cs, weight=w)
+            got.validate(max_segments=1)
+            assert got.total_weight(w) == pytest.approx(expected)
+
+    def test_prefers_tight_segments(self):
+        # Two tracks: one tight segment, one wasteful; the optimal
+        # matching takes the tight one.
+        ch = channel_from_breaks(10, [(4,), ()])
+        cs = ConnectionSet.from_spans([(1, 4)])
+        w = occupied_length_weight(ch)
+        r = route_one_segment_matching(ch, cs, weight=w)
+        assert r.assignment == (0,)

@@ -1,0 +1,119 @@
+"""Edge-of-the-model tests: degenerate channels and extreme connections."""
+
+import pytest
+
+from repro.core.api import route
+from repro.core.channel import (
+    Track,
+    channel_from_breaks,
+    fully_segmented_channel,
+    unsegmented_channel,
+)
+from repro.core.connection import Connection, ConnectionSet, density
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import route_generalized
+from repro.core.greedy import route_one_segment_greedy
+
+
+class TestOneColumnChannel:
+    def test_single_column_track(self):
+        t = Track(1)
+        assert t.segment_bounds == ((1, 1),)
+        assert t.segments_occupied(1, 1) == 1
+
+    def test_route_single_column(self):
+        ch = channel_from_breaks(1, [(), ()])
+        cs = ConnectionSet.from_spans([(1, 1), (1, 1)])
+        r = route_dp(ch, cs)
+        r.validate()
+        assert set(r.assignment) == {0, 1}
+
+    def test_overflow_single_column(self):
+        ch = channel_from_breaks(1, [()])
+        cs = ConnectionSet.from_spans([(1, 1), (1, 1)])
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs)
+
+
+class TestFullWidthConnections:
+    def test_full_width_takes_whole_track(self):
+        ch = channel_from_breaks(10, [(5,), ()])
+        cs = ConnectionSet.from_spans([(1, 10), (1, 10)])
+        r = route_dp(ch, cs)
+        r.validate()
+        assert set(r.assignment) == {0, 1}
+
+    def test_full_width_k1_only_unsegmented(self):
+        ch = channel_from_breaks(10, [(5,), ()])
+        cs = ConnectionSet.from_spans([(1, 10)])
+        r = route_one_segment_greedy(ch, cs)
+        assert r.assignment == (1,)
+
+
+class TestSingleTrack:
+    def test_sequential_fill(self):
+        ch = channel_from_breaks(12, [(4, 8)])
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12)])
+        route_dp(ch, cs).validate()
+
+    def test_generalized_single_track_equals_plain(self):
+        ch = channel_from_breaks(12, [(4, 8)])
+        cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12)])
+        g = route_generalized(ch, cs)
+        g.validate()
+        assert all(len(p) == 1 for p in g.pieces)
+
+
+class TestMaximallySegmented:
+    def test_unit_segments_route_anything_within_density(self):
+        ch = fully_segmented_channel(3, 10)
+        cs = ConnectionSet.from_spans([(1, 5), (3, 8), (6, 10)])
+        assert density(cs) <= 3
+        route_dp(ch, cs).validate()
+
+    def test_unit_segments_k_counts_exactly_length(self):
+        ch = fully_segmented_channel(1, 10)
+        cs = ConnectionSet.from_spans([(2, 6)])
+        r = route_dp(ch, cs)
+        assert r.segments_used_count(0) == 5
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs, max_segments=4)
+
+
+class TestManyIdenticalConnections:
+    def test_stack_exactly_fills(self):
+        ch = unsegmented_channel(5, 6)
+        cs = ConnectionSet(
+            [Connection(2, 5, f"c{i}") for i in range(5)]
+        )
+        r = route_dp(ch, cs)
+        assert sorted(r.assignment) == [0, 1, 2, 3, 4]
+
+    def test_one_too_many(self):
+        ch = unsegmented_channel(5, 6)
+        cs = ConnectionSet(
+            [Connection(2, 5, f"c{i}") for i in range(6)]
+        )
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs)
+
+
+class TestAutoFacadeOnEdges:
+    def test_empty_everything(self):
+        ch = channel_from_breaks(5, [()])
+        r = route(ch, ConnectionSet([]))
+        assert r.assignment == ()
+
+    def test_one_connection_one_track(self):
+        ch = channel_from_breaks(5, [(2,)])
+        r = route(ch, ConnectionSet.from_spans([(3, 5)]))
+        r.validate()
+
+    def test_k_zero_rejected_by_validation(self):
+        ch = channel_from_breaks(5, [()])
+        cs = ConnectionSet.from_spans([(1, 2)])
+        # K=0 can never hold (every routed connection occupies >= 1
+        # segment); the DP proves infeasibility.
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(ch, cs, max_segments=0)

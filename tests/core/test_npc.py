@@ -1,0 +1,292 @@
+"""Tests for the NP-completeness machinery (Section III + Appendix)."""
+
+import random
+
+import pytest
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import density
+from repro.core.errors import ReproError, RoutingInfeasibleError
+from repro.core.exact import route_exact
+from repro.core.npc import (
+    NMTSInstance,
+    build_two_segment_instance,
+    build_unlimited_instance,
+    matching_from_routing,
+    normalize_nmts,
+    routing_from_matching,
+    solve_nmts,
+)
+
+
+def _random_yes_instance(n, rng):
+    """Random solvable NMTS instance (built from a hidden matching)."""
+    xs = sorted(rng.sample(range(1, 30), n))
+    ys = sorted(rng.sample(range(1, 30), n))
+    perm = list(range(n))
+    rng.shuffle(perm)
+    zs = sorted(xs[perm[i]] + ys[i] for i in range(n))
+    return NMTSInstance(tuple(xs), tuple(ys), tuple(zs))
+
+
+class TestNMTSInstance:
+    def test_balance_checked(self):
+        with pytest.raises(ReproError):
+            NMTSInstance((1, 2), (3, 4), (4, 7))
+
+    def test_sortedness_checked(self):
+        with pytest.raises(ReproError):
+            NMTSInstance((2, 1), (3, 4), (4, 6))
+
+    def test_positivity_checked(self):
+        with pytest.raises(ReproError):
+            NMTSInstance((0, 1), (3, 4), (3, 5))
+
+    def test_check_solution(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        assert inst.check_solution((0, 1, 2), (0, 2, 1))
+        assert not inst.check_solution((0, 1, 2), (0, 1, 2))
+        assert not inst.check_solution((0, 0, 2), (0, 2, 1))  # not a perm
+
+    def test_example1_normalized(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        assert inst.is_normalized()
+
+
+class TestSolver:
+    def test_example1(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        sol = solve_nmts(inst)
+        assert sol is not None
+        assert inst.check_solution(*sol)
+
+    def test_unsolvable(self):
+        # sum matches but no pairing: z = (2+3, 4+5) needs both (x1,y1)
+        # and... craft: xs=(1,10), ys=(1,10), zs=(2,20): 1+1=2, 10+10=20 OK
+        # so use zs=(3,19): 3=1+2? no y=2. 19=10+9? no.
+        inst = NMTSInstance((1, 10), (1, 10), (3, 19))
+        assert solve_nmts(inst) is None
+
+    def test_duplicate_values_handled(self):
+        inst = NMTSInstance((1, 1), (2, 2), (3, 3))
+        sol = solve_nmts(inst)
+        assert sol is not None and inst.check_solution(*sol)
+
+    def test_random_yes_instances(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            inst = _random_yes_instance(rng.randint(2, 5), rng)
+            sol = solve_nmts(inst)
+            assert sol is not None and inst.check_solution(*sol)
+
+    def test_solver_agrees_with_brute_force(self):
+        import itertools
+
+        rng = random.Random(3)
+        for _ in range(30):
+            n = rng.randint(2, 3)
+            xs = tuple(sorted(rng.randint(1, 8) for _ in range(n)))
+            ys = tuple(sorted(rng.randint(1, 8) for _ in range(n)))
+            total = sum(xs) + sum(ys)
+            # random split of total into n positive parts (sorted)
+            cuts = sorted(rng.sample(range(1, total), n - 1)) if n > 1 else []
+            zs = tuple(
+                sorted(
+                    b - a
+                    for a, b in zip([0] + cuts, cuts + [total])
+                )
+            )
+            if any(z < 1 for z in zs):
+                continue
+            inst = NMTSInstance(xs, ys, zs)
+            brute = any(
+                all(xs[a[i]] + ys[b[i]] == zs[i] for i in range(n))
+                for a in itertools.permutations(range(n))
+                for b in itertools.permutations(range(n))
+            )
+            assert (solve_nmts(inst) is not None) == brute, inst
+
+
+class TestNormalization:
+    def test_solution_preserved(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            inst = _random_yes_instance(rng.randint(2, 4), rng)
+            try:
+                norm, m, p = normalize_nmts(inst)
+            except ReproError:
+                continue  # duplicate xs cannot be normalized
+            assert norm.is_normalized()
+            assert norm.xs[0] >= 2
+            sol = solve_nmts(norm)
+            assert sol is not None and norm.check_solution(*sol)
+
+    def test_no_instances_stay_no(self):
+        inst = NMTSInstance((1, 10), (1, 10), (3, 19))
+        norm, _, _ = normalize_nmts(inst)
+        assert solve_nmts(norm) is None
+
+    def test_duplicate_xs_rejected(self):
+        inst = NMTSInstance((2, 2), (3, 3), (5, 5))
+        with pytest.raises(ReproError):
+            normalize_nmts(inst)
+
+    def test_already_normalized_untouched_up_to_x_shift(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        norm, m, p = normalize_nmts(inst)
+        assert (m, p) == (1, 0)
+        assert norm == inst
+
+
+class TestTheorem1Construction:
+    def test_shape(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        q = build_unlimited_instance(inst)
+        n = 3
+        assert q.channel.n_tracks == n * n
+        assert q.channel.n_columns == 8 + 12 + 7
+        # a(n) + b(n^2) + d(n) + e(n^2-n) + f(n^2)
+        assert len(q.connections) == n + n * n + n + (n * n - n) + n * n
+
+    def test_requires_normalized(self):
+        inst = NMTSInstance((1, 2), (3, 4), (4, 6))
+        with pytest.raises(ReproError):
+            build_unlimited_instance(inst)
+
+    def test_lemma1_roundtrip_example1(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        q = build_unlimited_instance(inst)
+        sol = solve_nmts(inst)
+        routing = routing_from_matching(q, *sol)
+        routing.validate()
+        alpha, beta = matching_from_routing(q, routing)
+        assert inst.check_solution(alpha, beta)
+
+    def test_lemma1_roundtrip_random(self):
+        rng = random.Random(7)
+        done = 0
+        while done < 6:
+            inst = _random_yes_instance(rng.randint(2, 3), rng)
+            try:
+                norm, _, _ = normalize_nmts(inst)
+            except ReproError:
+                continue
+            q = build_unlimited_instance(norm)
+            sol = solve_nmts(norm)
+            routing = routing_from_matching(q, *sol)
+            routing.validate()
+            alpha, beta = matching_from_routing(q, routing)
+            assert norm.check_solution(alpha, beta)
+            done += 1
+
+    def test_reduction_iff_n2(self):
+        """The heart of Theorem 1 on n=2 instances: Q routable <=> NMTS
+        solvable, via independent solvers on both sides."""
+        rng = random.Random(13)
+        yes = no = 0
+        while yes < 3 or no < 3:
+            n = 2
+            xs = tuple(sorted(rng.sample(range(2, 12), n)))
+            ys = tuple(sorted(rng.sample(range(2, 12), n)))
+            total = sum(xs) + sum(ys)
+            lo = rng.randint(1, total - 1)
+            zs = tuple(sorted((lo, total - lo)))
+            if any(z < 1 for z in zs):
+                continue
+            inst = NMTSInstance(xs, ys, zs)
+            try:
+                norm, _, _ = normalize_nmts(inst)
+                q = build_unlimited_instance(norm)
+            except ReproError:
+                # Trivially-NO instances rejected by the constructor.
+                assert solve_nmts(inst) is None
+                no += 1
+                continue
+            solvable = solve_nmts(norm) is not None
+            try:
+                routing = route_exact(q.channel, q.connections, node_limit=2_000_000)
+                routable = True
+            except RoutingInfeasibleError as exc:
+                if "node limit" in str(exc):
+                    continue
+                routable = False
+            assert routable == solvable, norm
+            if solvable:
+                yes += 1
+                alpha, beta = matching_from_routing(q, routing)
+                assert norm.check_solution(alpha, beta)
+            else:
+                no += 1
+
+
+class TestTheorem2Construction:
+    def test_shape(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        q2 = build_two_segment_instance(inst)
+        n = 3
+        assert q2.channel.n_tracks == 2 * n * n - n
+        assert q2.max_segments == 2
+        assert q2.channel.max_segments_per_track() <= 5
+        # a(n) + b(n^2) + e(n^2-n) + f(2n^2-n) + g(n^2-n)
+        expected = n + n * n + (n * n - n) + (2 * n * n - n) + (n * n - n)
+        assert len(q2.connections) == expected
+
+    def test_yes_instance_2segment_routable(self):
+        inst = NMTSInstance((2, 5, 8), (9, 11, 12), (11, 17, 19))
+        q2 = build_two_segment_instance(inst)
+        sol = solve_nmts(inst)
+        routing = routing_from_matching(q2, *sol)
+        routing.validate(max_segments=2)
+
+    def test_lemma_direction_random(self):
+        rng = random.Random(57)
+        done = 0
+        while done < 5:
+            inst = _random_yes_instance(rng.randint(2, 3), rng)
+            try:
+                norm, _, _ = normalize_nmts(inst)
+                q2 = build_two_segment_instance(norm)
+            except ReproError:
+                continue
+            sol = solve_nmts(norm)
+            routing = routing_from_matching(q2, *sol)
+            routing.validate(max_segments=2)
+            done += 1
+
+    def test_reduction_iff_n2(self):
+        rng = random.Random(29)
+        yes = no = 0
+        attempts = 0
+        while (yes < 2 or no < 2) and attempts < 200:
+            attempts += 1
+            n = 2
+            xs = tuple(sorted(rng.sample(range(2, 10), n)))
+            ys = tuple(sorted(rng.sample(range(2, 10), n)))
+            total = sum(xs) + sum(ys)
+            lo = rng.randint(2, total - 2)
+            zs = tuple(sorted((lo, total - lo)))
+            inst = NMTSInstance(xs, ys, zs)
+            try:
+                norm, _, _ = normalize_nmts(inst)
+                q2 = build_two_segment_instance(norm)
+            except ReproError:
+                assert solve_nmts(inst) is None
+                no += 1
+                continue
+            solvable = solve_nmts(norm) is not None
+            try:
+                route_exact(
+                    q2.channel, q2.connections, max_segments=2,
+                    node_limit=3_000_000,
+                )
+                routable = True
+            except RoutingInfeasibleError as exc:
+                if "node limit" in str(exc):
+                    continue
+                routable = False
+            assert routable == solvable, norm
+            if solvable:
+                yes += 1
+            else:
+                no += 1
+        assert yes >= 2 and no >= 2

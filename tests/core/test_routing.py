@@ -1,0 +1,189 @@
+"""Tests for Routing / GeneralizedRouting and the validators."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ValidationError
+from repro.core.routing import (
+    GeneralizedRouting,
+    Routing,
+    occupied_length_weight,
+    segment_count_weight,
+    uniform_weight,
+)
+
+
+@pytest.fixture
+def channel():
+    return channel_from_breaks(9, [(3, 6), (5,)], name="rch")
+
+
+@pytest.fixture
+def conns():
+    return ConnectionSet.from_spans([(1, 3), (4, 6), (7, 9)])
+
+
+class TestRouting:
+    def test_wrong_length_assignment(self, channel, conns):
+        with pytest.raises(ValidationError):
+            Routing(channel, conns, (0, 0))
+
+    def test_valid_routing(self, channel, conns):
+        r = Routing(channel, conns, (0, 0, 0))
+        r.validate()
+        assert r.is_valid()
+
+    def test_track_of(self, channel, conns):
+        r = Routing(channel, conns, (0, 1, 0))
+        assert r.track_of(conns[1]) == 1
+
+    def test_segments_used(self, channel, conns):
+        r = Routing(channel, conns, (1, 1, 1))
+        # (1,3) in track 1 (breaks at 5) occupies segment (1,5).
+        segs = r.segments_used(0)
+        assert [(s.left, s.right) for s in segs] == [(1, 5)]
+
+    def test_segments_used_count(self, channel, conns):
+        r = Routing(channel, conns, (1, 1, 1))
+        assert r.segments_used_count(1) == 2  # (4,6) crosses break 5
+
+    def test_max_segments_used(self, channel, conns):
+        r = Routing(channel, conns, (0, 1, 0))
+        assert r.max_segments_used() == 2
+
+    def test_occupancy_conflict_detected(self, channel):
+        conns = ConnectionSet.from_spans([(1, 2), (3, 3)])
+        # Both in track 0 segment (1,3).
+        r = Routing(channel, conns, (0, 0))
+        with pytest.raises(ValidationError):
+            r.occupancy()
+        assert not r.is_valid()
+
+    def test_same_track_disjoint_segments_ok(self, channel):
+        conns = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        Routing(channel, conns, (0, 0)).validate()
+
+    def test_nonexistent_track(self, channel, conns):
+        r = Routing(channel, conns, (0, 1, 5))
+        with pytest.raises(ValidationError):
+            r.validate()
+
+    def test_k_limit_enforced(self, channel, conns):
+        # (4,6) on track 1 crosses the break at 5: two segments.
+        r = Routing(channel, conns, (0, 1, 0))
+        r.validate(max_segments=2)
+        with pytest.raises(ValidationError):
+            r.validate(max_segments=1)
+
+    def test_connection_outside_channel(self, channel):
+        conns = ConnectionSet.from_spans([(1, 10)])
+        r = Routing(channel, conns, (0,))
+        with pytest.raises(Exception):
+            r.validate()
+
+    def test_as_dict(self, channel, conns):
+        r = Routing(channel, conns, (0, 1, 0))
+        assert r.as_dict() == {"c1": 0, "c2": 1, "c3": 0}
+
+    def test_total_weight(self, channel, conns):
+        r = Routing(channel, conns, (0, 0, 0))
+        w = occupied_length_weight(channel)
+        assert r.total_weight(w) == 9.0  # three segments of track 0 fully
+
+
+class TestWeights:
+    def test_occupied_length_counts_slack(self, channel):
+        conns = ConnectionSet.from_spans([(2, 3)])
+        w = occupied_length_weight(channel)
+        assert w(conns[0], 0) == 3.0  # segment (1,3)
+        assert w(conns[0], 1) == 5.0  # segment (1,5)
+
+    def test_segment_count(self, channel):
+        conns = ConnectionSet.from_spans([(4, 6)])
+        w = segment_count_weight(channel)
+        assert w(conns[0], 0) == 1.0
+        assert w(conns[0], 1) == 2.0
+
+    def test_uniform(self, channel):
+        conns = ConnectionSet.from_spans([(4, 6)])
+        w = uniform_weight(channel)
+        assert w(conns[0], 0) == w(conns[0], 1) == 1.0
+
+
+class TestGeneralizedRouting:
+    def test_valid_split(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        pieces = (((0, 1, 3), (1, 4, 9)),)
+        g = GeneralizedRouting(channel, conns, pieces)
+        g.validate()
+        assert g.n_track_changes(0) == 1
+        assert g.tracks_of(0) == [0, 1]
+
+    def test_wrong_piece_count(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9), (1, 2)])
+        with pytest.raises(ValidationError):
+            GeneralizedRouting(channel, conns, (((0, 1, 9),),))
+
+    def test_gap_in_pieces_rejected(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 3), (1, 5, 9)),))
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_pieces_short_of_span_rejected(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 8),),))
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_empty_pieces_rejected(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, ((),))
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_same_connection_may_share_segment(self, channel):
+        # Two pieces of one connection inside one segment of track 0.
+        conns = ConnectionSet.from_spans([(1, 3)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 2), (0, 3, 3)),))
+        g.validate()
+        assert len(g.segments_used(0)) == 1
+
+    def test_distinct_connections_may_not_share(self, channel):
+        conns = ConnectionSet.from_spans([(1, 2), (3, 3)])
+        g = GeneralizedRouting(
+            channel, conns, (((0, 1, 2),), ((0, 3, 3),))
+        )
+        with pytest.raises(ValidationError):
+            g.validate()
+
+    def test_max_tracks_restriction(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 3), (1, 4, 9)),))
+        g.validate(max_tracks=2)
+        with pytest.raises(ValidationError):
+            g.validate(max_tracks=1)
+
+    def test_allowed_change_columns(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 3), (1, 4, 9)),))
+        g.validate(allowed_change_columns={4})
+        with pytest.raises(ValidationError):
+            g.validate(allowed_change_columns={5})
+
+    def test_max_segments_restriction(self, channel):
+        conns = ConnectionSet.from_spans([(1, 9)])
+        g = GeneralizedRouting(channel, conns, (((0, 1, 3), (1, 4, 9)),))
+        # track0 seg (1,3) + track1 segs (1,5)? piece (1,4,9) occupies
+        # (1,5)? no: piece starts col 4 -> segments (1,5) and (6,9).
+        assert len(g.segments_used(0)) == 3
+        with pytest.raises(ValidationError):
+            g.validate(max_segments=2)
+
+    def test_from_routing_embedding(self, channel):
+        conns = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        r = Routing(channel, conns, (0, 0))
+        g = GeneralizedRouting.from_routing(r)
+        g.validate()
+        assert g.n_track_changes(0) == 0

@@ -1,0 +1,70 @@
+"""First-order analytic model tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.analytic import SegmentTypeSpec, analytic_routing_probability
+from repro.design.stochastic import TrafficModel
+
+
+def test_spec_validation():
+    with pytest.raises(ReproError):
+        SegmentTypeSpec(-1, 4)
+    with pytest.raises(ReproError):
+        SegmentTypeSpec(2, 0)
+
+
+def test_needs_types():
+    with pytest.raises(ReproError):
+        analytic_routing_probability([], TrafficModel(0.5, 3), 40)
+
+
+def test_probability_in_unit_interval():
+    p = analytic_routing_probability(
+        [SegmentTypeSpec(6, 8)], TrafficModel(0.5, 4), 40
+    )
+    assert 0.0 <= p <= 1.0
+
+
+def test_monotone_in_tracks():
+    tm = TrafficModel(0.5, 3)
+    probs = [
+        analytic_routing_probability([SegmentTypeSpec(T, 10)], tm, 40)
+        for T in (2, 4, 8, 16)
+    ]
+    assert probs == sorted(probs)
+
+
+def test_monotone_in_load():
+    probs = [
+        analytic_routing_probability(
+            [SegmentTypeSpec(8, 10)], TrafficModel(lam, 3), 40
+        )
+        for lam in (0.2, 0.5, 1.0, 2.0)
+    ]
+    assert probs == sorted(probs, reverse=True)
+
+
+def test_segments_too_short_give_zero():
+    # Mean length 6 but all segments length 2: most connections fit no
+    # segment at all.
+    p = analytic_routing_probability(
+        [SegmentTypeSpec(50, 2)], TrafficModel(0.5, 6), 40
+    )
+    assert p < 0.05
+
+
+def test_multi_type_beats_short_only():
+    tm = TrafficModel(0.4, 5)
+    short_only = analytic_routing_probability([SegmentTypeSpec(8, 4)], tm, 40)
+    mixed = analytic_routing_probability(
+        [SegmentTypeSpec(4, 4), SegmentTypeSpec(4, 16)], tm, 40
+    )
+    assert mixed > short_only
+
+
+def test_zero_traffic_limit():
+    p = analytic_routing_probability(
+        [SegmentTypeSpec(4, 40)], TrafficModel(0.0001, 2), 40
+    )
+    assert p > 0.99

@@ -1,0 +1,54 @@
+"""Design-evaluation (Monte-Carlo) tests."""
+
+from repro.design.evaluate import (
+    routing_probability,
+    track_overhead_vs_unconstrained,
+)
+from repro.design.segmentation import geometric_segmentation
+from repro.design.stochastic import TrafficModel
+
+
+def _designer(T, N):
+    return geometric_segmentation(T, N, shortest=4, ratio=2.0, n_types=3)
+
+
+def test_probability_monotone_in_tracks():
+    tm = TrafficModel(0.4, 6)
+    rows = routing_probability(
+        _designer, [3, 6, 9], tm, 40, 12, max_segments=2, seed=1
+    )
+    probs = [r.probability for r in rows]
+    # Common random numbers make the curve monotone.
+    assert probs == sorted(probs)
+
+
+def test_probability_reaches_one_with_enough_tracks():
+    tm = TrafficModel(0.3, 5)
+    rows = routing_probability(_designer, [14], tm, 30, 10, seed=2)
+    assert rows[0].probability == 1.0
+
+
+def test_rows_record_trials():
+    tm = TrafficModel(0.3, 5)
+    rows = routing_probability(_designer, [4], tm, 30, 7, seed=3)
+    assert rows[0].trials == 7
+    assert 0 <= rows[0].successes <= 7
+
+
+def test_overhead_rows_structure():
+    tm = TrafficModel(0.4, 6)
+    rows = track_overhead_vs_unconstrained(
+        _designer, tm, 40, 8, max_segments=2, seed=4
+    )
+    for d, needed, overhead in rows:
+        assert needed >= d
+        assert overhead == needed - d
+
+
+def test_overhead_small_for_good_design():
+    tm = TrafficModel(0.4, 6)
+    rows = track_overhead_vs_unconstrained(
+        _designer, tm, 40, 10, max_segments=2, seed=5
+    )
+    mean_overhead = sum(o for _, _, o in rows) / len(rows)
+    assert mean_overhead <= 4.0  # "a few tracks more"

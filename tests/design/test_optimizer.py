@@ -1,0 +1,58 @@
+"""Segmentation optimizer tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.optimizer import optimize_geometric_design
+from repro.design.stochastic import TrafficModel
+
+
+def test_finds_design_meeting_target():
+    tm = TrafficModel(lam=0.4, mean_length=5)
+    design = optimize_geometric_design(
+        tm, 36, target_probability=0.8, max_tracks=16, n_trials=8,
+        shortest_options=(4,), ratio_options=(2.0,), type_options=(3,),
+        seed=1,
+    )
+    assert design.probability >= 0.8
+    channel = design.build(36)
+    assert channel.n_tracks == design.n_tracks
+
+
+def test_uses_few_tracks():
+    tm = TrafficModel(lam=0.3, mean_length=5)
+    design = optimize_geometric_design(
+        tm, 36, target_probability=0.7, max_tracks=20, n_trials=8,
+        shortest_options=(4,), ratio_options=(2.0,), type_options=(3,),
+        seed=2,
+    )
+    # Expected density is 1.5; a handful of tracks must suffice.
+    assert design.n_tracks <= 10
+
+
+def test_unreachable_target_raises():
+    tm = TrafficModel(lam=1.5, mean_length=8)  # expected density 12
+    with pytest.raises(ReproError):
+        optimize_geometric_design(
+            tm, 36, target_probability=0.99, max_tracks=3, n_trials=4,
+            shortest_options=(4,), ratio_options=(2.0,), type_options=(2,),
+            seed=3,
+        )
+
+
+def test_bad_target_rejected():
+    tm = TrafficModel(lam=0.3, mean_length=5)
+    with pytest.raises(ReproError):
+        optimize_geometric_design(tm, 36, target_probability=0.0)
+
+
+def test_deterministic():
+    tm = TrafficModel(lam=0.4, mean_length=5)
+    kwargs = dict(
+        target_probability=0.7, max_tracks=14, n_trials=6,
+        shortest_options=(4, 6), ratio_options=(2.0,), type_options=(2, 3),
+        seed=4,
+    )
+    a = optimize_geometric_design(tm, 36, **kwargs)
+    b = optimize_geometric_design(tm, 36, **kwargs)
+    assert a == b

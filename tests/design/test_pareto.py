@@ -1,0 +1,76 @@
+"""Pareto design-space exploration tests."""
+
+from repro.design.pareto import DesignPoint, explore_design_space, pareto_front
+from repro.design.segmentation import (
+    staggered_uniform_segmentation,
+    uniform_segmentation,
+)
+from repro.design.stochastic import TrafficModel
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        a = DesignPoint("a", 10, 0.1, 0.9)
+        b = DesignPoint("b", 20, 0.2, 0.5)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_equal_points_do_not_dominate(self):
+        a = DesignPoint("a", 10, 0.1, 0.9)
+        b = DesignPoint("b", 10, 0.1, 0.9)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_incomparable(self):
+        cheap = DesignPoint("cheap", 5, 0.1, 0.4)
+        good = DesignPoint("good", 40, 0.4, 0.95)
+        assert not cheap.dominates(good)
+        assert not good.dominates(cheap)
+
+
+class TestFront:
+    def test_front_is_nondominated(self):
+        points = [
+            DesignPoint("a", 0, 0.0, 0.0),
+            DesignPoint("b", 10, 0.1, 0.5),
+            DesignPoint("c", 10, 0.1, 0.3),   # dominated by b
+            DesignPoint("d", 50, 0.5, 0.9),
+            DesignPoint("e", 60, 0.6, 0.8),   # dominated by d
+        ]
+        front = pareto_front(points)
+        labels = [p.label for p in front]
+        assert labels == ["a", "b", "d"]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_front_sorted_by_switches(self):
+        points = [
+            DesignPoint("x", 30, 0.3, 0.8),
+            DesignPoint("y", 5, 0.05, 0.2),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["y", "x"]
+
+
+class TestExplore:
+    def test_explore_scores_all_candidates(self):
+        tm = TrafficModel(0.4, 4)
+        candidates = [
+            ("u6", lambda T, N: uniform_segmentation(T, N, 6)),
+            ("s6", lambda T, N: staggered_uniform_segmentation(T, N, 6)),
+        ]
+        points = explore_design_space(
+            candidates, 6, tm, 30, n_trials=6, max_segments=2, seed=2
+        )
+        assert [p.label for p in points] == ["u6", "s6"]
+        for p in points:
+            assert 0.0 <= p.probability <= 1.0
+            assert p.n_switches > 0
+
+    def test_deterministic(self):
+        tm = TrafficModel(0.4, 4)
+        candidates = [("u6", lambda T, N: uniform_segmentation(T, N, 6))]
+        a = explore_design_space(candidates, 6, tm, 30, 5, seed=3)
+        b = explore_design_space(candidates, 6, tm, 30, 5, seed=3)
+        assert a == b

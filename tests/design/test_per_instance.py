@@ -1,0 +1,63 @@
+"""Per-instance (clairvoyant) segmentation tests — the Fig. 2(e)/(f)
+constructions must achieve their guarantees on arbitrary inputs."""
+
+import random
+
+from repro.core.connection import ConnectionSet, density
+from repro.core.dp import route_dp
+from repro.core.greedy import route_one_segment_greedy
+from repro.design.per_instance import (
+    segmentation_for_instance,
+    segmentation_for_two_segment,
+)
+
+
+def _random_sets(seed, n=25):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        spans = []
+        for _ in range(rng.randint(1, 12)):
+            l = rng.randint(1, 20)
+            spans.append((l, min(24, l + rng.randint(0, 8))))
+        out.append(ConnectionSet.from_spans(spans))
+    return out
+
+
+class TestOneSegment:
+    def test_density_tracks_and_one_segment(self):
+        for cs in _random_sets(1):
+            ch = segmentation_for_instance(cs, 24)
+            assert ch.n_tracks == density(cs)
+            r = route_one_segment_greedy(ch, cs)
+            r.validate(max_segments=1)
+            assert r.max_segments_used() == 1
+
+    def test_fig2_instance(self):
+        from repro.generators.paper_examples import fig2_connections
+
+        cs = fig2_connections()
+        ch = segmentation_for_instance(cs, 16)
+        assert ch.n_tracks == 2  # the density
+        route_one_segment_greedy(ch, cs).validate(1)
+
+    def test_single_connection(self):
+        cs = ConnectionSet.from_spans([(3, 8)])
+        ch = segmentation_for_instance(cs, 10)
+        assert ch.n_tracks == 1
+        assert ch.track(0).breaks == ()  # nothing to separate
+
+
+class TestTwoSegment:
+    def test_two_segment_routable_at_density(self):
+        for cs in _random_sets(2):
+            ch = segmentation_for_two_segment(cs, 24)
+            assert ch.n_tracks == density(cs)
+            r = route_dp(ch, cs, max_segments=2)
+            r.validate(2)
+
+    def test_fewer_switches_than_one_segment_design(self):
+        for cs in _random_sets(3, n=10):
+            one = segmentation_for_instance(cs, 24)
+            two = segmentation_for_two_segment(cs, 24)
+            assert two.n_switches <= one.n_switches

@@ -1,0 +1,84 @@
+"""Segmentation designer tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.segmentation import (
+    design_for_lengths,
+    geometric_segmentation,
+    staggered_uniform_segmentation,
+    uniform_segmentation,
+)
+
+
+class TestUniform:
+    def test_identical_tracks(self):
+        ch = uniform_segmentation(4, 24, 6)
+        assert ch.is_identically_segmented()
+        assert ch.track(0).n_segments == 4
+
+    def test_bad_period(self):
+        with pytest.raises(ReproError):
+            uniform_segmentation(2, 10, 0)
+
+
+class TestStaggered:
+    def test_phases_cycle(self):
+        ch = staggered_uniform_segmentation(4, 24, 8)
+        assert len({t.breaks for t in ch}) > 1
+
+    def test_all_columns_covered(self):
+        ch = staggered_uniform_segmentation(6, 30, 5)
+        assert ch.n_columns == 30
+        for t in ch:
+            assert all(1 <= b < 30 for b in t.breaks)
+
+
+class TestGeometric:
+    def test_type_count(self):
+        ch = geometric_segmentation(8, 64, shortest=4, ratio=2.0, n_types=4)
+        assert len(ch.track_types()) >= 3  # types may merge when capped
+
+    def test_lengths_grow(self):
+        ch = geometric_segmentation(4, 64, shortest=4, ratio=2.0, n_types=4)
+        # track 0 is type 0 (short segments), track 3 type 3 (long).
+        seg0 = ch.track(0).segment_bounds[0]
+        seg3 = ch.track(3).segment_bounds[0]
+        assert (seg3[1] - seg3[0]) > (seg0[1] - seg0[0])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ReproError):
+            geometric_segmentation(4, 64, shortest=0)
+        with pytest.raises(ReproError):
+            geometric_segmentation(4, 64, ratio=1.0)
+
+    def test_long_type_has_few_switches(self):
+        ch = geometric_segmentation(8, 64, shortest=4, ratio=3.0, n_types=3)
+        per_track = [len(t.breaks) for t in ch]
+        assert min(per_track) < max(per_track)
+
+
+class TestDesignForLengths:
+    def test_track_count_exact(self):
+        lengths = [2] * 30 + [8] * 10 + [20] * 5
+        ch = design_for_lengths(9, 40, lengths, n_types=3)
+        assert ch.n_tracks == 9
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ReproError):
+            design_for_lengths(4, 40, [])
+
+    def test_segments_match_sample_quantiles(self):
+        lengths = [3] * 50
+        ch = design_for_lengths(4, 30, lengths, n_types=1)
+        # All one class with ~80th percentile 3: segments of length 3.
+        assert all(
+            seg[1] - seg[0] + 1 <= 3 or seg[1] == 30
+            for t in ch
+            for seg in t.segment_bounds
+        )
+
+    def test_long_traffic_gets_long_segments(self):
+        short_heavy = design_for_lengths(6, 60, [3] * 90 + [30] * 3, n_types=2)
+        long_heavy = design_for_lengths(6, 60, [3] * 3 + [30] * 90, n_types=2)
+        assert short_heavy.n_switches > long_heavy.n_switches

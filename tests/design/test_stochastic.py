@@ -1,0 +1,52 @@
+"""Stochastic traffic model tests."""
+
+import pytest
+
+from repro.core.connection import density
+from repro.core.errors import ReproError
+from repro.design.stochastic import TrafficModel, sample_connections
+
+
+def test_parameters_validated():
+    with pytest.raises(ReproError):
+        TrafficModel(lam=0, mean_length=4)
+    with pytest.raises(ReproError):
+        TrafficModel(lam=0.5, mean_length=0.5)
+
+
+def test_expected_density():
+    assert TrafficModel(0.5, 6).expected_density == 3.0
+
+
+def test_sampling_deterministic():
+    tm = TrafficModel(0.4, 5)
+    assert sample_connections(tm, 50, seed=1) == sample_connections(tm, 50, seed=1)
+
+
+def test_connections_within_channel():
+    tm = TrafficModel(0.6, 8)
+    cs = sample_connections(tm, 40, seed=2)
+    assert all(1 <= c.left <= c.right <= 40 for c in cs)
+
+
+def test_mean_density_tracks_expectation():
+    tm = TrafficModel(0.5, 6)
+    densities = [
+        density(sample_connections(tm, 60, seed=s)) for s in range(30)
+    ]
+    mean = sum(densities) / len(densities)
+    # Max-over-columns exceeds the per-column mean; just sanity-band it.
+    assert tm.expected_density * 0.8 <= mean <= tm.expected_density * 3.0
+
+
+def test_mean_length_tracks_parameter():
+    tm = TrafficModel(0.3, 10)
+    cs = sample_connections(tm, 200, seed=3)
+    mean_len = cs.total_length() / len(cs)
+    assert 6 <= mean_len <= 14  # geometric mean 10, truncated at the edge
+
+
+def test_higher_lam_more_connections():
+    lo = sample_connections(TrafficModel(0.2, 5), 100, seed=4)
+    hi = sample_connections(TrafficModel(1.0, 5), 100, seed=4)
+    assert len(hi) > len(lo)

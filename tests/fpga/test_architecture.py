@@ -1,0 +1,85 @@
+"""FPGA architecture model tests."""
+
+import pytest
+
+from repro.core.channel import uniform_channel
+from repro.core.errors import ReproError
+from repro.fpga.architecture import FPGAArchitecture, PinRef
+
+
+def _arch(**kw):
+    defaults = dict(
+        n_rows=3,
+        cells_per_row=4,
+        n_inputs=2,
+        channel_factory=lambda n: uniform_channel(4, n, 4),
+        output_span=2,
+    )
+    defaults.update(kw)
+    return FPGAArchitecture(**defaults)
+
+
+class TestPinRef:
+    def test_valid_kinds(self):
+        PinRef("g1", "out")
+        PinRef("g1", "in", 1)
+
+    def test_bad_kind(self):
+        with pytest.raises(ReproError):
+            PinRef("g1", "bidir")
+
+
+class TestArchitecture:
+    def test_shape(self):
+        a = _arch()
+        assert a.n_channels == 4
+        assert a.n_sites == 12
+        assert a.cell_width == 3
+        assert a.n_columns == 12
+        assert len(a.channels) == 4
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ReproError):
+            _arch(n_rows=0)
+        with pytest.raises(ReproError):
+            _arch(output_span=0)
+
+    def test_channel_width_mismatch(self):
+        with pytest.raises(ReproError):
+            _arch(channel_factory=lambda n: uniform_channel(4, n + 1, 4))
+
+    def test_site_column_layout(self):
+        a = _arch()
+        # Cell at slot 0: inputs at columns 1, 2; output at 3.
+        assert a.site_column(0, 0) == 1
+        assert a.site_column(0, 2) == 3
+        # Slot 1 starts at column 4.
+        assert a.site_column(1, 0) == 4
+
+    def test_site_column_bounds(self):
+        a = _arch()
+        with pytest.raises(ReproError):
+            a.site_column(4, 0)
+        with pytest.raises(ReproError):
+            a.site_column(0, 3)
+
+    def test_adjacent_channels(self):
+        a = _arch()
+        assert a.adjacent_channels(0) == (0, 1)
+        assert a.adjacent_channels(2) == (2, 3)
+        with pytest.raises(ReproError):
+            a.adjacent_channels(3)
+
+    def test_input_channels(self):
+        a = _arch()
+        assert list(a.input_channels(1)) == [1, 2]
+
+    def test_output_channels_clamped(self):
+        a = _arch(output_span=2)
+        assert list(a.output_channels(0)) == [0, 1, 2]
+        assert list(a.output_channels(2)) == [1, 2, 3]
+
+    def test_output_span_one_matches_inputs(self):
+        a = _arch(output_span=1)
+        for r in range(3):
+            assert list(a.output_channels(r)) == list(a.input_channels(r))

@@ -1,0 +1,68 @@
+"""Bitstream extraction tests."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.routing import Routing
+from repro.fpga.bitstream import SwitchRef, extract_bitstream
+
+
+def test_two_cross_switches_per_connection():
+    ch = channel_from_breaks(9, [(4,)])
+    cs = ConnectionSet.from_spans([(1, 3)])
+    bs = extract_bitstream(Routing(ch, cs, (0,)))
+    assert bs.n_cross() == 2
+    assert bs.n_track() == 0
+
+
+def test_single_column_connection_one_cross():
+    ch = channel_from_breaks(9, [(4,)])
+    cs = ConnectionSet.from_spans([(3, 3)])
+    bs = extract_bitstream(Routing(ch, cs, (0,)))
+    assert bs.n_cross() == 1
+
+
+def test_track_switch_per_joined_break():
+    ch = channel_from_breaks(12, [(3, 6, 9)])
+    cs = ConnectionSet.from_spans([(2, 11)])
+    bs = extract_bitstream(Routing(ch, cs, (0,)))
+    assert bs.n_track() == 3  # joins at 3, 6, 9
+
+
+def test_break_outside_span_not_programmed():
+    ch = channel_from_breaks(12, [(3, 9)])
+    cs = ConnectionSet.from_spans([(4, 8)])
+    bs = extract_bitstream(Routing(ch, cs, (0,)))
+    assert bs.n_track() == 0
+
+
+def test_owner_map():
+    ch = channel_from_breaks(9, [(4,), ()])
+    cs = ConnectionSet.from_spans([(1, 3), (5, 9)])
+    bs = extract_bitstream(Routing(ch, cs, (0, 0)))
+    assert bs.owner[SwitchRef("cross", 0, 1)] == "c1"
+    assert bs.owner[SwitchRef("cross", 0, 5)] == "c2"
+
+
+def test_matches_paper_counting():
+    # "if a connection changes tracks, two switches must be programmed
+    # compared to only one if the connection is assigned to two contiguous
+    # segments in the same track" — joining costs one track switch.
+    ch = channel_from_breaks(12, [(6,)])
+    cs = ConnectionSet.from_spans([(4, 9)])
+    bs = extract_bitstream(Routing(ch, cs, (0,)))
+    assert bs.n_track() == 1
+    assert bs.n_cross() == 2
+
+
+def test_counts_scale_with_connections():
+    ch = channel_from_breaks(12, [(4, 8), (6,)])
+    cs = ConnectionSet.from_spans([(1, 4), (5, 8), (9, 12), (1, 6)])
+    from repro.core.dp import route_dp
+
+    r = route_dp(ch, cs)
+    bs = extract_bitstream(r)
+    assert bs.n_programmed >= 2 * len(cs) - sum(
+        1 for c in cs if c.left == c.right
+    )

@@ -1,0 +1,86 @@
+"""Elmore delay model tests."""
+
+import pytest
+
+from repro.core.channel import (
+    channel_from_breaks,
+    fully_segmented_channel,
+    unsegmented_channel,
+)
+from repro.core.connection import ConnectionSet
+from repro.core.routing import Routing
+from repro.fpga.delay import (
+    DelayModel,
+    connection_delay,
+    net_delays,
+    routing_delay_profile,
+)
+
+
+def _routing(breaks, span, n=12):
+    ch = channel_from_breaks(n, [breaks])
+    cs = ConnectionSet.from_spans([span])
+    return Routing(ch, cs, (0,))
+
+
+class TestConnectionDelay:
+    def test_positive(self):
+        r = _routing((4, 8), (1, 4))
+        assert connection_delay(r, 0, DelayModel()) > 0
+
+    def test_more_segments_more_delay(self):
+        m = DelayModel()
+        one_seg = _routing((6,), (1, 6))      # occupies (1,6)
+        two_seg = _routing((3,), (1, 6))      # occupies (1,3)+(4,12): longer + switch
+        assert connection_delay(two_seg, 0, m) > connection_delay(one_seg, 0, m)
+
+    def test_longer_segment_more_capacitance(self):
+        m = DelayModel()
+        tight = _routing((4,), (1, 4))        # segment (1,4)
+        slack = _routing((), (1, 4))          # whole 12-column track
+        assert connection_delay(slack, 0, m) > connection_delay(tight, 0, m)
+
+    def test_fig2_tradeoff_shape(self):
+        """Fully segmented = many switches; unsegmented = huge caps; a
+        matched segmentation beats both for a short connection."""
+        m = DelayModel()
+        n = 32
+        span = (1, 8)
+        cs = ConnectionSet.from_spans([span])
+        fully = Routing(fully_segmented_channel(1, n), cs, (0,))
+        unseg = Routing(unsegmented_channel(1, n), cs, (0,))
+        matched = Routing(channel_from_breaks(n, [(8, 16, 24)]), cs, (0,))
+        d_fully = connection_delay(fully, 0, m)
+        d_unseg = connection_delay(unseg, 0, m)
+        d_matched = connection_delay(matched, 0, m)
+        assert d_matched < d_fully
+        assert d_matched < d_unseg
+
+    def test_switch_resistance_scales_fully_segmented(self):
+        cs = ConnectionSet.from_spans([(1, 8)])
+        r = Routing(fully_segmented_channel(1, 16), cs, (0,))
+        cheap = connection_delay(r, 0, DelayModel(r_switch=0.1))
+        pricey = connection_delay(r, 0, DelayModel(r_switch=2.0))
+        assert pricey > cheap
+
+
+class TestAggregates:
+    def test_net_delays_keys(self):
+        ch = channel_from_breaks(12, [(6,), ()])
+        cs = ConnectionSet.from_spans([(1, 5), (7, 12)])
+        r = Routing(ch, cs, (0, 0))
+        d = net_delays(r, DelayModel())
+        assert set(d) == {"c1", "c2"}
+
+    def test_profile(self):
+        ch = channel_from_breaks(12, [(6,), ()])
+        cs = ConnectionSet.from_spans([(1, 5), (7, 12)])
+        r = Routing(ch, cs, (0, 0))
+        mean, mx, total = routing_delay_profile(r, DelayModel())
+        assert mean <= mx <= total
+        assert total == pytest.approx(sum(net_delays(r, DelayModel()).values()))
+
+    def test_profile_empty(self):
+        ch = channel_from_breaks(12, [()])
+        r = Routing(ch, ConnectionSet([]), ())
+        assert routing_delay_profile(r, DelayModel()) == (0.0, 0.0, 0.0)

@@ -1,0 +1,52 @@
+"""Design-closure loop tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fpga.design_link import design_chip
+from repro.fpga.netlist import random_netlist
+
+
+class TestDesignChip:
+    def test_routes_with_tailored_channels(self):
+        nl = random_netlist(18, 3, seed=7)
+        closure = design_chip(nl, 3, 6, 3, max_segments=2, seed=1)
+        assert closure.routing.ok, closure.routing.summary()
+        assert closure.routing.max_segments_used() <= 2
+
+    def test_tracks_scale_with_demand(self):
+        nl = random_netlist(18, 3, seed=7)
+        closure = design_chip(nl, 3, 6, 3, seed=1)
+        for tracks, d in zip(
+            closure.tracks_per_channel, closure.demand_density
+        ):
+            assert tracks >= max(1, d)
+
+    def test_summary_lists_channels(self):
+        nl = random_netlist(12, 3, seed=9)
+        closure = design_chip(nl, 3, 4, 3, seed=2)
+        text = closure.summary()
+        assert "design closure" in text
+        for c in range(4):
+            assert f"channel {c}" in text
+
+    def test_netlist_too_big(self):
+        nl = random_netlist(20, 3, seed=3)
+        with pytest.raises(ReproError):
+            design_chip(nl, 2, 4, 3)
+
+    def test_deterministic(self):
+        nl = random_netlist(12, 3, seed=11)
+        a = design_chip(nl, 3, 4, 3, seed=4)
+        b = design_chip(nl, 3, 4, 3, seed=4)
+        assert a.tracks_per_channel == b.tracks_per_channel
+
+    def test_fewer_tracks_than_uniform_overprovision(self):
+        # The tailored design should not need more tracks than giving
+        # every channel (max demand density + slack) tracks.
+        nl = random_netlist(18, 3, seed=13)
+        closure = design_chip(nl, 3, 6, 3, seed=5)
+        worst = max(closure.demand_density)
+        assert closure.total_tracks <= (worst + 3) * len(
+            closure.tracks_per_channel
+        )

@@ -1,0 +1,65 @@
+"""Whole-chip detailed routing tests."""
+
+import pytest
+
+from repro.core.channel import uniform_channel
+from repro.design.segmentation import geometric_segmentation
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.detail_route import route_chip
+from repro.fpga.netlist import random_netlist
+from repro.fpga.placement import improve_placement, place_greedy
+
+
+def _flow(channel_tracks=8, seed=7, rows=3, per_row=6, k=2):
+    arch = FPGAArchitecture(
+        rows, per_row, 3,
+        channel_factory=lambda n: geometric_segmentation(channel_tracks, n),
+    )
+    nl = random_netlist(rows * per_row, 3, seed=seed)
+    pl = improve_placement(place_greedy(arch, nl, seed=seed), nl, seed=seed)
+    return arch, nl, pl, route_chip(arch, nl, pl, max_segments=k)
+
+
+class TestRouteChip:
+    def test_complete_flow_routes(self):
+        _, _, _, chip = _flow()
+        assert chip.ok, chip.summary()
+        assert chip.failed_channels == []
+        assert chip.max_segments_used() <= 2
+
+    def test_every_channel_validated(self):
+        _, _, _, chip = _flow()
+        for c in chip.channels:
+            if c.routing and len(c.routing.connections):
+                c.routing.validate(max_segments=2)
+
+    def test_summary_mentions_channels(self):
+        _, _, _, chip = _flow()
+        text = chip.summary()
+        assert "COMPLETE" in text
+        for c in chip.channels:
+            assert f"channel {c.channel_index}" in text
+
+    def test_failures_reported_not_raised(self):
+        # Starve the channels: 2 tracks cannot carry this netlist.
+        arch = FPGAArchitecture(
+            3, 6, 3,
+            channel_factory=lambda n: uniform_channel(1, n, 4),
+        )
+        nl = random_netlist(18, 3, seed=9)
+        pl = place_greedy(arch, nl, seed=9)
+        chip = route_chip(arch, nl, pl, max_segments=2)
+        assert not chip.ok
+        assert chip.failed_channels
+        assert "FAILED" in chip.summary()
+
+    def test_n_connections_counts_demands(self):
+        _, _, _, chip = _flow()
+        assert chip.n_connections == sum(
+            c.demand.n_connections for c in chip.channels
+        )
+
+    def test_density_reported(self):
+        _, _, _, chip = _flow()
+        for c in chip.channels:
+            assert c.density >= 0

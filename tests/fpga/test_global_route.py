@@ -1,0 +1,99 @@
+"""Global routing tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.segmentation import geometric_segmentation
+from repro.fpga.architecture import FPGAArchitecture, PinRef
+from repro.fpga.global_route import global_route
+from repro.fpga.netlist import Cell, Net, Netlist, random_netlist
+from repro.fpga.placement import Placement, place_greedy
+
+
+def _arch(rows=3, per_row=5, span=2):
+    return FPGAArchitecture(
+        rows, per_row, 3,
+        channel_factory=lambda n: geometric_segmentation(6, n),
+        output_span=span,
+    )
+
+
+class TestGlobalRoute:
+    def test_every_sink_gets_an_interval(self):
+        arch = _arch()
+        nl = random_netlist(14, 3, seed=1)
+        pl = place_greedy(arch, nl, seed=2)
+        demands = global_route(arch, nl, pl)
+        total_sinks = sum(n.fanout for n in nl.nets)
+        total_intervals_before_merge = total_sinks
+        merged = sum(d.n_connections for d in demands)
+        assert 0 < merged <= total_intervals_before_merge
+
+    def test_channels_adjacent_to_rows(self):
+        arch = _arch()
+        nl = random_netlist(14, 3, seed=3)
+        pl = place_greedy(arch, nl, seed=4)
+        demands = global_route(arch, nl, pl)
+        # For each net interval, the channel must be adjacent to some sink
+        # row of that net and crossed by the driver's vertical.
+        for d in demands:
+            for net_name in d.intervals:
+                net = next(n for n in nl.nets if n.name == net_name)
+                drv_row = pl.row_of(net.driver.cell)
+                assert d.channel_index in arch.output_channels(drv_row)
+
+    def test_intervals_cover_pin_columns(self):
+        arch = _arch()
+        nl = random_netlist(10, 3, seed=5)
+        pl = place_greedy(arch, nl, seed=6)
+        demands = global_route(arch, nl, pl)
+        for net in nl.nets:
+            drv_col = pl.pin_column(net.driver.cell, "out")
+            spans = [
+                (l, r)
+                for d in demands
+                for l, r in d.intervals.get(net.name, [])
+            ]
+            assert spans
+            for l, r in spans:
+                assert l <= drv_col <= r
+
+    def test_same_net_intervals_merged(self):
+        # Driver on row 0, two sinks on row 1 flanking it: with
+        # output_span=1 the only channel shared by driver and sinks is
+        # channel 1, so both sink intervals land there and — overlapping
+        # at the driver column — must merge into one connection.
+        arch = _arch(rows=2, per_row=4, span=1)
+        cells = [Cell(f"g{i}", 3) for i in range(1, 5)]
+        net = Net(
+            "n1",
+            PinRef("g2", "out"),
+            (PinRef("g1", "in", 0), PinRef("g4", "in", 0)),
+        )
+        nl = Netlist(cells, [net])
+        sites = {"g2": (0, 1), "g1": (1, 0), "g3": (0, 2), "g4": (1, 3)}
+        pl = Placement(arch, sites)
+        demands = global_route(arch, nl, pl)
+        per_channel = [d.intervals.get("n1", []) for d in demands]
+        counts = [len(v) for v in per_channel]
+        assert counts[1] == 1 and sum(counts) == 1  # one merged trunk
+
+    def test_unreachable_sink_raises(self):
+        # Driver on row 0, sink on row 3, output_span=1: no shared channel.
+        arch = _arch(rows=4, per_row=2, span=1)
+        cells = [Cell("a", 3), Cell("b", 3)]
+        nl = Netlist(
+            cells, [Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),))]
+        )
+        pl = Placement(arch, {"a": (0, 0), "b": (3, 0)})
+        with pytest.raises(ReproError, match="shares no channel"):
+            global_route(arch, nl, pl)
+
+    def test_connection_set_naming(self):
+        arch = _arch()
+        nl = random_netlist(12, 3, seed=7)
+        pl = place_greedy(arch, nl, seed=8)
+        for d in global_route(arch, nl, pl):
+            cs = d.connection_set()
+            assert len(cs) == d.n_connections
+            assert len({c.name for c in cs}) == len(cs)

@@ -1,0 +1,123 @@
+"""Netlist model and generator tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.fpga.architecture import PinRef
+from repro.fpga.netlist import Cell, Net, Netlist, random_netlist
+
+
+class TestCell:
+    def test_valid(self):
+        assert Cell("g1", 3).n_inputs == 3
+
+    def test_bad_inputs(self):
+        with pytest.raises(ReproError):
+            Cell("g1", 0)
+
+    def test_empty_name(self):
+        with pytest.raises(ReproError):
+            Cell("", 2)
+
+
+class TestNet:
+    def test_valid(self):
+        n = Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),))
+        assert n.fanout == 1
+        assert len(n.pins()) == 2
+
+    def test_driver_must_be_output(self):
+        with pytest.raises(ReproError):
+            Net("n1", PinRef("a", "in", 0), (PinRef("b", "in", 0),))
+
+    def test_sinks_must_be_inputs(self):
+        with pytest.raises(ReproError):
+            Net("n1", PinRef("a", "out"), (PinRef("b", "out"),))
+
+    def test_needs_sinks(self):
+        with pytest.raises(ReproError):
+            Net("n1", PinRef("a", "out"), ())
+
+
+class TestNetlist:
+    def _cells(self):
+        return [Cell("a", 2), Cell("b", 2)]
+
+    def test_valid(self):
+        nl = Netlist(
+            self._cells(),
+            [Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),))],
+        )
+        assert nl.n_cells == 2 and nl.n_nets == 1
+
+    def test_duplicate_cells(self):
+        with pytest.raises(ReproError):
+            Netlist([Cell("a", 2), Cell("a", 2)], [])
+
+    def test_duplicate_net_names(self):
+        nets = [
+            Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),)),
+            Net("n1", PinRef("b", "out"), (PinRef("a", "in", 0),)),
+        ]
+        with pytest.raises(ReproError):
+            Netlist(self._cells(), nets)
+
+    def test_unknown_cell(self):
+        with pytest.raises(ReproError):
+            Netlist(
+                self._cells(),
+                [Net("n1", PinRef("zz", "out"), (PinRef("b", "in", 0),))],
+            )
+
+    def test_input_index_range(self):
+        with pytest.raises(ReproError):
+            Netlist(
+                self._cells(),
+                [Net("n1", PinRef("a", "out"), (PinRef("b", "in", 5),))],
+            )
+
+    def test_multiply_driven_input(self):
+        nets = [
+            Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),)),
+            Net("n2", PinRef("b", "out"), (PinRef("b", "in", 0),)),
+        ]
+        with pytest.raises(ReproError):
+            Netlist(self._cells(), nets)
+
+    def test_nets_of_cell(self):
+        nl = Netlist(
+            self._cells(),
+            [Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),))],
+        )
+        assert len(nl.nets_of_cell("a")) == 1
+        assert len(nl.nets_of_cell("b")) == 1
+
+
+class TestRandomNetlist:
+    def test_valid_and_deterministic(self):
+        a = random_netlist(20, 3, seed=1)
+        b = random_netlist(20, 3, seed=1)
+        assert a.n_cells == 20
+        assert a.n_nets == b.n_nets
+        assert [n.name for n in a.nets] == [n.name for n in b.nets]
+
+    def test_each_output_drives_one_net(self):
+        nl = random_netlist(30, 3, seed=2)
+        drivers = [n.driver.cell for n in nl.nets]
+        assert len(drivers) == len(set(drivers))
+
+    def test_no_self_loops(self):
+        nl = random_netlist(30, 3, seed=3)
+        for net in nl.nets:
+            assert all(s.cell != net.driver.cell for s in net.sinks)
+
+    def test_input_fill_controls_connectivity(self):
+        lo = random_netlist(30, 3, seed=4, input_fill=0.2)
+        hi = random_netlist(30, 3, seed=4, input_fill=0.9)
+        lo_pins = sum(n.fanout for n in lo.nets)
+        hi_pins = sum(n.fanout for n in hi.nets)
+        assert lo_pins < hi_pins
+
+    def test_too_few_cells(self):
+        with pytest.raises(ReproError):
+            random_netlist(1, 2, seed=1)

@@ -1,0 +1,78 @@
+"""Placement tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.segmentation import geometric_segmentation
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.netlist import random_netlist
+from repro.fpga.placement import improve_placement, place_greedy
+
+
+def _arch(rows=3, per_row=5, inputs=3):
+    return FPGAArchitecture(
+        rows, per_row, inputs,
+        channel_factory=lambda n: geometric_segmentation(6, n),
+    )
+
+
+class TestPlaceGreedy:
+    def test_places_all_cells_to_distinct_sites(self):
+        arch = _arch()
+        nl = random_netlist(12, 3, seed=1)
+        pl = place_greedy(arch, nl, seed=2)
+        assert set(pl.sites) == set(nl.cells)
+        assert len(set(pl.sites.values())) == 12
+
+    def test_sites_in_range(self):
+        arch = _arch()
+        nl = random_netlist(15, 3, seed=3)
+        pl = place_greedy(arch, nl, seed=4)
+        for row, slot in pl.sites.values():
+            assert 0 <= row < arch.n_rows
+            assert 0 <= slot < arch.cells_per_row
+
+    def test_too_many_cells(self):
+        arch = _arch(rows=1, per_row=2)
+        nl = random_netlist(5, 3, seed=5)
+        with pytest.raises(ReproError):
+            place_greedy(arch, nl, seed=6)
+
+    def test_deterministic(self):
+        arch = _arch()
+        nl = random_netlist(12, 3, seed=7)
+        assert place_greedy(arch, nl, seed=8).sites == place_greedy(
+            arch, nl, seed=8
+        ).sites
+
+    def test_pin_column_layout(self):
+        arch = _arch()
+        nl = random_netlist(6, 3, seed=9)
+        pl = place_greedy(arch, nl, seed=10)
+        cell = next(iter(pl.sites))
+        out_col = pl.pin_column(cell, "out")
+        in_col = pl.pin_column(cell, "in", 0)
+        assert out_col == in_col + arch.n_inputs
+
+
+class TestImprovePlacement:
+    def test_never_worse(self):
+        arch = _arch(rows=3, per_row=6)
+        for seed in range(4):
+            nl = random_netlist(16, 3, seed=seed)
+            pl = place_greedy(arch, nl, seed=seed)
+            better = improve_placement(pl, nl, seed=seed)
+            assert better.total_half_perimeter(nl) <= pl.total_half_perimeter(nl)
+
+    def test_still_a_permutation(self):
+        arch = _arch()
+        nl = random_netlist(14, 3, seed=11)
+        pl = improve_placement(place_greedy(arch, nl, seed=12), nl, seed=13)
+        assert len(set(pl.sites.values())) == 14
+
+    def test_single_cell_noop(self):
+        arch = _arch()
+        nl = random_netlist(2, 3, seed=14)
+        pl = place_greedy(arch, nl, seed=15)
+        improved = improve_placement(pl, nl, seed=16)
+        assert set(improved.sites) == set(pl.sites)

@@ -1,0 +1,93 @@
+"""Static timing analysis tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.design.segmentation import geometric_segmentation
+from repro.fpga.architecture import FPGAArchitecture, PinRef
+from repro.fpga.delay import DelayModel
+from repro.fpga.detail_route import route_chip
+from repro.fpga.netlist import Cell, Net, Netlist, random_netlist
+from repro.fpga.placement import Placement, improve_placement, place_greedy
+from repro.fpga.timing import analyze_timing
+
+
+def _arch(rows=2, per_row=4):
+    return FPGAArchitecture(
+        rows, per_row, 3,
+        channel_factory=lambda n: geometric_segmentation(8, n, 4, 2.0, 3),
+    )
+
+
+def _chain_netlist(k):
+    """g1 -> g2 -> ... -> gk."""
+    cells = [Cell(f"g{i + 1}", 3) for i in range(k)]
+    nets = [
+        Net(f"n{i + 1}", PinRef(f"g{i + 1}", "out"), (PinRef(f"g{i + 2}", "in", 0),))
+        for i in range(k - 1)
+    ]
+    return Netlist(cells, nets)
+
+
+def _routed_chip(netlist, arch=None, seed=1):
+    arch = arch or _arch()
+    pl = improve_placement(place_greedy(arch, netlist, seed=seed), netlist, seed=seed)
+    chip = route_chip(arch, netlist, pl, max_segments=2)
+    assert chip.ok, chip.summary()
+    return chip
+
+
+class TestAnalyzeTiming:
+    def test_chain_critical_path_is_the_chain(self):
+        nl = _chain_netlist(5)
+        chip = _routed_chip(nl, _arch(rows=2, per_row=4))
+        report = analyze_timing(chip, DelayModel())
+        assert report.critical_path == ("g1", "g2", "g3", "g4", "g5")
+        assert report.critical_delay > 5 * 1.0  # five cell delays + wires
+
+    def test_arrival_monotone_along_chain(self):
+        nl = _chain_netlist(4)
+        chip = _routed_chip(nl, _arch(rows=2, per_row=4))
+        report = analyze_timing(chip, DelayModel())
+        times = [report.arrival[f"g{i + 1}"] for i in range(4)]
+        assert times == sorted(times)
+
+    def test_cell_delay_scales(self):
+        nl = _chain_netlist(4)
+        chip = _routed_chip(nl, _arch(rows=2, per_row=4))
+        fast = analyze_timing(chip, DelayModel(), cell_delay=0.5)
+        slow = analyze_timing(chip, DelayModel(), cell_delay=2.0)
+        assert slow.critical_delay > fast.critical_delay
+
+    def test_random_netlist(self):
+        nl = random_netlist(8, 3, seed=5)
+        chip = _routed_chip(nl, _arch(rows=2, per_row=4), seed=5)
+        report = analyze_timing(chip, DelayModel())
+        assert report.critical_delay > 0
+        assert len(report.arrival) == nl.n_cells
+        assert "critical path" in report.summary()
+
+    def test_incomplete_routing_rejected(self):
+        from repro.core.channel import uniform_channel
+
+        arch = FPGAArchitecture(
+            2, 4, 3, channel_factory=lambda n: uniform_channel(1, n, 4)
+        )
+        nl = random_netlist(8, 3, seed=6)
+        pl = place_greedy(arch, nl, seed=6)
+        chip = route_chip(arch, nl, pl, max_segments=2)
+        if chip.ok:
+            pytest.skip("starved channel unexpectedly routed")
+        with pytest.raises(ReproError, match="incomplete"):
+            analyze_timing(chip, DelayModel())
+
+    def test_cycle_rejected(self):
+        cells = [Cell("a", 3), Cell("b", 3)]
+        nets = [
+            Net("n1", PinRef("a", "out"), (PinRef("b", "in", 0),)),
+            Net("n2", PinRef("b", "out"), (PinRef("a", "in", 0),)),
+        ]
+        nl = Netlist(cells, nets)
+        chip = _routed_chip(nl, _arch(rows=1, per_row=2))
+        with pytest.raises(ReproError, match="cycle"):
+            analyze_timing(chip, DelayModel())

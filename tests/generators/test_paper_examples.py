@@ -1,0 +1,122 @@
+"""The paper's printed examples must exhibit their documented properties."""
+
+import pytest
+
+from repro.core.connection import density
+from repro.core.dp import route_dp, route_dp_with_stats
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.generalized import route_generalized
+from repro.core.greedy import (
+    route_one_segment_greedy,
+    route_two_segment_tracks_greedy,
+)
+from repro.core.left_edge import route_left_edge_unconstrained
+from repro.core.npc import solve_nmts
+from repro.generators.paper_examples import (
+    example1_nmts,
+    fig2_connections,
+    fig3_channel,
+    fig3_connections,
+    fig4_channel,
+    fig4_connections,
+    fig8_channel,
+    fig8_connections,
+)
+
+
+class TestFig2:
+    def test_density_two(self):
+        assert density(fig2_connections()) == 2
+
+    def test_unconstrained_achieves_density(self):
+        r = route_left_edge_unconstrained(fig2_connections())
+        assert r.channel.n_tracks == 2
+        r.validate()
+
+
+class TestFig3:
+    def test_dimensions(self):
+        ch = fig3_channel()
+        assert (ch.n_tracks, ch.n_columns) == (3, 9)
+        assert [t.n_segments for t in ch] == [3, 3, 2]
+        assert len(fig3_connections()) == 5
+
+    def test_section2_occupancy_example(self):
+        # A connection spanning 2..5 occupies two segments in track 2 but
+        # one segment in track 3.
+        ch = fig3_channel()
+        assert ch.segments_occupied(1, 2, 5) == 2
+        assert ch.segments_occupied(2, 2, 5) == 1
+
+    def test_greedy_matches_printed_assignments(self):
+        r = route_one_segment_greedy(fig3_channel(), fig3_connections())
+        d = r.as_dict()
+        assert d["c1"] == 1  # s21
+        assert d["c2"] == 2  # s31
+        r.validate(max_segments=1)
+
+    def test_fig9_frontier(self):
+        # After c1, c2, c3 the frontier relative to left(c4)=6 is [7,6,6].
+        ch, cs = fig3_channel(), fig3_connections()
+        r = route_one_segment_greedy(ch, cs)
+        blocked = [0] * 3
+        for i in range(3):
+            c = cs[i]
+            t = r.assignment[i]
+            blocked[t] = ch.segment_end_at(t, c.right)
+        ref = cs[3].left
+        frontier = [max(b + 1, ref) for b in blocked]
+        assert frontier == [7, 6, 6]
+
+    def test_fig10_assignment_graph_levels(self):
+        _, stats = route_dp_with_stats(fig3_channel(), fig3_connections())
+        assert len(stats.nodes_per_level) == 5
+        assert stats.nodes_per_level[-1] == 1
+
+
+class TestFig4:
+    def test_single_track_infeasible(self):
+        with pytest.raises(RoutingInfeasibleError):
+            route_dp(fig4_channel(), fig4_connections())
+
+    def test_generalized_feasible(self):
+        g = route_generalized(fig4_channel(), fig4_connections())
+        g.validate()
+
+    def test_weaver_uses_s22_s33(self):
+        ch, cs = fig4_channel(), fig4_connections()
+        g = route_generalized(ch, cs)
+        i = cs.index_of(cs.by_name("c4"))
+        segs = {(s.track, s.left, s.right) for s in g.segments_used(i)}
+        assert segs == {(1, 3, 6), (2, 6, 7)}
+
+    def test_track3_has_four_segments(self):
+        assert fig4_channel().track(2).n_segments == 4
+
+
+class TestFig8:
+    def test_two_segment_limit(self):
+        assert fig8_channel().max_segments_per_track() == 2
+
+    def test_walkthrough(self):
+        r = route_two_segment_tracks_greedy(fig8_channel(), fig8_connections())
+        assert r.as_dict() == {"c1": 0, "c2": 2, "c3": 1, "c4": 0}
+        r.validate()
+
+
+class TestExample1:
+    def test_exact_numbers(self):
+        inst = example1_nmts()
+        assert inst.xs == (2, 5, 8)
+        assert inst.ys == (9, 11, 12)
+        assert inst.zs == (11, 17, 19)
+
+    def test_solvable_with_paper_solution(self):
+        inst = example1_nmts()
+        sol = solve_nmts(inst)
+        assert sol is not None
+        # 1-based: alpha=(1,2,3), beta=(1,3,2).
+        assert inst.check_solution((0, 1, 2), (0, 2, 1))
+
+    def test_normalized(self):
+        assert example1_nmts().is_normalized()

@@ -1,0 +1,128 @@
+"""Random instance generator tests."""
+
+import pytest
+
+from repro.core.dp import route_dp
+from repro.core.errors import ReproError
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+    random_uniform_instance,
+)
+
+
+class TestRandomChannel:
+    def test_shape(self):
+        ch = random_channel(5, 30, 4.0, seed=1)
+        assert ch.n_tracks == 5
+        assert ch.n_columns == 30
+
+    def test_deterministic(self):
+        a = random_channel(5, 30, 4.0, seed=1)
+        b = random_channel(5, 30, 4.0, seed=1)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = random_channel(5, 30, 4.0, seed=1)
+        b = random_channel(5, 30, 4.0, seed=2)
+        assert a != b
+
+    def test_mean_length_roughly_controls_breaks(self):
+        dense = random_channel(20, 100, 2.0, seed=3)
+        sparse = random_channel(20, 100, 20.0, seed=3)
+        assert dense.n_switches > sparse.n_switches
+
+    def test_bad_mean(self):
+        with pytest.raises(ReproError):
+            random_channel(2, 10, 0.5)
+
+
+class TestFeasibleInstance:
+    def test_is_routable(self):
+        for seed in range(5):
+            ch = random_channel(5, 30, 4.0, seed=seed)
+            cs = random_feasible_instance(ch, 10, seed=seed + 100)
+            assert len(cs) == 10
+            route_dp(ch, cs).validate()
+
+    def test_k_limited_feasible(self):
+        for seed in range(5):
+            ch = random_channel(5, 30, 4.0, seed=seed)
+            cs = random_feasible_instance(
+                ch, 8, seed=seed + 200, max_segments=2
+            )
+            r = route_dp(ch, cs, max_segments=2)
+            r.validate(2)
+
+    def test_deterministic(self):
+        ch = random_channel(4, 25, 4.0, seed=1)
+        a = random_feasible_instance(ch, 8, seed=5)
+        b = random_feasible_instance(ch, 8, seed=5)
+        assert a == b
+
+    def test_too_many_raises(self):
+        ch = random_channel(1, 5, 2.0, seed=1)
+        with pytest.raises(ReproError):
+            random_feasible_instance(ch, 50, seed=2, max_attempts=3)
+
+    def test_connections_within_channel(self):
+        ch = random_channel(4, 20, 3.0, seed=9)
+        cs = random_feasible_instance(ch, 8, seed=10)
+        cs.check_within(ch)
+
+
+class TestUniformInstance:
+    def test_count_and_bounds(self):
+        cs = random_uniform_instance(15, 40, seed=2)
+        assert len(cs) == 15
+        assert cs.max_column() <= 40
+
+    def test_deterministic(self):
+        assert random_uniform_instance(10, 30, seed=3) == random_uniform_instance(
+            10, 30, seed=3
+        )
+
+    def test_mean_length_effect(self):
+        short = random_uniform_instance(200, 100, seed=4, mean_length=2.0)
+        long_ = random_uniform_instance(200, 100, seed=4, mean_length=12.0)
+        assert short.total_length() < long_.total_length()
+
+
+class TestNonoverlappingInstance:
+    def test_pairwise_disjoint(self):
+        from repro.generators.random_instances import (
+            random_nonoverlapping_instance,
+        )
+
+        for seed in range(6):
+            cs = random_nonoverlapping_instance(12, 60, seed=seed)
+            conns = list(cs)
+            for a, b in zip(conns, conns[1:]):
+                assert not a.overlaps(b)
+
+    def test_density_is_one(self):
+        from repro.core.connection import density
+        from repro.generators.random_instances import (
+            random_nonoverlapping_instance,
+        )
+
+        cs = random_nonoverlapping_instance(10, 80, seed=3)
+        assert density(cs) == 1
+
+    def test_truncates_on_narrow_channel(self):
+        from repro.generators.random_instances import (
+            random_nonoverlapping_instance,
+        )
+
+        cs = random_nonoverlapping_instance(50, 12, seed=4)
+        assert 1 <= len(cs) < 50
+        assert cs.max_column() <= 12
+
+    def test_deterministic(self):
+        from repro.generators.random_instances import (
+            random_nonoverlapping_instance,
+        )
+
+        assert random_nonoverlapping_instance(
+            8, 40, seed=5
+        ) == random_nonoverlapping_instance(8, 40, seed=5)

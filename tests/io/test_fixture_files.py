@@ -1,0 +1,57 @@
+"""Curated `.sch` fixtures: parse from disk and behave as documented."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.capacity import diagnose
+from repro.core.decompose import clean_cuts
+from repro.core.dp import route_dp
+from repro.core.errors import RoutingInfeasibleError
+from repro.core.greedy import route_one_segment_greedy
+from repro.io.text_format import dump_instance, load_instance
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+def test_cluster_has_clean_cut():
+    channel, conns = load_instance(DATA / "cluster.sch")
+    assert clean_cuts(channel, conns) == [8]
+    route_dp(channel, conns).validate()
+
+
+def test_dense_routes_exactly():
+    channel, conns = load_instance(DATA / "dense.sch")
+    r = route_dp(channel, conns)
+    r.validate()
+    d = r.as_dict()
+    # The two long connections (c4, c5) each consume a whole track; the
+    # three short ones share the remaining (finely segmented) track 1.
+    assert d["c4"] != d["c5"]
+    assert d["c1"] == d["c2"] == d["c3"] == 0
+
+
+def test_infeasible_diagnosed_and_proven():
+    channel, conns = load_instance(DATA / "infeasible.sch")
+    bottlenecks = diagnose(channel, conns)
+    assert any(b.kind == "column-capacity" for b in bottlenecks)
+    with pytest.raises(RoutingInfeasibleError):
+        route_dp(channel, conns)
+
+
+def test_one_segment_fixture_routes_at_k1():
+    channel, conns = load_instance(DATA / "one_segment.sch")
+    r = route_one_segment_greedy(channel, conns)
+    r.validate(max_segments=1)
+    assert r.max_segments_used() == 1
+
+
+@pytest.mark.parametrize(
+    "name", ["cluster.sch", "dense.sch", "infeasible.sch", "one_segment.sch"]
+)
+def test_fixtures_round_trip(name, tmp_path):
+    channel, conns = load_instance(DATA / name)
+    out = tmp_path / name
+    dump_instance(out, channel, conns)
+    ch2, cs2 = load_instance(out)
+    assert ch2 == channel and cs2 == conns

@@ -1,0 +1,83 @@
+"""`.net` netlist format tests."""
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.fpga.netlist import random_netlist
+from repro.io.netlist_format import (
+    dump_netlist,
+    dumps_netlist,
+    load_netlist,
+    loads_netlist,
+)
+
+
+def test_round_trip_random():
+    for seed in range(4):
+        nl = random_netlist(12, 3, seed=seed)
+        nl2 = loads_netlist(dumps_netlist(nl))
+        assert set(nl2.cells) == set(nl.cells)
+        assert [(n.name, n.driver, n.sinks) for n in nl2.nets] == [
+            (n.name, n.driver, n.sinks) for n in nl.nets
+        ]
+
+
+def test_file_round_trip(tmp_path):
+    nl = random_netlist(8, 3, seed=5)
+    path = tmp_path / "x.net"
+    dump_netlist(path, nl)
+    nl2 = load_netlist(path)
+    assert nl2.n_nets == nl.n_nets
+
+
+def test_hand_written():
+    text = """
+    # comment
+    cell g1 3
+    cell g2 2
+    net n1 g1.out g2.in0 g2.in1
+    end
+    """
+    nl = loads_netlist(text)
+    assert nl.n_cells == 2
+    assert nl.nets[0].fanout == 2
+
+
+def test_missing_end():
+    with pytest.raises(FormatError, match="end"):
+        loads_netlist("cell g1 2\n")
+
+
+def test_content_after_end():
+    with pytest.raises(FormatError, match="after"):
+        loads_netlist("cell g1 2\nend\ncell g2 2\n")
+
+
+def test_bad_pin_syntax():
+    for bad in ("g1", "g1.side", "g1.inx", ".out"):
+        with pytest.raises(FormatError):
+            loads_netlist(f"cell g1 2\ncell g2 2\nnet n1 {bad} g2.in0\nend\n")
+
+
+def test_bad_cell_line():
+    with pytest.raises(FormatError):
+        loads_netlist("cell g1\nend\n")
+
+
+def test_unknown_directive():
+    with pytest.raises(FormatError, match="unexpected"):
+        loads_netlist("wire w1\nend\n")
+
+
+def test_semantic_errors_surface_as_format_errors():
+    # Net driven by an input pin.
+    with pytest.raises(FormatError):
+        loads_netlist(
+            "cell g1 2\ncell g2 2\nnet n1 g1.in0 g2.in0\nend\n"
+        )
+    # Doubly driven input.
+    with pytest.raises(FormatError):
+        loads_netlist(
+            "cell a 2\ncell b 2\ncell c 2\n"
+            "net n1 a.out c.in0\nnet n2 b.out c.in0\nend\n"
+        )

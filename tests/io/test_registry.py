@@ -1,0 +1,57 @@
+"""Named-instance registry tests."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.io.registry import instance_names, load_named_instance
+
+
+def test_all_fixed_names_load():
+    for name in ("fig2", "fig3", "fig4", "fig8", "example1-q", "example1-q2"):
+        channel, conns = load_named_instance(name)
+        conns.check_within(channel)
+        assert len(conns) > 0
+
+
+def test_example1_q_shape():
+    channel, conns = load_named_instance("example1-q")
+    assert channel.n_tracks == 9
+    assert len(conns) == 30
+
+
+def test_example1_q2_shape():
+    channel, conns = load_named_instance("example1-q2")
+    assert channel.n_tracks == 15
+
+
+def test_fig2_is_routable_one_segment():
+    from repro.core.greedy import route_one_segment_greedy
+
+    channel, conns = load_named_instance("fig2")
+    route_one_segment_greedy(channel, conns).validate(1)
+
+
+def test_random_parameterized():
+    channel, conns = load_named_instance("random-T5-M12-s9")
+    assert channel.n_tracks == 5
+    assert len(conns) == 12
+
+
+def test_random_default_seed():
+    a = load_named_instance("random-T4-M8")
+    b = load_named_instance("random-T4-M8-s0")
+    assert a == b
+
+
+def test_case_insensitive_fixed_names():
+    load_named_instance("FIG3")
+
+
+def test_unknown_name():
+    with pytest.raises(ReproError, match="known"):
+        load_named_instance("fig99")
+
+
+def test_names_listed():
+    names = instance_names()
+    assert "fig3" in names and any("random" in n for n in names)

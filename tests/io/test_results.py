@@ -1,0 +1,86 @@
+"""Routing report/export tests."""
+
+import json
+
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.routing import occupied_length_weight
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+from repro.io.results import routing_report, routing_to_csv, routing_to_json
+
+
+def _routing():
+    return route_one_segment_greedy(fig3_channel(), fig3_connections())
+
+
+def test_report_mentions_every_connection():
+    text = routing_report(_routing())
+    for name in ("c1", "c2", "c3", "c4", "c5"):
+        assert name in text
+
+
+def test_report_with_weight_totals():
+    r = _routing()
+    text = routing_report(r, occupied_length_weight(r.channel))
+    assert "total weight" in text
+
+
+def test_csv_has_header_and_rows():
+    lines = routing_to_csv(_routing()).strip().splitlines()
+    assert lines[0] == "name,left,right,track,segments_used"
+    assert len(lines) == 6
+
+
+def test_csv_tracks_are_one_based():
+    lines = routing_to_csv(_routing()).strip().splitlines()[1:]
+    tracks = [int(l.split(",")[3]) for l in lines]
+    assert min(tracks) >= 1
+
+
+def test_json_round_trips():
+    payload = json.loads(routing_to_json(_routing()))
+    assert payload["channel"]["n_tracks"] == 3
+    assert len(payload["connections"]) == 5
+    assert payload["max_segments_used"] == 1
+
+
+def test_json_contains_breaks():
+    payload = json.loads(routing_to_json(_routing()))
+    assert payload["channel"]["breaks"] == [[2, 6], [3, 6], [5]]
+
+
+def test_json_round_trip_restores_routing():
+    from repro.io.results import routing_from_json
+
+    original = _routing()
+    restored = routing_from_json(routing_to_json(original))
+    assert restored.channel == original.channel
+    assert restored.connections == original.connections
+    assert restored.assignment == original.assignment
+
+
+def test_json_loader_rejects_garbage():
+    import pytest
+
+    from repro.core.errors import FormatError
+    from repro.io.results import routing_from_json
+
+    with pytest.raises(FormatError):
+        routing_from_json("not json at all {")
+    with pytest.raises(FormatError):
+        routing_from_json("{}")
+
+
+def test_json_loader_validates_assignment():
+    import json
+
+    import pytest
+
+    from repro.core.errors import ValidationError
+    from repro.io.results import routing_from_json
+
+    payload = json.loads(routing_to_json(_routing()))
+    # Corrupt: put everything on track 1 -> conflicts.
+    for rec in payload["connections"]:
+        rec["track"] = 1
+    with pytest.raises(ValidationError):
+        routing_from_json(json.dumps(payload))

@@ -1,0 +1,89 @@
+"""`.sch` format round-trip and error-handling tests."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.errors import FormatError
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+from repro.generators.random_instances import random_channel, random_feasible_instance
+from repro.io.text_format import (
+    dump_instance,
+    dumps_instance,
+    load_instance,
+    loads_instance,
+)
+
+
+class TestRoundTrip:
+    def test_fig3(self):
+        ch, cs = fig3_channel(), fig3_connections()
+        ch2, cs2 = loads_instance(dumps_instance(ch, cs))
+        assert ch2 == ch and cs2 == cs
+        assert ch2.name == "fig3"
+
+    def test_unsegmented_track(self):
+        ch = channel_from_breaks(6, [(), (3,)])
+        cs = ConnectionSet.from_spans([(1, 6)])
+        ch2, cs2 = loads_instance(dumps_instance(ch, cs))
+        assert ch2 == ch and cs2 == cs
+
+    def test_random_instances(self):
+        for seed in range(5):
+            ch = random_channel(4, 25, 4.0, seed=seed)
+            cs = random_feasible_instance(ch, 8, seed=seed)
+            ch2, cs2 = loads_instance(dumps_instance(ch, cs))
+            assert ch2 == ch and cs2 == cs
+
+    def test_file_round_trip(self, tmp_path):
+        ch, cs = fig3_channel(), fig3_connections()
+        path = tmp_path / "inst.sch"
+        dump_instance(path, ch, cs)
+        ch2, cs2 = load_instance(path)
+        assert ch2 == ch and cs2 == cs
+
+    def test_comments_and_blanks_ignored(self):
+        text = dumps_instance(fig3_channel(), fig3_connections())
+        noisy = "\n# hello\n" + text.replace(
+            "connections", "# mid comment\n\nconnections"
+        )
+        ch2, cs2 = loads_instance(noisy)
+        assert ch2 == fig3_channel()
+
+
+class TestErrors:
+    def test_missing_columns(self):
+        with pytest.raises(FormatError, match="columns"):
+            loads_instance("channel x\ntrack -\nconnections\nend\n")
+
+    def test_track_before_columns(self):
+        with pytest.raises(FormatError):
+            loads_instance("track 3\ncolumns 9\nconnections\nend\n")
+
+    def test_no_tracks(self):
+        with pytest.raises(FormatError, match="track"):
+            loads_instance("columns 9\nconnections\nend\n")
+
+    def test_missing_end(self):
+        with pytest.raises(FormatError, match="end"):
+            loads_instance("columns 9\ntrack -\nconnections\nc1 1 2\n")
+
+    def test_content_after_end(self):
+        with pytest.raises(FormatError, match="after"):
+            loads_instance("columns 9\ntrack -\nconnections\nend\nc1 1 2\n")
+
+    def test_bad_integer(self):
+        with pytest.raises(FormatError, match="integer"):
+            loads_instance("columns nine\ntrack -\nconnections\nend\n")
+
+    def test_bad_connection_line(self):
+        with pytest.raises(FormatError):
+            loads_instance("columns 9\ntrack -\nconnections\nc1 1\nend\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(FormatError, match="unexpected"):
+            loads_instance("wat 9\n")
+
+    def test_connection_outside_channel(self):
+        with pytest.raises(Exception):
+            loads_instance("columns 5\ntrack -\nconnections\nc1 1 9\nend\n")

@@ -1,0 +1,105 @@
+"""Hopcroft–Karp tests, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrate.bipartite import hopcroft_karp, maximum_bipartite_matching
+
+
+def _nx_matching_size(n_left, n_right, adjacency):
+    g = nx.Graph()
+    g.add_nodes_from((f"L{u}" for u in range(n_left)), bipartite=0)
+    g.add_nodes_from((f"R{v}" for v in range(n_right)), bipartite=1)
+    for u, nbrs in enumerate(adjacency):
+        for v in nbrs:
+            g.add_edge(f"L{u}", f"R{v}")
+    matching = nx.bipartite.maximum_matching(
+        g, top_nodes=[f"L{u}" for u in range(n_left)]
+    )
+    return len(matching) // 2
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        size, ml, mr = hopcroft_karp(2, 2, [[0, 1], [1]])
+        assert size == 2
+        assert ml == [0, 1]
+
+    def test_blocked(self):
+        size, ml, _ = hopcroft_karp(2, 2, [[0], [0]])
+        assert size == 1
+
+    def test_empty_graph(self):
+        size, ml, mr = hopcroft_karp(3, 2, [[], [], []])
+        assert size == 0
+        assert ml == [-1, -1, -1]
+
+    def test_no_vertices(self):
+        assert hopcroft_karp(0, 0, [])[0] == 0
+
+    def test_bad_adjacency_length(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(2, 2, [[0]])
+
+    def test_bad_right_index(self):
+        with pytest.raises(ValueError):
+            hopcroft_karp(1, 2, [[2]])
+
+    def test_matching_is_consistent(self):
+        size, ml, mr = hopcroft_karp(3, 3, [[0, 1], [0, 2], [1]])
+        assert size == 3
+        for u, v in enumerate(ml):
+            if v != -1:
+                assert mr[v] == u
+
+    def test_against_networkx_random(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            n_left = rng.randint(1, 8)
+            n_right = rng.randint(1, 8)
+            adjacency = [
+                sorted(
+                    rng.sample(range(n_right), rng.randint(0, n_right))
+                )
+                for _ in range(n_left)
+            ]
+            size, _, _ = hopcroft_karp(n_left, n_right, adjacency)
+            assert size == _nx_matching_size(n_left, n_right, adjacency)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 5), max_size=6).map(
+                lambda xs: sorted(set(xs))
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_hypothesis_against_networkx(self, adjacency):
+        n_left = len(adjacency)
+        n_right = 6
+        size, ml, mr = hopcroft_karp(n_left, n_right, adjacency)
+        assert size == _nx_matching_size(n_left, n_right, adjacency)
+        # matched edges exist in the graph
+        for u, v in enumerate(ml):
+            if v != -1:
+                assert v in adjacency[u]
+
+
+class TestLabelWrapper:
+    def test_labels(self):
+        m = maximum_bipartite_matching({"a": ["x"], "b": ["x", "y"]})
+        assert m["a"] == "x"
+        assert m["b"] == "y"
+
+    def test_partial(self):
+        m = maximum_bipartite_matching({"a": ["x"], "b": ["x"]})
+        assert len(m) == 1
+
+    def test_empty(self):
+        assert maximum_bipartite_matching({}) == {}

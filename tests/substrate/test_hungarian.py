@@ -1,0 +1,109 @@
+"""Hungarian algorithm tests, cross-checked against scipy."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linear_sum_assignment
+
+from repro.substrate.hungarian import AssignmentInfeasible, hungarian
+
+
+class TestBasics:
+    def test_identity(self):
+        total, assign = hungarian([[1.0, 9.0], [9.0, 1.0]])
+        assert total == 2.0
+        assert assign == [0, 1]
+
+    def test_cross(self):
+        total, assign = hungarian([[9.0, 1.0], [1.0, 9.0]])
+        assert total == 2.0
+        assert assign == [1, 0]
+
+    def test_rectangular(self):
+        total, assign = hungarian([[5.0, 1.0, 3.0]])
+        assert total == 1.0
+        assert assign == [1]
+
+    def test_empty(self):
+        assert hungarian([]) == (0.0, [])
+
+    def test_rows_exceed_columns(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0], [2.0]])
+
+    def test_ragged(self):
+        with pytest.raises(ValueError):
+            hungarian([[1.0, 2.0], [1.0]])
+
+    def test_forbidden_edges(self):
+        inf = math.inf
+        total, assign = hungarian([[inf, 1.0], [1.0, inf]])
+        assert total == 2.0
+        assert assign == [1, 0]
+
+    def test_infeasible(self):
+        inf = math.inf
+        with pytest.raises(AssignmentInfeasible):
+            hungarian([[inf, inf], [1.0, 2.0]])
+
+    def test_infeasible_shared_column(self):
+        inf = math.inf
+        with pytest.raises(AssignmentInfeasible):
+            hungarian([[1.0, inf], [2.0, inf]])
+
+
+class TestVsScipy:
+    def test_random_square(self):
+        rng = random.Random(7)
+        for _ in range(40):
+            n = rng.randint(1, 7)
+            cost = [[rng.uniform(0, 10) for _ in range(n)] for _ in range(n)]
+            total, assign = hungarian(cost)
+            rows, cols = linear_sum_assignment(np.array(cost))
+            expected = float(np.array(cost)[rows, cols].sum())
+            assert total == pytest.approx(expected)
+            assert sorted(assign) == sorted(cols.tolist())
+
+    def test_random_rectangular(self):
+        rng = random.Random(8)
+        for _ in range(40):
+            n = rng.randint(1, 5)
+            m = rng.randint(n, 8)
+            cost = [[rng.uniform(0, 10) for _ in range(m)] for _ in range(n)]
+            total, _ = hungarian(cost)
+            rows, cols = linear_sum_assignment(np.array(cost))
+            expected = float(np.array(cost)[rows, cols].sum())
+            assert total == pytest.approx(expected)
+
+    def test_negative_costs(self):
+        rng = random.Random(9)
+        for _ in range(20):
+            n = rng.randint(2, 5)
+            cost = [
+                [rng.uniform(-5, 5) for _ in range(n)] for _ in range(n)
+            ]
+            total, _ = hungarian(cost)
+            rows, cols = linear_sum_assignment(np.array(cost))
+            assert total == pytest.approx(float(np.array(cost)[rows, cols].sum()))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 4).flatmap(
+            lambda n: st.lists(
+                st.lists(
+                    st.integers(0, 20).map(float), min_size=n + 1, max_size=n + 1
+                ),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    def test_hypothesis_vs_scipy(self, cost):
+        total, assign = hungarian(cost)
+        rows, cols = linear_sum_assignment(np.array(cost))
+        assert total == pytest.approx(float(np.array(cost)[rows, cols].sum()))
+        assert len(set(assign)) == len(assign)  # injective

@@ -1,0 +1,108 @@
+"""Interval utility tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.substrate.intervals import (
+    intervals_overlap,
+    merge_intervals,
+    pack_intervals_left_edge,
+    sweep_density,
+)
+
+spans = st.tuples(st.integers(1, 20), st.integers(0, 8)).map(
+    lambda t: (t[0], t[0] + t[1])
+)
+
+
+class TestOverlap:
+    def test_overlap(self):
+        assert intervals_overlap((1, 4), (4, 8))
+        assert not intervals_overlap((1, 4), (5, 8))
+        assert intervals_overlap((2, 9), (3, 4))
+
+
+class TestMerge:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_kept(self):
+        assert merge_intervals([(5, 6), (1, 2)]) == [(1, 2), (5, 6)]
+
+    def test_adjacent_merged(self):
+        assert merge_intervals([(1, 2), (3, 4)]) == [(1, 4)]
+
+    def test_overlapping_merged(self):
+        assert merge_intervals([(1, 5), (4, 9), (8, 10)]) == [(1, 10)]
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(3, 2)])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(spans, max_size=10))
+    def test_merge_covers_same_points(self, intervals):
+        merged = merge_intervals(intervals)
+        covered = {
+            p for l, r in intervals for p in range(l, r + 1)
+        }
+        covered_merged = {
+            p for l, r in merged for p in range(l, r + 1)
+        }
+        assert covered == covered_merged
+        # merged intervals are disjoint and non-adjacent
+        for a, b in zip(merged, merged[1:]):
+            assert a[1] + 1 < b[0]
+
+
+class TestDensity:
+    def test_empty(self):
+        assert sweep_density([]) == 0
+
+    def test_point_stack(self):
+        assert sweep_density([(3, 3)] * 5) == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(spans, max_size=10))
+    def test_matches_pointwise_max(self, intervals):
+        expected = 0
+        for p in range(1, 30):
+            expected = max(
+                expected, sum(1 for l, r in intervals if l <= p <= r)
+            )
+        assert sweep_density(intervals) == expected
+
+
+class TestPack:
+    def test_rows_equal_density(self):
+        intervals = [(1, 4), (2, 6), (5, 9), (7, 9)]
+        n_rows, row_of = pack_intervals_left_edge(intervals)
+        assert n_rows == sweep_density(intervals)
+
+    def test_assignment_conflict_free(self):
+        rng = random.Random(4)
+        for _ in range(30):
+            intervals = []
+            for _ in range(rng.randint(1, 15)):
+                l = rng.randint(1, 20)
+                intervals.append((l, l + rng.randint(0, 6)))
+            n_rows, row_of = pack_intervals_left_edge(intervals)
+            assert n_rows == sweep_density(intervals)
+            by_row = {}
+            for i, row in enumerate(row_of):
+                for other in by_row.get(row, []):
+                    assert not intervals_overlap(intervals[i], intervals[other])
+                by_row.setdefault(row, []).append(i)
+
+    def test_empty(self):
+        assert pack_intervals_left_edge([]) == (0, [])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(spans, max_size=12))
+    def test_hypothesis_density_optimal(self, intervals):
+        n_rows, row_of = pack_intervals_left_edge(intervals)
+        assert n_rows == sweep_density(intervals)
+        assert len(row_of) == len(intervals)

@@ -1,0 +1,32 @@
+"""PRNG helper tests."""
+
+import random
+
+from repro.substrate.prng import rng_from, spawn
+
+
+def test_same_seed_same_stream():
+    assert rng_from(42).random() == rng_from(42).random()
+
+
+def test_existing_rng_passthrough():
+    rng = random.Random(1)
+    assert rng_from(rng) is rng
+
+
+def test_none_gives_rng():
+    assert isinstance(rng_from(None), random.Random)
+
+
+def test_spawn_reproducible():
+    a = spawn(random.Random(7), "stream")
+    b = spawn(random.Random(7), "stream")
+    assert a.random() == b.random()
+
+
+def test_spawn_streams_differ():
+    base = random.Random(7)
+    a = spawn(base, "x")
+    base2 = random.Random(7)
+    b = spawn(base2, "y")
+    assert a.random() != b.random()

@@ -1,0 +1,174 @@
+"""Simplex tests, cross-checked against scipy.optimize.linprog (HiGHS)."""
+
+import random
+
+import numpy as np
+import pytest
+from scipy.optimize import linprog
+
+from repro.substrate.simplex import LinearProgram, simplex_solve
+
+
+def _scipy_max(c, A, b):
+    res = linprog(
+        c=-np.asarray(c), A_ub=np.asarray(A), b_ub=np.asarray(b),
+        bounds=[(0, None)] * len(c), method="highs",
+    )
+    return res
+
+
+class TestSimplexSolve:
+    def test_simple_max(self):
+        # max x + y s.t. x <= 2, y <= 3.
+        res = simplex_solve([1, 1], [[1, 0], [0, 1]], [2, 3])
+        assert res.ok
+        assert res.objective == pytest.approx(5.0)
+        assert res.x.tolist() == pytest.approx([2.0, 3.0])
+
+    def test_shared_resource(self):
+        # max x + y s.t. x + y <= 1.
+        res = simplex_solve([1, 1], [[1, 1]], [1])
+        assert res.objective == pytest.approx(1.0)
+
+    def test_unbounded(self):
+        res = simplex_solve([1.0], np.zeros((1, 1)), [5.0])
+        # x has no binding constraint (0*x <= 5): unbounded.
+        assert res.status == "unbounded"
+
+    def test_negative_rhs_rejected(self):
+        with pytest.raises(ValueError):
+            simplex_solve([1], [[1]], [-1])
+
+    def test_zero_objective(self):
+        res = simplex_solve([0, 0], [[1, 1]], [1])
+        assert res.ok and res.objective == pytest.approx(0.0)
+
+    def test_degenerate_does_not_cycle(self):
+        # Classic degeneracy: multiple zero-rhs rows; Bland's rule must
+        # terminate.
+        A = [[1, 1, 0], [1, 0, 1], [0, 1, 1]]
+        b = [0, 0, 1]
+        res = simplex_solve([1, 1, 1], A, b)
+        assert res.ok
+
+    def test_against_scipy_random(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            n = rng.randint(1, 6)
+            m = rng.randint(1, 6)
+            A = [[rng.uniform(0, 4) for _ in range(n)] for _ in range(m)]
+            b = [rng.uniform(0.5, 8) for _ in range(m)]
+            c = [rng.uniform(-1, 3) for _ in range(n)]
+            # guarantee boundedness: add a box row for each variable
+            for j in range(n):
+                row = [0.0] * n
+                row[j] = 1.0
+                A.append(row)
+                b.append(10.0)
+            mine = simplex_solve(c, A, b)
+            ref = _scipy_max(c, A, b)
+            assert mine.ok and ref.status == 0
+            assert mine.objective == pytest.approx(-ref.fun, abs=1e-6)
+            # feasibility of our solution
+            assert (np.asarray(A) @ mine.x <= np.asarray(b) + 1e-7).all()
+            assert (mine.x >= -1e-9).all()
+
+
+class TestLinearProgramBuilder:
+    def test_build_and_solve(self):
+        lp = LinearProgram()
+        lp.variable("x", objective=1.0)
+        lp.variable("y", objective=2.0)
+        lp.add_le({"x": 1.0, "y": 1.0}, 4.0)
+        lp.add_le({"y": 1.0}, 1.0)
+        result, values = lp.solve()
+        assert result.ok
+        assert values["y"] == pytest.approx(1.0)
+        assert values["x"] == pytest.approx(3.0)
+
+    def test_objective_accumulates(self):
+        lp = LinearProgram()
+        lp.variable("x", objective=1.0)
+        lp.variable("x", objective=1.0)  # now 2x
+        lp.add_le({"x": 1.0}, 3.0)
+        result, values = lp.solve()
+        assert result.objective == pytest.approx(6.0)
+
+    def test_negative_rhs_rejected(self):
+        lp = LinearProgram()
+        with pytest.raises(ValueError):
+            lp.add_le({"x": 1.0}, -1.0)
+
+    def test_counts(self):
+        lp = LinearProgram()
+        lp.variable("a")
+        lp.add_le({"a": 1.0, "b": 2.0}, 1.0)
+        assert lp.n_variables == 2
+        assert lp.n_constraints == 1
+
+    def test_routing_shape_lp(self):
+        # A miniature of the routing LP: 2 connections, 2 tracks, one
+        # conflicting segment.
+        lp = LinearProgram()
+        for i in range(2):
+            for t in range(2):
+                lp.variable((i, t), objective=1.0)
+        lp.add_le({(0, 0): 1.0, (0, 1): 1.0}, 1.0)
+        lp.add_le({(1, 0): 1.0, (1, 1): 1.0}, 1.0)
+        lp.add_le({(0, 0): 1.0, (1, 0): 1.0}, 1.0)  # shared segment on t0
+        result, values = lp.solve()
+        assert result.objective == pytest.approx(2.0)
+        # An integral optimum exists; simplex should land on a vertex.
+        assert all(
+            v <= 1e-7 or v >= 1 - 1e-7 for v in values.values()
+        )
+
+
+class TestScale:
+    def test_routing_shaped_lp_at_paper_scale(self):
+        """A full M=60, T=25 routing relaxation solved by our simplex must
+        agree with scipy's HiGHS on the optimum."""
+        from repro.core.lp import build_routing_lp
+        from repro.design.segmentation import staggered_uniform_segmentation
+        from repro.generators.random_instances import random_feasible_instance
+
+        ch = staggered_uniform_segmentation(25, 80, 8)
+        cs = random_feasible_instance(ch, 60, seed=77, mean_length=8.0)
+        lp, keys = build_routing_lp(ch, cs)
+        result, values = lp.solve()
+        assert result.ok
+
+        # scipy cross-check on the same matrices.
+        import numpy as np
+
+        n = lp.n_variables
+        m = lp.n_constraints
+        A = np.zeros((m, n))
+        for ri, row in enumerate(lp._rows):
+            for k, coef in row.items():
+                A[ri, lp._var_index[k]] = coef
+        b = np.array(lp._rhs)
+        c = np.zeros(n)
+        for k, coef in lp._objective.items():
+            c[lp._var_index[k]] = coef
+        ref = linprog(-c, A_ub=A, b_ub=b, bounds=[(0, None)] * n,
+                      method="highs")
+        assert ref.status == 0
+        assert result.objective == pytest.approx(-ref.fun, abs=1e-5)
+
+    def test_random_dense_lps_vs_scipy(self):
+        rng = random.Random(55)
+        for _ in range(5):
+            n, m = rng.randint(10, 25), rng.randint(10, 25)
+            A = [[rng.uniform(0, 2) for _ in range(n)] for _ in range(m)]
+            b = [rng.uniform(1, 10) for _ in range(m)]
+            c = [rng.uniform(0, 2) for _ in range(n)]
+            for j in range(n):
+                row = [0.0] * n
+                row[j] = 1.0
+                A.append(row)
+                b.append(5.0)
+            mine = simplex_solve(c, A, b)
+            ref = _scipy_max(c, A, b)
+            assert mine.ok and ref.status == 0
+            assert mine.objective == pytest.approx(-ref.fun, abs=1e-6)

@@ -1,0 +1,203 @@
+"""CLI tests (direct main() invocation; no subprocesses)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+from repro.io.text_format import dump_instance, load_instance
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "fig3.sch"
+    dump_instance(path, fig3_channel(), fig3_connections())
+    return str(path)
+
+
+class TestRoute:
+    def test_text_output(self, instance_file, capsys):
+        assert main(["route", instance_file, "--k", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "routing of 5 connections" in out
+
+    def test_csv_output(self, instance_file, capsys):
+        assert main(["route", instance_file, "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("name,left,right,track,segments_used")
+
+    def test_json_output(self, instance_file, capsys):
+        assert main(["route", instance_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["channel"]["n_tracks"] == 3
+
+    def test_weighted(self, instance_file, capsys):
+        assert (
+            main(["route", instance_file, "--k", "1", "--weight", "length"])
+            == 0
+        )
+        assert "total weight" in capsys.readouterr().out
+
+    def test_explicit_algorithm(self, instance_file, capsys):
+        assert main(["route", instance_file, "--algorithm", "dp"]) == 0
+
+    def test_infeasible_is_error_exit(self, tmp_path, capsys):
+        from repro.core.channel import channel_from_breaks
+        from repro.core.connection import ConnectionSet
+
+        path = tmp_path / "bad.sch"
+        dump_instance(
+            path,
+            channel_from_breaks(6, [()]),
+            ConnectionSet.from_spans([(1, 3), (2, 5)]),
+        )
+        assert main(["route", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_render(self, instance_file, capsys):
+        assert main(["render", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "t1" in out and "o" in out
+
+    def test_render_routed(self, instance_file, capsys):
+        assert main(["render", instance_file, "--routed", "--k", "1"]) == 0
+        assert "==" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_generate_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "gen.sch"
+        code = main(
+            [
+                "generate", "--tracks", "4", "--columns", "30",
+                "--connections", "8", "--seed", "3", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        channel, conns = load_instance(out)
+        assert channel.n_tracks == 4
+        assert len(conns) == 8
+        # Generated instances are feasible: route them via the CLI too.
+        assert main(["route", str(out)]) == 0
+
+
+class TestReduce:
+    def test_reduce_theorem1(self, tmp_path, capsys):
+        out = tmp_path / "q.sch"
+        code = main(
+            [
+                "reduce", "--x", "2,5,8", "--y", "9,11,12",
+                "--z", "11,17,19", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        channel, conns = load_instance(out)
+        assert channel.n_tracks == 9
+        assert len(conns) == 30
+
+    def test_reduce_theorem2(self, tmp_path, capsys):
+        out = tmp_path / "q2.sch"
+        code = main(
+            [
+                "reduce", "--x", "2,5,8", "--y", "9,11,12",
+                "--z", "11,17,19", "--two-segment", "-o", str(out),
+            ]
+        )
+        assert code == 0
+        channel, conns = load_instance(out)
+        assert channel.n_tracks == 15
+
+    def test_bad_integers(self, tmp_path, capsys):
+        code = main(
+            ["reduce", "--x", "a,b", "--y", "1", "--z", "1", "-o",
+             str(tmp_path / "x.sch")]
+        )
+        assert code == 1
+
+
+class TestRegistryIntegration:
+    def test_route_registry_instance(self, capsys):
+        assert main(["route", "@fig3", "--k", "1"]) == 0
+        assert "routing of 5 connections" in capsys.readouterr().out
+
+    def test_render_registry_instance(self, capsys):
+        assert main(["render", "@fig4"]) == 0
+        assert "t3" in capsys.readouterr().out
+
+    def test_route_reduction_instance(self, capsys):
+        assert main(["route", "@example1-q", "--algorithm", "exact"]) == 0
+        assert "30 connections" in capsys.readouterr().out
+
+    def test_unknown_registry_name(self, capsys):
+        assert main(["route", "@nothere"]) == 1
+        assert "known" in capsys.readouterr().err
+
+
+class TestChip:
+    def test_chip_flow(self, tmp_path, capsys):
+        from repro.fpga.netlist import random_netlist
+        from repro.io.netlist_format import dump_netlist
+
+        nl = random_netlist(12, 3, seed=5)
+        path = tmp_path / "design.net"
+        dump_netlist(path, nl)
+        code = main(
+            [
+                "chip", str(path), "--rows", "3", "--cells-per-row", "4",
+                "--inputs", "3", "--timing",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "design closure" in out
+        assert "critical path" in out
+
+
+class TestGeneralizedCLI:
+    def test_generalized_route(self, capsys):
+        assert main(["route", "@fig4", "--generalized"]) == 0
+        out = capsys.readouterr().out
+        assert "track changes:" in out
+        assert "programmed switches:" in out
+
+    def test_generalized_min_switches(self, capsys):
+        assert main(
+            ["route", "@fig4", "--generalized", "--min-switches"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "programmed switches: 16" in out
+
+    def test_generalized_infeasible(self, tmp_path, capsys):
+        from repro.core.channel import channel_from_breaks
+        from repro.core.connection import ConnectionSet
+        from repro.io.text_format import dump_instance
+
+        path = tmp_path / "bad.sch"
+        dump_instance(
+            path,
+            channel_from_breaks(6, [()]),
+            ConnectionSet.from_spans([(1, 3), (2, 5)]),
+        )
+        assert main(["route", str(path), "--generalized"]) == 1
+
+
+class TestMoreCoverage:
+    def test_weight_segments(self, instance_file, capsys):
+        assert (
+            main(["route", instance_file, "--weight", "segments"]) == 0
+        )
+        assert "total weight" in capsys.readouterr().out
+
+    def test_render_random_registry(self, capsys):
+        assert main(["render", "@random-T4-M6-s2", "--routed"]) == 0
+        assert "==" in capsys.readouterr().out
+
+    def test_q2_registry_renders(self, capsys):
+        # Exact routing of Q2(n=3) is expensive (Theorem 2 is the point);
+        # the registry instance still loads and renders.
+        assert main(["render", "@example1-q2"]) == 0
+        out = capsys.readouterr().out
+        assert "t15" in out

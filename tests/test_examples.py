@@ -1,0 +1,56 @@
+"""Smoke-run the example scripts (the fast ones) as part of the suite, so
+a refactor that breaks an example fails CI rather than a reader."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "np_hardness.py",
+    "generalized_routing.py",
+    "eco_repair.py",
+    "fpga_flow.py",
+    "timing_closure.py",
+    "paper_tour.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # said something
+
+
+def test_quickstart_output_shape(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "1-segment routing" in out
+    assert "total weight" in out
+
+
+def test_np_hardness_proves_both_directions(capsys):
+    runpy.run_path(str(EXAMPLES / "np_hardness.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "Lemma 1" in out and "Lemma 2" in out
+    assert "proves Q unroutable" in out
+
+
+def test_fpga_flow_completes(capsys):
+    runpy.run_path(str(EXAMPLES / "fpga_flow.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "COMPLETE" in out
+    assert "Elmore delay" in out
+
+
+def test_paper_tour_covers_all_figures(capsys):
+    runpy.run_path(str(EXAMPLES / "paper_tour.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    for fig in ("Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5", "Fig. 7", "Fig. 8"):
+        assert fig in out
+    assert "[7, 6, 6]" in out

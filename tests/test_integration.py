@@ -1,0 +1,111 @@
+"""End-to-end integration tests spanning multiple packages."""
+
+import pytest
+
+from repro.core.api import route
+from repro.core.connection import density
+from repro.core.dp import route_dp
+from repro.core.npc import (
+    build_unlimited_instance,
+    matching_from_routing,
+    normalize_nmts,
+    routing_from_matching,
+    solve_nmts,
+)
+from repro.design.segmentation import geometric_segmentation
+from repro.design.stochastic import TrafficModel, sample_connections
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.bitstream import extract_bitstream
+from repro.fpga.delay import DelayModel, routing_delay_profile
+from repro.fpga.detail_route import route_chip
+from repro.fpga.netlist import random_netlist
+from repro.fpga.placement import improve_placement, place_greedy
+from repro.generators.paper_examples import example1_nmts
+from repro.io.text_format import dumps_instance, loads_instance
+from repro.viz.render import render_routing
+
+
+class TestFullFPGAFlow:
+    """netlist -> placement -> global route -> detail route -> bitstream
+    -> delay, all on the public API."""
+
+    @pytest.fixture(scope="class")
+    def chip(self):
+        arch = FPGAArchitecture(
+            n_rows=3,
+            cells_per_row=6,
+            n_inputs=3,
+            channel_factory=lambda n: geometric_segmentation(
+                8, n, shortest=4, ratio=2.0, n_types=3
+            ),
+        )
+        nl = random_netlist(18, 3, seed=7)
+        pl = improve_placement(place_greedy(arch, nl, seed=1), nl, seed=2)
+        return route_chip(arch, nl, pl, max_segments=2)
+
+    def test_routes_completely(self, chip):
+        assert chip.ok, chip.summary()
+
+    def test_k_limit_holds_chipwide(self, chip):
+        assert chip.max_segments_used() <= 2
+
+    def test_bitstreams_extract_conflict_free(self, chip):
+        total = 0
+        for c in chip.channels:
+            if c.routing and len(c.routing.connections):
+                total += extract_bitstream(c.routing).n_programmed
+        assert total > 0
+
+    def test_delays_finite_and_positive(self, chip):
+        model = DelayModel()
+        for c in chip.channels:
+            if c.routing and len(c.routing.connections):
+                mean, mx, _ = routing_delay_profile(c.routing, model)
+                assert 0 < mean <= mx
+
+    def test_renders(self, chip):
+        for c in chip.channels:
+            if c.routing and len(c.routing.connections):
+                text = render_routing(c.routing)
+                assert text.count("\n") >= c.routing.channel.n_tracks
+
+
+class TestStochasticToRouting:
+    def test_traffic_sample_routes_in_designed_channel(self):
+        tm = TrafficModel(lam=0.4, mean_length=6)
+        for seed in range(3):
+            conns = sample_connections(tm, 48, seed=seed)
+            if len(conns) == 0:
+                continue
+            d = density(conns)
+            channel = geometric_segmentation(d + 4, 48, 4, 2.0, 3)
+            r = route(channel, conns, max_segments=3)
+            r.validate(3)
+
+    def test_instance_survives_disk_round_trip_and_routes_identically(
+        self, tmp_path
+    ):
+        tm = TrafficModel(lam=0.4, mean_length=5)
+        conns = sample_connections(tm, 40, seed=11)
+        channel = geometric_segmentation(max(density(conns), 1) + 4, 40, 4, 2.0, 3)
+        ch2, cs2 = loads_instance(dumps_instance(channel, conns))
+        a = route_dp(channel, conns)
+        b = route_dp(ch2, cs2)
+        assert a.assignment == b.assignment
+
+
+class TestReductionPipeline:
+    def test_example1_end_to_end(self):
+        inst = example1_nmts()
+        norm, _, _ = normalize_nmts(inst)
+        q = build_unlimited_instance(norm)
+        # NMTS solution -> routing -> back to a (possibly different)
+        # solution; both must solve the instance.
+        sol = solve_nmts(norm)
+        routing = routing_from_matching(q, *sol)
+        routing.validate()
+        alpha, beta = matching_from_routing(q, routing)
+        assert norm.check_solution(alpha, beta)
+        # The reduction instance serializes like any other.
+        ch2, cs2 = loads_instance(dumps_instance(q.channel, q.connections))
+        assert ch2 == q.channel and cs2 == q.connections

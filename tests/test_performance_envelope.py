@@ -1,0 +1,58 @@
+"""Coarse performance envelopes.
+
+Not micro-benchmarks (those live in `benchmarks/`): these are generous
+ceilings that catch accidental complexity regressions — an O(M^2) slip in
+an O(M) sweep blows straight through them on instances this size.
+Bounds are ~10x the observed times on modest hardware.
+"""
+
+import time
+
+from repro.core.connection import ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.lp import route_lp
+from repro.design.segmentation import staggered_uniform_segmentation
+from repro.generators.random_instances import random_channel, random_feasible_instance
+
+
+def _timed(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    out = fn(*args, **kwargs)
+    return out, time.perf_counter() - t0
+
+
+def test_greedy_handles_thousands_of_connections():
+    ch = staggered_uniform_segmentation(12, 4000, 4)
+    cs = random_feasible_instance(
+        ch, 2000, seed=1, max_segments=1, mean_length=3.0
+    )
+    routing, elapsed = _timed(route_one_segment_greedy, ch, cs)
+    routing.validate(max_segments=1)
+    assert elapsed < 10.0
+
+
+def test_dp_linear_regime():
+    ch = random_channel(5, 1500, 5.0, seed=2)
+    cs = random_feasible_instance(ch, 400, seed=3, mean_length=4.0)
+    routing, elapsed = _timed(route_dp, ch, cs)
+    routing.validate()
+    assert elapsed < 10.0
+
+
+def test_lp_paper_scale_within_budget():
+    ch = staggered_uniform_segmentation(25, 80, 8)
+    cs = random_feasible_instance(ch, 60, seed=4, mean_length=8.0)
+    routing, elapsed = _timed(route_lp, ch, cs)
+    routing.validate()
+    assert elapsed < 60.0
+
+
+def test_validation_scales():
+    ch = staggered_uniform_segmentation(12, 4000, 4)
+    cs = random_feasible_instance(
+        ch, 2000, seed=5, max_segments=1, mean_length=3.0
+    )
+    routing = route_one_segment_greedy(ch, cs)
+    _, elapsed = _timed(routing.validate, 1)
+    assert elapsed < 10.0

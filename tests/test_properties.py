@@ -1,0 +1,186 @@
+"""Cross-algorithm property-based tests (hypothesis).
+
+These are the library's strongest invariants, checked on generated
+instances:
+
+* every router's output passes the Definition-1/2 validators;
+* all exact algorithms agree on feasibility, for every K;
+* all exact optimizers agree on the optimal weight;
+* the generalized router dominates single-track routing;
+* serialization round-trips.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import ConnectionSet, density
+from repro.core.dp import route_dp
+from repro.core.dp_types import route_dp_track_types
+from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
+from repro.core.exact import count_routings, route_exact, route_exact_optimal
+from repro.core.generalized import route_generalized
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.lp import route_lp
+from repro.core.matching import one_segment_feasible, route_one_segment_matching
+from repro.core.routing import occupied_length_weight
+from repro.io.text_format import dumps_instance, loads_instance
+
+N_COLS = 10
+
+
+@st.composite
+def channels(draw, max_tracks=3):
+    n_tracks = draw(st.integers(1, max_tracks))
+    tracks = []
+    for _ in range(n_tracks):
+        breaks = draw(
+            st.lists(
+                st.integers(1, N_COLS - 1), max_size=3, unique=True
+            ).map(lambda xs: tuple(sorted(xs)))
+        )
+        tracks.append(Track(N_COLS, breaks))
+    return SegmentedChannel(tracks)
+
+
+@st.composite
+def connection_sets(draw, max_m=4):
+    m = draw(st.integers(1, max_m))
+    spans = []
+    for _ in range(m):
+        left = draw(st.integers(1, N_COLS))
+        right = draw(st.integers(left, min(N_COLS, left + 6)))
+        spans.append((left, right))
+    return ConnectionSet.from_spans(spans)
+
+
+@st.composite
+def instances(draw):
+    return draw(channels()), draw(connection_sets())
+
+
+class TestFeasibilityAgreement:
+    @settings(max_examples=120, deadline=None)
+    @given(instances(), st.sampled_from([None, 1, 2, 3]))
+    def test_dp_exact_typed_agree(self, instance, k):
+        channel, conns = instance
+        outcomes = {}
+        for name, fn in (
+            ("dp", lambda: route_dp(channel, conns, max_segments=k)),
+            ("exact", lambda: route_exact(channel, conns, max_segments=k)),
+            (
+                "typed",
+                lambda: route_dp_track_types(channel, conns, max_segments=k),
+            ),
+        ):
+            try:
+                routing = fn()
+                routing.validate(k)
+                outcomes[name] = True
+            except RoutingInfeasibleError:
+                outcomes[name] = False
+        assert len(set(outcomes.values())) == 1, outcomes
+
+    @settings(max_examples=80, deadline=None)
+    @given(instances())
+    def test_count_zero_iff_infeasible(self, instance):
+        channel, conns = instance
+        count = count_routings(channel, conns)
+        try:
+            route_dp(channel, conns)
+            feasible = True
+        except RoutingInfeasibleError:
+            feasible = False
+        assert (count > 0) == feasible
+
+    @settings(max_examples=80, deadline=None)
+    @given(instances())
+    def test_greedy1_matching_agree(self, instance):
+        channel, conns = instance
+        try:
+            route_one_segment_greedy(channel, conns)
+            greedy_ok = True
+        except RoutingInfeasibleError:
+            greedy_ok = False
+        assert greedy_ok == one_segment_feasible(channel, conns)
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances())
+    def test_lp_succeeds_on_feasible(self, instance):
+        channel, conns = instance
+        try:
+            route_dp(channel, conns)
+        except RoutingInfeasibleError:
+            # On infeasible instances the LP must not return a "routing".
+            with pytest.raises((HeuristicFailure, RoutingInfeasibleError)):
+                r = route_lp(channel, conns)
+                r.validate()
+            return
+        # Feasible: LP may or may not succeed (heuristic), but a returned
+        # routing must validate.
+        try:
+            route_lp(channel, conns).validate()
+        except HeuristicFailure:
+            pass
+
+
+class TestOptimalityAgreement:
+    @settings(max_examples=60, deadline=None)
+    @given(instances())
+    def test_dp_weighted_equals_branch_and_bound(self, instance):
+        channel, conns = instance
+        w = occupied_length_weight(channel)
+        try:
+            expected = route_exact_optimal(channel, conns, w).total_weight(w)
+        except RoutingInfeasibleError:
+            return
+        got = route_dp(channel, conns, weight=w)
+        got.validate()
+        assert got.total_weight(w) == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(instances())
+    def test_matching_optimal_for_k1(self, instance):
+        channel, conns = instance
+        w = occupied_length_weight(channel)
+        try:
+            expected = route_exact_optimal(
+                channel, conns, w, max_segments=1
+            ).total_weight(w)
+        except RoutingInfeasibleError:
+            return
+        got = route_one_segment_matching(channel, conns, weight=w)
+        got.validate(1)
+        assert got.total_weight(w) == pytest.approx(expected)
+
+
+class TestGeneralizedDominance:
+    @settings(max_examples=60, deadline=None)
+    @given(instances())
+    def test_generalized_supersedes_single_track(self, instance):
+        channel, conns = instance
+        try:
+            route_dp(channel, conns)
+        except RoutingInfeasibleError:
+            return
+        g = route_generalized(channel, conns)
+        g.validate()
+
+    @settings(max_examples=40, deadline=None)
+    @given(instances())
+    def test_generalized_never_beats_capacity(self, instance):
+        channel, conns = instance
+        if density(conns) > channel.n_tracks:
+            with pytest.raises(RoutingInfeasibleError):
+                route_generalized(channel, conns)
+
+
+class TestSerialization:
+    @settings(max_examples=80, deadline=None)
+    @given(instances())
+    def test_sch_round_trip(self, instance):
+        channel, conns = instance
+        ch2, cs2 = loads_instance(dumps_instance(channel, conns))
+        assert ch2 == channel
+        assert cs2 == conns

@@ -1,0 +1,213 @@
+"""Second round of cross-cutting property tests: incremental routing,
+bitstreams, diagnostics, heuristics, and persistence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import diagnose
+from repro.core.channel import SegmentedChannel, Track
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.dp import route_dp
+from repro.core.errors import (
+    HeuristicFailure,
+    RoutingInfeasibleError,
+    ValidationError,
+)
+from repro.core.heuristics import route_best_fit, route_first_fit
+from repro.core.incremental import insert_connection, remove_connection
+from repro.core.routing import Routing
+from repro.fpga.bitstream import extract_bitstream
+from repro.io.results import routing_from_json, routing_to_json
+
+N_COLS = 10
+
+
+@st.composite
+def channels(draw, max_tracks=3):
+    n_tracks = draw(st.integers(1, max_tracks))
+    tracks = []
+    for _ in range(n_tracks):
+        breaks = draw(
+            st.lists(st.integers(1, N_COLS - 1), max_size=3, unique=True).map(
+                lambda xs: tuple(sorted(xs))
+            )
+        )
+        tracks.append(Track(N_COLS, breaks))
+    return SegmentedChannel(tracks)
+
+
+@st.composite
+def connection_sets(draw, max_m=4):
+    m = draw(st.integers(1, max_m))
+    spans = []
+    for _ in range(m):
+        left = draw(st.integers(1, N_COLS))
+        right = draw(st.integers(left, min(N_COLS, left + 6)))
+        spans.append((left, right))
+    return ConnectionSet.from_spans(spans)
+
+
+@st.composite
+def routed_instances(draw):
+    """(channel, routing) pairs for instances that are actually routable."""
+    channel = draw(channels())
+    conns = draw(connection_sets())
+    try:
+        routing = route_dp(channel, conns)
+    except RoutingInfeasibleError:
+        return None
+    return channel, routing
+
+
+class TestIncrementalProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(routed_instances(), st.integers(1, N_COLS), st.integers(0, 5))
+    def test_insert_agrees_with_scratch(self, pair, left, extra):
+        if pair is None:
+            return
+        channel, routing = pair
+        right = min(N_COLS, left + extra)
+        new = Connection(left, right, "zz_new")
+        enlarged = ConnectionSet(list(routing.connections) + [new])
+        try:
+            route_dp(channel, enlarged)
+            should = True
+        except RoutingInfeasibleError:
+            should = False
+        try:
+            out = insert_connection(routing, new)
+            out.validate()
+            got = True
+        except RoutingInfeasibleError:
+            got = False
+        assert got == should
+
+    @settings(max_examples=50, deadline=None)
+    @given(routed_instances())
+    def test_remove_then_validate(self, pair):
+        if pair is None:
+            return
+        channel, routing = pair
+        victim = routing.connections[0]
+        out = remove_connection(routing, victim)
+        out.validate()
+        assert len(out.connections) == len(routing.connections) - 1
+
+
+class TestBitstreamProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(routed_instances())
+    def test_switch_counts(self, pair):
+        if pair is None:
+            return
+        channel, routing = pair
+        bs = extract_bitstream(routing)
+        # Cross switches: 2 per connection (1 for single-column spans).
+        expected_cross = sum(
+            1 if c.left == c.right else 2 for c in routing.connections
+        )
+        # Distinct connections may share a cross location only if they are
+        # on different tracks, so counting by (track, col) set:
+        assert bs.n_cross() <= expected_cross
+        # Track switches equal total joined breaks.
+        expected_track = sum(
+            sum(
+                1
+                for b in channel.track(t).breaks
+                if c.left <= b < c.right
+            )
+            for c, t in zip(routing.connections, routing.assignment)
+        )
+        assert bs.n_track() == expected_track
+
+    @settings(max_examples=50, deadline=None)
+    @given(routed_instances())
+    def test_per_connection_switches_match_segments(self, pair):
+        # A connection occupying k segments programs exactly k-1 track
+        # switches (the paper's join-count argument).
+        if pair is None:
+            return
+        channel, routing = pair
+        bs = extract_bitstream(routing)
+        per_conn_track = {}
+        for ref in bs.switches:
+            if ref.kind == "track":
+                per_conn_track[bs.owner[ref]] = (
+                    per_conn_track.get(bs.owner[ref], 0) + 1
+                )
+        for i, c in enumerate(routing.connections):
+            k = routing.segments_used_count(i)
+            assert per_conn_track.get(c.name, 0) == k - 1
+
+
+class TestDiagnoseProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(channels(), connection_sets(), st.sampled_from([None, 1, 2]))
+    def test_diagnostics_sound(self, channel, conns, k):
+        if diagnose(channel, conns, max_segments=k):
+            with pytest.raises(RoutingInfeasibleError):
+                route_dp(channel, conns, max_segments=k)
+
+
+class TestHeuristicProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(channels(), connection_sets())
+    def test_heuristics_never_return_invalid(self, channel, conns):
+        for fn in (route_first_fit, route_best_fit):
+            try:
+                fn(channel, conns).validate()
+            except HeuristicFailure:
+                pass
+
+
+class TestPersistenceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(routed_instances())
+    def test_json_round_trip(self, pair):
+        if pair is None:
+            return
+        _, routing = pair
+        restored = routing_from_json(routing_to_json(routing))
+        assert restored.assignment == routing.assignment
+        assert restored.channel == routing.channel
+
+
+class TestFacadeProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(channels(), connection_sets(), st.sampled_from([None, 1, 2]))
+    def test_route_auto_agrees_with_exact(self, channel, conns, k):
+        """API-level guarantee: route(..., 'auto') finds a routing exactly
+        when one exists."""
+        from repro.core.api import route
+        from repro.core.exact import route_exact
+
+        try:
+            route_exact(channel, conns, max_segments=k)
+            expected = True
+        except RoutingInfeasibleError:
+            expected = False
+        try:
+            r = route(channel, conns, max_segments=k)
+            r.validate(k)
+            got = True
+        except RoutingInfeasibleError:
+            got = False
+        assert got == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(channels(), connection_sets())
+    def test_decomposed_dp_agrees_with_plain(self, channel, conns):
+        from repro.core.decompose import route_dp_decomposed
+
+        try:
+            route_dp(channel, conns)
+            expected = True
+        except RoutingInfeasibleError:
+            expected = False
+        try:
+            route_dp_decomposed(channel, conns).validate()
+            got = True
+        except RoutingInfeasibleError:
+            got = False
+        assert got == expected

@@ -1,0 +1,44 @@
+"""Tests for the maintenance tooling."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from collect_bench_tables import extract_tables  # noqa: E402
+
+
+SAMPLE = """\
+some pytest noise
+FIG3: 1-segment greedy on the Fig. 3 instance
+connection   span  segment
+        c1  [1,3]      s21
+.                                                       [100%]
+more noise
+LP60: LP relaxation success on feasible random instances
+ M   T  rate
+60  25   8/8
+------------------------------ benchmark: 2 tests -----------------------
+irrelevant trailer
+"""
+
+
+def test_extract_finds_blocks():
+    out = extract_tables(SAMPLE)
+    assert "FIG3:" in out
+    assert "LP60:" in out
+    assert "s21" in out
+    assert "8/8" in out
+
+
+def test_extract_drops_noise():
+    out = extract_tables(SAMPLE)
+    assert "pytest noise" not in out
+    assert "irrelevant trailer" not in out
+    assert "benchmark: 2 tests" not in out
+
+
+def test_blocks_separated_by_blank_line():
+    out = extract_tables(SAMPLE)
+    blocks = [b for b in out.split("\n\n") if b.strip()]
+    assert len(blocks) == 2

@@ -1,0 +1,55 @@
+"""Generalized-routing renderer and chip renderer tests."""
+
+from repro.core.generalized import route_generalized
+from repro.design.segmentation import geometric_segmentation
+from repro.fpga.architecture import FPGAArchitecture
+from repro.fpga.detail_route import route_chip
+from repro.fpga.netlist import random_netlist
+from repro.fpga.placement import place_greedy
+from repro.fpga.render import render_chip
+from repro.generators.paper_examples import fig4_channel, fig4_connections
+from repro.viz.render import render_generalized_routing
+
+
+def test_generalized_render_lists_track_changes():
+    ch, cs = fig4_channel(), fig4_connections()
+    g = route_generalized(ch, cs)
+    text = render_generalized_routing(g)
+    assert "track changes:" in text
+    assert "c4" in text
+    assert "t2 -> t3" in text or "->" in text
+
+
+def test_generalized_render_tracks_drawn():
+    ch, cs = fig4_channel(), fig4_connections()
+    g = route_generalized(ch, cs)
+    text = render_generalized_routing(g)
+    assert text.count("\n") >= ch.n_tracks
+
+
+def test_render_chip_shows_rows_and_channels():
+    arch = FPGAArchitecture(
+        2, 4, 3, channel_factory=lambda n: geometric_segmentation(8, n, 4, 2.0, 3)
+    )
+    nl = random_netlist(8, 3, seed=2)
+    pl = place_greedy(arch, nl, seed=2)
+    chip = route_chip(arch, nl, pl, max_segments=2)
+    text = render_chip(chip)
+    assert "--- channel 0 ---" in text
+    assert "row0" in text and "row1" in text
+    for name in nl.cells:
+        assert name in text
+
+
+def test_render_chip_reports_failures():
+    from repro.core.channel import uniform_channel
+
+    arch = FPGAArchitecture(
+        2, 4, 3, channel_factory=lambda n: uniform_channel(1, n, 4)
+    )
+    nl = random_netlist(8, 3, seed=3)
+    pl = place_greedy(arch, nl, seed=3)
+    chip = route_chip(arch, nl, pl, max_segments=2)
+    text = render_chip(chip)
+    if not chip.ok:
+        assert "UNROUTED" in text

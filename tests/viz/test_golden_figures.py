@@ -1,0 +1,38 @@
+"""Golden-figure tests: exact rendered output for the paper instances.
+
+Rendering is part of the public API surface (examples and CLI show it),
+so its exact output is pinned for the two figures users will compare
+against the paper.  Any intentional renderer change must update these
+strings consciously.
+"""
+
+from repro.core.greedy import route_one_segment_greedy
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+from repro.viz.render import render_channel, render_routing
+
+FIG3_CHANNEL_GOLDEN = """\
+   1  2  3  4  5  6  7  8  9
+t1 -----o-----------o--------
+t2 --------o--------o--------
+t3 --------------o-----------"""
+
+FIG3_ROUTED_GOLDEN = """\
+   1  2  3  4  5  6  7  8  9
+t1 .. ..o-- ========o========   c3, c5
+t2 ========o.. .. ..o.. .. ..   c1
+t3 -- ===========o======== --   c2, c4"""
+
+
+def test_fig3_channel_golden():
+    assert render_channel(fig3_channel()) == FIG3_CHANNEL_GOLDEN
+
+
+def test_fig3_routing_golden():
+    routing = route_one_segment_greedy(fig3_channel(), fig3_connections())
+    assert render_routing(routing) == FIG3_ROUTED_GOLDEN
+
+
+def test_goldens_are_stable_across_calls():
+    a = render_channel(fig3_channel())
+    b = render_channel(fig3_channel())
+    assert a == b

@@ -1,0 +1,63 @@
+"""ASCII renderer tests."""
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.greedy import route_one_segment_greedy
+from repro.core.routing import Routing
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+from repro.viz.render import render_channel, render_connections, render_routing
+
+
+def test_render_channel_marks_switches():
+    ch = channel_from_breaks(5, [(2,), ()])
+    text = render_channel(ch)
+    lines = text.splitlines()
+    assert len(lines) == 3  # ruler + 2 tracks
+    assert "o" in lines[1]
+    assert "o" not in lines[2]
+
+
+def test_render_connections_extents():
+    cs = ConnectionSet.from_spans([(2, 4)])
+    text = render_connections(cs, 5)
+    assert "==" in text
+    assert "[2,4]" in text
+
+
+def test_render_connections_default_width():
+    cs = ConnectionSet.from_spans([(2, 4)])
+    assert "[2,4]" in render_connections(cs)
+
+
+def test_render_routing_programmed_switch():
+    # A connection crossing a break shows a programmed switch '*'.
+    ch = channel_from_breaks(6, [(3,)])
+    cs = ConnectionSet.from_spans([(2, 5)])
+    text = render_routing(Routing(ch, cs, (0,)))
+    assert "*" in text
+
+
+def test_render_routing_unprogrammed_switch_stays_o():
+    ch = channel_from_breaks(6, [(3,)])
+    cs = ConnectionSet.from_spans([(1, 2)])
+    text = render_routing(Routing(ch, cs, (0,)))
+    assert "o" in text and "*" not in text
+
+
+def test_render_routing_shows_labels():
+    r = route_one_segment_greedy(fig3_channel(), fig3_connections())
+    text = render_routing(r)
+    for name in ("c1", "c2", "c3", "c4", "c5"):
+        assert name in text
+
+
+def test_render_deterministic():
+    r = route_one_segment_greedy(fig3_channel(), fig3_connections())
+    assert render_routing(r) == render_routing(r)
+
+
+def test_slack_rendered_differently_from_used():
+    ch = channel_from_breaks(8, [()])
+    cs = ConnectionSet.from_spans([(3, 4)])
+    text = render_routing(Routing(ch, cs, (0,)))
+    assert "--" in text and "==" in text

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regenerate the experiment tables embedded in EXPERIMENTS.md.
+
+Runs the benchmark suite (or consumes an existing log) and extracts every
+experiment report block — the lines each bench prints through its `show`
+fixture — into one text file for easy diffing against EXPERIMENTS.md.
+
+Usage:
+    python tools/collect_bench_tables.py                 # runs the benches
+    python tools/collect_bench_tables.py --from-log F    # parse existing log
+    python tools/collect_bench_tables.py -o tables.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Experiment report headers, as printed by the benches.
+HEADER = re.compile(
+    r"^(FIG|NPC|THM|LP60|DAC90|DELAY|SCALE|ABLATION|ANALYTIC|FAMILIES|"
+    r"ECO|OPEN|DECOMP)"
+)
+#: Lines that terminate a report block.
+TERMINATOR = re.compile(r"^\.+\s*(\[|$)|benchmark: \d+ tests")
+
+
+def extract_tables(text: str) -> str:
+    """Pull the report blocks out of a pytest-benchmark log."""
+    out: list[str] = []
+    active = False
+    for line in text.splitlines():
+        if HEADER.match(line):
+            if out:
+                out.append("")
+            active = True
+        elif active and TERMINATOR.search(line):
+            active = False
+            continue
+        if active:
+            out.append(line.rstrip())
+    return "\n".join(out) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--from-log", help="parse an existing bench log")
+    parser.add_argument(
+        "-o", "--output", default="bench_tables.txt",
+        help="where to write the extracted tables",
+    )
+    args = parser.parse_args(argv)
+    if args.from_log:
+        text = Path(args.from_log).read_text()
+    else:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
+            capture_output=True, text=True,
+            cwd=Path(__file__).resolve().parent.parent,
+        )
+        text = proc.stdout + proc.stderr
+        if proc.returncode != 0:
+            print("warning: bench run exited nonzero", file=sys.stderr)
+    tables = extract_tables(text)
+    Path(args.output).write_text(tables)
+    print(f"wrote {args.output} ({tables.count(chr(10))} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
