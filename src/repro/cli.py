@@ -4,6 +4,10 @@ Usage (also available as ``python -m repro``)::
 
     segroute route INSTANCE.sch|@name [--k K] [--algorithm ALG] [--weight length]
                                  [--format text|csv|json]
+                                 [--jobs N] [--timeout S] [--stats]
+    segroute batch [INSTANCE ...] [--manifest FILE.jsonl] [--jobs N]
+                   [--timeout S] [--k K] [--algorithm ALG] [--weight length]
+                   [--format text|json] [--stats]
     segroute render INSTANCE.sch [--routed] [--k K]
     segroute generate --tracks T --columns N --connections M [--k K]
                       [--seed S] [--mean-segment L] -o OUT.sch
@@ -12,9 +16,11 @@ Usage (also available as ``python -m repro``)::
     segroute chip NETLIST.net --rows R --cells-per-row C [--timing]
 
 Subcommands map 1:1 onto the library: ``route`` runs any of the paper's
-algorithms on an ``.sch`` instance, ``render`` draws it, ``generate``
-writes a random feasible instance, and ``reduce`` emits a Theorem-1/2
-NP-completeness instance from a numerical matching problem.
+algorithms on an ``.sch`` instance, ``batch`` routes many instances
+through the :mod:`repro.engine` worker pool, ``render`` draws an
+instance, ``generate`` writes a random feasible one, and ``reduce``
+emits a Theorem-1/2 NP-completeness instance from a numerical matching
+problem.
 """
 
 from __future__ import annotations
@@ -75,6 +81,58 @@ def _build_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--min-switches", action="store_true",
         help="with --generalized: minimize programmed switches",
+    )
+    p_route.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes; >1 races the portfolio candidates "
+             "through the engine (default: 1, classic in-process routing)",
+    )
+    p_route.add_argument(
+        "--timeout", type=float, default=None,
+        help="deadline in seconds; on expiry the engine degrades "
+             "exact -> lp -> greedy before giving up",
+    )
+    p_route.add_argument(
+        "--stats", action="store_true",
+        help="print engine stats (latency, cache, timeouts) after routing",
+    )
+
+    p_batch = sub.add_parser(
+        "batch", help="route many instances through the engine worker pool"
+    )
+    p_batch.add_argument(
+        "instances", nargs="*",
+        help=".sch paths or @name registry instances",
+    )
+    p_batch.add_argument(
+        "--manifest",
+        help="JSONL manifest: one {\"path\": ..., \"k\": ...} per line "
+             "(\"instance\" is accepted as an alias for \"path\")",
+    )
+    p_batch.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes (default: one per CPU)",
+    )
+    p_batch.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds",
+    )
+    p_batch.add_argument("--k", type=int, default=None, help="K-segment limit")
+    p_batch.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="auto",
+        help="routing algorithm (default: auto)",
+    )
+    p_batch.add_argument(
+        "--weight", choices=("none", "length", "segments"), default="none",
+        help="Problem-3 objective to minimize",
+    )
+    p_batch.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="out_format", help="report format",
+    )
+    p_batch.add_argument(
+        "--stats", action="store_true",
+        help="print per-algorithm latency and cache counters",
     )
 
     p_render = sub.add_parser("render", help="draw an .sch instance")
@@ -141,17 +199,87 @@ def _cmd_route(args: argparse.Namespace) -> int:
         weight = occupied_length_weight(channel)
     elif args.weight == "segments":
         weight = segment_count_weight(channel)
-    routing = route(
-        channel, conns, max_segments=args.k, weight=weight,
-        algorithm=args.algorithm,
-    )
+    if args.timeout is not None or args.jobs > 1 or args.stats:
+        # Engine path: deadline enforcement and/or portfolio racing.
+        from repro.engine import RoutingEngine
+
+        engine = RoutingEngine()
+        routing = engine.route(
+            channel, conns, max_segments=args.k,
+            weight=None if args.weight == "none" else args.weight,
+            algorithm=args.algorithm, timeout=args.timeout,
+            portfolio=args.jobs > 1,
+        )
+    else:
+        routing = route(
+            channel, conns, max_segments=args.k, weight=weight,
+            algorithm=args.algorithm,
+        )
     if args.out_format == "csv":
         sys.stdout.write(routing_to_csv(routing))
     elif args.out_format == "json":
         sys.stdout.write(routing_to_json(routing) + "\n")
     else:
         sys.stdout.write(routing_report(routing, weight))
+    if args.stats:
+        sys.stdout.write(engine.render_stats())
     return 0
+
+
+def _load_batch_specs(args: argparse.Namespace) -> list[tuple[str, Optional[int]]]:
+    """Resolve the batch's (instance spec, K) list from args + manifest."""
+    import json as _json
+
+    specs: list[tuple[str, Optional[int]]] = [
+        (spec, args.k) for spec in args.instances
+    ]
+    if args.manifest:
+        try:
+            with open(args.manifest) as fh:
+                for line_no, line in enumerate(fh, 1):
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    try:
+                        record = _json.loads(line)
+                        spec = record.get("path") or record["instance"]
+                    except (ValueError, KeyError) as exc:
+                        raise ReproError(
+                            f"{args.manifest}:{line_no}: bad manifest line "
+                            f"({exc})"
+                        ) from exc
+                    specs.append((spec, record.get("k", args.k)))
+        except OSError as exc:
+            raise ReproError(f"cannot read manifest: {exc}") from exc
+    if not specs:
+        raise ReproError("batch needs instance paths and/or --manifest")
+    return specs
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.io.results import batch_report, batch_to_json
+
+    if args.jobs < 0:
+        raise ReproError(f"--jobs must be >= 0, got {args.jobs}")
+    specs = _load_batch_specs(args)
+    instances = [_load(spec) for spec, _ in specs]
+    engine = RoutingEngine(EngineConfig(jobs=args.jobs))
+    results = engine.route_many(
+        instances,
+        max_segments=[k for _, k in specs],
+        weight=None if args.weight == "none" else args.weight,
+        algorithm=args.algorithm,
+        timeout=args.timeout,
+    )
+    labels = [spec for spec, _ in specs]
+    if args.out_format == "json":
+        sys.stdout.write(batch_to_json(results, labels) + "\n")
+    else:
+        sys.stdout.write(batch_report(results, labels))
+    if args.stats:
+        sys.stdout.write(engine.render_stats())
+    return 0 if all(r.ok for r in results) else 1
 
 
 def _route_generalized(channel, conns, args: argparse.Namespace) -> int:
@@ -257,6 +385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     handler = {
         "route": _cmd_route,
+        "batch": _cmd_batch,
         "render": _cmd_render,
         "generate": _cmd_generate,
         "reduce": _cmd_reduce,

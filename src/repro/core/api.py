@@ -25,7 +25,21 @@ from repro.core.lp import route_lp
 from repro.core.matching import route_one_segment_matching
 from repro.core.routing import Routing, WeightFunction
 
-__all__ = ["route", "ALGORITHMS"]
+__all__ = ["route", "route_many", "engine_stats", "ALGORITHMS"]
+
+#: Engine conveniences re-exported lazily (the engine imports this module,
+#: so an eager import would be circular).  ``route_many`` batches requests
+#: over a worker pool with caching and deadlines; ``engine_stats`` returns
+#: the default engine's metrics snapshot.
+_ENGINE_EXPORTS = {"route_many": "route_many", "engine_stats": "stats"}
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        import repro.engine as _engine
+
+        return getattr(_engine, _ENGINE_EXPORTS[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Algorithms selectable by name in :func:`route`.
 ALGORITHMS = (

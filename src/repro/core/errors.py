@@ -58,3 +58,26 @@ class ValidationError(ReproError):
 
 class FormatError(ReproError):
     """A serialized channel/connection/routing file cannot be parsed."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the :mod:`repro.engine` subsystem."""
+
+
+class EngineTimeout(EngineError):
+    """A routing request exceeded its deadline.
+
+    Raised by the engine when every rung of the degradation ladder
+    (e.g. ``exact`` → ``lp`` → ``greedy``) ran out of time before
+    producing a valid routing.  The request never hangs: the worker
+    process is terminated when the deadline expires.
+    """
+
+
+class EngineCancelled(EngineError):
+    """A routing attempt was cancelled before completing.
+
+    Raised for portfolio-race losers whose worker processes were
+    terminated once a winner was found, and for requests abandoned when
+    an engine is shut down.
+    """

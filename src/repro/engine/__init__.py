@@ -1,0 +1,49 @@
+"""repro.engine — parallel portfolio routing engine.
+
+The serving layer over :mod:`repro.core`: batch routing across a worker
+pool, a canonical instance cache, per-request deadlines with graceful
+degradation (``exact`` → ``lp`` → ``greedy``), portfolio racing, and
+engine metrics.  See ``docs/ENGINE.md`` for the architecture.
+
+Quickstart::
+
+    from repro.engine import RoutingEngine, EngineConfig
+
+    engine = RoutingEngine(EngineConfig(jobs=4, timeout=2.0))
+    results = engine.route_many(instances)        # input order preserved
+    routing = engine.route(channel, conns, max_segments=2)
+    print(engine.stats()["counters"])
+"""
+
+from repro.core.errors import EngineCancelled, EngineError, EngineTimeout
+from repro.engine.cache import InstanceCache, canonical_key
+from repro.engine.config import EngineConfig, default_jobs
+from repro.engine.engine import (
+    BatchResult,
+    RoutingEngine,
+    default_engine,
+    reset_stats,
+    route_many,
+    stats,
+)
+from repro.engine.metrics import Metrics
+from repro.engine.portfolio import race, select_candidates
+
+__all__ = [
+    "RoutingEngine",
+    "EngineConfig",
+    "BatchResult",
+    "route_many",
+    "stats",
+    "reset_stats",
+    "default_engine",
+    "default_jobs",
+    "InstanceCache",
+    "canonical_key",
+    "Metrics",
+    "race",
+    "select_candidates",
+    "EngineError",
+    "EngineTimeout",
+    "EngineCancelled",
+]

@@ -1,0 +1,135 @@
+"""Canonical instance cache.
+
+Routing depends only on the *geometry* of an instance — which tracks have
+which break positions, and which column spans must be routed — not on
+track order or connection names.  The cache therefore keys on a canonical
+form:
+
+* tracks are sorted by their break tuples (track order is irrelevant:
+  permuting tracks permutes the assignment correspondingly);
+* connections are reduced to their ``(left, right)`` spans (names are
+  labels; same-span connections are interchangeable).  Because
+  :class:`~repro.core.connection.ConnectionSet` sorts by
+  ``(left, right, name)``, its span sequence is already sorted by
+  ``(left, right)`` and aligns index-for-index with the canonical order;
+* the request parameters ``K`` (``max_segments``), the weight objective
+  name, and the algorithm complete the key.
+
+The cached value is the assignment expressed in *canonical track
+positions*; on a hit it is replayed onto the querying instance's actual
+track order, so isomorphic instances (tracks permuted, connections
+renamed) hit the same entry and still receive a valid routing for their
+own channel object.  Replayed routings are re-validated by the engine, so
+a (theoretically impossible) stale entry can never leak an invalid result.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+
+__all__ = ["CacheKey", "InstanceCache", "canonical_key"]
+
+#: (n_columns, sorted break tuples, spans, K, weight-spec, algorithm)
+CacheKey = tuple
+
+
+def canonical_key(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight_spec: Optional[str],
+    algorithm: str,
+) -> CacheKey:
+    """Canonical cache key for one routing request (see module docstring)."""
+    breaks = tuple(sorted(t.breaks for t in channel))
+    spans = tuple((c.left, c.right) for c in connections)
+    return (channel.n_columns, breaks, spans, max_segments, weight_spec, algorithm)
+
+
+def _canonical_track_order(channel: SegmentedChannel) -> list[int]:
+    """Track indices sorted by break tuple: position ``j`` of the result is
+    the actual index of canonical track ``j``."""
+    return sorted(range(channel.n_tracks), key=lambda i: channel.track(i).breaks)
+
+
+def canonicalize_assignment(
+    channel: SegmentedChannel, assignment: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Re-express ``assignment`` in canonical track positions."""
+    order = _canonical_track_order(channel)
+    canon_pos = [0] * channel.n_tracks
+    for pos, actual in enumerate(order):
+        canon_pos[actual] = pos
+    return tuple(canon_pos[t] for t in assignment)
+
+
+def replay_assignment(
+    channel: SegmentedChannel, canonical: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Map a canonical assignment back onto ``channel``'s track order."""
+    order = _canonical_track_order(channel)
+    return tuple(order[pos] for pos in canonical)
+
+
+class InstanceCache:
+    """Thread-safe LRU cache of canonical assignments with hit/miss counters."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, tuple[int, ...]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, key: CacheKey, channel: SegmentedChannel
+    ) -> Optional[tuple[int, ...]]:
+        """Return the assignment replayed onto ``channel``, or ``None``.
+
+        Counts a hit/miss; a hit refreshes the entry's LRU position.
+        """
+        with self._lock:
+            canonical = self._entries.get(key)
+            if canonical is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return replay_assignment(channel, canonical)
+
+    def store(
+        self,
+        key: CacheKey,
+        channel: SegmentedChannel,
+        assignment: tuple[int, ...],
+    ) -> None:
+        """Insert a solved request, evicting the LRU entry when full."""
+        canonical = canonicalize_assignment(channel, assignment)
+        with self._lock:
+            self._entries[key] = canonical
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._max:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when none yet)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0

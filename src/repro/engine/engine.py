@@ -1,0 +1,458 @@
+"""The portfolio routing engine.
+
+:class:`RoutingEngine` is the serving-shaped front end to the paper's
+algorithms: a batch API (:meth:`~RoutingEngine.route_many`) that fans
+requests over a process pool, a canonical instance cache, per-request
+deadlines with graceful degradation, optional portfolio racing, and a
+metrics registry behind :meth:`~RoutingEngine.stats`.
+
+A module-level default engine backs the convenience functions
+:func:`route_many` and :func:`stats` (re-exported from
+:mod:`repro.engine` and :mod:`repro.core.api`), so the one-liner usage is::
+
+    from repro.engine import route_many
+
+    results = route_many(instances, jobs=4, timeout=2.0)
+    for r in results:
+        assert r.ok and r.routing.is_valid()
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.core.api import ALGORITHMS
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ValidationError
+from repro.core.routing import Routing
+from repro.engine.cache import (
+    InstanceCache,
+    canonical_key,
+    canonicalize_assignment,
+    replay_assignment,
+)
+from repro.engine.config import WEIGHT_SPECS, EngineConfig
+from repro.engine.executor import RouteTask, TaskOutcome, make_pool, run_task
+from repro.engine.metrics import Metrics
+from repro.engine.portfolio import race, select_candidates
+
+__all__ = [
+    "RoutingEngine",
+    "BatchResult",
+    "route_many",
+    "stats",
+    "reset_stats",
+    "default_engine",
+]
+
+Instance = tuple[SegmentedChannel, ConnectionSet]
+MaxSegmentsArg = Union[None, int, Sequence[Optional[int]]]
+
+
+@dataclass
+class BatchResult:
+    """Outcome of one instance in a :meth:`RoutingEngine.route_many` call."""
+
+    index: int
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    max_segments: Optional[int] = None
+    routing: Optional[Routing] = None
+    algorithm: Optional[str] = None
+    duration: float = 0.0
+    cache_hit: bool = False
+    fallbacks: int = 0
+    timed_out: bool = False
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.routing is not None
+
+
+class RoutingEngine:
+    """Parallel, cached, deadline-aware routing front end.
+
+    One engine owns one cache and one metrics registry; it is safe to
+    share across threads.  Worker pools are created lazily per
+    ``route_many`` call and torn down with it, so an idle engine holds no
+    processes.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+        self.config = config or EngineConfig()
+        self.cache = InstanceCache(self.config.cache_size)
+        self.metrics = Metrics()
+
+    # ------------------------------------------------------------------
+    # single-request API
+    # ------------------------------------------------------------------
+    def route(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        max_segments: Optional[int] = None,
+        weight: Optional[str] = None,
+        algorithm: str = "auto",
+        timeout: Optional[float] = None,
+        portfolio: Optional[bool] = None,
+    ) -> Routing:
+        """Route one instance through the engine.
+
+        Like :func:`repro.core.api.route` but with the engine's cache,
+        deadline/degradation, portfolio racing, and metrics.  ``weight``
+        is an objective *name* (``"length"`` / ``"segments"``) rather
+        than a callable so requests can cross process boundaries; for
+        arbitrary weight callables use the core API directly.
+
+        Raises the task's typed error on failure — in particular
+        :class:`~repro.core.errors.EngineTimeout` when the deadline
+        expires on every degradation rung.
+        """
+        result = self._route_one(
+            channel, connections,
+            max_segments=max_segments,
+            weight=self._check_weight(weight),
+            algorithm=self._check_algorithm(algorithm),
+            timeout=self.config.timeout if timeout is None else timeout,
+            portfolio=self.config.portfolio if portfolio is None else portfolio,
+        )
+        if result.routing is None:
+            outcome = TaskOutcome(
+                index=0, error_type=result.error_type, error=result.error
+            )
+            outcome.raise_error()
+        return result.routing
+
+    def _route_one(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        max_segments: Optional[int],
+        weight: Optional[str],
+        algorithm: str,
+        timeout: Optional[float],
+        portfolio: bool,
+    ) -> BatchResult:
+        self.metrics.incr("requests")
+        result = BatchResult(
+            index=0, channel=channel, connections=connections,
+            max_segments=max_segments,
+        )
+        key = canonical_key(channel, connections, max_segments, weight, algorithm)
+        if self.config.cache:
+            assignment = self.cache.lookup(key, channel)
+            if assignment is not None:
+                self.metrics.incr("cache.hits")
+                self._finish_hit(result, assignment)
+                if result.ok:
+                    return result
+            else:
+                self.metrics.incr("cache.misses")
+
+        start = time.monotonic()
+        if portfolio:
+            outcome = self._race_one(
+                channel, connections, max_segments, weight, algorithm, timeout
+            )
+        else:
+            outcome = run_task(RouteTask(
+                index=0, channel=channel, connections=connections,
+                max_segments=max_segments, weight_spec=weight,
+                algorithm=algorithm, timeout=timeout,
+                ladder=self.config.ladder, seed=self.config.seed,
+                task_key=repr(key),
+            ))
+        outcome.duration = time.monotonic() - start
+        self._absorb(result, outcome, key)
+        return result
+
+    def _race_one(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        max_segments: Optional[int],
+        weight: Optional[str],
+        algorithm: str,
+        timeout: Optional[float],
+    ) -> TaskOutcome:
+        """Run one portfolio race, normalized to a :class:`TaskOutcome`."""
+        candidates = (
+            select_candidates(channel, connections, max_segments, weight)
+            if algorithm == "auto" else (algorithm,)
+        )
+        self.metrics.incr("races")
+        outcome = TaskOutcome(index=0)
+        try:
+            won = race(channel, connections, max_segments, weight,
+                       candidates, timeout)
+        except Exception as exc:  # typed errors recorded, re-raised by caller
+            outcome.error_type = type(exc).__name__
+            outcome.error = str(exc)
+            outcome.timed_out = outcome.error_type == "EngineTimeout"
+            return outcome
+        outcome.assignment = won.assignment
+        outcome.algorithm = won.algorithm
+        self.metrics.incr("cancelled", won.cancelled)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # batch API
+    # ------------------------------------------------------------------
+    def route_many(
+        self,
+        instances: Iterable[Instance],
+        *,
+        max_segments: MaxSegmentsArg = None,
+        weight: Optional[str] = None,
+        algorithm: str = "auto",
+        jobs: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> list[BatchResult]:
+        """Route a batch of instances, in input order.
+
+        Parameters
+        ----------
+        instances:
+            ``(channel, connections)`` pairs.
+        max_segments:
+            One ``K`` for the whole batch, or a per-instance sequence.
+        weight:
+            Objective name (``"length"`` / ``"segments"``) or ``None``.
+        jobs:
+            Worker processes; defaults to the engine config.  ``1``
+            routes sequentially in-process, which is bit-identical to
+            calling :func:`repro.core.api.route` per instance.
+        timeout:
+            Per-request deadline (seconds); defaults to the engine
+            config.
+
+        Failed requests do not raise: each :class:`BatchResult` carries
+        either a validated routing or a typed error name + message, so
+        one adversarial instance cannot sink the batch.
+        """
+        pairs = list(instances)
+        k_list = self._per_instance_k(max_segments, len(pairs))
+        weight = self._check_weight(weight)
+        algorithm = self._check_algorithm(algorithm)
+        jobs = self.config.effective_jobs if jobs is None else max(jobs, 1)
+        timeout = self.config.timeout if timeout is None else timeout
+
+        results: list[Optional[BatchResult]] = [None] * len(pairs)
+        tasks: list[RouteTask] = []
+        keys: list = [None] * len(pairs)
+        first_of_key: dict = {}
+        duplicates: list[int] = []
+        for i, (channel, connections) in enumerate(pairs):
+            self.metrics.incr("requests")
+            key = canonical_key(channel, connections, k_list[i], weight, algorithm)
+            keys[i] = key
+            if key in first_of_key:
+                duplicates.append(i)  # resolved after the representative runs
+                continue
+            first_of_key[key] = i
+            if self.config.cache:
+                assignment = self.cache.lookup(key, channel)
+                if assignment is not None:
+                    self.metrics.incr("cache.hits")
+                    result = BatchResult(
+                        index=i, channel=channel, connections=connections,
+                        max_segments=k_list[i],
+                    )
+                    self._finish_hit(result, assignment)
+                    if result.ok:
+                        results[i] = result
+                        continue
+                self.metrics.incr("cache.misses")
+            tasks.append(RouteTask(
+                index=i, channel=channel, connections=connections,
+                max_segments=k_list[i], weight_spec=weight,
+                algorithm=algorithm, timeout=timeout,
+                ladder=self.config.ladder, seed=self.config.seed,
+                task_key=repr(key),
+            ))
+
+        for outcome in self._execute(tasks, jobs):
+            i = outcome.index
+            channel, connections = pairs[i]
+            result = BatchResult(
+                index=i, channel=channel, connections=connections,
+                max_segments=k_list[i],
+            )
+            self._absorb(result, outcome, keys[i])
+            results[i] = result
+
+        for i in duplicates:
+            results[i] = self._resolve_duplicate(
+                i, pairs[i], k_list[i], keys[i],
+                results[first_of_key[keys[i]]],
+            )
+        return [r for r in results if r is not None]
+
+    def _execute(
+        self, tasks: list[RouteTask], jobs: int
+    ) -> Iterable[TaskOutcome]:
+        if not tasks:
+            return []
+        if jobs == 1 or len(tasks) == 1:
+            return [run_task(task) for task in tasks]
+        with make_pool(min(jobs, len(tasks)), self.config.seed) as pool:
+            return list(pool.map(run_task, tasks, chunksize=max(
+                1, len(tasks) // (4 * jobs)
+            )))
+
+    def _resolve_duplicate(
+        self,
+        index: int,
+        pair: Instance,
+        k: Optional[int],
+        key,
+        representative: BatchResult,
+    ) -> BatchResult:
+        """Serve an intra-batch duplicate from its representative's result."""
+        channel, connections = pair
+        result = BatchResult(
+            index=index, channel=channel, connections=connections,
+            max_segments=k,
+        )
+        if representative.ok:
+            canonical = canonicalize_assignment(
+                representative.channel, representative.routing.assignment
+            )
+            self.metrics.incr("cache.hits")
+            self._finish_hit(result, replay_assignment(channel, canonical))
+        else:
+            self.metrics.incr("cache.misses")
+            result.error_type = representative.error_type
+            result.error = representative.error
+            result.timed_out = representative.timed_out
+        return result
+
+    # ------------------------------------------------------------------
+    # shared plumbing
+    # ------------------------------------------------------------------
+    def _finish_hit(
+        self, result: BatchResult, assignment: tuple[int, ...]
+    ) -> None:
+        """Install a cache-served assignment (always re-validated)."""
+        routing = Routing(result.channel, result.connections, assignment)
+        try:
+            routing.validate(result.max_segments)
+        except ValidationError as exc:  # pragma: no cover - defensive
+            result.error_type = type(exc).__name__
+            result.error = str(exc)
+            return
+        result.routing = routing
+        result.algorithm = "cache"
+        result.cache_hit = True
+
+    def _absorb(self, result: BatchResult, outcome: TaskOutcome, key) -> None:
+        """Fold a task outcome into a batch result + metrics + cache."""
+        result.duration = outcome.duration
+        result.fallbacks = outcome.fallbacks
+        result.timed_out = outcome.timed_out
+        if outcome.fallbacks:
+            self.metrics.incr("fallbacks", outcome.fallbacks)
+        if outcome.timed_out:
+            self.metrics.incr("timeouts")
+        if not outcome.ok:
+            result.error_type = outcome.error_type
+            result.error = outcome.error
+            self.metrics.incr("errors")
+            return
+        routing = Routing(result.channel, result.connections, outcome.assignment)
+        if self.config.validate:
+            try:
+                routing.validate(result.max_segments)
+            except ValidationError as exc:
+                result.error_type = type(exc).__name__
+                result.error = str(exc)
+                self.metrics.incr("errors")
+                return
+        result.routing = routing
+        result.algorithm = outcome.algorithm
+        self.metrics.observe(f"latency.{outcome.algorithm}", outcome.duration)
+        if self.config.cache:
+            self.cache.store(key, result.channel, outcome.assignment)
+
+    @staticmethod
+    def _per_instance_k(
+        max_segments: MaxSegmentsArg, n: int
+    ) -> list[Optional[int]]:
+        if max_segments is None or isinstance(max_segments, int):
+            return [max_segments] * n
+        k_list = list(max_segments)
+        if len(k_list) != n:
+            raise ValueError(
+                f"max_segments sequence has {len(k_list)} entries "
+                f"for {n} instances"
+            )
+        return k_list
+
+    def _check_weight(self, weight: Optional[str]) -> Optional[str]:
+        if weight is not None and weight not in WEIGHT_SPECS:
+            raise ValueError(
+                f"engine weight must be None or one of {WEIGHT_SPECS} "
+                f"(callables cannot cross process boundaries; use "
+                f"repro.core.api.route for those), got {weight!r}"
+            )
+        return weight
+
+    def _check_algorithm(self, algorithm: str) -> str:
+        if algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; pick from {ALGORITHMS}"
+            )
+        return algorithm
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Metrics snapshot (counters, derived rates, latency histograms)."""
+        return self.metrics.snapshot()
+
+    def render_stats(self) -> str:
+        """Human-readable stats block (the ``--stats`` CLI output)."""
+        return self.metrics.render()
+
+    def reset_stats(self) -> None:
+        """Zero metrics and cache counters (the cache contents survive)."""
+        self.metrics.reset()
+        self.cache.hits = 0
+        self.cache.misses = 0
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+
+# ----------------------------------------------------------------------
+# module-level default engine
+# ----------------------------------------------------------------------
+_default_engine: Optional[RoutingEngine] = None
+
+
+def default_engine() -> RoutingEngine:
+    """The process-wide default engine (created on first use)."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = RoutingEngine()
+    return _default_engine
+
+
+def route_many(instances: Iterable[Instance], **kwargs) -> list[BatchResult]:
+    """Batch-route through the default engine (see
+    :meth:`RoutingEngine.route_many`)."""
+    return default_engine().route_many(instances, **kwargs)
+
+
+def stats() -> dict:
+    """Metrics snapshot of the default engine."""
+    return default_engine().stats()
+
+
+def reset_stats() -> None:
+    """Reset the default engine's metrics."""
+    default_engine().reset_stats()

@@ -1,0 +1,302 @@
+"""Task execution: worker pool, per-task seeding, and deadline enforcement.
+
+Everything that crosses a process boundary lives here as a top-level,
+picklable object or function:
+
+* :class:`RouteTask` — one routing request (instance + parameters), sent
+  to pool workers by :meth:`RoutingEngine.route_many`;
+* :class:`TaskOutcome` — what comes back: an assignment (not a
+  :class:`Routing`; the parent rebuilds and re-validates it) plus timing
+  and degradation bookkeeping;
+* :func:`run_task` — executes one task, walking the degradation ladder
+  (primary → ``lp`` → ``greedy1`` by default) when a deadline is set;
+* :func:`attempt_route` — a single algorithm attempt.  With a deadline it
+  forks a child process and terminates it when the budget expires, which
+  is the only way to bound the exact search on an adversarial
+  (Theorem-1) instance: pure-Python solvers cannot be interrupted
+  cooperatively mid-recursion.
+
+Weight objectives cross process boundaries *by name* (``"length"`` /
+``"segments"``): the callables close over the channel and do not pickle,
+so each side rebuilds them locally via :func:`resolve_weight`.
+
+Determinism: workers are seeded from :mod:`repro.substrate.prng`, and
+every task re-seeds from ``derive_seed(base_seed, task_key)`` before
+routing, so results are bit-identical regardless of worker count or
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+import repro.core.errors as _errors
+from repro.core.api import route
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import EngineTimeout, ReproError
+from repro.core.routing import (
+    WeightFunction,
+    occupied_length_weight,
+    segment_count_weight,
+)
+from repro.substrate.prng import derive_seed
+
+__all__ = [
+    "RouteTask",
+    "TaskOutcome",
+    "run_task",
+    "attempt_route",
+    "resolve_weight",
+    "make_pool",
+    "worker_initializer",
+]
+
+#: Grace period after SIGTERM before SIGKILL on a deadline-expired child.
+_TERM_GRACE = 0.5
+
+
+def resolve_weight(
+    weight_spec: Optional[str], channel: SegmentedChannel
+) -> Optional[WeightFunction]:
+    """Rebuild a weight callable from its cross-process name."""
+    if weight_spec is None:
+        return None
+    if weight_spec == "length":
+        return occupied_length_weight(channel)
+    if weight_spec == "segments":
+        return segment_count_weight(channel)
+    raise ValueError(f"unknown weight spec {weight_spec!r}")
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork when available (fast, no pickling of the deadline payload);
+    spawn otherwise — the payload is picklable either way."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class RouteTask:
+    """One routing request, picklable for pool submission."""
+
+    index: int
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    max_segments: Optional[int] = None
+    weight_spec: Optional[str] = None
+    algorithm: str = "auto"
+    timeout: Optional[float] = None
+    ladder: tuple[str, ...] = ()
+    seed: int = 0
+    task_key: str = ""
+
+
+@dataclass
+class TaskOutcome:
+    """Result of :func:`run_task` for one request."""
+
+    index: int
+    assignment: Optional[tuple[int, ...]] = None
+    algorithm: Optional[str] = None
+    duration: float = 0.0
+    fallbacks: int = 0
+    timed_out: bool = False
+    cache_hit: bool = False
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.assignment is not None
+
+    def raise_error(self) -> None:
+        """Re-raise the recorded error as its original typed exception."""
+        if self.ok:
+            return
+        cls = getattr(_errors, self.error_type or "", None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            raise cls(self.error or "")
+        raise ReproError(f"{self.error_type}: {self.error}")
+
+
+def _solve(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight_spec: Optional[str],
+    algorithm: str,
+) -> tuple[int, ...]:
+    weight = resolve_weight(weight_spec, channel)
+    routing = route(
+        channel, connections, max_segments=max_segments, weight=weight,
+        algorithm=algorithm,
+    )
+    return routing.assignment
+
+
+def _deadline_entry(conn, channel, connections, max_segments, weight_spec,
+                    algorithm) -> None:
+    """Child-process entry: solve and report over the pipe."""
+    try:
+        assignment = _solve(channel, connections, max_segments, weight_spec,
+                            algorithm)
+        conn.send(("ok", assignment))
+    except BaseException as exc:  # report, never crash silently
+        conn.send(("err", type(exc).__name__, str(exc)))
+    finally:
+        conn.close()
+
+
+def attempt_route(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight_spec: Optional[str],
+    algorithm: str,
+    timeout: Optional[float],
+) -> tuple[int, ...]:
+    """Run one algorithm attempt, hard-bounded by ``timeout`` seconds.
+
+    Without a timeout the attempt runs in-process.  With one, it runs in
+    a forked child that is terminated (then killed) when the deadline
+    expires, raising :class:`EngineTimeout`.
+    """
+    if timeout is None:
+        return _solve(channel, connections, max_segments, weight_spec, algorithm)
+    if timeout <= 0:
+        raise EngineTimeout(f"no budget left for algorithm {algorithm!r}")
+    ctx = _mp_context()
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_deadline_entry,
+        args=(child_conn, channel, connections, max_segments, weight_spec,
+              algorithm),
+    )
+    proc.start()
+    child_conn.close()
+    try:
+        if not parent_conn.poll(timeout):
+            raise EngineTimeout(
+                f"algorithm {algorithm!r} exceeded its {timeout:.3g}s deadline"
+            )
+        try:
+            message = parent_conn.recv()
+        except EOFError:
+            raise ReproError(
+                f"worker for algorithm {algorithm!r} died without a result"
+            ) from None
+    finally:
+        parent_conn.close()
+        _reap(proc)
+    if message[0] == "ok":
+        return message[1]
+    _, error_type, error = message
+    cls = getattr(_errors, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        raise cls(error)
+    raise ReproError(f"{error_type}: {error}")
+
+
+def _reap(proc) -> None:
+    """Terminate a (possibly still running) child and collect it."""
+    if proc.is_alive():
+        proc.terminate()
+        proc.join(_TERM_GRACE)
+        if proc.is_alive():  # pragma: no cover - SIGTERM almost always lands
+            proc.kill()
+            proc.join()
+    else:
+        proc.join()
+    if hasattr(proc, "close"):
+        proc.close()
+
+
+def run_task(task: RouteTask) -> TaskOutcome:
+    """Execute one task, degrading down the ladder on timeout.
+
+    The overall deadline is shared: each rung gets an even share of the
+    *remaining* budget over the remaining rungs (so with 3 rungs and a
+    1s deadline the primary gets ~1/3s, and a fast primary leaves its
+    unused share to the ladder).  The last rung always gets everything
+    left.  A :class:`RoutingInfeasibleError` from the *primary*
+    algorithm is authoritative and reported immediately; errors from
+    ladder rungs are not proofs for the original request (e.g.
+    ``greedy1`` failing only rules out 1-segment routings), so the
+    outcome reports the timeout that started the degradation instead.
+    """
+    random.seed(derive_seed(task.seed, task.task_key or str(task.index)))
+    rungs = [task.algorithm]
+    if task.timeout is not None:
+        rungs += [r for r in task.ladder if r not in rungs]
+    deadline = (
+        time.monotonic() + task.timeout if task.timeout is not None else None
+    )
+    outcome = TaskOutcome(index=task.index)
+    start = time.monotonic()
+    timed_out = False
+    for rung_no, algorithm in enumerate(rungs):
+        budget: Optional[float] = None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                timed_out = True
+                break
+            # Even share of what's left over the rungs still to try; the
+            # last rung gets everything remaining.
+            budget = remaining / (len(rungs) - rung_no)
+        try:
+            assignment = attempt_route(
+                task.channel, task.connections, task.max_segments,
+                task.weight_spec, algorithm, budget,
+            )
+        except EngineTimeout:
+            timed_out = True
+            continue
+        except ReproError as exc:
+            if rung_no == 0:
+                outcome.error_type = type(exc).__name__
+                outcome.error = str(exc)
+                break
+            continue  # ladder-rung failures are not proofs; keep degrading
+        outcome.assignment = assignment
+        outcome.algorithm = algorithm
+        outcome.fallbacks = rung_no
+        break
+    outcome.duration = time.monotonic() - start
+    outcome.timed_out = timed_out
+    if not outcome.ok and outcome.error_type is None:
+        outcome.error_type = EngineTimeout.__name__
+        outcome.error = (
+            f"no algorithm produced a routing within {task.timeout:.3g}s "
+            f"(tried {', '.join(rungs)})"
+        )
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+def worker_initializer(base_seed: int) -> None:
+    """Seed a pool worker's global PRNG from the substrate.
+
+    Per-task re-seeding in :func:`run_task` is what guarantees
+    reproducibility; this initializer just ensures a worker that runs
+    any stray pre-task code does so from a defined state.
+    """
+    random.seed(derive_seed(base_seed, "engine-worker-init"))
+
+
+def make_pool(jobs: int, base_seed: int) -> ProcessPoolExecutor:
+    """Create the engine's worker pool."""
+    return ProcessPoolExecutor(
+        max_workers=jobs,
+        mp_context=_mp_context(),
+        initializer=worker_initializer,
+        initargs=(base_seed,),
+    )

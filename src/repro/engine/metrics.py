@@ -1,0 +1,163 @@
+"""Lightweight engine observability: counters and latency histograms.
+
+No external metrics dependency — a :class:`Metrics` registry keeps
+thread-safe counters and bounded-memory histograms, and renders them as a
+plain dict (:meth:`Metrics.snapshot`) so callers can log, JSON-serialize,
+or print them.  The engine records:
+
+counters
+    ``requests``, ``cache.hits``, ``cache.misses``, ``timeouts``,
+    ``fallbacks``, ``races``, ``cancelled``, ``errors``.
+histograms
+    ``latency.<algorithm>`` — wall-clock seconds per completed request,
+    keyed by the algorithm that actually produced the routing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["Metrics", "HistogramSummary"]
+
+#: Raw samples kept per histogram for quantile estimates.  Beyond this the
+#: histogram degrades gracefully: totals stay exact, quantiles are computed
+#: over the most recent window.
+_HISTOGRAM_WINDOW = 4096
+
+
+@dataclass
+class HistogramSummary:
+    """Aggregated view of one histogram at snapshot time."""
+
+    count: int
+    total: float
+    mean: float
+    min: float
+    max: float
+    p50: float
+    p95: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+@dataclass
+class _Histogram:
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+    window: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.window.append(value)
+        if len(self.window) > _HISTOGRAM_WINDOW:
+            del self.window[: len(self.window) // 2]
+
+    def summary(self) -> HistogramSummary:
+        ordered = sorted(self.window)
+        return HistogramSummary(
+            count=self.count,
+            total=self.total,
+            mean=self.total / self.count if self.count else 0.0,
+            min=self.min if self.count else 0.0,
+            max=self.max if self.count else 0.0,
+            p50=_quantile(ordered, 0.50),
+            p95=_quantile(ordered, 0.95),
+        )
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    if not ordered:
+        return 0.0
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+class Metrics:
+    """Thread-safe counter/histogram registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._histograms: dict[str, _Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram()
+            hist.observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "histograms": {...}}``.
+
+        Adds the derived ``cache.hit_rate`` (in [0, 1]) when any cache
+        lookups were recorded.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: hist.summary().as_dict()
+                for name, hist in sorted(self._histograms.items())
+            }
+        lookups = counters.get("cache.hits", 0) + counters.get("cache.misses", 0)
+        derived: dict[str, float] = {}
+        if lookups:
+            derived["cache.hit_rate"] = counters.get("cache.hits", 0) / lookups
+        return {"counters": counters, "derived": derived, "histograms": histograms}
+
+    def reset(self) -> None:
+        """Zero every counter and histogram."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Human-readable multi-line rendering (used by ``--stats``)."""
+        snap = self.snapshot()
+        lines = ["engine stats:"]
+        if snap["counters"]:
+            lines.append("  counters:")
+            for name, value in sorted(snap["counters"].items()):
+                lines.append(f"    {name:<16} {value}")
+        for name, value in sorted(snap["derived"].items()):
+            lines.append(f"    {name:<16} {value:.3f}")
+        if snap["histograms"]:
+            lines.append("  latency (seconds):")
+            for name, h in snap["histograms"].items():
+                lines.append(
+                    f"    {name:<20} n={h['count']:<5} mean={h['mean']:.4f} "
+                    f"p50={h['p50']:.4f} p95={h['p95']:.4f} max={h['max']:.4f}"
+                )
+        return "\n".join(lines) + "\n"

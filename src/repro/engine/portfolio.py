@@ -1,0 +1,190 @@
+"""Portfolio racing: run candidate algorithms concurrently, keep the winner.
+
+The paper's algorithms dominate on different instance shapes — left-edge
+on identically segmented channels, the Theorem-3 greedy for ``K = 1``,
+the typed DP when tracks fall into few types, LP-then-exact elsewhere —
+and the crossover points are fuzzy.  A *portfolio* sidesteps prediction:
+:func:`select_candidates` picks 2–3 shape-appropriate algorithms,
+:func:`race` runs each in its own forked process, and the first valid
+routing wins (with a weight objective, all finishers within the deadline
+are compared and the best-weight routing wins).  Losers are terminated
+immediately, so the race costs wall-clock time of the *fastest* candidate
+plus fork overhead, not the sum.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import wait as _wait_connections
+from typing import Optional
+
+import repro.core.errors as _errors
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import EngineTimeout, ReproError, RoutingInfeasibleError
+from repro.engine.executor import _mp_context, resolve_weight
+
+__all__ = ["select_candidates", "race", "RaceResult"]
+
+#: Algorithms whose ``RoutingInfeasibleError`` is a proof of infeasibility
+#: in the contexts :func:`select_candidates` deploys them.
+_COMPLETE = frozenset({"exact", "dp", "dp_types", "left_edge"})
+
+# Shape limits mirror the auto dispatch in repro.core.api.
+_DP_TRACK_LIMIT = 12
+_TYPED_DP_TYPE_LIMIT = 4
+
+
+def select_candidates(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight_spec: Optional[str],
+) -> tuple[str, ...]:
+    """Pick 2–3 candidate algorithms for this instance's shape."""
+    if max_segments == 1:
+        if weight_spec is None:
+            return ("greedy1", "matching")
+        return ("matching", "exact")
+    if channel.is_identically_segmented() and weight_spec is None:
+        return ("left_edge", "lp", "exact")
+    candidates: list[str] = []
+    if len(channel.track_types()) <= _TYPED_DP_TYPE_LIMIT:
+        candidates.append("dp_types")
+    if channel.n_tracks <= _DP_TRACK_LIMIT:
+        candidates.append("dp")
+    if weight_spec is None:
+        candidates.append("lp")
+    candidates.append("exact")
+    return tuple(candidates[:3])
+
+
+class RaceResult:
+    """Winner of a portfolio race."""
+
+    def __init__(
+        self, algorithm: str, assignment: tuple[int, ...], cancelled: int
+    ) -> None:
+        self.algorithm = algorithm
+        self.assignment = assignment
+        self.cancelled = cancelled
+
+
+def _race_entry(conn, channel, connections, max_segments, weight_spec,
+                algorithm) -> None:
+    """Child entry: solve, report ``(ok, assignment, weight)`` or an error."""
+    from repro.core.api import route
+
+    try:
+        weight = resolve_weight(weight_spec, channel)
+        routing = route(
+            channel, connections, max_segments=max_segments, weight=weight,
+            algorithm=algorithm,
+        )
+        total = routing.total_weight(weight) if weight is not None else 0.0
+        conn.send(("ok", routing.assignment, total))
+    except BaseException as exc:
+        conn.send(("err", type(exc).__name__, str(exc)))
+    finally:
+        conn.close()
+
+
+def race(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int],
+    weight_spec: Optional[str],
+    candidates: tuple[str, ...],
+    timeout: Optional[float],
+) -> RaceResult:
+    """Race ``candidates`` on one instance; return the winner.
+
+    Without a weight objective the first valid routing wins.  With one,
+    every candidate that finishes before the deadline is collected and
+    the minimum-weight routing wins.  Losers (and, on deadline expiry,
+    all still-running candidates) are terminated.
+
+    Raises
+    ------
+    EngineTimeout
+        Deadline expired with no candidate finishing successfully.
+    RoutingInfeasibleError
+        A complete algorithm proved the instance infeasible.
+    ReproError
+        Every candidate failed without a timeout (the first error is
+        re-raised).
+    """
+    if not candidates:
+        raise ValueError("race needs at least one candidate algorithm")
+    ctx = _mp_context()
+    runners: dict = {}  # reader connection -> (algorithm, process)
+    for algorithm in candidates:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_race_entry,
+            args=(child_conn, channel, connections, max_segments, weight_spec,
+                  algorithm),
+        )
+        proc.start()
+        child_conn.close()
+        runners[parent_conn] = (algorithm, proc)
+
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    finished: list[tuple[str, tuple[int, ...], float]] = []
+    errors: list[tuple[str, str, str]] = []  # (algorithm, type, message)
+    try:
+        while runners:
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+            ready = _wait_connections(list(runners), timeout=remaining)
+            if not ready:
+                break  # deadline expired
+            for conn in ready:
+                algorithm, proc = runners.pop(conn)
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    message = ("err", "ReproError", "race worker died")
+                finally:
+                    conn.close()
+                proc.join()
+                if message[0] == "ok":
+                    finished.append((algorithm, message[1], message[2]))
+                    if weight_spec is None:
+                        winner = finished[0]
+                        return RaceResult(winner[0], winner[1], len(runners))
+                else:
+                    errors.append((algorithm, message[1], message[2]))
+                    if (
+                        message[1] == RoutingInfeasibleError.__name__
+                        and algorithm in _COMPLETE
+                    ):
+                        raise RoutingInfeasibleError(message[2])
+    finally:
+        for conn, (_, proc) in runners.items():
+            conn.close()
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(0.5)
+                if proc.is_alive():  # pragma: no cover
+                    proc.kill()
+                    proc.join()
+            else:
+                proc.join()
+
+    if finished:
+        winner = min(finished, key=lambda item: item[2])
+        return RaceResult(winner[0], winner[1], len(runners))
+    if runners or not errors:
+        raise EngineTimeout(
+            f"no portfolio candidate finished within {timeout:.3g}s "
+            f"(raced {', '.join(candidates)})"
+        )
+    algorithm, error_type, message = errors[0]
+    cls = getattr(_errors, error_type, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        raise cls(f"[{algorithm}] {message}")
+    raise ReproError(f"[{algorithm}] {error_type}: {message}")

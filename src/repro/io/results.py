@@ -17,6 +17,8 @@ __all__ = [
     "routing_to_csv",
     "routing_to_json",
     "routing_from_json",
+    "batch_report",
+    "batch_to_json",
 ]
 
 
@@ -86,6 +88,80 @@ def routing_to_json(routing: Routing) -> str:
         "max_segments_used": routing.max_segments_used(),
     }
     return json.dumps(payload, indent=2)
+
+
+def batch_report(results, labels=None) -> str:
+    """Human-readable table for a batch of engine results.
+
+    ``results`` are :class:`repro.engine.BatchResult`-shaped objects (duck
+    typed so this module stays import-independent of the engine); one line
+    per instance plus a summary footer.  ``labels`` optionally names each
+    instance (e.g. its source path).
+    """
+    out = io.StringIO()
+    out.write(
+        f"{'#':>4} {'instance':<24} {'T':>4} {'N':>5} {'M':>5} "
+        f"{'status':<10} {'algorithm':<10} {'time':>9} {'cache':>5}\n"
+    )
+    n_ok = n_hit = 0
+    total_time = 0.0
+    for i, r in enumerate(results):
+        label = labels[i] if labels else r.channel.name
+        if r.routing is not None:
+            status = "ok"
+            n_ok += 1
+        elif r.timed_out:
+            status = "timeout"
+        else:
+            status = "failed"
+        n_hit += 1 if r.cache_hit else 0
+        total_time += r.duration
+        out.write(
+            f"{r.index:>4} {str(label)[:24]:<24} {r.channel.n_tracks:>4} "
+            f"{r.channel.n_columns:>5} {len(r.connections):>5} "
+            f"{status:<10} {r.algorithm or '-':<10} "
+            f"{r.duration * 1000:>7.1f}ms {'hit' if r.cache_hit else '-':>5}\n"
+        )
+        if r.routing is None and r.error:
+            out.write(f"       {r.error_type}: {r.error}\n")
+    out.write(
+        f"  {n_ok}/{len(results)} routed, {n_hit} cache hits, "
+        f"total solve time {total_time:.3f}s\n"
+    )
+    return out.getvalue()
+
+
+def batch_to_json(results, labels=None) -> str:
+    """Machine-readable batch report: one record per instance."""
+    records = []
+    for i, r in enumerate(results):
+        record = {
+            "index": r.index,
+            "instance": labels[i] if labels else r.channel.name,
+            "n_tracks": r.channel.n_tracks,
+            "n_columns": r.channel.n_columns,
+            "n_connections": len(r.connections),
+            "max_segments": r.max_segments,
+            "ok": r.routing is not None,
+            "algorithm": r.algorithm,
+            "duration": r.duration,
+            "cache_hit": r.cache_hit,
+            "fallbacks": r.fallbacks,
+            "timed_out": r.timed_out,
+        }
+        if r.routing is not None:
+            record["assignment"] = {
+                (c.name or f"c{j + 1}"): t + 1
+                for j, (c, t) in enumerate(
+                    zip(r.routing.connections, r.routing.assignment)
+                )
+            }
+            record["max_segments_used"] = r.routing.max_segments_used()
+        else:
+            record["error_type"] = r.error_type
+            record["error"] = r.error
+        records.append(record)
+    return json.dumps({"results": records}, indent=2)
 
 
 def routing_from_json(text: str) -> Routing:

@@ -7,10 +7,11 @@ so that every experiment in EXPERIMENTS.md can be regenerated bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import Optional, Union
 
-__all__ = ["rng_from", "spawn"]
+__all__ = ["rng_from", "spawn", "derive_seed"]
 
 SeedLike = Union[int, random.Random, None]
 
@@ -26,3 +27,18 @@ def rng_from(seed: SeedLike) -> random.Random:
 def spawn(rng: random.Random, stream: str) -> random.Random:
     """Derive an independent, reproducible substream named ``stream``."""
     return random.Random(f"{rng.getrandbits(64)}:{stream}")
+
+
+def derive_seed(seed: int, stream: str) -> int:
+    """Derive a 64-bit integer seed for substream ``stream`` of ``seed``.
+
+    Unlike :func:`spawn` this is a pure function of its arguments (no
+    Random state is consumed) and is stable across interpreter restarts
+    and processes — ``hash()`` is not, because of string-hash
+    randomization.  The engine uses it to seed worker-process PRNGs per
+    *task* rather than per worker, so batch results are bit-identical
+    regardless of how many workers run or which worker picks up which
+    task.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

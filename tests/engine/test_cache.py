@@ -1,0 +1,119 @@
+"""Canonical instance cache: key canonicalization, replay, LRU, counters."""
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import ConnectionSet
+from repro.core.routing import Routing
+from repro.engine.cache import (
+    InstanceCache,
+    canonical_key,
+    canonicalize_assignment,
+    replay_assignment,
+)
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+
+
+def _fig3_key(k=1):
+    return canonical_key(fig3_channel(), fig3_connections(), k, None, "auto")
+
+
+class TestCanonicalKey:
+    def test_same_instance_same_key(self):
+        assert _fig3_key() == _fig3_key()
+
+    def test_track_permutation_is_isomorphic(self):
+        a = channel_from_breaks(9, [(2, 6), (3, 6), (5,)])
+        b = channel_from_breaks(9, [(5,), (2, 6), (3, 6)])
+        conns = ConnectionSet.from_spans([(1, 3), (4, 6)])
+        assert canonical_key(a, conns, 1, None, "auto") == canonical_key(
+            b, conns, 1, None, "auto"
+        )
+
+    def test_connection_names_are_ignored(self):
+        ch = fig3_channel()
+        named = ConnectionSet.from_spans([(1, 3), (4, 6)], prefix="x")
+        renamed = ConnectionSet.from_spans([(1, 3), (4, 6)], prefix="y")
+        assert canonical_key(ch, named, 1, None, "auto") == canonical_key(
+            ch, renamed, 1, None, "auto"
+        )
+
+    def test_parameters_distinguish(self):
+        ch, conns = fig3_channel(), fig3_connections()
+        base = canonical_key(ch, conns, 1, None, "auto")
+        assert canonical_key(ch, conns, 2, None, "auto") != base
+        assert canonical_key(ch, conns, 1, "length", "auto") != base
+        assert canonical_key(ch, conns, 1, None, "exact") != base
+
+    def test_different_spans_distinguish(self):
+        ch = fig3_channel()
+        a = ConnectionSet.from_spans([(1, 3)])
+        b = ConnectionSet.from_spans([(1, 4)])
+        assert canonical_key(ch, a, 1, None, "auto") != canonical_key(
+            ch, b, 1, None, "auto"
+        )
+
+
+class TestReplay:
+    def test_round_trip_identity(self):
+        ch = fig3_channel()
+        assignment = (1, 2, 0, 2, 0)
+        canon = canonicalize_assignment(ch, assignment)
+        assert replay_assignment(ch, canon) == assignment
+
+    def test_replay_onto_permuted_tracks_is_valid(self):
+        a = channel_from_breaks(9, [(2, 6), (3, 6), (5,)])
+        b = channel_from_breaks(9, [(5,), (3, 6), (2, 6)])
+        conns = fig3_connections()
+        routing_a = Routing(a, conns, (1, 2, 0, 2, 0))
+        routing_a.validate(1)
+        canon = canonicalize_assignment(a, routing_a.assignment)
+        replayed = replay_assignment(b, canon)
+        Routing(b, conns, replayed).validate(1)
+
+
+class TestInstanceCache:
+    def test_miss_then_hit(self):
+        cache = InstanceCache()
+        ch = fig3_channel()
+        key = _fig3_key()
+        assert cache.lookup(key, ch) is None
+        cache.store(key, ch, (1, 2, 0, 2, 0))
+        assert cache.lookup(key, ch) == (1, 2, 0, 2, 0)
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_isomorphic_instance_hits(self):
+        cache = InstanceCache()
+        a = channel_from_breaks(9, [(2, 6), (3, 6), (5,)])
+        b = channel_from_breaks(9, [(5,), (2, 6), (3, 6)])
+        conns = fig3_connections()
+        key_a = canonical_key(a, conns, 1, None, "auto")
+        key_b = canonical_key(b, conns, 1, None, "auto")
+        assert key_a == key_b
+        cache.store(key_a, a, (1, 2, 0, 2, 0))
+        replayed = cache.lookup(key_b, b)
+        assert replayed is not None
+        Routing(b, conns, replayed).validate(1)
+
+    def test_lru_eviction(self):
+        cache = InstanceCache(max_entries=2)
+        ch = fig3_channel()
+        keys = [_fig3_key(k) for k in (1, 2, 3)]
+        for key in keys:
+            cache.store(key, ch, (1, 2, 0, 2, 0))
+        assert len(cache) == 2
+        assert cache.lookup(keys[0], ch) is None  # evicted
+        assert cache.lookup(keys[2], ch) is not None
+
+    def test_clear(self):
+        cache = InstanceCache()
+        ch = fig3_channel()
+        cache.store(_fig3_key(), ch, (1, 2, 0, 2, 0))
+        cache.lookup(_fig3_key(), ch)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            InstanceCache(max_entries=0)

@@ -1,0 +1,62 @@
+"""Engine metrics registry: counters, histograms, snapshots."""
+
+from repro.engine.metrics import Metrics
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        m = Metrics()
+        m.incr("requests")
+        m.incr("requests", 2)
+        assert m.counter("requests") == 3
+        assert m.counter("never") == 0
+
+    def test_hit_rate_derived(self):
+        m = Metrics()
+        m.incr("cache.hits", 9)
+        m.incr("cache.misses", 1)
+        assert m.snapshot()["derived"]["cache.hit_rate"] == 0.9
+
+    def test_no_hit_rate_without_lookups(self):
+        assert "cache.hit_rate" not in Metrics().snapshot()["derived"]
+
+
+class TestHistograms:
+    def test_observe_summary(self):
+        m = Metrics()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            m.observe("latency.dp", v)
+        h = m.snapshot()["histograms"]["latency.dp"]
+        assert h["count"] == 4
+        assert h["total"] == 10.0
+        assert h["mean"] == 2.5
+        assert h["min"] == 1.0 and h["max"] == 4.0
+        assert h["p50"] == 2.5
+
+    def test_window_bounded(self):
+        m = Metrics()
+        for i in range(10_000):
+            m.observe("x", float(i))
+        h = m.snapshot()["histograms"]["x"]
+        assert h["count"] == 10_000  # totals stay exact
+        assert h["max"] == 9999.0
+
+    def test_reset(self):
+        m = Metrics()
+        m.incr("a")
+        m.observe("b", 1.0)
+        m.reset()
+        snap = m.snapshot()
+        assert snap["counters"] == {} and snap["histograms"] == {}
+
+
+class TestRender:
+    def test_render_mentions_counters_and_latency(self):
+        m = Metrics()
+        m.incr("cache.hits")
+        m.incr("cache.misses")
+        m.observe("latency.auto", 0.01)
+        text = m.render()
+        assert "cache.hits" in text
+        assert "latency.auto" in text
+        assert "cache.hit_rate" in text

@@ -56,6 +56,88 @@ class TestRoute:
         assert "error:" in capsys.readouterr().err
 
 
+class TestRouteEngineFlags:
+    def test_route_with_timeout(self, instance_file, capsys):
+        assert main(["route", instance_file, "--k", "1", "--timeout", "30"]) == 0
+        assert "routing of 5 connections" in capsys.readouterr().out
+
+    def test_route_with_jobs_races_portfolio(self, instance_file, capsys):
+        assert main(["route", instance_file, "--k", "1", "--jobs", "2"]) == 0
+        assert "routing of 5 connections" in capsys.readouterr().out
+
+    def test_route_stats_flag(self, instance_file, capsys):
+        assert main(["route", instance_file, "--k", "1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "latency" in out
+
+
+class TestBatch:
+    def test_batch_paths(self, instance_file, tmp_path, capsys):
+        other = tmp_path / "other.sch"
+        dump_instance(other, fig3_channel(), fig3_connections())
+        assert main(["batch", instance_file, str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 routed" in out
+        assert "hit" in out  # identical geometry: second is a cache hit
+
+    def test_batch_stats(self, instance_file, capsys):
+        assert main(["batch", instance_file, instance_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "cache.hits" in out
+        assert "latency" in out
+
+    def test_batch_json(self, instance_file, capsys):
+        assert main(["batch", instance_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["ok"] is True
+        assert payload["results"][0]["assignment"]
+
+    def test_batch_manifest(self, instance_file, tmp_path, capsys):
+        manifest = tmp_path / "batch.jsonl"
+        manifest.write_text(
+            json.dumps({"path": instance_file, "k": 1}) + "\n"
+            + "# comment line\n"
+            + json.dumps({"instance": "@fig3"}) + "\n"
+        )
+        assert main(["batch", "--manifest", str(manifest)]) == 0
+        assert "2/2 routed" in capsys.readouterr().out
+
+    def test_batch_registry_instances(self, capsys):
+        assert main(["batch", "@fig3", "--k", "1"]) == 0
+        assert "1/1 routed" in capsys.readouterr().out
+
+    def test_batch_infeasible_exits_nonzero(self, instance_file, tmp_path, capsys):
+        from repro.core.channel import channel_from_breaks
+        from repro.core.connection import ConnectionSet
+
+        bad = tmp_path / "bad.sch"
+        dump_instance(
+            bad,
+            channel_from_breaks(6, [()]),
+            ConnectionSet.from_spans([(1, 3), (2, 5)]),
+        )
+        assert main(["batch", instance_file, str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "1/2 routed" in out
+        assert "RoutingInfeasibleError" in out
+
+    def test_batch_without_inputs_is_error(self, capsys):
+        assert main(["batch"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_negative_jobs_is_error(self, instance_file, capsys):
+        assert main(["batch", instance_file, "--jobs", "-3"]) == 1
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_batch_bad_manifest_line(self, tmp_path, capsys):
+        manifest = tmp_path / "bad.jsonl"
+        manifest.write_text("{not json}\n")
+        assert main(["batch", "--manifest", str(manifest)]) == 1
+        assert "manifest" in capsys.readouterr().err
+
+
 class TestRender:
     def test_render(self, instance_file, capsys):
         assert main(["render", instance_file]) == 0

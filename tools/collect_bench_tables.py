@@ -5,19 +5,32 @@ Runs the benchmark suite (or consumes an existing log) and extracts every
 experiment report block — the lines each bench prints through its `show`
 fixture — into one text file for easy diffing against EXPERIMENTS.md.
 
+Also runs a small routing-engine benchmark and writes a machine-readable
+``BENCH_engine.json`` (instance size, algorithm, wall-time, cache-hit
+rate) so the performance trajectory of :mod:`repro.engine` is trackable
+across PRs.
+
 Usage:
     python tools/collect_bench_tables.py                 # runs the benches
     python tools/collect_bench_tables.py --from-log F    # parse existing log
     python tools/collect_bench_tables.py -o tables.txt
+    python tools/collect_bench_tables.py --engine-only   # just BENCH_engine.json
+    python tools/collect_bench_tables.py --no-engine     # skip the engine bench
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import re
 import subprocess
 import sys
+import time
 from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
 
 #: Experiment report headers, as printed by the benches.
 HEADER = re.compile(
@@ -26,6 +39,15 @@ HEADER = re.compile(
 )
 #: Lines that terminate a report block.
 TERMINATOR = re.compile(r"^\.+\s*(\[|$)|benchmark: \d+ tests")
+
+#: Engine-bench corpus shapes: (n_tracks, n_columns, n_connections, count).
+#: Sized so one full run stays in the tens of seconds on a single CPU —
+#: larger shapes cross into the exponential DP regime.
+ENGINE_CORPUS = (
+    (4, 30, 8, 60),
+    (8, 60, 16, 40),
+    (10, 80, 20, 8),
+)
 
 
 def extract_tables(text: str) -> str:
@@ -45,6 +67,74 @@ def extract_tables(text: str) -> str:
     return "\n".join(out) + "\n"
 
 
+def run_engine_bench(jobs: int = 0) -> dict:
+    """Route a random corpus sequentially, in parallel, and repeated.
+
+    Returns the ``BENCH_engine.json`` payload: one entry per corpus
+    shape with wall-times for ``jobs=1`` vs ``jobs=N`` plus the cache-hit
+    rate of a repeated pass over the same corpus.
+    """
+    from repro.engine import EngineConfig, RoutingEngine, default_jobs
+    from repro.generators.random_instances import (
+        random_channel,
+        random_feasible_instance,
+    )
+
+    jobs = jobs or default_jobs()
+    entries = []
+    for n_tracks, n_columns, n_connections, count in ENGINE_CORPUS:
+        instances = []
+        for s in range(count):
+            channel = random_channel(
+                n_tracks, n_columns, 5.0, seed=s + n_tracks * 1000
+            )
+            conns = random_feasible_instance(
+                channel, n_connections, seed=s + n_tracks * 1000 + 1
+            )
+            instances.append((channel, conns))
+
+        engine = RoutingEngine(EngineConfig(seed=0))
+        start = time.perf_counter()
+        sequential = engine.route_many(instances, jobs=1)
+        sequential_s = time.perf_counter() - start
+
+        engine.clear_cache()
+        engine.reset_stats()
+        start = time.perf_counter()
+        parallel = engine.route_many(instances, jobs=jobs)
+        parallel_s = time.perf_counter() - start
+
+        engine.reset_stats()
+        engine.route_many(instances, jobs=1)  # repeated pass: cache hits
+        snapshot = engine.stats()
+
+        entries.append({
+            "n_tracks": n_tracks,
+            "n_columns": n_columns,
+            "n_connections": n_connections,
+            "instances": count,
+            "algorithm": "auto",
+            "ok": sum(1 for r in sequential if r.ok),
+            "sequential_s": round(sequential_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "jobs": jobs,
+            "speedup": round(sequential_s / parallel_s, 3) if parallel_s else None,
+            "results_identical": all(
+                (a.routing and a.routing.assignment)
+                == (b.routing and b.routing.assignment)
+                for a, b in zip(sequential, parallel)
+            ),
+            "cache_hit_rate": round(
+                snapshot["derived"].get("cache.hit_rate", 0.0), 4
+            ),
+        })
+    return {
+        "generated_unix": int(time.time()),
+        "cpus": os.cpu_count(),
+        "entries": entries,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--from-log", help="parse an existing bench log")
@@ -52,21 +142,48 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", default="bench_tables.txt",
         help="where to write the extracted tables",
     )
+    parser.add_argument(
+        "--engine-json", default="BENCH_engine.json",
+        help="where to write the engine benchmark JSON",
+    )
+    parser.add_argument(
+        "--engine-only", action="store_true",
+        help="run only the engine benchmark (skip the pytest benches)",
+    )
+    parser.add_argument(
+        "--no-engine", action="store_true",
+        help="skip the engine benchmark",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker count for the engine benchmark (default: per CPU)",
+    )
     args = parser.parse_args(argv)
-    if args.from_log:
-        text = Path(args.from_log).read_text()
-    else:
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only"],
-            capture_output=True, text=True,
-            cwd=Path(__file__).resolve().parent.parent,
+
+    if not args.engine_only:
+        if args.from_log:
+            text = Path(args.from_log).read_text()
+        else:
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", "benchmarks/",
+                 "--benchmark-only"],
+                capture_output=True, text=True, cwd=_REPO_ROOT,
+            )
+            text = proc.stdout + proc.stderr
+            if proc.returncode != 0:
+                print("warning: bench run exited nonzero", file=sys.stderr)
+        tables = extract_tables(text)
+        Path(args.output).write_text(tables)
+        print(f"wrote {args.output} ({tables.count(chr(10))} lines)")
+
+    if not args.no_engine:
+        payload = run_engine_bench(jobs=args.jobs)
+        Path(args.engine_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"wrote {args.engine_json} "
+            f"({len(payload['entries'])} corpus shapes, "
+            f"{payload['cpus']} cpus)"
         )
-        text = proc.stdout + proc.stderr
-        if proc.returncode != 0:
-            print("warning: bench run exited nonzero", file=sys.stderr)
-    tables = extract_tables(text)
-    Path(args.output).write_text(tables)
-    print(f"wrote {args.output} ({tables.count(chr(10))} lines)")
     return 0
 
 
