@@ -8,6 +8,8 @@ Usage (also available as ``python -m repro``)::
     segroute batch [INSTANCE ...] [--manifest FILE.jsonl] [--jobs N]
                    [--timeout S] [--k K] [--algorithm ALG] [--weight length]
                    [--format text|json] [--stats]
+                   [--checkpoint FILE.jsonl [--resume]] [--watchdog S]
+                   [--inject-faults SPEC]
     segroute render INSTANCE.sch [--routed] [--k K]
     segroute generate --tracks T --columns N --connections M [--k K]
                       [--seed S] [--mean-segment L] -o OUT.sch
@@ -134,6 +136,27 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print per-algorithm latency and cache counters",
     )
+    p_batch.add_argument(
+        "--checkpoint", metavar="FILE.jsonl",
+        help="journal each completed result to this checksummed JSONL "
+             "file as it finishes (see docs/RESILIENCE.md)",
+    )
+    p_batch.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: restore journaled results and re-run "
+             "only the instances lost to the interruption",
+    )
+    p_batch.add_argument(
+        "--watchdog", type=float, default=None, metavar="S",
+        help="SIGKILL a worker whose task has run S seconds without "
+             "returning, rebuild the pool, and retry the task",
+    )
+    p_batch.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="chaos-testing only: deterministic fault plan, e.g. "
+             "\"crash=0.1,hang=0.05,seed=7\" (falls back to the "
+             "ENGINE_FAULT_PLAN environment variable)",
+    )
 
     p_render = sub.add_parser("render", help="draw an .sch instance")
     p_render.add_argument("instance")
@@ -227,8 +250,16 @@ def _cmd_route(args: argparse.Namespace) -> int:
 
 
 def _load_batch_specs(args: argparse.Namespace) -> list[tuple[str, Optional[int]]]:
-    """Resolve the batch's (instance spec, K) list from args + manifest."""
+    """Resolve the batch's (instance spec, K) list from args + manifest.
+
+    Raises :class:`~repro.core.errors.ManifestError` — naming the
+    manifest path and 1-based line number — for any malformed line:
+    invalid JSON, a non-object record, a missing/non-string instance
+    path, or a non-integer ``k``.
+    """
     import json as _json
+
+    from repro.core.errors import ManifestError
 
     specs: list[tuple[str, Optional[int]]] = [
         (spec, args.k) for spec in args.instances
@@ -242,36 +273,72 @@ def _load_batch_specs(args: argparse.Namespace) -> list[tuple[str, Optional[int]
                         continue
                     try:
                         record = _json.loads(line)
+                        if not isinstance(record, dict):
+                            raise TypeError(
+                                f"expected a JSON object, got "
+                                f"{type(record).__name__}"
+                            )
                         spec = record.get("path") or record["instance"]
-                    except (ValueError, KeyError) as exc:
-                        raise ReproError(
+                        if not isinstance(spec, str):
+                            raise TypeError(
+                                "instance path must be a string, got "
+                                f"{spec!r}"
+                            )
+                        k = record.get("k", args.k)
+                        if k is not None and not isinstance(k, int):
+                            raise TypeError(f"k must be an integer, got {k!r}")
+                    except (ValueError, KeyError, TypeError) as exc:
+                        raise ManifestError(
                             f"{args.manifest}:{line_no}: bad manifest line "
                             f"({exc})"
                         ) from exc
-                    specs.append((spec, record.get("k", args.k)))
+                    specs.append((spec, k))
         except OSError as exc:
-            raise ReproError(f"cannot read manifest: {exc}") from exc
+            raise ManifestError(f"cannot read manifest: {exc}") from exc
     if not specs:
         raise ReproError("batch needs instance paths and/or --manifest")
     return specs
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Resolve the fault plan from ``--inject-faults`` / ``ENGINE_FAULT_PLAN``."""
+    import os
+
+    from repro.engine.resilience import FaultPlan
+
+    spec = args.inject_faults or os.environ.get("ENGINE_FAULT_PLAN")
+    return FaultPlan.parse(spec) if spec else None
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig, RoutingEngine
+    from repro.engine.resilience import CheckpointJournal
     from repro.io.results import batch_report, batch_to_json
 
     if args.jobs < 0:
         raise ReproError(f"--jobs must be >= 0, got {args.jobs}")
+    if args.resume and not args.checkpoint:
+        raise ReproError("--resume requires --checkpoint")
     specs = _load_batch_specs(args)
     instances = [_load(spec) for spec, _ in specs]
-    engine = RoutingEngine(EngineConfig(jobs=args.jobs))
-    results = engine.route_many(
-        instances,
-        max_segments=[k for _, k in specs],
-        weight=None if args.weight == "none" else args.weight,
-        algorithm=args.algorithm,
-        timeout=args.timeout,
-    )
+    engine = RoutingEngine(EngineConfig(
+        jobs=args.jobs, watchdog=args.watchdog, fault_plan=_fault_plan(args),
+    ))
+    journal = None
+    if args.checkpoint:
+        journal = CheckpointJournal(args.checkpoint, resume=args.resume)
+    try:
+        results = engine.route_many(
+            instances,
+            max_segments=[k for _, k in specs],
+            weight=None if args.weight == "none" else args.weight,
+            algorithm=args.algorithm,
+            timeout=args.timeout,
+            journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     labels = [spec for spec, _ in specs]
     if args.out_format == "json":
         sys.stdout.write(batch_to_json(results, labels) + "\n")

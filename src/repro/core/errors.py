@@ -60,6 +60,15 @@ class FormatError(ReproError):
     """A serialized channel/connection/routing file cannot be parsed."""
 
 
+class ManifestError(FormatError):
+    """A batch manifest (JSONL) line is malformed.
+
+    The message names the manifest path and 1-based line number of the
+    offending record, so a single garbage line in a large corpus can be
+    located and fixed without a traceback.
+    """
+
+
 class EngineError(ReproError):
     """Base class for errors raised by the :mod:`repro.engine` subsystem."""
 
@@ -80,4 +89,33 @@ class EngineCancelled(EngineError):
     Raised for portfolio-race losers whose worker processes were
     terminated once a winner was found, and for requests abandoned when
     an engine is shut down.
+    """
+
+
+class WorkerCrashError(EngineError):
+    """A worker process died before delivering a result.
+
+    Covers genuine crashes (segfault, OOM kill, ``os._exit``), workers
+    killed by the hang watchdog, and pipe EOFs from deadline children
+    that exited without reporting.  Retryable by default: the crash says
+    nothing about the instance, only about the worker.
+    """
+
+
+class TaskQuarantinedError(EngineError):
+    """A task was quarantined after crashing too many workers.
+
+    A *poison* task — one that reproducibly kills its worker — would
+    otherwise wedge the pool in a crash/rebuild loop.  After
+    ``RetryPolicy.max_worker_crashes`` crashes the engine permanently
+    fails the task with this error and the batch moves on.
+    """
+
+
+class CheckpointError(EngineError):
+    """A checkpoint journal is corrupt or inconsistent.
+
+    Raised when a journal record fails its checksum mid-file, or when a
+    journaled result does not validate against the instance it claims to
+    solve (e.g. the manifest changed between runs).
     """

@@ -15,7 +15,14 @@ Quickstart::
     print(engine.stats()["counters"])
 """
 
-from repro.core.errors import EngineCancelled, EngineError, EngineTimeout
+from repro.core.errors import (
+    CheckpointError,
+    EngineCancelled,
+    EngineError,
+    EngineTimeout,
+    TaskQuarantinedError,
+    WorkerCrashError,
+)
 from repro.engine.cache import InstanceCache, canonical_key
 from repro.engine.config import EngineConfig, default_jobs
 from repro.engine.engine import (
@@ -28,6 +35,12 @@ from repro.engine.engine import (
 )
 from repro.engine.metrics import Metrics
 from repro.engine.portfolio import race, select_candidates
+from repro.engine.resilience import (
+    CheckpointJournal,
+    FaultPlan,
+    RetryPolicy,
+    SupervisedExecutor,
+)
 
 __all__ = [
     "RoutingEngine",
@@ -43,7 +56,14 @@ __all__ = [
     "Metrics",
     "race",
     "select_candidates",
+    "RetryPolicy",
+    "FaultPlan",
+    "CheckpointJournal",
+    "SupervisedExecutor",
     "EngineError",
     "EngineTimeout",
     "EngineCancelled",
+    "WorkerCrashError",
+    "TaskQuarantinedError",
+    "CheckpointError",
 ]

@@ -13,6 +13,9 @@ import os
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.engine.resilience.faults import FaultPlan
+from repro.engine.resilience.retry import RetryPolicy
+
 __all__ = ["EngineConfig", "WEIGHT_SPECS", "default_jobs"]
 
 #: Weight objectives the engine can ship across process boundaries.
@@ -64,6 +67,20 @@ class EngineConfig:
         Re-validate every routing in the parent process before handing
         it back (cheap; on by default — the engine's contract is that
         every result passed a :meth:`Routing.validate` call).
+    retry:
+        :class:`~repro.engine.resilience.RetryPolicy` governing retry
+        with backoff for transient failures (worker crashes, corrupt
+        results) and poison-task quarantine.
+    watchdog:
+        Seconds a *started* task may run without its worker returning
+        before the worker is declared hung and SIGKILLed (the pool is
+        rebuilt and the task retried).  ``None`` disables hang
+        detection; set it comfortably above the slowest legitimate
+        solve, and above ``timeout`` when one is configured.
+    fault_plan:
+        Optional :class:`~repro.engine.resilience.FaultPlan` injecting
+        deterministic worker crashes/hangs/corruption — the chaos-test
+        hook, never set in production.
     """
 
     jobs: int = 1
@@ -74,6 +91,9 @@ class EngineConfig:
     cache_size: int = 4096
     seed: int = 0
     validate: bool = True
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    watchdog: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 0:
@@ -82,6 +102,8 @@ class EngineConfig:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.watchdog is not None and self.watchdog <= 0:
+            raise ValueError(f"watchdog must be positive, got {self.watchdog}")
 
     @property
     def effective_jobs(self) -> int:

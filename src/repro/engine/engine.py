@@ -19,14 +19,16 @@ A module-level default engine backs the convenience functions
 
 from __future__ import annotations
 
+import os
+import signal
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Iterator, Optional, Sequence, Union
 
 from repro.core.api import ALGORITHMS
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import ValidationError
+from repro.core.errors import CheckpointError, ValidationError, WorkerCrashError
 from repro.core.routing import Routing
 from repro.engine.cache import (
     InstanceCache,
@@ -38,6 +40,13 @@ from repro.engine.config import WEIGHT_SPECS, EngineConfig
 from repro.engine.executor import RouteTask, TaskOutcome, make_pool, run_task
 from repro.engine.metrics import Metrics
 from repro.engine.portfolio import race, select_candidates
+from repro.engine.resilience.checkpoint import CheckpointJournal, record_key
+from repro.engine.resilience.retry import backoff_delay
+from repro.engine.resilience.supervisor import (
+    SupervisedExecutor,
+    run_sequential,
+    run_task_resilient,
+)
 
 __all__ = [
     "RoutingEngine",
@@ -160,13 +169,17 @@ class RoutingEngine:
                 channel, connections, max_segments, weight, algorithm, timeout
             )
         else:
-            outcome = run_task(RouteTask(
-                index=0, channel=channel, connections=connections,
-                max_segments=max_segments, weight_spec=weight,
-                algorithm=algorithm, timeout=timeout,
-                ladder=self.config.ladder, seed=self.config.seed,
-                task_key=repr(key),
-            ))
+            outcome = run_task_resilient(
+                RouteTask(
+                    index=0, channel=channel, connections=connections,
+                    max_segments=max_segments, weight_spec=weight,
+                    algorithm=algorithm, timeout=timeout,
+                    ladder=self.config.ladder, seed=self.config.seed,
+                    task_key=repr(key),
+                ),
+                seed=self.config.seed, policy=self.config.retry,
+                fault_plan=self.config.fault_plan, metrics=self.metrics,
+            )
         outcome.duration = time.monotonic() - start
         self._absorb(result, outcome, key)
         return result
@@ -180,21 +193,45 @@ class RoutingEngine:
         algorithm: str,
         timeout: Optional[float],
     ) -> TaskOutcome:
-        """Run one portfolio race, normalized to a :class:`TaskOutcome`."""
+        """Run one portfolio race, normalized to a :class:`TaskOutcome`.
+
+        A race whose workers *die* (rather than fail or time out) is
+        retried with backoff under the engine's
+        :class:`~repro.engine.resilience.RetryPolicy` — crashed racers
+        say nothing about the instance — and quarantined past the
+        crash budget like any poison task.
+        """
         candidates = (
             select_candidates(channel, connections, max_segments, weight)
             if algorithm == "auto" else (algorithm,)
         )
         self.metrics.incr("races")
         outcome = TaskOutcome(index=0)
-        try:
-            won = race(channel, connections, max_segments, weight,
-                       candidates, timeout)
-        except Exception as exc:  # typed errors recorded, re-raised by caller
-            outcome.error_type = type(exc).__name__
-            outcome.error = str(exc)
-            outcome.timed_out = outcome.error_type == "EngineTimeout"
-            return outcome
+        policy = self.config.retry
+        race_key = f"race:{algorithm}:{weight}:{max_segments}"
+        crashes = 0
+        while True:
+            try:
+                won = race(channel, connections, max_segments, weight,
+                           candidates, timeout)
+            except WorkerCrashError as exc:
+                crashes += 1
+                if crashes >= policy.max_worker_crashes:
+                    self.metrics.incr("tasks_quarantined")
+                    outcome.error_type = type(exc).__name__
+                    outcome.error = str(exc)
+                    return outcome
+                self.metrics.incr("retries_total")
+                time.sleep(
+                    backoff_delay(policy, crashes, self.config.seed, race_key)
+                )
+                continue
+            except Exception as exc:  # typed errors recorded, re-raised by caller
+                outcome.error_type = type(exc).__name__
+                outcome.error = str(exc)
+                outcome.timed_out = outcome.error_type == "EngineTimeout"
+                return outcome
+            break
         outcome.assignment = won.assignment
         outcome.algorithm = won.algorithm
         self.metrics.incr("cancelled", won.cancelled)
@@ -212,6 +249,7 @@ class RoutingEngine:
         algorithm: str = "auto",
         jobs: Optional[int] = None,
         timeout: Optional[float] = None,
+        journal: Optional[CheckpointJournal] = None,
     ) -> list[BatchResult]:
         """Route a batch of instances, in input order.
 
@@ -230,10 +268,19 @@ class RoutingEngine:
         timeout:
             Per-request deadline (seconds); defaults to the engine
             config.
+        journal:
+            Optional :class:`~repro.engine.resilience.CheckpointJournal`.
+            Every completed result is appended as it finishes; tasks
+            whose record is already journaled (a resumed run) are
+            restored — after independent re-validation — instead of
+            re-run, so an interrupted batch re-runs only the lost work
+            and still returns bit-identical results.
 
         Failed requests do not raise: each :class:`BatchResult` carries
         either a validated routing or a typed error name + message, so
-        one adversarial instance cannot sink the batch.
+        one adversarial instance cannot sink the batch.  Worker crashes
+        and corrupt results are retried (then quarantined) under the
+        config's :class:`~repro.engine.resilience.RetryPolicy`.
         """
         pairs = list(instances)
         k_list = self._per_instance_k(max_segments, len(pairs))
@@ -251,6 +298,15 @@ class RoutingEngine:
             self.metrics.incr("requests")
             key = canonical_key(channel, connections, k_list[i], weight, algorithm)
             keys[i] = key
+            if journal is not None:
+                restored = self._restore_journaled(
+                    journal, i, key, channel, connections, k_list[i]
+                )
+                if restored is not None:
+                    results[i] = restored
+                    first_of_key.setdefault(key, i)
+                    self.metrics.incr("checkpoint_records_skipped")
+                    continue
             if key in first_of_key:
                 duplicates.append(i)  # resolved after the representative runs
                 continue
@@ -266,6 +322,7 @@ class RoutingEngine:
                     self._finish_hit(result, assignment)
                     if result.ok:
                         results[i] = result
+                        self._journal_result(journal, key, result)
                         continue
                 self.metrics.incr("cache.misses")
             tasks.append(RouteTask(
@@ -285,25 +342,143 @@ class RoutingEngine:
             )
             self._absorb(result, outcome, keys[i])
             results[i] = result
+            self._journal_result(journal, keys[i], result)
 
         for i in duplicates:
             results[i] = self._resolve_duplicate(
                 i, pairs[i], k_list[i], keys[i],
                 results[first_of_key[keys[i]]],
             )
+            self._journal_result(journal, keys[i], results[i])
         return [r for r in results if r is not None]
 
     def _execute(
         self, tasks: list[RouteTask], jobs: int
-    ) -> Iterable[TaskOutcome]:
+    ) -> Iterator[TaskOutcome]:
+        """Run tasks under the resilience layer, yielding as they finish."""
         if not tasks:
-            return []
+            return
+        config = self.config
         if jobs == 1 or len(tasks) == 1:
-            return [run_task(task) for task in tasks]
-        with make_pool(min(jobs, len(tasks)), self.config.seed) as pool:
-            return list(pool.map(run_task, tasks, chunksize=max(
-                1, len(tasks) // (4 * jobs)
-            )))
+            yield from run_sequential(
+                tasks, seed=config.seed, policy=config.retry,
+                fault_plan=config.fault_plan, metrics=self.metrics,
+            )
+            return
+        supervisor = SupervisedExecutor(
+            min(jobs, len(tasks)), seed=config.seed, policy=config.retry,
+            fault_plan=config.fault_plan, watchdog=config.watchdog,
+            metrics=self.metrics,
+        )
+        yield from supervisor.run(tasks)
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _restore_journaled(
+        self,
+        journal: CheckpointJournal,
+        index: int,
+        key,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        k: Optional[int],
+    ) -> Optional[BatchResult]:
+        """Rebuild a result from its journal record, or ``None``.
+
+        A journaled routing is re-validated against the instance it
+        claims to solve; a mismatch (e.g. the manifest changed between
+        runs) raises :class:`~repro.core.errors.CheckpointError` rather
+        than silently serving a stale answer.
+        """
+        payload = journal.get(record_key(index, repr(key)))
+        if payload is None:
+            return None
+        result = BatchResult(
+            index=index, channel=channel, connections=connections,
+            max_segments=k,
+        )
+        result.algorithm = payload.get("algorithm")
+        result.duration = float(payload.get("duration", 0.0))
+        result.cache_hit = bool(payload.get("cache_hit", False))
+        result.fallbacks = int(payload.get("fallbacks", 0))
+        result.timed_out = bool(payload.get("timed_out", False))
+        if payload.get("ok"):
+            try:
+                assignment = tuple(
+                    int(t) for t in (payload.get("assignment") or ())
+                )
+                routing = Routing(channel, connections, assignment)
+                routing.validate(k)
+            except Exception as exc:
+                raise CheckpointError(
+                    f"journal record for instance {index} does not validate "
+                    f"against the current batch (was it changed between "
+                    f"runs?): {exc}"
+                ) from exc
+            result.routing = routing
+            if self.config.cache:
+                self.cache.store(key, channel, assignment)
+        else:
+            result.error_type = payload.get("error_type")
+            result.error = payload.get("error")
+        return result
+
+    def _journal_result(
+        self,
+        journal: Optional[CheckpointJournal],
+        key,
+        result: BatchResult,
+    ) -> None:
+        """Append one completed result to the journal (if any).
+
+        The routing is independently re-validated first — nothing that
+        cannot pass :meth:`Routing.validate` is ever journaled — and
+        under a fault plan with ``kill_after_checkpoints`` the process
+        SIGKILLs itself once the quota is reached (the deterministic
+        "interrupted batch" used by the chaos suite).
+        """
+        if journal is None:
+            return
+        rkey = record_key(result.index, repr(key))
+        if journal.has(rkey):
+            return
+        if result.ok:
+            try:
+                result.routing.validate(result.max_segments)
+            except ValidationError as exc:  # pragma: no cover - defensive
+                result.routing = None
+                result.algorithm = None
+                result.error_type = type(exc).__name__
+                result.error = str(exc)
+        journal.append(rkey, self._result_payload(result))
+        self.metrics.incr("checkpoint_records_written")
+        plan = self.config.fault_plan
+        if (
+            plan is not None
+            and plan.kill_after_checkpoints is not None
+            and journal.records_written >= plan.kill_after_checkpoints
+        ):
+            journal.sync()
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    @staticmethod
+    def _result_payload(result: BatchResult) -> dict:
+        """JSON-safe journal payload for one completed result."""
+        return {
+            "ok": result.ok,
+            "assignment": (
+                list(result.routing.assignment) if result.ok else None
+            ),
+            "algorithm": result.algorithm,
+            "duration": result.duration,
+            "cache_hit": result.cache_hit,
+            "fallbacks": result.fallbacks,
+            "timed_out": result.timed_out,
+            "error_type": result.error_type,
+            "error": result.error,
+            "max_segments": result.max_segments,
+        }
 
     def _resolve_duplicate(
         self,

@@ -39,7 +39,7 @@ import repro.core.errors as _errors
 from repro.core.api import route
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import EngineTimeout, ReproError
+from repro.core.errors import EngineTimeout, ReproError, WorkerCrashError
 from repro.core.routing import (
     WeightFunction,
     occupied_length_weight,
@@ -178,7 +178,16 @@ def attempt_route(
         args=(child_conn, channel, connections, max_segments, weight_spec,
               algorithm),
     )
-    proc.start()
+    try:
+        proc.start()
+    except BaseException:
+        parent_conn.close()
+        child_conn.close()
+        if hasattr(proc, "close"):
+            proc.close()
+        raise
+    # Close the parent's copy of the write end immediately: it is what
+    # turns a dead child into an EOF instead of a silent poll() stall.
     child_conn.close()
     try:
         if not parent_conn.poll(timeout):
@@ -188,7 +197,7 @@ def attempt_route(
         try:
             message = parent_conn.recv()
         except EOFError:
-            raise ReproError(
+            raise WorkerCrashError(
                 f"worker for algorithm {algorithm!r} died without a result"
             ) from None
     finally:

@@ -7,7 +7,11 @@ or print them.  The engine records:
 
 counters
     ``requests``, ``cache.hits``, ``cache.misses``, ``timeouts``,
-    ``fallbacks``, ``races``, ``cancelled``, ``errors``.
+    ``fallbacks``, ``races``, ``cancelled``, ``errors``, plus the
+    resilience layer's ``retries_total``, ``tasks_quarantined``,
+    ``worker_crashes``, ``workers_killed`` (hang-watchdog SIGKILLs),
+    ``pool_rebuilds``, ``checkpoint_records_written``, and
+    ``checkpoint_records_skipped``.
 histograms
     ``latency.<algorithm>`` — wall-clock seconds per completed request,
     keyed by the algorithm that actually produced the routing.
@@ -150,9 +154,9 @@ class Metrics:
         if snap["counters"]:
             lines.append("  counters:")
             for name, value in sorted(snap["counters"].items()):
-                lines.append(f"    {name:<16} {value}")
+                lines.append(f"    {name:<28} {value}")
         for name, value in sorted(snap["derived"].items()):
-            lines.append(f"    {name:<16} {value:.3f}")
+            lines.append(f"    {name:<28} {value:.3f}")
         if snap["histograms"]:
             lines.append("  latency (seconds):")
             for name, h in snap["histograms"].items():

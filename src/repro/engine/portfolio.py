@@ -21,7 +21,12 @@ from typing import Optional
 import repro.core.errors as _errors
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import EngineTimeout, ReproError, RoutingInfeasibleError
+from repro.core.errors import (
+    EngineTimeout,
+    ReproError,
+    RoutingInfeasibleError,
+    WorkerCrashError,
+)
 from repro.engine.executor import _mp_context, resolve_weight
 
 __all__ = ["select_candidates", "race", "RaceResult"]
@@ -118,21 +123,27 @@ def race(
         raise ValueError("race needs at least one candidate algorithm")
     ctx = _mp_context()
     runners: dict = {}  # reader connection -> (algorithm, process)
-    for algorithm in candidates:
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_race_entry,
-            args=(child_conn, channel, connections, max_segments, weight_spec,
-                  algorithm),
-        )
-        proc.start()
-        child_conn.close()
-        runners[parent_conn] = (algorithm, proc)
-
     deadline = time.monotonic() + timeout if timeout is not None else None
     finished: list[tuple[str, tuple[int, ...], float]] = []
     errors: list[tuple[str, str, str]] = []  # (algorithm, type, message)
     try:
+        for algorithm in candidates:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_race_entry,
+                args=(child_conn, channel, connections, max_segments,
+                      weight_spec, algorithm),
+            )
+            try:
+                proc.start()
+            except BaseException:
+                parent_conn.close()
+                child_conn.close()
+                proc.close()
+                raise  # started candidates are reaped by the finally below
+            child_conn.close()
+            runners[parent_conn] = (algorithm, proc)
+
         while runners:
             remaining = None
             if deadline is not None:
@@ -147,10 +158,14 @@ def race(
                 try:
                     message = conn.recv()
                 except EOFError:
-                    message = ("err", "ReproError", "race worker died")
+                    message = (
+                        "err", WorkerCrashError.__name__,
+                        f"race worker for {algorithm!r} died without a result",
+                    )
                 finally:
                     conn.close()
                 proc.join()
+                proc.close()
                 if message[0] == "ok":
                     finished.append((algorithm, message[1], message[2]))
                     if weight_spec is None:
@@ -164,6 +179,9 @@ def race(
                     ):
                         raise RoutingInfeasibleError(message[2])
     finally:
+        # Losers (and, on error paths, every still-registered candidate)
+        # are terminated, joined, and close()d so long runs cannot leak
+        # file descriptors or zombie children.
         for conn, (_, proc) in runners.items():
             conn.close()
             if proc.is_alive():
@@ -174,6 +192,7 @@ def race(
                     proc.join()
             else:
                 proc.join()
+            proc.close()
 
     if finished:
         winner = min(finished, key=lambda item: item[2])

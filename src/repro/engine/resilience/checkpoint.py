@@ -1,0 +1,197 @@
+"""Checkpoint journal: crash-safe JSONL record of completed batch results.
+
+The journal is the engine's write-ahead record of *finished* work: as
+each batch result completes (solved, cache-served, or failed with a
+typed error), one self-checksummed JSON line is appended.  A later run
+with ``--resume`` loads the journal, verifies every record's SHA-256
+checksum, and skips the journaled tasks — re-running only what was lost
+when the previous run was interrupted.
+
+Crash-safety model:
+
+* each record is written with a single buffered ``write`` + ``flush``,
+  so a record is either fully in the OS page cache or absent;
+* ``fsync`` runs every ``fsync_interval`` records (and on close), so at
+  most one interval of records is exposed to a *machine* crash — a mere
+  process kill (SIGKILL, OOM) loses nothing that was flushed;
+* on load, a record that fails its checksum in the *tail* position is
+  treated as a torn final write: it is dropped and the file truncated
+  back to the last valid record.  A checksum failure anywhere else means
+  real corruption and raises
+  :class:`~repro.core.errors.CheckpointError` — silently skipping
+  mid-file records could silently drop results.
+
+Record format (one JSON object per line, sorted keys)::
+
+    {"key": "<record key>", "payload": {...}, "sha256": "<hex digest>", "v": 1}
+
+where ``sha256`` covers the key and the canonical (sorted, separator-
+normalized) JSON of the payload.  The payload schema is owned by the
+engine (see ``RoutingEngine.route_many``); the journal itself only
+promises integrity and key-addressability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.core.errors import CheckpointError
+
+__all__ = ["CheckpointJournal", "record_key"]
+
+_VERSION = 1
+
+
+def _canonical_json(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(key: str, payload: dict) -> str:
+    body = f"{key}:{_canonical_json(payload)}".encode()
+    return hashlib.sha256(body).hexdigest()
+
+
+def record_key(index: int, task_key: str) -> str:
+    """Stable journal key for batch position ``index`` with canonical
+    task key ``task_key`` (the index disambiguates intra-batch
+    duplicates, the digest ties the record to the exact instance and
+    request parameters)."""
+    digest = hashlib.sha256(task_key.encode()).hexdigest()[:16]
+    return f"{index}:{digest}"
+
+
+class CheckpointJournal:
+    """Append-only, checksummed JSONL journal of completed results.
+
+    Parameters
+    ----------
+    path:
+        Journal file path.  Without ``resume`` an existing file is
+        truncated (a fresh checkpointed run); with ``resume`` existing
+        records are loaded and verified first, then new records append.
+    resume:
+        Load and verify existing records instead of starting fresh.
+    fsync_interval:
+        Records between ``fsync`` calls (1 = fsync every record).
+    """
+
+    def __init__(
+        self, path: str, *, resume: bool = False, fsync_interval: int = 8
+    ) -> None:
+        if fsync_interval < 1:
+            raise ValueError(
+                f"fsync_interval must be >= 1, got {fsync_interval}"
+            )
+        self.path = path
+        self.fsync_interval = fsync_interval
+        self.records_written = 0
+        self._since_fsync = 0
+        self._records: dict[str, dict] = {}
+        if resume and os.path.exists(path):
+            self._records = self._load_and_repair(path)
+        self._fh = open(path, "a" if resume else "w", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def _load_and_repair(self, path: str) -> dict[str, dict]:
+        """Load records, verifying checksums; truncate a torn tail."""
+        records: dict[str, dict] = {}
+        valid_end = 0
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        offset = 0
+        lines = raw.split(b"\n")
+        for i, line in enumerate(lines):
+            consumed = offset
+            offset += len(line) + 1
+            text = line.strip()
+            if not text:
+                continue
+            record = self._parse_record(text)
+            if record is None:
+                # A bad record is tolerable only as the torn final write.
+                if any(rest.strip() for rest in lines[i + 1:]):
+                    raise CheckpointError(
+                        f"{path}: corrupt journal record at line {i + 1} "
+                        f"(checksum or JSON mismatch before end of file)"
+                    )
+                break
+            key, payload = record
+            records[key] = payload
+            valid_end = consumed + len(line) + (1 if offset <= len(raw) else 0)
+        if valid_end < len(raw):
+            os.truncate(path, valid_end)
+        return records
+
+    @staticmethod
+    def _parse_record(text: bytes) -> Optional[tuple[str, dict]]:
+        """Decode + verify one journal line; None if torn/corrupt."""
+        try:
+            record = json.loads(text.decode("utf-8"))
+            key = record["key"]
+            payload = record["payload"]
+            digest = record["sha256"]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return None
+        if not isinstance(key, str) or not isinstance(payload, dict):
+            return None
+        if _checksum(key, payload) != digest:
+            return None
+        return key, payload
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def has(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[dict]:
+        return self._records.get(key)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(self, key: str, payload: dict) -> None:
+        """Journal one completed result (atomic line + periodic fsync)."""
+        if self._fh is None:
+            raise CheckpointError(f"{self.path}: journal is closed")
+        line = _canonical_json({
+            "key": key,
+            "payload": payload,
+            "sha256": _checksum(key, payload),
+            "v": _VERSION,
+        })
+        self._fh.write(line + "\n")
+        self._fh.flush()
+        self._records[key] = payload
+        self.records_written += 1
+        self._since_fsync += 1
+        if self._since_fsync >= self.fsync_interval:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the journal to stable storage."""
+        if self._fh is not None:
+            os.fsync(self._fh.fileno())
+            self._since_fsync = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -3,6 +3,7 @@ loader so routings can be archived and restored bit-for-bit."""
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 from typing import Optional
@@ -19,6 +20,7 @@ __all__ = [
     "routing_from_json",
     "batch_report",
     "batch_to_json",
+    "result_stream_digest",
 ]
 
 
@@ -162,6 +164,34 @@ def batch_to_json(results, labels=None) -> str:
             record["error"] = r.error
         records.append(record)
     return json.dumps({"results": records}, indent=2)
+
+
+def result_stream_digest(results) -> str:
+    """SHA-256 digest of a batch's *semantic* outcome.
+
+    Hashes only what the routing answer is — per result ``index``,
+    ``ok``, the track ``assignment`` (or ``None``), and ``error_type`` —
+    deliberately excluding durations, cache hits, and the winning
+    algorithm, which legitimately vary across runs.  Two runs of the
+    same batch (different ``jobs``, an interrupted-then-resumed run, a
+    fault-injected chaos run) are bit-identical iff their digests match;
+    the chaos suite asserts exactly that.
+    """
+    digest = hashlib.sha256()
+    for r in results:
+        record = {
+            "index": r.index,
+            "ok": r.routing is not None,
+            "assignment": (
+                list(r.routing.assignment) if r.routing is not None else None
+            ),
+            "error_type": r.error_type,
+        }
+        digest.update(
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def routing_from_json(text: str) -> Routing:

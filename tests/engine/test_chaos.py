@@ -1,0 +1,267 @@
+"""Chaos suite: end-to-end fault injection against the engine.
+
+Run with ``pytest -m chaos`` (tier-1 excludes the marker; CI runs it in
+a dedicated job).  Everything here is *deterministic* chaos: fault
+decisions come from a seeded :class:`FaultPlan`, so each scenario
+replays exactly and the central assertion — results bit-identical to a
+fault-free run — is meaningful.
+
+The acceptance scenario from the issue: a seeded plan injecting >= 10%
+worker crashes and >= 5% hangs over a >= 50-instance mixed batch must
+yield complete, validated, bit-identical results; and a batch SIGKILLed
+mid-run with ``--checkpoint`` must, when resumed, produce the identical
+final report while re-running only the un-journaled tasks.
+"""
+
+import json
+import multiprocessing
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine import EngineConfig, FaultPlan, RetryPolicy, RoutingEngine
+from repro.engine.cache import canonical_key
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+)
+from repro.io.results import result_stream_digest
+from repro.io.text_format import dump_instance
+
+pytestmark = pytest.mark.chaos
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not _HAS_FORK, reason="needs fork start method")
+
+#: Generous budgets: chaos tests assert *recovery*, not quarantine.
+CHAOS_RETRY = RetryPolicy(
+    max_attempts=10, max_worker_crashes=12, base_delay=0.01, max_delay=0.05
+)
+
+
+def chaos_corpus(n=50):
+    """``n`` mixed feasible instances spanning channel shapes."""
+    shapes = [(5, 20, 3.0), (6, 24, 4.0), (8, 32, 5.0), (4, 16, 2.5)]
+    instances = []
+    for i in range(n):
+        tracks, columns, mean_seg = shapes[i % len(shapes)]
+        channel = random_channel(tracks, columns, mean_seg, seed=1000 + i)
+        conns = random_feasible_instance(
+            channel, tracks + 2, seed=2000 + i, max_segments=2
+        )
+        instances.append((channel, conns))
+    return instances
+
+
+def task_keys(instances, k=2):
+    return [
+        repr(canonical_key(ch, conns, k, None, "auto"))
+        for ch, conns in instances
+    ]
+
+
+def pick_seed(plan_of_seed, predicate, limit=500):
+    """First fault-plan seed whose decision stream satisfies ``predicate``."""
+    for seed in range(limit):
+        if predicate(plan_of_seed(seed)):
+            return seed
+    raise AssertionError("no fault seed satisfies the scenario")
+
+
+# ----------------------------------------------------------------------
+# the acceptance scenario: >=10% crashes, >=5% hangs, 50 instances
+# ----------------------------------------------------------------------
+@needs_fork
+def test_bit_identical_results_under_heavy_faults():
+    instances = chaos_corpus(50)
+    keys = task_keys(instances)
+    plan_rates = dict(crash=0.15, hang=0.07, garbage=0.06, hang_seconds=30.0)
+
+    def first_attempt_counts(plan):
+        first = [plan.decide(k, 1) for k in keys]
+        return first.count("crash"), first.count("hang")
+
+    def heavy_enough(plan):
+        n_crash, n_hang = first_attempt_counts(plan)
+        # The issue demands >= 10% crashes and >= 5% hangs injected.
+        return (n_crash >= 0.10 * len(keys)
+                and n_hang >= 0.05 * len(keys))
+
+    seed = pick_seed(
+        lambda s: FaultPlan(seed=s, **plan_rates), heavy_enough
+    )
+    plan = FaultPlan(seed=seed, **plan_rates)
+
+    baseline = RoutingEngine(EngineConfig(jobs=1)).route_many(
+        instances, max_segments=2
+    )
+    assert all(r.ok for r in baseline)
+    digest = result_stream_digest(baseline)
+
+    engine = RoutingEngine(EngineConfig(
+        jobs=2, retry=CHAOS_RETRY, fault_plan=plan, watchdog=0.8,
+    ))
+    results = engine.route_many(instances, max_segments=2)
+
+    assert len(results) == len(instances)
+    assert all(r.ok for r in results), [
+        (r.index, r.error_type, r.error) for r in results if not r.ok
+    ]
+    for r in results:  # complete *and* independently validated
+        assert r.routing.is_valid()
+    assert result_stream_digest(results) == digest
+    assert engine.metrics.counter("worker_crashes") > 0
+    assert engine.metrics.counter("retries_total") > 0
+    assert engine.metrics.counter("tasks_quarantined") == 0
+
+
+@needs_fork
+def test_hung_workers_are_detected_and_killed():
+    """A hang is not a slow task: the watchdog must SIGKILL the worker."""
+    instances = chaos_corpus(8)
+    keys = task_keys(instances)
+
+    def hangs_then_recovers(plan):
+        hung = [k for k in keys if plan.decide(k, 1) == "hang"]
+        return bool(hung) and all(plan.decide(k, 2) is None for k in hung)
+
+    seed = pick_seed(
+        lambda s: FaultPlan(hang=0.3, seed=s, hang_seconds=30.0),
+        hangs_then_recovers,
+    )
+    plan = FaultPlan(hang=0.3, seed=seed, hang_seconds=30.0)
+
+    baseline = RoutingEngine(EngineConfig(jobs=1)).route_many(
+        instances, max_segments=2
+    )
+    engine = RoutingEngine(EngineConfig(
+        jobs=2, retry=CHAOS_RETRY, fault_plan=plan, watchdog=0.8,
+    ))
+    results = engine.route_many(instances, max_segments=2)
+    assert all(r.ok for r in results)
+    assert result_stream_digest(results) == result_stream_digest(baseline)
+    # Hung workers were killed by the watchdog, not waited out (the
+    # injected hang sleeps 30s; the whole batch finishes in a few).
+    assert engine.metrics.counter("workers_killed") > 0
+    assert engine.metrics.counter("pool_rebuilds") > 0
+
+
+# ----------------------------------------------------------------------
+# SIGKILL-interrupted checkpoint/resume through the real CLI
+# ----------------------------------------------------------------------
+class TestCheckpointResumeAcrossSigkill:
+    N_INSTANCES = 8
+    KILL_AFTER = 4
+
+    @pytest.fixture()
+    def batch_dir(self, tmp_path):
+        """A manifest of .sch instances on disk."""
+        lines = []
+        for i in range(self.N_INSTANCES):
+            channel = random_channel(6, 24, 4.0, seed=300 + i)
+            conns = random_feasible_instance(
+                channel, 8, seed=400 + i, max_segments=2
+            )
+            path = tmp_path / f"inst{i}.sch"
+            dump_instance(str(path), channel, conns)
+            lines.append(json.dumps({"path": path.name, "k": 2}))
+        (tmp_path / "manifest.jsonl").write_text("\n".join(lines) + "\n")
+        return tmp_path
+
+    def run_cli(self, batch_dir, *extra):
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "batch",
+             "--manifest", "manifest.jsonl", "--jobs", "1",
+             "--format", "json", *extra],
+            cwd=str(batch_dir), env=env, capture_output=True, text=True,
+            timeout=300,
+        )
+
+    @staticmethod
+    def semantic(report_json):
+        """Batch report minus fields that legitimately vary across runs."""
+        return [
+            {k: v for k, v in record.items()
+             if k not in ("duration", "algorithm", "cache_hit")}
+            for record in json.loads(report_json)["results"]
+        ]
+
+    def test_interrupted_run_resumes_bit_identically(self, batch_dir):
+        full = self.run_cli(batch_dir)
+        assert full.returncode == 0, full.stderr
+
+        interrupted = self.run_cli(
+            batch_dir, "--checkpoint", "ckpt.jsonl", "--inject-faults",
+            f"kill_after_checkpoints={self.KILL_AFTER},seed=3",
+        )
+        # The process SIGKILLed itself mid-batch: no report, no cleanup.
+        assert interrupted.returncode == -9
+        assert interrupted.stdout == ""
+        journal = (batch_dir / "ckpt.jsonl").read_text().splitlines()
+        assert len(journal) == self.KILL_AFTER
+
+        resumed = self.run_cli(
+            batch_dir, "--checkpoint", "ckpt.jsonl", "--resume", "--stats",
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        _, end = json.JSONDecoder().raw_decode(resumed.stdout)
+        stats = resumed.stdout[end:]
+
+        # Identical final report (modulo timings), produced by re-running
+        # only the un-journaled tasks.
+        assert self.semantic(resumed.stdout[:end]) == self.semantic(full.stdout)
+        assert re.search(
+            rf"checkpoint_records_skipped\s+{self.KILL_AFTER}\b", stats
+        )
+        remaining = self.N_INSTANCES - self.KILL_AFTER
+        assert re.search(
+            rf"checkpoint_records_written\s+{remaining}\b", stats
+        )
+        journal = (batch_dir / "ckpt.jsonl").read_text().splitlines()
+        assert len(journal) == self.N_INSTANCES
+
+    def test_resume_of_complete_journal_runs_nothing(self, batch_dir):
+        first = self.run_cli(batch_dir, "--checkpoint", "ckpt.jsonl")
+        assert first.returncode == 0, first.stderr
+        again = self.run_cli(
+            batch_dir, "--checkpoint", "ckpt.jsonl", "--resume", "--stats",
+        )
+        assert again.returncode == 0, again.stderr
+        _, end_a = json.JSONDecoder().raw_decode(again.stdout)
+        _, end_f = json.JSONDecoder().raw_decode(first.stdout)
+        assert self.semantic(again.stdout[:end_a]) == self.semantic(
+            first.stdout[:end_f]
+        )
+        assert re.search(
+            rf"checkpoint_records_skipped\s+{self.N_INSTANCES}\b",
+            again.stdout,
+        )
+        assert "checkpoint_records_written" not in again.stdout
+
+
+# ----------------------------------------------------------------------
+# sequential chaos (no pool): same guarantees, simulated faults
+# ----------------------------------------------------------------------
+def test_sequential_chaos_bit_identical():
+    instances = chaos_corpus(50)
+    baseline = RoutingEngine(EngineConfig(jobs=1)).route_many(
+        instances, max_segments=2
+    )
+    engine = RoutingEngine(EngineConfig(
+        jobs=1, retry=CHAOS_RETRY,
+        fault_plan=FaultPlan(crash=0.15, hang=0.07, garbage=0.06, seed=21),
+    ))
+    results = engine.route_many(instances, max_segments=2)
+    assert all(r.ok for r in results)
+    assert result_stream_digest(results) == result_stream_digest(baseline)
+    assert engine.metrics.counter("retries_total") > 0
