@@ -16,13 +16,15 @@ Usage (also available as ``python -m repro``)::
     segroute reduce --x 2,5,8 --y 9,11,12 --z 11,17,19 [--two-segment]
                     -o OUT.sch
     segroute chip NETLIST.net --rows R --cells-per-row C [--timing]
+    segroute bench [--quick] [--check] [--repeats N] [-o BENCH_kernels.json]
 
 Subcommands map 1:1 onto the library: ``route`` runs any of the paper's
 algorithms on an ``.sch`` instance, ``batch`` routes many instances
 through the :mod:`repro.engine` worker pool, ``render`` draws an
-instance, ``generate`` writes a random feasible one, and ``reduce``
+instance, ``generate`` writes a random feasible one, ``reduce``
 emits a Theorem-1/2 NP-completeness instance from a numerical matching
-problem.
+problem, and ``bench`` runs the reference-vs-packed kernel benchmark
+(the perf-regression harness; see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -202,6 +204,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chip.add_argument("--seed", type=int, default=0)
     p_chip.add_argument(
         "--timing", action="store_true", help="also run static timing analysis"
+    )
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark the packed DP kernel against the reference kernel",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="small smoke set (what CI's bench-smoke job runs)",
+    )
+    p_bench.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if packed is >10%% slower than reference on any "
+             "batch, or if any result digest diverges",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per batch; best-of is reported (default: 3)",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_kernels.json",
+        help="report path (default: BENCH_kernels.json)",
     )
     return parser
 
@@ -446,6 +470,30 @@ def _cmd_chip(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.kernel_bench import (
+        check_report,
+        render_report,
+        run_kernel_bench,
+        write_report,
+    )
+
+    if args.repeats < 1:
+        raise ReproError(f"--repeats must be >= 1, got {args.repeats}")
+    report = run_kernel_bench(quick=args.quick, repeats=args.repeats)
+    write_report(report, args.output)
+    print(render_report(report))
+    print(f"wrote {args.output}")
+    if args.check:
+        failures = check_report(report)
+        for failure in failures:
+            print(f"CHECK FAILED: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("check passed: packed kernel within budget, results identical")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -457,6 +505,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "generate": _cmd_generate,
         "reduce": _cmd_reduce,
         "chip": _cmd_chip,
+        "bench": _cmd_bench,
     }[args.command]
     try:
         return handler(args)

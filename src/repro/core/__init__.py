@@ -36,6 +36,8 @@ from repro.core.errors import (
     ValidationError,
 )
 from repro.core.exact import count_routings, route_exact, route_exact_optimal
+from repro.core.geometry import ChannelGeometry, channel_geometry
+from repro.core.kernels import active_kernel, run_dp_packed, run_dp_reference
 from repro.core.generalized import (
     GeneralizedDPStats,
     generalized_switch_count,
@@ -96,6 +98,8 @@ __all__ = [
     "route_one_segment_matching", "one_segment_feasible",
     "one_segment_bipartite_graph",
     "route_dp", "route_dp_with_stats", "DPStats",
+    "active_kernel", "run_dp_packed", "run_dp_reference",
+    "ChannelGeometry", "channel_geometry",
     "clean_cuts", "decompose", "route_dp_decomposed",
     "route_dp_track_types", "route_dp_track_types_with_stats", "TypedDPStats",
     "route_generalized", "route_generalized_with_stats", "GeneralizedDPStats",

@@ -21,42 +21,30 @@ Key facts implemented here:
   over all partial routings reaching it; tracing back from the single
   level-``M`` node yields an optimal routing (the paper's "minor change").
 
+The inner loop lives in :mod:`repro.core.kernels`: a tuple-based
+reference implementation and a packed-frontier kernel with dominance
+pruning that is the default.  Set ``REPRO_KERNELS=reference`` to force
+the reference implementation (see ``docs/PERFORMANCE.md``).
+
 Instrumentation: :func:`route_dp_with_stats` exposes the per-level node
 counts so the Theorem 5/6 bounds can be checked experimentally.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import RoutingInfeasibleError
+from repro.core.kernels import (
+    DPStats,
+    active_kernel,
+    run_dp_packed,
+    run_dp_reference,
+)
 from repro.core.routing import Routing, WeightFunction
 
 __all__ = ["DPStats", "route_dp", "route_dp_with_stats", "assignment_graph_levels"]
-
-
-@dataclass(frozen=True)
-class DPStats:
-    """Assignment-graph shape: one entry per level (connection)."""
-
-    nodes_per_level: tuple[int, ...]
-    edges_per_level: tuple[int, ...]
-
-    @property
-    def max_level_width(self) -> int:
-        """``L`` in the paper's ``O(M L T^2)`` bound."""
-        return max(self.nodes_per_level, default=0)
-
-    @property
-    def total_nodes(self) -> int:
-        return sum(self.nodes_per_level)
-
-    @property
-    def total_edges(self) -> int:
-        return sum(self.edges_per_level)
 
 
 def _run_dp(
@@ -65,95 +53,16 @@ def _run_dp(
     max_segments: Optional[int],
     weight: Optional[WeightFunction],
     node_limit: int,
-) -> tuple[Routing, DPStats]:
-    connections.check_within(channel)
-    conns = connections.connections
-    M = len(conns)
-    T = channel.n_tracks
-    if M == 0:
-        return Routing(channel, connections, ()), DPStats((), ())
-
-    # Per-connection, per-track static feasibility (the K-segment limit)
-    # and post-assignment blocked end; both independent of the frontier.
-    seg_ok: list[list[bool]] = []
-    blocked_end: list[list[int]] = []
-    for c in conns:
-        ok_row, end_row = [], []
-        for t in range(T):
-            track = channel.track(t)
-            if max_segments is not None:
-                ok_row.append(
-                    track.segments_occupied(c.left, c.right) <= max_segments
-                )
-            else:
-                ok_row.append(True)
-            end_row.append(track.segment_end_at(c.right))
-        seg_ok.append(ok_row)
-        blocked_end.append(end_row)
-
-    # Level 0: nothing assigned; frontier normalized to left(c_1).
-    ref0 = conns[0].left
-    root = (ref0,) * T
-    # levels[i]: frontier -> (cost, parent_frontier, track_assigned)
-    levels: list[dict[tuple[int, ...], tuple[float, Optional[tuple[int, ...]], int]]]
-    levels = [{root: (0.0, None, -1)}]
-    nodes_per_level: list[int] = []
-    edges_per_level: list[int] = []
-    total_nodes = 1
-
-    for i, c in enumerate(conns):
-        next_ref = conns[i + 1].left if i + 1 < M else channel.n_columns + 1
-        current = levels[-1]
-        nxt: dict[tuple[int, ...], tuple[float, Optional[tuple[int, ...]], int]] = {}
-        edges = 0
-        ok_row = seg_ok[i]
-        end_row = blocked_end[i]
-        for frontier, (cost, _, _) in current.items():
-            for t in range(T):
-                # x[t] <= left(c): the segment of track t present in column
-                # left(c) is unoccupied.  Frontier values are always segment
-                # right-ends + 1, so this single comparison is exact.
-                if frontier[t] > c.left or not ok_row[t]:
-                    continue
-                edges += 1
-                new_cost = cost + (weight(c, t) if weight is not None else 0.0)
-                new_frontier = tuple(
-                    max(end_row[t] + 1, next_ref)
-                    if k == t
-                    else max(frontier[k], next_ref)
-                    for k in range(T)
-                )
-                prev = nxt.get(new_frontier)
-                if prev is None or new_cost < prev[0]:
-                    nxt[new_frontier] = (new_cost, frontier, t)
-        if not nxt:
-            raise RoutingInfeasibleError(
-                f"assignment graph empty at level {i + 1}: no valid "
-                f"{'routing' if max_segments is None else f'{max_segments}-segment routing'} "
-                f"of {conns[i]} extends any partial routing of c1..c{i}"
-            )
-        nodes_per_level.append(len(nxt))
-        edges_per_level.append(edges)
-        total_nodes += len(nxt)
-        if total_nodes > node_limit:
-            raise RoutingInfeasibleError(
-                f"assignment graph exceeded node limit ({node_limit}); "
-                f"use route_exact or the LP heuristic for this instance"
-            )
-        levels.append(nxt)
-
-    # Level M normalizes every frontier to N+1, so it holds a single node
-    # (the paper's F_M) carrying the minimum cost.
-    final_level = levels[-1]
-    assert len(final_level) == 1, "normalization should collapse level M"
-    frontier = next(iter(final_level))
-    assignment = [-1] * M
-    for i in range(M, 0, -1):
-        cost, parent, t = levels[i][frontier]
-        assignment[i - 1] = t
-        frontier = parent  # type: ignore[assignment]
-    routing = Routing(channel, connections, tuple(assignment))
-    return routing, DPStats(tuple(nodes_per_level), tuple(edges_per_level))
+    *,
+    partial: bool = False,
+) -> tuple[Optional[Routing], DPStats]:
+    if active_kernel() == "packed":
+        return run_dp_packed(
+            channel, connections, max_segments, weight, node_limit, partial=partial
+        )
+    return run_dp_reference(
+        channel, connections, max_segments, weight, node_limit, partial=partial
+    )
 
 
 def route_dp(
@@ -178,6 +87,7 @@ def route_dp(
         ``2^T T!`` is a real worst case).
     """
     routing, _ = _run_dp(channel, connections, max_segments, weight, node_limit)
+    assert routing is not None
     return routing
 
 
@@ -190,7 +100,9 @@ def route_dp_with_stats(
 ) -> tuple[Routing, DPStats]:
     """Like :func:`route_dp` but also returns assignment-graph statistics
     (used by the Theorem 5/6 bound experiments)."""
-    return _run_dp(channel, connections, max_segments, weight, node_limit)
+    routing, stats = _run_dp(channel, connections, max_segments, weight, node_limit)
+    assert routing is not None
+    return routing, stats
 
 
 def assignment_graph_levels(
@@ -203,21 +115,10 @@ def assignment_graph_levels(
     the level where the instance became infeasible.
 
     Unlike :func:`route_dp_with_stats`, this does not raise on infeasible
-    instances; it reports the graph that was built.
+    instances (or on instances exceeding ``node_limit``); it reports the
+    levels that were built, collected in a single pass.
     """
-    try:
-        _, stats = _run_dp(channel, connections, max_segments, None, node_limit)
-        return list(stats.nodes_per_level)
-    except RoutingInfeasibleError:
-        # Re-run level by level to collect what exists; cheap enough for
-        # the instrumentation use case.
-        conns = connections.connections
-        counts: list[int] = []
-        for m in range(1, len(conns) + 1):
-            prefix = ConnectionSet(conns[:m])
-            try:
-                _, stats = _run_dp(channel, prefix, max_segments, None, node_limit)
-            except RoutingInfeasibleError:
-                break
-            counts = list(stats.nodes_per_level)
-        return counts
+    _, stats = _run_dp(
+        channel, connections, max_segments, None, node_limit, partial=True
+    )
+    return list(stats.nodes_per_level)

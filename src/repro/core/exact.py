@@ -23,6 +23,7 @@ from typing import Optional
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
 from repro.core.errors import RoutingInfeasibleError
+from repro.core.geometry import ChannelGeometry, channel_geometry
 from repro.core.routing import Routing, WeightFunction
 
 __all__ = ["route_exact", "count_routings", "route_exact_optimal"]
@@ -34,16 +35,30 @@ def _feasible_tracks(
     max_segments: Optional[int],
 ) -> list[list[int]]:
     """Per-connection candidate tracks honouring the K-segment limit."""
+    geom = channel_geometry(channel)
     candidates: list[list[int]] = []
     for c in connections:
         row = []
         for t in range(channel.n_tracks):
             if max_segments is not None:
-                if channel.segments_occupied(t, c.left, c.right) > max_segments:
+                if geom.segments_occupied(t, c.left, c.right) > max_segments:
                     continue
             row.append(t)
         candidates.append(row)
     return candidates
+
+
+def _span_tables(
+    geom: ChannelGeometry, conns
+) -> tuple[list[list[int]], list[list[int]]]:
+    """``starts[i][t]`` / ``ends[i][t]``: occupied-span bounds of connection
+    ``i`` on track ``t``, precomputed so the search's innermost test is a
+    pair of list lookups instead of a bisect per node."""
+    T = geom.n_tracks
+    seg_start, seg_end = geom.seg_start, geom.seg_end
+    starts = [[seg_start[t][c.left] for t in range(T)] for c in conns]
+    ends = [[seg_end[t][c.right] for t in range(T)] for c in conns]
+    return starts, ends
 
 
 def route_exact(
@@ -69,10 +84,11 @@ def route_exact(
     connections.check_within(channel)
     M = len(connections)
     candidates = _feasible_tracks(channel, connections, max_segments)
+    conns = connections.connections
+    starts, ends = _span_tables(channel_geometry(channel), conns)
     blocked_until = [0] * channel.n_tracks
     assignment = [-1] * M
     nodes = 0
-    conns = connections.connections
 
     def identical_to_previous(i: int) -> bool:
         return i > 0 and (conns[i].left, conns[i].right) == (
@@ -90,15 +106,15 @@ def route_exact(
                 f"exact search exceeded node limit ({node_limit}); "
                 f"feasibility undecided"
             )
-        c = conns[i]
+        start_row, end_row = starts[i], ends[i]
         floor = assignment[i - 1] if identical_to_previous(i) else -1
         for t in candidates[i]:
             if t <= floor:
                 continue
-            if blocked_until[t] >= channel.track(t).segment_start_at(c.left):
+            if blocked_until[t] >= start_row[t]:
                 continue
             saved = blocked_until[t]
-            blocked_until[t] = channel.segment_end_at(t, c.right)
+            blocked_until[t] = end_row[t]
             assignment[i] = t
             if backtrack(i + 1):
                 return True
@@ -126,9 +142,10 @@ def count_routings(
     connections.check_within(channel)
     M = len(connections)
     candidates = _feasible_tracks(channel, connections, max_segments)
+    conns = connections.connections
+    starts, ends = _span_tables(channel_geometry(channel), conns)
     blocked_until = [0] * channel.n_tracks
     nodes = 0
-    conns = connections.connections
 
     def backtrack(i: int) -> int:
         nonlocal nodes
@@ -139,13 +156,13 @@ def count_routings(
             raise RoutingInfeasibleError(
                 f"counting exceeded node limit ({node_limit})"
             )
-        c = conns[i]
+        start_row, end_row = starts[i], ends[i]
         total = 0
         for t in candidates[i]:
-            if blocked_until[t] >= channel.track(t).segment_start_at(c.left):
+            if blocked_until[t] >= start_row[t]:
                 continue
             saved = blocked_until[t]
-            blocked_until[t] = channel.segment_end_at(t, c.right)
+            blocked_until[t] = end_row[t]
             total += backtrack(i + 1)
             blocked_until[t] = saved
         return total
@@ -171,6 +188,7 @@ def route_exact_optimal(
     M = len(connections)
     conns = connections.connections
     candidates = _feasible_tracks(channel, connections, max_segments)
+    starts, ends = _span_tables(channel_geometry(channel), conns)
     weights: list[dict[int, float]] = [
         {t: weight(c, t) for t in candidates[i]} for i, c in enumerate(conns)
     ]
@@ -203,13 +221,13 @@ def route_exact_optimal(
             raise RoutingInfeasibleError(
                 f"optimal search exceeded node limit ({node_limit})"
             )
-        c = conns[i]
+        start_row, end_row = starts[i], ends[i]
         # Explore cheapest assignments first to tighten the bound early.
         for t in sorted(candidates[i], key=lambda t: weights[i][t]):
-            if blocked_until[t] >= channel.track(t).segment_start_at(c.left):
+            if blocked_until[t] >= start_row[t]:
                 continue
             saved = blocked_until[t]
-            blocked_until[t] = channel.segment_end_at(t, c.right)
+            blocked_until[t] = end_row[t]
             assignment[i] = t
             backtrack(i + 1, cost + weights[i][t])
             blocked_until[t] = saved

@@ -1,0 +1,134 @@
+"""Shared per-channel geometry tables.
+
+Every routing algorithm repeatedly asks the same three questions about a
+(channel, column) pair: which segment contains this column, where does
+that segment start, and where does it end.  :class:`Track` answers them
+with a bisect over its break tuple — fine in isolation, but the DP asks
+``O(M·T)`` times per solve and the backtracking solvers ask once per
+search node, so the bisect (and the attribute chasing around it) shows
+up at the top of every profile (see ``tools/profile_hotpaths.py``).
+
+:class:`ChannelGeometry` flattens the answers into plain lists indexed by
+column, one row per track, built once per channel:
+
+* ``seg_index[t][col]`` — 0-based index of the segment of track ``t``
+  containing ``col``;
+* ``seg_start[t][col]`` / ``seg_end[t][col]`` — its column bounds;
+* ``segments_occupied(t, left, right)`` — O(1) from the index row;
+* ``covering(col)`` — the Theorem-3 greedy's candidate list: every
+  track whose segment contains ``col``, sorted by (segment right end,
+  track index), built lazily per column.
+
+Channels are immutable, so the tables are memoized on the channel itself
+(equality/hash is by break tuples, so isomorphic channel objects share
+one table).  Building costs ``O(T·N)`` time and memory; for the paper's
+instance sizes that is a few thousand machine words, repaid within a
+single DP solve.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.channel import SegmentedChannel
+
+__all__ = ["ChannelGeometry", "channel_geometry"]
+
+
+class ChannelGeometry:
+    """Flattened column-indexed geometry tables for one channel.
+
+    Do not construct directly — go through :func:`channel_geometry` so
+    equal channels share one instance.
+    """
+
+    __slots__ = (
+        "n_tracks",
+        "n_columns",
+        "seg_index",
+        "seg_start",
+        "seg_end",
+        "seg_id_base",
+        "_covering",
+    )
+
+    def __init__(self, channel: SegmentedChannel) -> None:
+        self.n_tracks = channel.n_tracks
+        self.n_columns = channel.n_columns
+        n = channel.n_columns
+        seg_index: list[list[int]] = []
+        seg_start: list[list[int]] = []
+        seg_end: list[list[int]] = []
+        seg_id_base: list[int] = []
+        next_id = 0
+        for track in channel.tracks:
+            # Column 0 is padding so rows index 1-based like the paper.
+            idx_row = [0] * (n + 1)
+            start_row = [0] * (n + 1)
+            end_row = [0] * (n + 1)
+            for si, (left, right) in enumerate(track.segment_bounds):
+                for col in range(left, right + 1):
+                    idx_row[col] = si
+                    start_row[col] = left
+                    end_row[col] = right
+            seg_index.append(idx_row)
+            seg_start.append(start_row)
+            seg_end.append(end_row)
+            seg_id_base.append(next_id)
+            next_id += track.n_segments
+        self.seg_index = seg_index
+        self.seg_start = seg_start
+        self.seg_end = seg_end
+        #: ``seg_id_base[t] + seg_index[t][col]`` is a channel-global
+        #: segment id, the occupancy-set key used by the greedy routers.
+        self.seg_id_base = seg_id_base
+        self._covering: dict[int, tuple[list[int], list[int], list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    def segments_occupied(self, track: int, left: int, right: int) -> int:
+        """Number of segments of ``track`` occupied by span ``[left, right]``."""
+        row = self.seg_index[track]
+        return row[right] - row[left] + 1
+
+    def segment_id(self, track: int, col: int) -> int:
+        """Channel-global id of the segment of ``track`` containing ``col``."""
+        return self.seg_id_base[track] + self.seg_index[track][col]
+
+    def occupied_span(self, track: int, left: int, right: int) -> tuple[int, int]:
+        """Columns blocked in ``track`` by a connection ``[left, right]``."""
+        return (self.seg_start[track][left], self.seg_end[track][right])
+
+    # ------------------------------------------------------------------
+    def covering(self, col: int) -> tuple[list[int], list[int], list[int]]:
+        """Candidate segments containing ``col``, for the Theorem-3 greedy.
+
+        Returns three parallel lists ``(rights, tracks, seg_ids)`` sorted
+        by ``(segment right end, track index)`` — exactly the greedy's
+        preference order, so a left-to-right scan from the first entry
+        with ``right >= c.right`` (a bisect) visits candidates in
+        tie-break-identical order to the original all-tracks scan.
+        """
+        cached = self._covering.get(col)
+        if cached is not None:
+            return cached
+        entries = sorted(
+            (self.seg_end[t][col], t, self.seg_id_base[t] + self.seg_index[t][col])
+            for t in range(self.n_tracks)
+        )
+        rights = [e[0] for e in entries]
+        tracks = [e[1] for e in entries]
+        seg_ids = [e[2] for e in entries]
+        self._covering[col] = (rights, tracks, seg_ids)
+        return rights, tracks, seg_ids
+
+
+@lru_cache(maxsize=256)
+def channel_geometry(channel: SegmentedChannel) -> ChannelGeometry:
+    """Memoized geometry tables for ``channel``.
+
+    Keyed by the channel itself; :class:`SegmentedChannel` equality and
+    hashing are by break tuples, so equal channels (e.g. a pickled copy
+    in a worker process and its parent original) share one table per
+    process.
+    """
+    return ChannelGeometry(channel)

@@ -10,15 +10,26 @@
   the 1-segment greedy, parking connections that fit no single segment in
   a pool ``P`` of whole-track consumers, and commits the pool whenever its
   size reaches the number of still-unoccupied tracks.
+
+Both routers scan candidates through the shared
+:class:`repro.core.geometry.ChannelGeometry` covering index: for each
+column it lists the segments containing that column sorted by (right end,
+track), so a bisect jumps straight to the first segment long enough for
+the connection and the scan skips occupied segments without ever touching
+tracks whose segment ends too early.  The candidate *order* is exactly
+the Theorem-3 preference order ("smallest right end, ties toward the
+lowest track index"), so assignments are unchanged from the direct
+all-tracks scan.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from bisect import bisect_left
 
-from repro.core.channel import Segment, SegmentedChannel
+from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
 from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.geometry import channel_geometry
 from repro.core.routing import Routing
 
 __all__ = ["route_one_segment_greedy", "route_two_segment_tracks_greedy"]
@@ -39,29 +50,26 @@ def route_one_segment_greedy(
     exists, and :class:`RoutingInfeasibleError` carries that proof.
     """
     connections.check_within(channel)
-    occupied: set[tuple[int, int]] = set()  # (track, segment index)
+    geom = channel_geometry(channel)
+    occupied: set[int] = set()  # channel-global segment ids
     assignment = [-1] * len(connections)
     for i, c in enumerate(connections):
+        rights, tracks, seg_ids = geom.covering(c.left)
+        # Entries are sorted by (right end, track): everything before this
+        # bisect position ends before right(c), everything at or after it
+        # covers the connection, in exact preference order.
+        j = bisect_left(rights, c.right)
         best_track = -1
-        best_end = None
-        for t in range(channel.n_tracks):
-            track = channel.track(t)
-            si = track.segment_index_at(c.left)
-            left, right = track.segment_bounds[si]
-            if right < c.right:
-                continue  # spans more than one segment here
-            if (t, si) in occupied:
-                continue
-            if best_end is None or right < best_end:
-                best_end = right
-                best_track = t
+        for j in range(j, len(rights)):
+            if seg_ids[j] not in occupied:
+                best_track = tracks[j]
+                occupied.add(seg_ids[j])
+                break
         if best_track < 0:
             raise RoutingInfeasibleError(
                 f"{c}: no unoccupied single segment covers it; "
                 f"by Theorem 3 no 1-segment routing exists"
             )
-        track = channel.track(best_track)
-        occupied.add((best_track, track.segment_index_at(c.left)))
         assignment[i] = best_track
     return Routing(channel, connections, tuple(assignment))
 
@@ -90,9 +98,10 @@ def route_two_segment_tracks_greedy(
             "route_two_segment_tracks_greedy requires <= 2 segments per track"
         )
     connections.check_within(channel)
+    geom = channel_geometry(channel)
 
     T = channel.n_tracks
-    occupied_segments: set[tuple[int, int]] = set()
+    occupied_segments: set[int] = set()  # channel-global segment ids
     # A track is "unoccupied" while no connection has been assigned to it.
     track_used = [False] * T
     assignment = [-1] * len(connections)
@@ -106,29 +115,21 @@ def route_two_segment_tracks_greedy(
             assignment[conn_index] = t
             track_used[t] = True
             # A pooled connection consumes the whole track.
+            base = geom.seg_id_base[t]
             for si in range(channel.track(t).n_segments):
-                occupied_segments.add((t, si))
+                occupied_segments.add(base + si)
         del pool[: len(tracks)]
 
     for i, c in enumerate(connections):
+        rights, tracks, seg_ids = geom.covering(c.left)
+        j = bisect_left(rights, c.right)
         best_track = -1
-        best_end = None
-        for t in range(T):
-            track = channel.track(t)
-            si = track.segment_index_at(c.left)
-            left, right = track.segment_bounds[si]
-            if right < c.right:
-                continue
-            if (t, si) in occupied_segments:
-                continue
-            if best_end is None or right < best_end:
-                best_end = right
-                best_track = t
+        for j in range(j, len(rights)):
+            if seg_ids[j] not in occupied_segments:
+                best_track = tracks[j]
+                occupied_segments.add(seg_ids[j])
+                break
         if best_track >= 0:
-            track = channel.track(best_track)
-            occupied_segments.add(
-                (best_track, track.segment_index_at(c.left))
-            )
             track_used[best_track] = True
             assignment[i] = best_track
         else:

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.channel import SegmentedChannel, Track, fully_segmented_channel
-from repro.core.connection import Connection, ConnectionSet
+from repro.core.channel import SegmentedChannel, fully_segmented_channel
+from repro.core.connection import ConnectionSet
 from repro.core.errors import ChannelError, RoutingInfeasibleError
+from repro.core.geometry import channel_geometry
 from repro.core.routing import Routing
 from repro.substrate.intervals import pack_intervals_left_edge
 
@@ -58,17 +59,17 @@ def route_left_edge_identical(
             "use the DP or greedy routers instead"
         )
     connections.check_within(channel)
-    template = channel.track(0)
+    geom = channel_geometry(channel)  # tracks identical: row 0 is the template
     blocked_until = [0] * channel.n_tracks  # rightmost occupied column
     assignment = [-1] * len(connections)
     for i, c in enumerate(connections):
         if max_segments is not None:
-            if template.segments_occupied(c.left, c.right) > max_segments:
+            if geom.segments_occupied(0, c.left, c.right) > max_segments:
                 raise RoutingInfeasibleError(
-                    f"{c} spans {template.segments_occupied(c.left, c.right)} "
+                    f"{c} spans {geom.segments_occupied(0, c.left, c.right)} "
                     f"segments > K={max_segments} in every (identical) track"
                 )
-        occ_left, occ_right = template.occupied_span(c.left, c.right)
+        occ_left, occ_right = geom.occupied_span(0, c.left, c.right)
         for t in range(channel.n_tracks):
             if blocked_until[t] < occ_left:
                 assignment[i] = t

@@ -234,6 +234,7 @@ class RoutingEngine:
             break
         outcome.assignment = won.assignment
         outcome.algorithm = won.algorithm
+        outcome.dp_nodes_pruned = won.dp_nodes_pruned
         self.metrics.incr("cancelled", won.cancelled)
         return outcome
 
@@ -534,6 +535,8 @@ class RoutingEngine:
             self.metrics.incr("fallbacks", outcome.fallbacks)
         if outcome.timed_out:
             self.metrics.incr("timeouts")
+        if outcome.dp_nodes_pruned:
+            self.metrics.incr("dp_nodes_pruned", outcome.dp_nodes_pruned)
         if not outcome.ok:
             result.error_type = outcome.error_type
             result.error = outcome.error

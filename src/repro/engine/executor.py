@@ -37,6 +37,7 @@ from typing import Optional
 
 import repro.core.errors as _errors
 from repro.core.api import route
+from repro.core.kernels import consume_dp_pruned
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
 from repro.core.errors import EngineTimeout, ReproError, WorkerCrashError
@@ -110,6 +111,7 @@ class TaskOutcome:
     cache_hit: bool = False
     error_type: Optional[str] = None
     error: Optional[str] = None
+    dp_nodes_pruned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -131,22 +133,29 @@ def _solve(
     max_segments: Optional[int],
     weight_spec: Optional[str],
     algorithm: str,
-) -> tuple[int, ...]:
+) -> tuple[tuple[int, ...], int]:
+    """Solve in-process; returns ``(assignment, dp_nodes_pruned)``.
+
+    The pruning counter is a module-level accumulator in
+    :mod:`repro.core.kernels`; consuming it immediately before and after
+    the solve isolates this attempt's contribution.
+    """
     weight = resolve_weight(weight_spec, channel)
+    consume_dp_pruned()  # discard any stale count from earlier work
     routing = route(
         channel, connections, max_segments=max_segments, weight=weight,
         algorithm=algorithm,
     )
-    return routing.assignment
+    return routing.assignment, consume_dp_pruned()
 
 
 def _deadline_entry(conn, channel, connections, max_segments, weight_spec,
                     algorithm) -> None:
     """Child-process entry: solve and report over the pipe."""
     try:
-        assignment = _solve(channel, connections, max_segments, weight_spec,
-                            algorithm)
-        conn.send(("ok", assignment))
+        assignment, pruned = _solve(channel, connections, max_segments,
+                                    weight_spec, algorithm)
+        conn.send(("ok", assignment, pruned))
     except BaseException as exc:  # report, never crash silently
         conn.send(("err", type(exc).__name__, str(exc)))
     finally:
@@ -160,8 +169,11 @@ def attempt_route(
     weight_spec: Optional[str],
     algorithm: str,
     timeout: Optional[float],
-) -> tuple[int, ...]:
+) -> tuple[tuple[int, ...], int]:
     """Run one algorithm attempt, hard-bounded by ``timeout`` seconds.
+
+    Returns ``(assignment, dp_nodes_pruned)``; the pruning count crosses
+    the pipe from deadline children so the parent's metrics see it.
 
     Without a timeout the attempt runs in-process.  With one, it runs in
     a forked child that is terminated (then killed) when the deadline
@@ -204,7 +216,7 @@ def attempt_route(
         parent_conn.close()
         _reap(proc)
     if message[0] == "ok":
-        return message[1]
+        return message[1], message[2]
     _, error_type, error = message
     cls = getattr(_errors, error_type, None)
     if isinstance(cls, type) and issubclass(cls, ReproError):
@@ -260,7 +272,7 @@ def run_task(task: RouteTask) -> TaskOutcome:
             # last rung gets everything remaining.
             budget = remaining / (len(rungs) - rung_no)
         try:
-            assignment = attempt_route(
+            assignment, pruned = attempt_route(
                 task.channel, task.connections, task.max_segments,
                 task.weight_spec, algorithm, budget,
             )
@@ -276,6 +288,7 @@ def run_task(task: RouteTask) -> TaskOutcome:
         outcome.assignment = assignment
         outcome.algorithm = algorithm
         outcome.fallbacks = rung_no
+        outcome.dp_nodes_pruned = pruned
         break
     outcome.duration = time.monotonic() - start
     outcome.timed_out = timed_out

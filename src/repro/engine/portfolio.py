@@ -68,26 +68,31 @@ class RaceResult:
     """Winner of a portfolio race."""
 
     def __init__(
-        self, algorithm: str, assignment: tuple[int, ...], cancelled: int
+        self, algorithm: str, assignment: tuple[int, ...], cancelled: int,
+        dp_nodes_pruned: int = 0,
     ) -> None:
         self.algorithm = algorithm
         self.assignment = assignment
         self.cancelled = cancelled
+        self.dp_nodes_pruned = dp_nodes_pruned
 
 
 def _race_entry(conn, channel, connections, max_segments, weight_spec,
                 algorithm) -> None:
-    """Child entry: solve, report ``(ok, assignment, weight)`` or an error."""
+    """Child entry: solve, report ``(ok, assignment, weight, pruned)`` or
+    an error."""
     from repro.core.api import route
+    from repro.core.kernels import consume_dp_pruned
 
     try:
         weight = resolve_weight(weight_spec, channel)
+        consume_dp_pruned()
         routing = route(
             channel, connections, max_segments=max_segments, weight=weight,
             algorithm=algorithm,
         )
         total = routing.total_weight(weight) if weight is not None else 0.0
-        conn.send(("ok", routing.assignment, total))
+        conn.send(("ok", routing.assignment, total, consume_dp_pruned()))
     except BaseException as exc:
         conn.send(("err", type(exc).__name__, str(exc)))
     finally:
@@ -124,7 +129,7 @@ def race(
     ctx = _mp_context()
     runners: dict = {}  # reader connection -> (algorithm, process)
     deadline = time.monotonic() + timeout if timeout is not None else None
-    finished: list[tuple[str, tuple[int, ...], float]] = []
+    finished: list[tuple[str, tuple[int, ...], float, int]] = []
     errors: list[tuple[str, str, str]] = []  # (algorithm, type, message)
     try:
         for algorithm in candidates:
@@ -167,10 +172,14 @@ def race(
                 proc.join()
                 proc.close()
                 if message[0] == "ok":
-                    finished.append((algorithm, message[1], message[2]))
+                    finished.append(
+                        (algorithm, message[1], message[2], message[3])
+                    )
                     if weight_spec is None:
                         winner = finished[0]
-                        return RaceResult(winner[0], winner[1], len(runners))
+                        return RaceResult(
+                            winner[0], winner[1], len(runners), winner[3]
+                        )
                 else:
                     errors.append((algorithm, message[1], message[2]))
                     if (
@@ -196,7 +205,7 @@ def race(
 
     if finished:
         winner = min(finished, key=lambda item: item[2])
-        return RaceResult(winner[0], winner[1], len(runners))
+        return RaceResult(winner[0], winner[1], len(runners), winner[3])
     if runners or not errors:
         raise EngineTimeout(
             f"no portfolio candidate finished within {timeout:.3g}s "

@@ -1,0 +1,80 @@
+"""ChannelGeometry tables vs the Track bisect queries they replace."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.channel import channel_from_breaks
+from repro.core.geometry import ChannelGeometry, channel_geometry
+from repro.generators.random_instances import random_channel
+
+
+def test_tables_match_track_queries():
+    for seed in range(20):
+        rng = random.Random(seed)
+        T = rng.randint(1, 6)
+        N = rng.randint(5, 50)
+        ch = random_channel(T, N, rng.uniform(1.5, 6.0), seed=seed)
+        geom = channel_geometry(ch)
+        for t in range(T):
+            track = ch.track(t)
+            for col in range(1, N + 1):
+                assert geom.seg_index[t][col] == track.segment_index_at(col)
+                left, right = track.segment_bounds[track.segment_index_at(col)]
+                assert geom.seg_start[t][col] == left
+                assert geom.seg_end[t][col] == right
+
+
+def test_segments_occupied_and_span_match_channel():
+    ch = random_channel(4, 30, 3.0, seed=3)
+    geom = channel_geometry(ch)
+    for t in range(4):
+        for left in range(1, 31):
+            for right in range(left, 31):
+                assert geom.segments_occupied(t, left, right) == ch.track(
+                    t
+                ).segments_occupied(left, right)
+                assert geom.occupied_span(t, left, right) == ch.track(
+                    t
+                ).occupied_span(left, right)
+
+
+def test_memoized_on_equal_channels():
+    a = channel_from_breaks(12, [(4, 8), (6,)])
+    b = channel_from_breaks(12, [(4, 8), (6,)])
+    assert a is not b and a == b
+    assert channel_geometry(a) is channel_geometry(b)
+
+
+def test_segment_ids_globally_unique():
+    ch = channel_from_breaks(12, [(4, 8), (6,), ()])
+    geom = channel_geometry(ch)
+    ids = set()
+    for t in range(3):
+        for si in range(ch.track(t).n_segments):
+            col = ch.track(t).segment_bounds[si][0]
+            ids.add(geom.segment_id(t, col))
+    assert len(ids) == sum(ch.track(t).n_segments for t in range(3))
+
+
+def test_covering_sorted_by_right_then_track():
+    ch = channel_from_breaks(12, [(4, 8), (6,), (4, 8)])
+    geom = channel_geometry(ch)
+    for col in range(1, 13):
+        rights, tracks, seg_ids = geom.covering(col)
+        assert len(rights) == len(tracks) == len(seg_ids) == 3
+        pairs = list(zip(rights, tracks))
+        assert pairs == sorted(pairs)
+        for right, t, sid in zip(rights, tracks, seg_ids):
+            assert right == geom.seg_end[t][col]
+            assert sid == geom.segment_id(t, col)
+    # Lazy cache returns the same lists.
+    assert geom.covering(5) is geom.covering(5)
+
+
+def test_direct_construction_matches_cached():
+    ch = channel_from_breaks(10, [(5,), ()])
+    direct = ChannelGeometry(ch)
+    cached = channel_geometry(ch)
+    assert direct.seg_index == cached.seg_index
+    assert direct.seg_end == cached.seg_end

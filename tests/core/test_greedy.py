@@ -124,3 +124,60 @@ class TestTwoSegmentGreedy:
             route_two_segment_tracks_greedy(ch, ConnectionSet([])).assignment
             == ()
         )
+
+
+class TestCoveringIndexEquivalence:
+    """The covering-index scan must reproduce the direct all-tracks scan
+    of the Theorem-3 greedy exactly, ties and failures included."""
+
+    @staticmethod
+    def _reference_greedy(channel, connections):
+        """The pre-geometry implementation: scan every track per
+        connection, keep the smallest right end (ties -> lowest track)."""
+        occupied = set()
+        assignment = []
+        for c in connections:
+            best_track, best_end = -1, None
+            for t in range(channel.n_tracks):
+                track = channel.track(t)
+                si = track.segment_index_at(c.left)
+                _, right = track.segment_bounds[si]
+                if right < c.right or (t, si) in occupied:
+                    continue
+                if best_end is None or right < best_end:
+                    best_end, best_track = right, t
+            if best_track < 0:
+                return None
+            occupied.add(
+                (best_track, channel.track(best_track).segment_index_at(c.left))
+            )
+            assignment.append(best_track)
+        return tuple(assignment)
+
+    def test_matches_direct_scan_on_random_instances(self):
+        import random as _random
+
+        from repro.core.connection import Connection
+        from repro.generators.random_instances import random_channel
+
+        rng = _random.Random(42)
+        feasible = infeasible = 0
+        for trial in range(150):
+            T = rng.randint(1, 8)
+            N = rng.randint(6, 60)
+            ch = random_channel(T, N, rng.uniform(1.5, 5.0), seed=20_000 + trial)
+            conns = []
+            for j in range(rng.randint(1, 12)):
+                left = rng.randint(1, max(1, N - 1))
+                right = rng.randint(left, min(N, left + rng.randint(0, 6)))
+                conns.append(Connection(left, right, f"c{j}"))
+            cs = ConnectionSet(conns)
+            expected = self._reference_greedy(ch, cs)
+            if expected is None:
+                infeasible += 1
+                with pytest.raises(RoutingInfeasibleError):
+                    route_one_segment_greedy(ch, cs)
+            else:
+                feasible += 1
+                assert route_one_segment_greedy(ch, cs).assignment == expected
+        assert feasible > 20 and infeasible > 5

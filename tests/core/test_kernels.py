@@ -1,0 +1,249 @@
+"""Kernel equivalence: packed-frontier DP vs the tuple reference.
+
+The load-bearing guarantee of :mod:`repro.core.kernels` is that the
+packed kernel — bit-packed frontiers, SWAR feasibility tests, dominance
+pruning — is *observationally identical* to the reference DP: same
+assignments, same infeasibility errors at the same level, same optimal
+Problem-3 weights, and (with pruning off) the same per-level node and
+edge counts.  The property suite here routes hundreds of seeded random
+instances, mixed across K limits, weight objectives, and infeasible
+cases, and asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.channel import channel_from_breaks
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.dp import route_dp, route_dp_with_stats
+from repro.core.errors import ReproError, RoutingInfeasibleError
+from repro.core.kernels import (
+    KERNEL_ENV_VAR,
+    active_kernel,
+    consume_dp_pruned,
+    run_dp_packed,
+    run_dp_reference,
+)
+from repro.core.routing import occupied_length_weight, segment_count_weight
+from repro.generators.random_instances import random_channel
+
+
+# ----------------------------------------------------------------------
+# instance corpus
+# ----------------------------------------------------------------------
+def _random_connections(rng, n_columns, m):
+    """Arbitrary (often infeasible) connection sets."""
+    conns = []
+    for j in range(m):
+        left = rng.randint(1, max(1, n_columns - 1))
+        right = rng.randint(left + 1, min(n_columns, left + rng.randint(1, 8)))
+        conns.append(Connection(left, right, f"c{j}"))
+    return ConnectionSet(conns)
+
+
+def _corpus(n_instances, seed=0):
+    """Seeded mixed corpus: (channel, connections, K, weight) tuples."""
+    rng = random.Random(seed)
+    out = []
+    for trial in range(n_instances):
+        T = rng.randint(1, 7)
+        N = rng.randint(8, 64)
+        ch = random_channel(T, N, rng.uniform(1.5, 6.0), seed=10_000 + trial)
+        cs = _random_connections(rng, N, rng.randint(0, 14))
+        K = rng.choice([None, None, 1, 2, 3])
+        weight = rng.choice([
+            None,
+            occupied_length_weight(ch),
+            segment_count_weight(ch),
+        ])
+        out.append((ch, cs, K, weight))
+    return out
+
+
+def _solve(kernel, ch, cs, K, weight, **kw):
+    """Normalize a kernel run to (assignment, stats, error message)."""
+    try:
+        routing, stats = kernel(ch, cs, K, weight, **kw)
+        return routing.assignment, stats, None
+    except RoutingInfeasibleError as exc:
+        return None, None, str(exc)
+
+
+def _total_weight(cs, assignment, weight):
+    return sum(weight(c, t) for c, t in zip(cs.connections, assignment))
+
+
+# ----------------------------------------------------------------------
+# the 300+ instance equivalence property
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    CORPUS = _corpus(320)
+
+    @pytest.mark.parametrize("chunk", range(8))
+    def test_packed_matches_reference(self, chunk):
+        """Identical assignments, identical infeasibility messages (hence
+        identical failing level), identical stats modulo pruning counters —
+        across 320 mixed random instances."""
+        for ch, cs, K, weight in self.CORPUS[chunk::8]:
+            ref_a, ref_s, ref_err = _solve(run_dp_reference, ch, cs, K, weight)
+            pk_a, pk_s, pk_err = _solve(run_dp_packed, ch, cs, K, weight)
+            np_a, np_s, np_err = _solve(
+                run_dp_packed, ch, cs, K, weight, prune=False
+            )
+
+            # The error message embeds the 1-based failing level, so string
+            # equality pins the level too.
+            assert ref_err == pk_err == np_err
+            assert ref_a == pk_a == np_a
+
+            if ref_a is None:
+                continue
+            # DPStats identical modulo pruning counters: exactly equal with
+            # pruning disabled ...
+            assert ref_s.nodes_per_level == np_s.nodes_per_level
+            assert ref_s.edges_per_level == np_s.edges_per_level
+            assert ref_s.nodes_pruned_per_level == ()
+            # ... and never-larger with it enabled, with the counters
+            # accounting for every dropped frontier.
+            assert len(pk_s.nodes_per_level) == len(ref_s.nodes_per_level)
+            for kept, pruned, ref_n in zip(
+                pk_s.nodes_per_level,
+                pk_s.nodes_pruned_per_level,
+                ref_s.nodes_per_level,
+            ):
+                assert kept <= ref_n
+                assert kept + pruned >= kept  # counters are non-negative
+            assert pk_s.kernel == "packed"
+            assert ref_s.kernel == "reference"
+
+    @pytest.mark.parametrize("chunk", range(4))
+    def test_pruning_preserves_problem3_optimum(self, chunk):
+        """Dominance pruning never changes an optimal Problem-3 weight."""
+        checked = 0
+        for ch, cs, K, weight in self.CORPUS[chunk::4]:
+            if weight is None:
+                continue
+            ref_a, _, ref_err = _solve(run_dp_reference, ch, cs, K, weight)
+            pk_a, _, pk_err = _solve(run_dp_packed, ch, cs, K, weight)
+            assert ref_err == pk_err
+            if ref_a is None:
+                continue
+            assert _total_weight(cs, ref_a, weight) == _total_weight(
+                cs, pk_a, weight
+            )
+            checked += 1
+        assert checked > 0
+
+
+# ----------------------------------------------------------------------
+# targeted behaviors
+# ----------------------------------------------------------------------
+def test_empty_connection_set():
+    ch = random_channel(3, 12, 3.0, seed=1)
+    cs = ConnectionSet(())
+    for kernel in (run_dp_reference, run_dp_packed):
+        routing, stats = kernel(ch, cs)
+        assert routing.assignment == ()
+        assert stats.nodes_per_level == ()
+
+
+def test_single_track_channel():
+    ch = channel_from_breaks(10, [(5,)])
+    cs = ConnectionSet([Connection(1, 4, "a"), Connection(6, 9, "b")])
+    for kernel in (run_dp_reference, run_dp_packed):
+        routing, _ = kernel(ch, cs)
+        assert routing.assignment == (0, 0)
+
+
+def test_node_limit_raises_same_message():
+    ch = random_channel(6, 60, 2.0, seed=7)
+    rng = random.Random(7)
+    cs = _random_connections(rng, 60, 12)
+    ref = _solve(run_dp_reference, ch, cs, None, None, node_limit=3)
+    pk = _solve(run_dp_packed, ch, cs, None, None, prune=False, node_limit=3)
+    assert ref[2] is not None and "node limit" in ref[2]
+    assert ref[2] == pk[2]
+
+
+def test_partial_mode_returns_stats_instead_of_raising():
+    # (2,8) spans two segments of every track -> infeasible at level 2
+    # under K=1.
+    ch = channel_from_breaks(10, [(5,), (5,)])
+    cs = ConnectionSet([Connection(1, 4, "a"), Connection(2, 8, "b")])
+    for kernel in (run_dp_reference, run_dp_packed):
+        with pytest.raises(RoutingInfeasibleError):
+            kernel(ch, cs, 1)
+        routing, stats = kernel(ch, cs, 1, partial=True)
+        assert routing is None
+        assert len(stats.nodes_per_level) == 1
+
+
+def test_pruned_counter_consumed(monkeypatch):
+    consume_dp_pruned()  # reset
+    ch = random_channel(5, 140, 5.0, seed=3)
+    rng = random.Random(11)
+    cs = _random_connections(rng, 120, 10)
+    _, stats, _ = _solve(run_dp_packed, ch, cs, None, None)
+    if stats is not None and stats.total_pruned:
+        assert consume_dp_pruned() == stats.total_pruned
+    assert consume_dp_pruned() == 0  # consumed = reset
+
+
+def test_dominance_prunes_on_real_instances():
+    """The pruning must actually fire somewhere in the corpus — otherwise
+    the equivalence suite is vacuously testing nothing."""
+    total = 0
+    for ch, cs, K, weight in TestKernelEquivalence.CORPUS:
+        _, stats, _ = _solve(run_dp_packed, ch, cs, K, weight)
+        if stats is not None:
+            total += stats.total_pruned
+    assert total > 0
+
+
+# ----------------------------------------------------------------------
+# env dispatch
+# ----------------------------------------------------------------------
+def test_active_kernel_default_and_env(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    assert active_kernel() == "packed"
+    monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+    assert active_kernel() == "reference"
+    monkeypatch.setenv(KERNEL_ENV_VAR, " Packed ")
+    assert active_kernel() == "packed"
+    monkeypatch.setenv(KERNEL_ENV_VAR, "turbo")
+    with pytest.raises(ReproError):
+        active_kernel()
+
+
+def test_route_dp_dispatches_on_env(monkeypatch):
+    ch = random_channel(4, 40, 4.0, seed=5)
+    rng = random.Random(5)
+    cs = _random_connections(rng, 40, 6)
+    results = {}
+    for kernel_name in ("packed", "reference"):
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel_name)
+        try:
+            routing, stats = route_dp_with_stats(ch, cs)
+            results[kernel_name] = routing.assignment
+            assert stats.kernel == kernel_name
+        except RoutingInfeasibleError as exc:
+            results[kernel_name] = str(exc)
+    assert results["packed"] == results["reference"]
+
+
+def test_route_dp_same_result_both_kernels_weighted(monkeypatch):
+    ch = random_channel(5, 50, 4.0, seed=9)
+    rng = random.Random(9)
+    cs = _random_connections(rng, 50, 8)
+    weight = occupied_length_weight(ch)
+    out = {}
+    for kernel_name in ("packed", "reference"):
+        monkeypatch.setenv(KERNEL_ENV_VAR, kernel_name)
+        try:
+            out[kernel_name] = route_dp(ch, cs, weight=weight).assignment
+        except RoutingInfeasibleError as exc:
+            out[kernel_name] = str(exc)
+    assert out["packed"] == out["reference"]

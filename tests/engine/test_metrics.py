@@ -60,3 +60,50 @@ class TestRender:
         assert "cache.hits" in text
         assert "latency.auto" in text
         assert "cache.hit_rate" in text
+
+
+class TestDpNodesPruned:
+    """The packed kernel's pruning counter flows into engine metrics."""
+
+    def _pruning_instance(self):
+        import random
+
+        from repro.core.connection import Connection, ConnectionSet
+        from repro.core.kernels import run_dp_packed
+        from repro.generators.random_instances import random_channel
+
+        rng = random.Random(0)
+        for trial in range(200):
+            ch = random_channel(5, 60, 3.0, seed=trial)
+            conns = []
+            for j in range(10):
+                left = rng.randint(1, 55)
+                right = rng.randint(left + 1, min(60, left + 6))
+                conns.append(Connection(left, right, f"c{j}"))
+            cs = ConnectionSet(conns)
+            try:
+                _, stats = run_dp_packed(ch, cs)
+            except Exception:
+                continue
+            if stats.total_pruned:
+                return ch, cs, stats.total_pruned
+        raise AssertionError("no pruning instance found")
+
+    def test_engine_route_increments_counter(self):
+        from repro.engine import EngineConfig, RoutingEngine
+
+        ch, cs, expected = self._pruning_instance()
+        engine = RoutingEngine(EngineConfig(cache=False))
+        engine.route(ch, cs, algorithm="dp")
+        assert engine.metrics.counter("dp_nodes_pruned") == expected
+
+    def test_outcome_carries_pruned_across_deadline_child(self):
+        from repro.engine.executor import RouteTask, run_task
+
+        ch, cs, expected = self._pruning_instance()
+        # timeout forces the forked-child path: the count crosses the pipe.
+        outcome = run_task(RouteTask(
+            index=0, channel=ch, connections=cs, algorithm="dp", timeout=30.0,
+        ))
+        assert outcome.ok
+        assert outcome.dp_nodes_pruned == expected

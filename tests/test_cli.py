@@ -283,3 +283,26 @@ class TestMoreCoverage:
         assert main(["render", "@example1-q2"]) == 0
         out = capsys.readouterr().out
         assert "t15" in out
+
+
+class TestBench:
+    def test_bench_quick_check(self, tmp_path, capsys):
+        out_path = str(tmp_path / "BENCH_kernels.json")
+        assert main([
+            "bench", "--quick", "--check", "--repeats", "1", "-o", out_path,
+        ]) == 0
+        report = json.loads(open(out_path).read())
+        assert report["schema"] == "kernel-bench/1"
+        assert report["batches"]
+        for batch in report["batches"]:
+            assert batch["results_identical"] is True
+            assert batch["dp_nodes_pruned"] >= 0
+        out = capsys.readouterr().out
+        assert "check passed" in out
+
+    def test_bench_bad_repeats(self, tmp_path, capsys):
+        assert main([
+            "bench", "--quick", "--repeats", "0",
+            "-o", str(tmp_path / "b.json"),
+        ]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -7,8 +7,11 @@ fixture — into one text file for easy diffing against EXPERIMENTS.md.
 
 Also runs a small routing-engine benchmark and writes a machine-readable
 ``BENCH_engine.json`` (instance size, algorithm, wall-time, cache-hit
-rate) so the performance trajectory of :mod:`repro.engine` is trackable
-across PRs.
+rate, active DP kernel) so the performance trajectory of
+:mod:`repro.engine` is trackable across PRs, and folds in the
+reference-vs-packed kernel timings from
+:mod:`repro.analysis.kernel_bench` (also available standalone as
+``segroute bench``).
 
 Usage:
     python tools/collect_bench_tables.py                 # runs the benches
@@ -80,7 +83,10 @@ def run_engine_bench(jobs: int = 0) -> dict:
         random_feasible_instance,
     )
 
+    from repro.core.kernels import active_kernel
+
     jobs = jobs or default_jobs()
+    kernel = active_kernel()
     entries = []
     for n_tracks, n_columns, n_connections, count in ENGINE_CORPUS:
         instances = []
@@ -114,6 +120,8 @@ def run_engine_bench(jobs: int = 0) -> dict:
             "n_connections": n_connections,
             "instances": count,
             "algorithm": "auto",
+            "kernel": kernel,
+            "cpus": os.cpu_count(),
             "ok": sum(1 for r in sequential if r.ok),
             "sequential_s": round(sequential_s, 4),
             "parallel_s": round(parallel_s, 4),
@@ -128,10 +136,14 @@ def run_engine_bench(jobs: int = 0) -> dict:
                 snapshot["derived"].get("cache.hit_rate", 0.0), 4
             ),
         })
+    from repro.analysis.kernel_bench import run_kernel_bench
+
     return {
         "generated_unix": int(time.time()),
         "cpus": os.cpu_count(),
+        "kernel": kernel,
         "entries": entries,
+        "kernels": run_kernel_bench(quick=True)["batches"],
     }
 
 

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Profile the routing hot paths: cProfile top-N per algorithm.
+
+Routes a mid-size random corpus through each algorithm under cProfile
+and prints the top functions by cumulative time — the view that
+motivated the packed-frontier kernels and the shared geometry tables
+(see docs/PERFORMANCE.md).  Use it before and after touching an inner
+loop to see where the time actually went.
+
+Usage:
+    python tools/profile_hotpaths.py                    # all algorithms
+    python tools/profile_hotpaths.py --algorithm dp
+    python tools/profile_hotpaths.py --top 15 --scale 2
+    REPRO_KERNELS=reference python tools/profile_hotpaths.py --algorithm dp
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+#: Per-algorithm workloads: (label, K, corpus shape overrides).  Greedy and
+#: left-edge are near-free, so they get proportionally more instances.
+PROFILES = {
+    "dp": {"k": None, "tracks": 6, "columns": 80, "conns": 24, "count": 30},
+    "dp_weighted": {"k": None, "tracks": 6, "columns": 80, "conns": 24,
+                    "count": 30, "weight": True},
+    "greedy1": {"k": 1, "tracks": 8, "columns": 80, "conns": 24, "count": 200},
+    "exact": {"k": None, "tracks": 5, "columns": 60, "conns": 14, "count": 30},
+    "left_edge": {"k": None, "tracks": 8, "columns": 80, "conns": 24,
+                  "count": 200, "identical": True},
+}
+
+
+def _build_corpus(spec: dict, scale: int) -> list[tuple]:
+    from repro.core.channel import identical_channel
+    from repro.generators.random_instances import (
+        random_channel,
+        random_feasible_instance,
+    )
+
+    corpus = []
+    for s in range(spec["count"] * scale):
+        if spec.get("identical"):
+            # Evenly segmented identical tracks; segment length ~ mean 5.
+            channel = identical_channel(
+                spec["tracks"], spec["columns"],
+                list(range(5, spec["columns"], 5)),
+            )
+        else:
+            channel = random_channel(
+                spec["tracks"], spec["columns"], 5.0, seed=1000 + s
+            )
+        conns = random_feasible_instance(
+            channel, spec["conns"], seed=2000 + s, max_segments=spec["k"]
+        )
+        corpus.append((channel, conns))
+    return corpus
+
+
+def _route_corpus(name: str, spec: dict, corpus: list[tuple]) -> None:
+    from repro.core.errors import RoutingInfeasibleError
+    from repro.core.routing import occupied_length_weight
+
+    if name.startswith("dp"):
+        from repro.core.dp import route_dp as solver
+    elif name == "greedy1":
+        from repro.core.greedy import route_one_segment_greedy
+
+        solver = lambda ch, cs, **kw: route_one_segment_greedy(ch, cs)
+    elif name == "exact":
+        from repro.core.exact import route_exact as solver
+    elif name == "left_edge":
+        from repro.core.left_edge import route_left_edge_identical as solver
+    else:
+        raise SystemExit(f"unknown algorithm {name!r}")
+
+    for channel, conns in corpus:
+        kwargs = {}
+        if name.startswith("dp"):
+            kwargs["max_segments"] = spec["k"]
+            if spec.get("weight"):
+                kwargs["weight"] = occupied_length_weight(channel)
+        try:
+            solver(channel, conns, **kwargs)
+        except RoutingInfeasibleError:
+            pass
+
+
+def profile_algorithm(name: str, top: int, scale: int) -> str:
+    spec = PROFILES[name]
+    corpus = _build_corpus(spec, scale)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _route_corpus(name, spec, corpus)
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    return out.getvalue()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--algorithm", choices=sorted(PROFILES), default=None,
+        help="profile one algorithm (default: all)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=12,
+        help="functions to show per algorithm (default: 12)",
+    )
+    parser.add_argument(
+        "--scale", type=int, default=1,
+        help="corpus size multiplier for longer, steadier profiles",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.kernels import active_kernel
+
+    names = [args.algorithm] if args.algorithm else sorted(PROFILES)
+    for name in names:
+        print(f"=== {name} (REPRO_KERNELS={active_kernel()}) ===")
+        print(profile_algorithm(name, args.top, args.scale))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
