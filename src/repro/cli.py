@@ -5,11 +5,14 @@ Usage (also available as ``python -m repro``)::
     segroute route INSTANCE.sch|@name [--k K] [--algorithm ALG] [--weight length]
                                  [--format text|csv|json]
                                  [--jobs N] [--timeout S] [--stats]
+                                 [--trace TRACE.jsonl] [--metrics-out STATS.json]
     segroute batch [INSTANCE ...] [--manifest FILE.jsonl] [--jobs N]
                    [--timeout S] [--k K] [--algorithm ALG] [--weight length]
                    [--format text|json] [--stats]
+                   [--trace TRACE.jsonl] [--metrics-out STATS.json]
                    [--checkpoint FILE.jsonl [--resume]] [--watchdog S]
                    [--inject-faults SPEC]
+    segroute stats [STATS.json] [--format text|json|prom]
     segroute render INSTANCE.sch [--routed] [--k K]
     segroute generate --tracks T --columns N --connections M [--k K]
                       [--seed S] [--mean-segment L] -o OUT.sch
@@ -100,6 +103,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true",
         help="print engine stats (latency, cache, timeouts) after routing",
     )
+    p_route.add_argument(
+        "--trace", metavar="TRACE.jsonl",
+        help="write one JSON span per line for the request "
+             "(see docs/OBSERVABILITY.md)",
+    )
+    p_route.add_argument(
+        "--metrics-out", metavar="STATS.json",
+        help="write the engine metrics snapshot as JSON "
+             "(render later with `segroute stats`)",
+    )
 
     p_batch = sub.add_parser(
         "batch", help="route many instances through the engine worker pool"
@@ -139,6 +152,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print per-algorithm latency and cache counters",
     )
     p_batch.add_argument(
+        "--trace", metavar="TRACE.jsonl",
+        help="write one JSON span per line, one connected span tree per "
+             "request (see docs/OBSERVABILITY.md); analyze with "
+             "tools/trace_report.py",
+    )
+    p_batch.add_argument(
+        "--metrics-out", metavar="STATS.json",
+        help="write the engine metrics snapshot as JSON "
+             "(render later with `segroute stats`)",
+    )
+    p_batch.add_argument(
         "--checkpoint", metavar="FILE.jsonl",
         help="journal each completed result to this checksummed JSONL "
              "file as it finishes (see docs/RESILIENCE.md)",
@@ -158,6 +182,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos-testing only: deterministic fault plan, e.g. "
              "\"crash=0.1,hang=0.05,seed=7\" (falls back to the "
              "ENGINE_FAULT_PLAN environment variable)",
+    )
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="render a saved metrics snapshot (or the live default engine)",
+    )
+    p_stats.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="metrics snapshot JSON written by --metrics-out "
+             "(default: the in-process default engine's live snapshot)",
+    )
+    p_stats.add_argument(
+        "--format", choices=("text", "json", "prom"), default="text",
+        dest="out_format",
+        help="text (human), json (snapshot dict), or prom "
+             "(Prometheus text exposition)",
     )
 
     p_render = sub.add_parser("render", help="draw an .sch instance")
@@ -237,6 +277,26 @@ def _load(spec: str):
     return load_instance(spec)
 
 
+def _trace_sink(args: argparse.Namespace):
+    """Open the ``--trace`` JSONL sink, or None when tracing is off."""
+    if not getattr(args, "trace", None):
+        return None
+    from repro.obs.trace import JsonlTraceSink
+
+    return JsonlTraceSink(args.trace)
+
+
+def _write_metrics(engine, args: argparse.Namespace) -> None:
+    """Honor ``--metrics-out``: dump the engine snapshot as JSON."""
+    if not getattr(args, "metrics_out", None):
+        return
+    import json as _json
+
+    with open(args.metrics_out, "w", encoding="utf-8") as fh:
+        _json.dump(engine.stats(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
 def _cmd_route(args: argparse.Namespace) -> int:
     channel, conns = _load(args.instance)
     if args.generalized:
@@ -246,17 +306,28 @@ def _cmd_route(args: argparse.Namespace) -> int:
         weight = occupied_length_weight(channel)
     elif args.weight == "segments":
         weight = segment_count_weight(channel)
-    if args.timeout is not None or args.jobs > 1 or args.stats:
-        # Engine path: deadline enforcement and/or portfolio racing.
+    engine = None
+    if (
+        args.timeout is not None or args.jobs > 1 or args.stats
+        or args.trace or args.metrics_out
+    ):
+        # Engine path: deadline enforcement, portfolio racing, and/or
+        # observability (tracing and metrics export).
         from repro.engine import RoutingEngine
 
-        engine = RoutingEngine()
-        routing = engine.route(
-            channel, conns, max_segments=args.k,
-            weight=None if args.weight == "none" else args.weight,
-            algorithm=args.algorithm, timeout=args.timeout,
-            portfolio=args.jobs > 1,
-        )
+        sink = _trace_sink(args)
+        try:
+            engine = RoutingEngine(trace_sink=sink)
+            routing = engine.route(
+                channel, conns, max_segments=args.k,
+                weight=None if args.weight == "none" else args.weight,
+                algorithm=args.algorithm, timeout=args.timeout,
+                portfolio=args.jobs > 1,
+            )
+        finally:
+            if sink is not None:
+                sink.close()
+        _write_metrics(engine, args)
     else:
         routing = route(
             channel, conns, max_segments=args.k, weight=weight,
@@ -345,12 +416,17 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError("--resume requires --checkpoint")
     specs = _load_batch_specs(args)
     instances = [_load(spec) for spec, _ in specs]
+    sink = _trace_sink(args)
     engine = RoutingEngine(EngineConfig(
         jobs=args.jobs, watchdog=args.watchdog, fault_plan=_fault_plan(args),
-    ))
+    ), trace_sink=sink)
     journal = None
     if args.checkpoint:
-        journal = CheckpointJournal(args.checkpoint, resume=args.resume)
+        # --resume on a missing/empty journal is an operator error (wrong
+        # path, or nothing was checkpointed): fail with a typed message.
+        journal = CheckpointJournal(
+            args.checkpoint, resume=args.resume, require_records=args.resume,
+        )
     try:
         results = engine.route_many(
             instances,
@@ -363,6 +439,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     finally:
         if journal is not None:
             journal.close()
+        if sink is not None:
+            sink.close()
+    _write_metrics(engine, args)
     labels = [spec for spec, _ in specs]
     if args.out_format == "json":
         sys.stdout.write(batch_to_json(results, labels) + "\n")
@@ -371,6 +450,43 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.stats:
         sys.stdout.write(engine.render_stats())
     return 0 if all(r.ok for r in results) else 1
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json as _json
+
+    if args.snapshot is not None:
+        try:
+            with open(args.snapshot, encoding="utf-8") as fh:
+                snap = _json.load(fh)
+        except OSError as exc:
+            raise ReproError(f"cannot read snapshot: {exc}") from exc
+        except ValueError as exc:
+            raise ReproError(
+                f"{args.snapshot}: not a metrics snapshot ({exc})"
+            ) from exc
+        if not isinstance(snap, dict) or "counters" not in snap:
+            raise ReproError(
+                f"{args.snapshot}: not a metrics snapshot "
+                f"(expected a JSON object with a 'counters' key)"
+            )
+        snap.setdefault("derived", {})
+        snap.setdefault("histograms", {})
+    else:
+        from repro.engine import stats
+
+        snap = stats()
+    if args.out_format == "json":
+        sys.stdout.write(_json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    elif args.out_format == "prom":
+        from repro.obs.prom import render_prometheus
+
+        sys.stdout.write(render_prometheus(snap))
+    else:
+        from repro.engine.metrics import render_snapshot
+
+        sys.stdout.write(render_snapshot(snap))
+    return 0
 
 
 def _route_generalized(channel, conns, args: argparse.Namespace) -> int:
@@ -501,6 +617,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handler = {
         "route": _cmd_route,
         "batch": _cmd_batch,
+        "stats": _cmd_stats,
         "render": _cmd_render,
         "generate": _cmd_generate,
         "reduce": _cmd_reduce,

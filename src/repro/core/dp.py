@@ -32,6 +32,7 @@ counts so the Theorem 5/6 bounds can be checked experimentally.
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.core.channel import SegmentedChannel
@@ -39,6 +40,8 @@ from repro.core.connection import ConnectionSet
 from repro.core.kernels import (
     DPStats,
     active_kernel,
+    kernel_trace_enabled,
+    record_kernel_trace,
     run_dp_packed,
     run_dp_reference,
 )
@@ -56,13 +59,30 @@ def _run_dp(
     *,
     partial: bool = False,
 ) -> tuple[Optional[Routing], DPStats]:
-    if active_kernel() == "packed":
-        return run_dp_packed(
+    kernel = run_dp_packed if active_kernel() == "packed" else run_dp_reference
+    if not kernel_trace_enabled():
+        return kernel(
             channel, connections, max_segments, weight, node_limit, partial=partial
         )
-    return run_dp_reference(
-        channel, connections, max_segments, weight, node_limit, partial=partial
-    )
+    ts = time.time()
+    t0 = time.perf_counter()
+    try:
+        routing, stats = kernel(
+            channel, connections, max_segments, weight, node_limit, partial=partial
+        )
+    except BaseException as exc:
+        record_kernel_trace({
+            "ts": ts, "dur": time.perf_counter() - t0,
+            "kernel": active_kernel(), "error": type(exc).__name__,
+        })
+        raise
+    record_kernel_trace({
+        "ts": ts, "dur": time.perf_counter() - t0,
+        "kernel": stats.kernel, "levels": len(stats.nodes_per_level),
+        "nodes": stats.total_nodes, "edges": stats.total_edges,
+        "pruned": stats.total_pruned,
+    })
+    return routing, stats
 
 
 def route_dp(

@@ -76,6 +76,10 @@ __all__ = [
     "run_dp_reference",
     "run_dp_packed",
     "consume_dp_pruned",
+    "set_kernel_trace",
+    "kernel_trace_enabled",
+    "record_kernel_trace",
+    "consume_kernel_trace",
 ]
 
 #: Selectable kernels, in preference order.
@@ -105,6 +109,37 @@ def consume_dp_pruned() -> int:
     pruned = _counters["dp_nodes_pruned"]
     _counters["dp_nodes_pruned"] = 0
     return pruned
+
+
+#: Kernel trace hook: when enabled, each DP run appends one record (see
+#: ``repro.core.dp._run_dp``) which the executor turns into a
+#: ``kernel.dp`` span.  Same consume pattern as ``_counters`` — per
+#: process, cleared on read.  Disabled by default; the only cost when
+#: disabled is one dict lookup per DP call.
+_trace = {"enabled": False, "records": []}
+
+
+def set_kernel_trace(enabled: bool) -> None:
+    """Enable/disable DP kernel trace records in this process."""
+    _trace["enabled"] = bool(enabled)
+    if not enabled:
+        _trace["records"] = []
+
+
+def kernel_trace_enabled() -> bool:
+    return _trace["enabled"]
+
+
+def record_kernel_trace(record: dict) -> None:
+    """Append one kernel trace record (only called while enabled)."""
+    _trace["records"].append(record)
+
+
+def consume_kernel_trace() -> list[dict]:
+    """Return and reset the records accumulated since the last call."""
+    records = _trace["records"]
+    _trace["records"] = []
+    return records
 
 
 @dataclass(frozen=True)

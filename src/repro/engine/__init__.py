@@ -35,6 +35,7 @@ from repro.engine.engine import (
 )
 from repro.engine.metrics import Metrics
 from repro.engine.portfolio import race, select_candidates
+from repro.engine.weights import WeightTable
 from repro.engine.resilience import (
     CheckpointJournal,
     FaultPlan,
@@ -54,6 +55,7 @@ __all__ = [
     "InstanceCache",
     "canonical_key",
     "Metrics",
+    "WeightTable",
     "race",
     "select_candidates",
     "RetryPolicy",

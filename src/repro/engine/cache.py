@@ -12,8 +12,13 @@ form:
   :class:`~repro.core.connection.ConnectionSet` sorts by
   ``(left, right, name)``, its span sequence is already sorted by
   ``(left, right)`` and aligns index-for-index with the canonical order;
-* the request parameters ``K`` (``max_segments``), the weight objective
-  name, and the algorithm complete the key.
+* the request parameters ``K`` (``max_segments``), the weight objective,
+  and the algorithm complete the key.  Named objectives (``"length"`` /
+  ``"segments"``) are pure functions of the channel geometry, so the name
+  alone suffices; an explicit :class:`~repro.engine.weights.WeightTable`
+  is keyed by a digest of its effective values in canonical track order —
+  two instances with identical geometry but different tables are
+  different Problem-3 instances and must not share an entry.
 
 The cached value is the assignment expressed in *canonical track
 positions*; on a hit it is replayed onto the querying instance's actual
@@ -31,24 +36,44 @@ from typing import Optional
 
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
+from repro.engine.weights import WeightTable
 
 __all__ = ["CacheKey", "InstanceCache", "canonical_key"]
 
-#: (n_columns, sorted break tuples, spans, K, weight-spec, algorithm)
+#: (n_columns, sorted break tuples, spans, K, weight key, algorithm)
 CacheKey = tuple
+
+
+def _weight_key(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    weight_spec,
+) -> object:
+    """Cache-key component for the weight objective.
+
+    A named objective is keyed by name (geometry-determined); a
+    :class:`WeightTable` by a digest of its values in canonical track
+    order, so distinct tables on identical geometry never collide.
+    """
+    if isinstance(weight_spec, WeightTable):
+        return ("table", weight_spec.digest(channel, connections))
+    return weight_spec
 
 
 def canonical_key(
     channel: SegmentedChannel,
     connections: ConnectionSet,
     max_segments: Optional[int],
-    weight_spec: Optional[str],
+    weight_spec,
     algorithm: str,
 ) -> CacheKey:
     """Canonical cache key for one routing request (see module docstring)."""
     breaks = tuple(sorted(t.breaks for t in channel))
     spans = tuple((c.left, c.right) for c in connections)
-    return (channel.n_columns, breaks, spans, max_segments, weight_spec, algorithm)
+    return (
+        channel.n_columns, breaks, spans, max_segments,
+        _weight_key(channel, connections, weight_spec), algorithm,
+    )
 
 
 def _canonical_track_order(channel: SegmentedChannel) -> list[int]:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Union
@@ -46,6 +47,13 @@ from repro.engine.resilience.supervisor import (
     SupervisedExecutor,
     run_sequential,
     run_task_resilient,
+)
+from repro.engine.weights import WeightTable
+from repro.obs.trace import (
+    ActiveSpan,
+    SpanCollector,
+    TraceSink,
+    derive_trace_id,
 )
 
 __all__ = [
@@ -77,6 +85,7 @@ class BatchResult:
     timed_out: bool = False
     error_type: Optional[str] = None
     error: Optional[str] = None
+    trace_id: str = ""  # set when the engine has a trace sink
 
     @property
     def ok(self) -> bool:
@@ -90,12 +99,72 @@ class RoutingEngine:
     share across threads.  Worker pools are created lazily per
     ``route_many`` call and torn down with it, so an idle engine holds no
     processes.
+
+    With a ``trace_sink``, every request emits one span tree (see
+    ``docs/OBSERVABILITY.md``): trace IDs are derived from the engine
+    seed, a per-engine request-batch sequence number, and the canonical
+    task key via :func:`repro.substrate.prng.derive_seed`, so re-running
+    a batch regenerates identical trace IDs.  Without a sink (the
+    default) no tracing code runs at all.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        trace_sink: Optional[TraceSink] = None,
+    ) -> None:
         self.config = config or EngineConfig()
         self.cache = InstanceCache(self.config.cache_size)
         self.metrics = Metrics()
+        self.trace_sink = trace_sink
+        self._trace_lock = threading.Lock()
+        self._batch_seq = 0
+
+    # ------------------------------------------------------------------
+    # tracing plumbing
+    # ------------------------------------------------------------------
+    def _next_batch(self) -> int:
+        """Monotonic per-engine sequence number for trace-ID derivation."""
+        with self._trace_lock:
+            self._batch_seq += 1
+            return self._batch_seq
+
+    def _start_trace(
+        self, batch_no: int, index: int, key, algorithm: str
+    ) -> tuple[Optional[SpanCollector], Optional[ActiveSpan]]:
+        """Open the root ``request`` span for one request (or no-op)."""
+        if self.trace_sink is None:
+            return None, None
+        trace_id = derive_trace_id(
+            self.config.seed, f"{batch_no}:{index}:{key!r}"
+        )
+        collector = SpanCollector(trace_id, "p")
+        root = collector.start("request", index=index, algorithm=algorithm)
+        return collector, root
+
+    def _finish_trace(
+        self,
+        collector: Optional[SpanCollector],
+        root: Optional[ActiveSpan],
+        result: BatchResult,
+    ) -> None:
+        """Close the root span with the outcome and flush to the sink."""
+        if collector is None:
+            return
+        result.trace_id = collector.trace_id
+        root.set(ok=result.ok)
+        if result.cache_hit:
+            root.set(cache="hit")
+        if result.algorithm:
+            root.set(algorithm=result.algorithm)
+        if result.fallbacks:
+            root.set(fallback=True)
+        if result.timed_out:
+            root.set(timed_out=True)
+        if result.error_type:
+            root.set(error=result.error_type)
+        root.finish()
+        self.trace_sink.write_all(collector.drain())
 
     # ------------------------------------------------------------------
     # single-request API
@@ -105,7 +174,7 @@ class RoutingEngine:
         channel: SegmentedChannel,
         connections: ConnectionSet,
         max_segments: Optional[int] = None,
-        weight: Optional[str] = None,
+        weight: Union[None, str, WeightTable] = None,
         algorithm: str = "auto",
         timeout: Optional[float] = None,
         portfolio: Optional[bool] = None,
@@ -114,9 +183,11 @@ class RoutingEngine:
 
         Like :func:`repro.core.api.route` but with the engine's cache,
         deadline/degradation, portfolio racing, and metrics.  ``weight``
-        is an objective *name* (``"length"`` / ``"segments"``) rather
-        than a callable so requests can cross process boundaries; for
-        arbitrary weight callables use the core API directly.
+        is an objective *name* (``"length"`` / ``"segments"``) or an
+        explicit :class:`~repro.engine.weights.WeightTable` rather than
+        a callable so requests can cross process boundaries; for
+        arbitrary weight callables use the core API directly (or
+        tabulate them with :meth:`WeightTable.from_function`).
 
         Raises the task's typed error on failure — in particular
         :class:`~repro.core.errors.EngineTimeout` when the deadline
@@ -142,7 +213,7 @@ class RoutingEngine:
         channel: SegmentedChannel,
         connections: ConnectionSet,
         max_segments: Optional[int],
-        weight: Optional[str],
+        weight,
         algorithm: str,
         timeout: Optional[float],
         portfolio: bool,
@@ -153,12 +224,14 @@ class RoutingEngine:
             max_segments=max_segments,
         )
         key = canonical_key(channel, connections, max_segments, weight, algorithm)
+        collector, root = self._start_trace(self._next_batch(), 0, key, algorithm)
         if self.config.cache:
-            assignment = self.cache.lookup(key, channel)
+            assignment = self._cache_lookup(key, channel, collector, root)
             if assignment is not None:
                 self.metrics.incr("cache.hits")
-                self._finish_hit(result, assignment)
+                self._finish_hit(result, assignment, collector, root)
                 if result.ok:
+                    self._finish_trace(collector, root, result)
                     return result
             else:
                 self.metrics.incr("cache.misses")
@@ -166,7 +239,8 @@ class RoutingEngine:
         start = time.monotonic()
         if portfolio:
             outcome = self._race_one(
-                channel, connections, max_segments, weight, algorithm, timeout
+                channel, connections, max_segments, weight, algorithm, timeout,
+                collector, root,
             )
         else:
             outcome = run_task_resilient(
@@ -176,12 +250,17 @@ class RoutingEngine:
                     algorithm=algorithm, timeout=timeout,
                     ladder=self.config.ladder, seed=self.config.seed,
                     task_key=repr(key),
+                    trace_id=collector.trace_id if collector else "",
+                    trace_parent=root.span_id if root else "",
                 ),
                 seed=self.config.seed, policy=self.config.retry,
                 fault_plan=self.config.fault_plan, metrics=self.metrics,
             )
         outcome.duration = time.monotonic() - start
+        if collector is not None:
+            collector.adopt(outcome.spans)
         self._absorb(result, outcome, key)
+        self._finish_trace(collector, root, result)
         return result
 
     def _race_one(
@@ -189,9 +268,11 @@ class RoutingEngine:
         channel: SegmentedChannel,
         connections: ConnectionSet,
         max_segments: Optional[int],
-        weight: Optional[str],
+        weight,
         algorithm: str,
         timeout: Optional[float],
+        collector: Optional[SpanCollector] = None,
+        root: Optional[ActiveSpan] = None,
     ) -> TaskOutcome:
         """Run one portfolio race, normalized to a :class:`TaskOutcome`.
 
@@ -210,33 +291,51 @@ class RoutingEngine:
         policy = self.config.retry
         race_key = f"race:{algorithm}:{weight}:{max_segments}"
         crashes = 0
-        while True:
-            try:
-                won = race(channel, connections, max_segments, weight,
-                           candidates, timeout)
-            except WorkerCrashError as exc:
-                crashes += 1
-                if crashes >= policy.max_worker_crashes:
-                    self.metrics.incr("tasks_quarantined")
+        race_span = None
+        if collector is not None:
+            race_span = collector.start(
+                "race", parent_id=root.span_id, candidates=list(candidates)
+            )
+        trace_ctx = (
+            (collector.trace_id, race_span.span_id)
+            if collector is not None else None
+        )
+        try:
+            while True:
+                try:
+                    won = race(channel, connections, max_segments, weight,
+                               candidates, timeout, trace=trace_ctx)
+                except WorkerCrashError as exc:
+                    crashes += 1
+                    if crashes >= policy.max_worker_crashes:
+                        self.metrics.incr("tasks_quarantined")
+                        outcome.error_type = type(exc).__name__
+                        outcome.error = str(exc)
+                        return outcome
+                    self.metrics.incr("retries_total")
+                    time.sleep(
+                        backoff_delay(policy, crashes, self.config.seed, race_key)
+                    )
+                    continue
+                except Exception as exc:  # typed errors recorded, re-raised by caller
                     outcome.error_type = type(exc).__name__
                     outcome.error = str(exc)
+                    outcome.timed_out = outcome.error_type == "EngineTimeout"
                     return outcome
-                self.metrics.incr("retries_total")
-                time.sleep(
-                    backoff_delay(policy, crashes, self.config.seed, race_key)
-                )
-                continue
-            except Exception as exc:  # typed errors recorded, re-raised by caller
-                outcome.error_type = type(exc).__name__
-                outcome.error = str(exc)
-                outcome.timed_out = outcome.error_type == "EngineTimeout"
-                return outcome
-            break
-        outcome.assignment = won.assignment
-        outcome.algorithm = won.algorithm
-        outcome.dp_nodes_pruned = won.dp_nodes_pruned
-        self.metrics.incr("cancelled", won.cancelled)
-        return outcome
+                break
+            outcome.assignment = won.assignment
+            outcome.algorithm = won.algorithm
+            outcome.dp_nodes_pruned = won.dp_nodes_pruned
+            if collector is not None:
+                collector.adopt(won.spans)
+                race_span.set(winner=won.algorithm, cancelled=won.cancelled)
+            self.metrics.incr("cancelled", won.cancelled)
+            return outcome
+        finally:
+            if race_span is not None:
+                if outcome.error_type:
+                    race_span.set(error=outcome.error_type)
+                race_span.finish()
 
     # ------------------------------------------------------------------
     # batch API
@@ -246,7 +345,7 @@ class RoutingEngine:
         instances: Iterable[Instance],
         *,
         max_segments: MaxSegmentsArg = None,
-        weight: Optional[str] = None,
+        weight: Union[None, str, WeightTable] = None,
         algorithm: str = "auto",
         jobs: Optional[int] = None,
         timeout: Optional[float] = None,
@@ -261,7 +360,8 @@ class RoutingEngine:
         max_segments:
             One ``K`` for the whole batch, or a per-instance sequence.
         weight:
-            Objective name (``"length"`` / ``"segments"``) or ``None``.
+            Objective name (``"length"`` / ``"segments"``), an explicit
+            :class:`~repro.engine.weights.WeightTable`, or ``None``.
         jobs:
             Worker processes; defaults to the engine config.  ``1``
             routes sequentially in-process, which is bit-identical to
@@ -289,49 +389,63 @@ class RoutingEngine:
         algorithm = self._check_algorithm(algorithm)
         jobs = self.config.effective_jobs if jobs is None else max(jobs, 1)
         timeout = self.config.timeout if timeout is None else timeout
+        batch_no = self._next_batch()
 
         results: list[Optional[BatchResult]] = [None] * len(pairs)
         tasks: list[RouteTask] = []
         keys: list = [None] * len(pairs)
         first_of_key: dict = {}
         duplicates: list[int] = []
+        # index -> (SpanCollector, root span) for requests still in flight
+        traces: dict[int, tuple[SpanCollector, ActiveSpan]] = {}
         for i, (channel, connections) in enumerate(pairs):
             self.metrics.incr("requests")
             key = canonical_key(channel, connections, k_list[i], weight, algorithm)
             keys[i] = key
+            collector, root = self._start_trace(batch_no, i, key, algorithm)
+            if collector is not None:
+                traces[i] = (collector, root)
             if journal is not None:
                 restored = self._restore_journaled(
-                    journal, i, key, channel, connections, k_list[i]
+                    journal, i, key, channel, connections, k_list[i],
+                    collector, root,
                 )
                 if restored is not None:
                     results[i] = restored
                     first_of_key.setdefault(key, i)
                     self.metrics.incr("checkpoint_records_skipped")
+                    self._finish_trace(collector, root, restored)
+                    traces.pop(i, None)
                     continue
             if key in first_of_key:
                 duplicates.append(i)  # resolved after the representative runs
                 continue
             first_of_key[key] = i
             if self.config.cache:
-                assignment = self.cache.lookup(key, channel)
+                assignment = self._cache_lookup(key, channel, collector, root)
                 if assignment is not None:
                     self.metrics.incr("cache.hits")
                     result = BatchResult(
                         index=i, channel=channel, connections=connections,
                         max_segments=k_list[i],
                     )
-                    self._finish_hit(result, assignment)
+                    self._finish_hit(result, assignment, collector, root)
                     if result.ok:
                         results[i] = result
-                        self._journal_result(journal, key, result)
+                        self._journal_result(journal, key, result, collector, root)
+                        self._finish_trace(collector, root, result)
+                        traces.pop(i, None)
                         continue
                 self.metrics.incr("cache.misses")
+            collector, root = traces.get(i, (None, None))
             tasks.append(RouteTask(
                 index=i, channel=channel, connections=connections,
                 max_segments=k_list[i], weight_spec=weight,
                 algorithm=algorithm, timeout=timeout,
                 ladder=self.config.ladder, seed=self.config.seed,
                 task_key=repr(key),
+                trace_id=collector.trace_id if collector else "",
+                trace_parent=root.span_id if root else "",
             ))
 
         for outcome in self._execute(tasks, jobs):
@@ -341,16 +455,25 @@ class RoutingEngine:
                 index=i, channel=channel, connections=connections,
                 max_segments=k_list[i],
             )
+            collector, root = traces.get(i, (None, None))
+            if collector is not None:
+                collector.adopt(outcome.spans)
             self._absorb(result, outcome, keys[i])
             results[i] = result
-            self._journal_result(journal, keys[i], result)
+            self._journal_result(journal, keys[i], result, collector, root)
+            self._finish_trace(collector, root, result)
+            traces.pop(i, None)
 
         for i in duplicates:
+            collector, root = traces.get(i, (None, None))
             results[i] = self._resolve_duplicate(
                 i, pairs[i], k_list[i], keys[i],
                 results[first_of_key[keys[i]]],
+                collector, root,
             )
-            self._journal_result(journal, keys[i], results[i])
+            self._journal_result(journal, keys[i], results[i], collector, root)
+            self._finish_trace(collector, root, results[i])
+            traces.pop(i, None)
         return [r for r in results if r is not None]
 
     def _execute(
@@ -384,6 +507,8 @@ class RoutingEngine:
         channel: SegmentedChannel,
         connections: ConnectionSet,
         k: Optional[int],
+        collector: Optional[SpanCollector] = None,
+        root: Optional[ActiveSpan] = None,
     ) -> Optional[BatchResult]:
         """Rebuild a result from its journal record, or ``None``.
 
@@ -395,6 +520,11 @@ class RoutingEngine:
         payload = journal.get(record_key(index, repr(key)))
         if payload is None:
             return None
+        restore_span = None
+        if collector is not None:
+            restore_span = collector.start(
+                "journal.restore", parent_id=root.span_id
+            )
         result = BatchResult(
             index=index, channel=channel, connections=connections,
             max_segments=k,
@@ -412,6 +542,9 @@ class RoutingEngine:
                 routing = Routing(channel, connections, assignment)
                 routing.validate(k)
             except Exception as exc:
+                if restore_span is not None:
+                    restore_span.set(error=type(exc).__name__)
+                    restore_span.finish()
                 raise CheckpointError(
                     f"journal record for instance {index} does not validate "
                     f"against the current batch (was it changed between "
@@ -423,6 +556,9 @@ class RoutingEngine:
         else:
             result.error_type = payload.get("error_type")
             result.error = payload.get("error")
+        if restore_span is not None:
+            restore_span.set(ok=result.ok)
+            restore_span.finish()
         return result
 
     def _journal_result(
@@ -430,6 +566,8 @@ class RoutingEngine:
         journal: Optional[CheckpointJournal],
         key,
         result: BatchResult,
+        collector: Optional[SpanCollector] = None,
+        root: Optional[ActiveSpan] = None,
     ) -> None:
         """Append one completed result to the journal (if any).
 
@@ -452,7 +590,11 @@ class RoutingEngine:
                 result.algorithm = None
                 result.error_type = type(exc).__name__
                 result.error = str(exc)
-        journal.append(rkey, self._result_payload(result))
+        if collector is not None:
+            with collector.span("journal.write", parent_id=root.span_id):
+                journal.append(rkey, self._result_payload(result))
+        else:
+            journal.append(rkey, self._result_payload(result))
         self.metrics.incr("checkpoint_records_written")
         plan = self.config.fault_plan
         if (
@@ -488,6 +630,8 @@ class RoutingEngine:
         k: Optional[int],
         key,
         representative: BatchResult,
+        collector: Optional[SpanCollector] = None,
+        root: Optional[ActiveSpan] = None,
     ) -> BatchResult:
         """Serve an intra-batch duplicate from its representative's result."""
         channel, connections = pair
@@ -495,6 +639,12 @@ class RoutingEngine:
             index=index, channel=channel, connections=connections,
             max_segments=k,
         )
+        dup_span = None
+        if collector is not None:
+            dup_span = collector.start(
+                "duplicate.replay", parent_id=root.span_id,
+                representative=representative.index,
+            )
         if representative.ok:
             canonical = canonicalize_assignment(
                 representative.channel, representative.routing.assignment
@@ -506,25 +656,55 @@ class RoutingEngine:
             result.error_type = representative.error_type
             result.error = representative.error
             result.timed_out = representative.timed_out
+        if dup_span is not None:
+            dup_span.set(ok=result.ok)
+            dup_span.finish()
         return result
 
     # ------------------------------------------------------------------
     # shared plumbing
     # ------------------------------------------------------------------
+    def _cache_lookup(
+        self,
+        key,
+        channel: SegmentedChannel,
+        collector: Optional[SpanCollector],
+        root: Optional[ActiveSpan],
+    ) -> Optional[tuple[int, ...]]:
+        """Cache lookup, wrapped in a ``cache.lookup`` span when tracing."""
+        if collector is None:
+            return self.cache.lookup(key, channel)
+        with collector.span("cache.lookup", parent_id=root.span_id) as span:
+            assignment = self.cache.lookup(key, channel)
+            span.set(hit=assignment is not None)
+        return assignment
+
     def _finish_hit(
-        self, result: BatchResult, assignment: tuple[int, ...]
+        self,
+        result: BatchResult,
+        assignment: tuple[int, ...],
+        collector: Optional[SpanCollector] = None,
+        root: Optional[ActiveSpan] = None,
     ) -> None:
         """Install a cache-served assignment (always re-validated)."""
+        replay_span = None
+        if collector is not None:
+            replay_span = collector.start("cache.replay", parent_id=root.span_id)
         routing = Routing(result.channel, result.connections, assignment)
         try:
             routing.validate(result.max_segments)
         except ValidationError as exc:  # pragma: no cover - defensive
             result.error_type = type(exc).__name__
             result.error = str(exc)
+            if replay_span is not None:
+                replay_span.set(error=type(exc).__name__)
+                replay_span.finish()
             return
         result.routing = routing
         result.algorithm = "cache"
         result.cache_hit = True
+        if replay_span is not None:
+            replay_span.finish()
 
     def _absorb(self, result: BatchResult, outcome: TaskOutcome, key) -> None:
         """Fold a task outcome into a batch result + metrics + cache."""
@@ -571,12 +751,18 @@ class RoutingEngine:
             )
         return k_list
 
-    def _check_weight(self, weight: Optional[str]) -> Optional[str]:
-        if weight is not None and weight not in WEIGHT_SPECS:
+    def _check_weight(self, weight):
+        if (
+            weight is not None
+            and not isinstance(weight, WeightTable)
+            and weight not in WEIGHT_SPECS
+        ):
             raise ValueError(
-                f"engine weight must be None or one of {WEIGHT_SPECS} "
-                f"(callables cannot cross process boundaries; use "
-                f"repro.core.api.route for those), got {weight!r}"
+                f"engine weight must be None, one of {WEIGHT_SPECS}, or a "
+                f"WeightTable (arbitrary callables cannot cross process "
+                f"boundaries; use repro.core.api.route for those, or "
+                f"tabulate them with WeightTable.from_function), got "
+                f"{weight!r}"
             )
         return weight
 

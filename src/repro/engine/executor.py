@@ -17,27 +17,44 @@ picklable object or function:
   cooperatively mid-recursion.
 
 Weight objectives cross process boundaries *by name* (``"length"`` /
-``"segments"``): the callables close over the channel and do not pickle,
-so each side rebuilds them locally via :func:`resolve_weight`.
+``"segments"``) or as an explicit picklable
+:class:`~repro.engine.weights.WeightTable`: named callables close over
+the channel and do not pickle, so each side rebuilds them locally via
+:func:`resolve_weight`.
 
 Determinism: workers are seeded from :mod:`repro.substrate.prng`, and
 every task re-seeds from ``derive_seed(base_seed, task_key)`` before
 routing, so results are bit-identical regardless of worker count or
 scheduling order.
+
+Tracing: when a task carries a ``trace_id``, :func:`run_task` builds a
+local :class:`~repro.obs.SpanCollector` (span-ID prefix ``w<attempt>:``)
+and records a ``task`` span with one ``attempt`` child per degradation
+rung and ``kernel.dp`` children for each DP kernel run.  Deadline
+children collect their own spans (prefix ``w<attempt>:<algorithm>:``)
+and ship them back as the final element of the pipe message; the parent
+adopts them, so the finished :class:`TaskOutcome` carries every span the
+task produced anywhere.  With no ``trace_id`` (the default) none of this
+code runs.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import repro.core.errors as _errors
 from repro.core.api import route
-from repro.core.kernels import consume_dp_pruned
+from repro.core.kernels import (
+    consume_dp_pruned,
+    consume_kernel_trace,
+    set_kernel_trace,
+)
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
 from repro.core.errors import EngineTimeout, ReproError, WorkerCrashError
@@ -46,6 +63,8 @@ from repro.core.routing import (
     occupied_length_weight,
     segment_count_weight,
 )
+from repro.engine.weights import WeightTable
+from repro.obs.trace import SpanCollector
 from repro.substrate.prng import derive_seed
 
 __all__ = [
@@ -63,11 +82,23 @@ _TERM_GRACE = 0.5
 
 
 def resolve_weight(
-    weight_spec: Optional[str], channel: SegmentedChannel
+    weight_spec,
+    channel: SegmentedChannel,
+    connections: Optional[ConnectionSet] = None,
 ) -> Optional[WeightFunction]:
-    """Rebuild a weight callable from its cross-process name."""
+    """Rebuild a weight callable from its cross-process form.
+
+    ``weight_spec`` is a name (``"length"`` / ``"segments"``), a
+    :class:`~repro.engine.weights.WeightTable` (which needs the
+    ``connections`` it is indexed by), or ``None``.
+    """
     if weight_spec is None:
         return None
+    if isinstance(weight_spec, WeightTable):
+        if connections is None:
+            raise ValueError("a WeightTable weight needs the connection set")
+        weight_spec.check_shape(channel, connections)
+        return weight_spec.function(connections)
     if weight_spec == "length":
         return occupied_length_weight(channel)
     if weight_spec == "segments":
@@ -90,12 +121,14 @@ class RouteTask:
     channel: SegmentedChannel
     connections: ConnectionSet
     max_segments: Optional[int] = None
-    weight_spec: Optional[str] = None
+    weight_spec: object = None  # name, WeightTable, or None
     algorithm: str = "auto"
     timeout: Optional[float] = None
     ladder: tuple[str, ...] = ()
     seed: int = 0
     task_key: str = ""
+    trace_id: str = ""      # empty = tracing disabled for this task
+    trace_parent: str = ""  # engine-side request span the task span links to
 
 
 @dataclass
@@ -112,6 +145,7 @@ class TaskOutcome:
     error_type: Optional[str] = None
     error: Optional[str] = None
     dp_nodes_pruned: int = 0
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -131,33 +165,73 @@ def _solve(
     channel: SegmentedChannel,
     connections: ConnectionSet,
     max_segments: Optional[int],
-    weight_spec: Optional[str],
+    weight_spec,
     algorithm: str,
+    collector: Optional[SpanCollector] = None,
+    parent_id: str = "",
 ) -> tuple[tuple[int, ...], int]:
     """Solve in-process; returns ``(assignment, dp_nodes_pruned)``.
 
     The pruning counter is a module-level accumulator in
     :mod:`repro.core.kernels`; consuming it immediately before and after
-    the solve isolates this attempt's contribution.
+    the solve isolates this attempt's contribution.  With a collector,
+    the DP kernel trace hook is enabled for the duration of the solve
+    and each kernel run becomes a ``kernel.dp`` span under ``parent_id``.
     """
-    weight = resolve_weight(weight_spec, channel)
+    weight = resolve_weight(weight_spec, channel, connections)
     consume_dp_pruned()  # discard any stale count from earlier work
-    routing = route(
-        channel, connections, max_segments=max_segments, weight=weight,
-        algorithm=algorithm,
-    )
+    if collector is None:
+        routing = route(
+            channel, connections, max_segments=max_segments, weight=weight,
+            algorithm=algorithm,
+        )
+        return routing.assignment, consume_dp_pruned()
+    set_kernel_trace(True)
+    try:
+        routing = route(
+            channel, connections, max_segments=max_segments, weight=weight,
+            algorithm=algorithm,
+        )
+    finally:
+        records = consume_kernel_trace()
+        set_kernel_trace(False)
+        for rec in records:
+            rec = dict(rec)
+            collector.emit(
+                "kernel.dp", parent_id, rec.pop("ts"), rec.pop("dur"), **rec
+            )
     return routing.assignment, consume_dp_pruned()
 
 
 def _deadline_entry(conn, channel, connections, max_segments, weight_spec,
-                    algorithm) -> None:
-    """Child-process entry: solve and report over the pipe."""
+                    algorithm, trace=None) -> None:
+    """Child-process entry: solve and report over the pipe.
+
+    ``trace`` is ``(trace_id, parent_span_id, prefix)`` when the parent
+    is tracing; the child's spans ride back as the final element of the
+    pipe message.
+    """
+    collector = span = None
+    if trace is not None:
+        trace_id, parent_span, prefix = trace
+        collector = SpanCollector(trace_id, prefix)
+        span = collector.start(
+            "solve", parent_id=parent_span, algorithm=algorithm, pid=os.getpid()
+        )
     try:
         assignment, pruned = _solve(channel, connections, max_segments,
-                                    weight_spec, algorithm)
-        conn.send(("ok", assignment, pruned))
+                                    weight_spec, algorithm,
+                                    collector, span.span_id if span else "")
+        if span is not None:
+            span.finish()
+        conn.send(("ok", assignment, pruned,
+                   collector.drain() if collector else []))
     except BaseException as exc:  # report, never crash silently
-        conn.send(("err", type(exc).__name__, str(exc)))
+        if span is not None:
+            span.set(error=type(exc).__name__)
+            span.finish()
+        conn.send(("err", type(exc).__name__, str(exc),
+                   collector.drain() if collector else []))
     finally:
         conn.close()
 
@@ -166,9 +240,12 @@ def attempt_route(
     channel: SegmentedChannel,
     connections: ConnectionSet,
     max_segments: Optional[int],
-    weight_spec: Optional[str],
+    weight_spec,
     algorithm: str,
     timeout: Optional[float],
+    collector: Optional[SpanCollector] = None,
+    parent_id: str = "",
+    child_prefix: str = "",
 ) -> tuple[tuple[int, ...], int]:
     """Run one algorithm attempt, hard-bounded by ``timeout`` seconds.
 
@@ -177,18 +254,25 @@ def attempt_route(
 
     Without a timeout the attempt runs in-process.  With one, it runs in
     a forked child that is terminated (then killed) when the deadline
-    expires, raising :class:`EngineTimeout`.
+    expires, raising :class:`EngineTimeout`.  With a collector, in-process
+    solves record kernel spans directly and deadline children ship their
+    spans back over the pipe (adopted even when the child errored).
     """
     if timeout is None:
-        return _solve(channel, connections, max_segments, weight_spec, algorithm)
+        return _solve(channel, connections, max_segments, weight_spec,
+                      algorithm, collector, parent_id)
     if timeout <= 0:
         raise EngineTimeout(f"no budget left for algorithm {algorithm!r}")
+    trace = (
+        (collector.trace_id, parent_id, child_prefix)
+        if collector is not None else None
+    )
     ctx = _mp_context()
     parent_conn, child_conn = ctx.Pipe(duplex=False)
     proc = ctx.Process(
         target=_deadline_entry,
         args=(child_conn, channel, connections, max_segments, weight_spec,
-              algorithm),
+              algorithm, trace),
     )
     try:
         proc.start()
@@ -215,9 +299,11 @@ def attempt_route(
     finally:
         parent_conn.close()
         _reap(proc)
+    if collector is not None and len(message) > 3:
+        collector.adopt(message[3])
     if message[0] == "ok":
         return message[1], message[2]
-    _, error_type, error = message
+    error_type, error = message[1], message[2]
     cls = getattr(_errors, error_type, None)
     if isinstance(cls, type) and issubclass(cls, ReproError):
         raise cls(error)
@@ -238,7 +324,7 @@ def _reap(proc) -> None:
         proc.close()
 
 
-def run_task(task: RouteTask) -> TaskOutcome:
+def run_task(task: RouteTask, attempt: int = 1) -> TaskOutcome:
     """Execute one task, degrading down the ladder on timeout.
 
     The overall deadline is shared: each rung gets an even share of the
@@ -250,8 +336,18 @@ def run_task(task: RouteTask) -> TaskOutcome:
     ladder rungs are not proofs for the original request (e.g.
     ``greedy1`` failing only rules out 1-segment routings), so the
     outcome reports the timeout that started the degradation instead.
+
+    ``attempt`` is the supervisor's 1-based submission counter; it only
+    namespaces span IDs so retried attempts never collide in the trace.
     """
     random.seed(derive_seed(task.seed, task.task_key or str(task.index)))
+    collector = task_span = None
+    if task.trace_id:
+        collector = SpanCollector(task.trace_id, f"w{attempt}:")
+        task_span = collector.start(
+            "task", parent_id=task.trace_parent, index=task.index,
+            attempt=attempt, pid=os.getpid(),
+        )
     rungs = [task.algorithm]
     if task.timeout is not None:
         rungs += [r for r in task.ladder if r not in rungs]
@@ -271,20 +367,40 @@ def run_task(task: RouteTask) -> TaskOutcome:
             # Even share of what's left over the rungs still to try; the
             # last rung gets everything remaining.
             budget = remaining / (len(rungs) - rung_no)
+        attempt_span = None
+        if collector is not None:
+            attempt_span = collector.start(
+                "attempt", parent_id=task_span.span_id, algorithm=algorithm,
+                rung=rung_no,
+            )
+            if budget is not None:
+                attempt_span.set(budget=budget)
         try:
             assignment, pruned = attempt_route(
                 task.channel, task.connections, task.max_segments,
                 task.weight_spec, algorithm, budget,
+                collector,
+                attempt_span.span_id if attempt_span else "",
+                f"w{attempt}:{algorithm}:",
             )
         except EngineTimeout:
+            if attempt_span is not None:
+                attempt_span.set(outcome="timeout")
+                attempt_span.finish()
             timed_out = True
             continue
         except ReproError as exc:
+            if attempt_span is not None:
+                attempt_span.set(outcome="error", error=type(exc).__name__)
+                attempt_span.finish()
             if rung_no == 0:
                 outcome.error_type = type(exc).__name__
                 outcome.error = str(exc)
                 break
             continue  # ladder-rung failures are not proofs; keep degrading
+        if attempt_span is not None:
+            attempt_span.set(outcome="ok")
+            attempt_span.finish()
         outcome.assignment = assignment
         outcome.algorithm = algorithm
         outcome.fallbacks = rung_no
@@ -298,6 +414,15 @@ def run_task(task: RouteTask) -> TaskOutcome:
             f"no algorithm produced a routing within {task.timeout:.3g}s "
             f"(tried {', '.join(rungs)})"
         )
+    if collector is not None:
+        task_span.set(
+            ok=outcome.ok, fallbacks=outcome.fallbacks,
+            timed_out=outcome.timed_out,
+        )
+        if outcome.algorithm:
+            task_span.set(algorithm=outcome.algorithm)
+        task_span.finish()
+        outcome.spans = collector.drain()
     return outcome
 
 

@@ -17,19 +17,31 @@ counters
 histograms
     ``latency.<algorithm>`` — wall-clock seconds per completed request,
     keyed by the algorithm that actually produced the routing.
+
+Histograms are memory-bounded: each keeps exact ``count``/``total``/
+``min``/``max`` forever, plus a fixed-size uniform reservoir
+(Vitter's Algorithm R, :data:`_RESERVOIR_SIZE` samples) for quantiles.
+Up to the reservoir bound the p50/p95 are exact; beyond it they are
+unbiased estimates over a uniform sample of the *whole* stream (not a
+recency window, so a long steady phase is not erased by a recent burst).
+Reservoir replacement uses a per-histogram deterministic PRNG seeded
+from the histogram name, so snapshots are reproducible run-to-run for
+identical observation sequences.
 """
 
 from __future__ import annotations
 
+import random
 import threading
 from dataclasses import dataclass, field
 
-__all__ = ["Metrics", "HistogramSummary"]
+from repro.substrate.prng import derive_seed
 
-#: Raw samples kept per histogram for quantile estimates.  Beyond this the
-#: histogram degrades gracefully: totals stay exact, quantiles are computed
-#: over the most recent window.
-_HISTOGRAM_WINDOW = 4096
+__all__ = ["Metrics", "HistogramSummary", "render_snapshot"]
+
+#: Samples kept per histogram for quantile estimates.  Quantiles are exact
+#: up to this many observations and reservoir-sampled estimates beyond it.
+_RESERVOIR_SIZE = 4096
 
 
 @dataclass
@@ -58,23 +70,36 @@ class HistogramSummary:
 
 @dataclass
 class _Histogram:
+    """Exact aggregates + a bounded uniform reservoir for quantiles."""
+
+    name: str = ""
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
-    window: list[float] = field(default_factory=list)
+    reservoir: list[float] = field(default_factory=list)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._rng is None:
+            self._rng = random.Random(derive_seed(0, f"metrics:{self.name}"))
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
-        self.window.append(value)
-        if len(self.window) > _HISTOGRAM_WINDOW:
-            del self.window[: len(self.window) // 2]
+        # Algorithm R: keep each of the `count` observations in the
+        # reservoir with equal probability `size / count`.
+        if len(self.reservoir) < _RESERVOIR_SIZE:
+            self.reservoir.append(value)
+        else:
+            j = self._rng.randrange(self.count)
+            if j < _RESERVOIR_SIZE:
+                self.reservoir[j] = value
 
     def summary(self) -> HistogramSummary:
-        ordered = sorted(self.window)
+        ordered = sorted(self.reservoir)
         return HistogramSummary(
             count=self.count,
             total=self.total,
@@ -115,7 +140,7 @@ class Metrics:
         with self._lock:
             hist = self._histograms.get(name)
             if hist is None:
-                hist = self._histograms[name] = _Histogram()
+                hist = self._histograms[name] = _Histogram(name=name)
             hist.observe(value)
 
     def counter(self, name: str) -> int:
@@ -151,19 +176,29 @@ class Metrics:
     # ------------------------------------------------------------------
     def render(self) -> str:
         """Human-readable multi-line rendering (used by ``--stats``)."""
-        snap = self.snapshot()
-        lines = ["engine stats:"]
-        if snap["counters"]:
-            lines.append("  counters:")
-            for name, value in sorted(snap["counters"].items()):
-                lines.append(f"    {name:<28} {value}")
-        for name, value in sorted(snap["derived"].items()):
-            lines.append(f"    {name:<28} {value:.3f}")
-        if snap["histograms"]:
-            lines.append("  latency (seconds):")
-            for name, h in snap["histograms"].items():
-                lines.append(
-                    f"    {name:<20} n={h['count']:<5} mean={h['mean']:.4f} "
-                    f"p50={h['p50']:.4f} p95={h['p95']:.4f} max={h['max']:.4f}"
-                )
-        return "\n".join(lines) + "\n"
+        return render_snapshot(self.snapshot())
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition rendering (see ``repro.obs.prom``)."""
+        from repro.obs.prom import render_prometheus
+
+        return render_prometheus(self.snapshot())
+
+
+def render_snapshot(snap: dict) -> str:
+    """Human-readable rendering of a :meth:`Metrics.snapshot` dict."""
+    lines = ["engine stats:"]
+    if snap["counters"]:
+        lines.append("  counters:")
+        for name, value in sorted(snap["counters"].items()):
+            lines.append(f"    {name:<28} {value}")
+    for name, value in sorted(snap.get("derived", {}).items()):
+        lines.append(f"    {name:<28} {value:.3f}")
+    if snap["histograms"]:
+        lines.append("  latency (seconds):")
+        for name, h in snap["histograms"].items():
+            lines.append(
+                f"    {name:<20} n={h['count']:<5} mean={h['mean']:.4f} "
+                f"p50={h['p50']:.4f} p95={h['p95']:.4f} max={h['max']:.4f}"
+            )
+    return "\n".join(lines) + "\n"

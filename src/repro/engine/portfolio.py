@@ -69,32 +69,69 @@ class RaceResult:
 
     def __init__(
         self, algorithm: str, assignment: tuple[int, ...], cancelled: int,
-        dp_nodes_pruned: int = 0,
+        dp_nodes_pruned: int = 0, spans: Optional[list] = None,
     ) -> None:
         self.algorithm = algorithm
         self.assignment = assignment
         self.cancelled = cancelled
         self.dp_nodes_pruned = dp_nodes_pruned
+        #: Spans shipped back by candidates that *finished* (winner and
+        #: any losers that completed before the win); terminated losers
+        #: contribute nothing.
+        self.spans = spans or []
 
 
 def _race_entry(conn, channel, connections, max_segments, weight_spec,
-                algorithm) -> None:
-    """Child entry: solve, report ``(ok, assignment, weight, pruned)`` or
-    an error."""
+                algorithm, trace=None) -> None:
+    """Child entry: solve, report ``(ok, assignment, weight, pruned,
+    spans)`` or an error.
+
+    ``trace`` is ``(trace_id, parent_span_id)`` when the parent races
+    under tracing; the candidate's spans ride back in the message.
+    """
+    import os
+
     from repro.core.api import route
     from repro.core.kernels import consume_dp_pruned
+    from repro.engine.executor import _solve
+    from repro.obs.trace import SpanCollector
 
-    try:
-        weight = resolve_weight(weight_spec, channel)
-        consume_dp_pruned()
-        routing = route(
-            channel, connections, max_segments=max_segments, weight=weight,
-            algorithm=algorithm,
+    collector = span = None
+    if trace is not None:
+        trace_id, parent_span = trace
+        collector = SpanCollector(trace_id, f"c:{algorithm}:")
+        span = collector.start(
+            "candidate", parent_id=parent_span, algorithm=algorithm,
+            pid=os.getpid(),
         )
+    try:
+        weight = resolve_weight(weight_spec, channel, connections)
+        if collector is not None:
+            assignment, pruned = _solve(
+                channel, connections, max_segments, weight_spec, algorithm,
+                collector, span.span_id,
+            )
+            from repro.core.routing import Routing
+
+            routing = Routing(channel, connections, assignment)
+        else:
+            consume_dp_pruned()
+            routing = route(
+                channel, connections, max_segments=max_segments, weight=weight,
+                algorithm=algorithm,
+            )
+            pruned = consume_dp_pruned()
         total = routing.total_weight(weight) if weight is not None else 0.0
-        conn.send(("ok", routing.assignment, total, consume_dp_pruned()))
+        if span is not None:
+            span.finish()
+        conn.send(("ok", routing.assignment, total, pruned,
+                   collector.drain() if collector else []))
     except BaseException as exc:
-        conn.send(("err", type(exc).__name__, str(exc)))
+        if span is not None:
+            span.set(error=type(exc).__name__)
+            span.finish()
+        conn.send(("err", type(exc).__name__, str(exc),
+                   collector.drain() if collector else []))
     finally:
         conn.close()
 
@@ -103,9 +140,10 @@ def race(
     channel: SegmentedChannel,
     connections: ConnectionSet,
     max_segments: Optional[int],
-    weight_spec: Optional[str],
+    weight_spec,
     candidates: tuple[str, ...],
     timeout: Optional[float],
+    trace: Optional[tuple] = None,
 ) -> RaceResult:
     """Race ``candidates`` on one instance; return the winner.
 
@@ -113,6 +151,9 @@ def race(
     every candidate that finishes before the deadline is collected and
     the minimum-weight routing wins.  Losers (and, on deadline expiry,
     all still-running candidates) are terminated.
+
+    ``trace`` is ``(trace_id, parent_span_id)``; when set, each finishing
+    candidate's spans come back on :attr:`RaceResult.spans`.
 
     Raises
     ------
@@ -131,13 +172,14 @@ def race(
     deadline = time.monotonic() + timeout if timeout is not None else None
     finished: list[tuple[str, tuple[int, ...], float, int]] = []
     errors: list[tuple[str, str, str]] = []  # (algorithm, type, message)
+    spans: list = []  # spans shipped back by finished candidates
     try:
         for algorithm in candidates:
             parent_conn, child_conn = ctx.Pipe(duplex=False)
             proc = ctx.Process(
                 target=_race_entry,
                 args=(child_conn, channel, connections, max_segments,
-                      weight_spec, algorithm),
+                      weight_spec, algorithm, trace),
             )
             try:
                 proc.start()
@@ -172,15 +214,18 @@ def race(
                 proc.join()
                 proc.close()
                 if message[0] == "ok":
+                    spans.extend(message[4] if len(message) > 4 else [])
                     finished.append(
                         (algorithm, message[1], message[2], message[3])
                     )
                     if weight_spec is None:
                         winner = finished[0]
                         return RaceResult(
-                            winner[0], winner[1], len(runners), winner[3]
+                            winner[0], winner[1], len(runners), winner[3],
+                            spans,
                         )
                 else:
+                    spans.extend(message[3] if len(message) > 3 else [])
                     errors.append((algorithm, message[1], message[2]))
                     if (
                         message[1] == RoutingInfeasibleError.__name__
@@ -205,7 +250,7 @@ def race(
 
     if finished:
         winner = min(finished, key=lambda item: item[2])
-        return RaceResult(winner[0], winner[1], len(runners), winner[3])
+        return RaceResult(winner[0], winner[1], len(runners), winner[3], spans)
     if runners or not errors:
         raise EngineTimeout(
             f"no portfolio candidate finished within {timeout:.3g}s "

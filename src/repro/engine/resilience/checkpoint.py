@@ -74,12 +74,26 @@ class CheckpointJournal:
         records are loaded and verified first, then new records append.
     resume:
         Load and verify existing records instead of starting fresh.
+        A missing or empty journal is tolerated by default (the resumed
+        run simply starts from scratch) — the tolerant mode is what lets
+        a repaired-to-empty journal keep appending.
+    require_records:
+        With ``resume``, raise :class:`~repro.core.errors.CheckpointError`
+        when the journal file is missing or holds no valid records —
+        resuming from nothing is almost always an operator error (wrong
+        path, or the previous run never wrote a checkpoint).  The CLI's
+        ``--resume`` sets this; library callers opt in.
     fsync_interval:
         Records between ``fsync`` calls (1 = fsync every record).
     """
 
     def __init__(
-        self, path: str, *, resume: bool = False, fsync_interval: int = 8
+        self,
+        path: str,
+        *,
+        resume: bool = False,
+        require_records: bool = False,
+        fsync_interval: int = 8,
     ) -> None:
         if fsync_interval < 1:
             raise ValueError(
@@ -90,8 +104,21 @@ class CheckpointJournal:
         self.records_written = 0
         self._since_fsync = 0
         self._records: dict[str, dict] = {}
-        if resume and os.path.exists(path):
-            self._records = self._load_and_repair(path)
+        if resume:
+            if os.path.exists(path):
+                self._records = self._load_and_repair(path)
+                if require_records and not self._records:
+                    raise CheckpointError(
+                        f"{path}: cannot resume: journal contains no "
+                        f"records (the previous run completed nothing, or "
+                        f"this is not a checkpoint journal)"
+                    )
+            elif require_records:
+                raise CheckpointError(
+                    f"{path}: cannot resume: journal file does not exist "
+                    f"(wrong --checkpoint path, or the previous run never "
+                    f"started?)"
+                )
         self._fh = open(path, "a" if resume else "w", encoding="utf-8")
 
     # ------------------------------------------------------------------

@@ -40,7 +40,7 @@ import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, Future
 from concurrent.futures import ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional
 
 from repro.core.errors import TaskQuarantinedError
@@ -55,6 +55,7 @@ from repro.engine.executor import (
 from repro.engine.metrics import Metrics
 from repro.engine.resilience.faults import FaultPlan, corrupt_assignment
 from repro.engine.resilience.retry import RetryPolicy, backoff_delay
+from repro.obs.trace import completed_span
 
 __all__ = ["SupervisedExecutor", "run_task_resilient", "run_sequential"]
 
@@ -96,7 +97,7 @@ def run_supervised_task(payload: tuple[RouteTask, int]) -> TaskOutcome:
         os._exit(_CRASH_EXIT)  # bypasses finally/atexit, like a real kill
     if fault == "hang":
         time.sleep(plan.hang_seconds)
-    outcome = run_task(task)
+    outcome = run_task(task, attempt=try_no)
     if fault == "garbage" and outcome.ok:
         outcome.assignment = corrupt_assignment(
             outcome.assignment, task.channel.n_tracks
@@ -116,6 +117,27 @@ class _TaskState:
     failures: int = 0   # retryable error outcomes so far
     crashes: int = 0    # worker crashes / watchdog kills so far
     began: bool = False  # current submission reached a worker
+    spans: list = field(default_factory=list)  # spans from superseded attempts
+
+
+def _retry_span(task: RouteTask, tries: int, reason: str) -> dict:
+    """Parent-side span marking one retried submission of ``task``.
+
+    Span IDs under the ``rt`` prefix are keyed by the submission counter,
+    so they never collide with worker-side ``w<attempt>:`` spans.
+    """
+    return completed_span(
+        task.trace_id, f"rt{tries}", task.trace_parent, "retry",
+        time.time(), 0.0, attempt=tries, reason=reason,
+    )
+
+
+def _finalize_spans(state: _TaskState, outcome: TaskOutcome) -> TaskOutcome:
+    """Prepend spans accumulated from earlier attempts to the outcome."""
+    if state.spans:
+        outcome.spans = state.spans + outcome.spans
+        state.spans = []
+    return outcome
 
 
 def _validated(task: RouteTask, outcome: TaskOutcome) -> TaskOutcome:
@@ -176,7 +198,7 @@ def run_task_resilient(
             )
             crashed = True
         else:
-            outcome = run_task(task)
+            outcome = run_task(task, attempt=state.tries)
             if fault == "garbage" and outcome.ok:
                 outcome.assignment = corrupt_assignment(
                     outcome.assignment, task.channel.n_tracks
@@ -184,21 +206,26 @@ def run_task_resilient(
             outcome = _validated(task, outcome)
             crashed = outcome.error_type == "WorkerCrashError"
         if outcome.ok:
-            return outcome
+            return _finalize_spans(state, outcome)
         if crashed:
             state.crashes += 1
             if state.crashes >= policy.max_worker_crashes:
                 if metrics is not None:
                     metrics.incr("tasks_quarantined")
-                return _quarantine_outcome(
+                return _finalize_spans(state, _quarantine_outcome(
                     task, state.crashes, policy.max_worker_crashes
-                )
+                ))
         elif policy.is_retryable(outcome.error_type):
             state.failures += 1
             if state.failures >= policy.max_attempts:
-                return outcome
+                return _finalize_spans(state, outcome)
         else:
-            return outcome
+            return _finalize_spans(state, outcome)
+        if task.trace_id:
+            state.spans.extend(outcome.spans)
+            state.spans.append(_retry_span(
+                task, state.tries, outcome.error_type or "unknown"
+            ))
         if metrics is not None:
             metrics.incr("retries_total")
         time.sleep(backoff_delay(policy, state.tries, seed, key))
@@ -425,8 +452,14 @@ class SupervisedExecutor:
             self._incr("worker_crashes")
             if state.crashes >= self.policy.max_worker_crashes:
                 self._incr("tasks_quarantined")
-                return _quarantine_outcome(
+                return _finalize_spans(state, _quarantine_outcome(
                     task, state.crashes, self.policy.max_worker_crashes
+                ))
+            if task.trace_id:
+                # The worker died with its spans; only the parent-side
+                # retry marker survives for this attempt.
+                state.spans.append(
+                    _retry_span(task, state.tries, "WorkerCrashError")
                 )
             self._incr("retries_total")
             due = time.monotonic() + backoff_delay(
@@ -442,14 +475,19 @@ class SupervisedExecutor:
             )
         outcome = _validated(task, outcome)
         if outcome.ok:
-            return outcome
+            return _finalize_spans(state, outcome)
         if self.policy.is_retryable(outcome.error_type):
             state.failures += 1
             if state.failures < self.policy.max_attempts:
+                if task.trace_id:
+                    state.spans.extend(outcome.spans)
+                    state.spans.append(_retry_span(
+                        task, state.tries, outcome.error_type or "unknown"
+                    ))
                 self._incr("retries_total")
                 due = time.monotonic() + backoff_delay(
                     self.policy, state.tries, self.seed, key
                 )
                 delayed.append((due, task.index))
                 return None
-        return outcome
+        return _finalize_spans(state, outcome)

@@ -1,0 +1,117 @@
+"""Explicit Problem-3 weight tables for the engine.
+
+The engine ships weight objectives across process boundaries *by name*
+(``"length"`` / ``"segments"`` — see ``executor.resolve_weight``) because
+arbitrary ``WeightFunction`` callables close over the channel and do not
+pickle.  Those named objectives are pure functions of the channel
+geometry, so the cache may key them by name alone.
+
+A :class:`WeightTable` is the third option: a concrete per-(connection,
+track) cost matrix — the fully general ``w(c, t)`` of Problem 3.  It is
+a frozen tuple-of-tuples, so it pickles (crossing worker pipes intact)
+and hashes.  Crucially, two instances with identical geometry but
+*different* tables are different routing problems, so the cache key must
+include a digest of the effective table — keying by a spec name alone
+would replay one instance's optimum for the other (the bug this module
+exists to fix; see ``tests/engine/test_cache.py``).
+
+Digest canonicalization: rows are taken in :class:`ConnectionSet` order
+(which is deterministic — connections sort by ``(left, right, name)``)
+and columns are permuted into the cache's canonical track order (tracks
+sorted by break tuple).  That matches exactly the transformation
+``InstanceCache`` applies when replaying an assignment onto another
+channel: if two instances agree on geometry *and* on this canonicalized
+table, the replayed optimum has identical cost on both.  Same-span
+connections whose rows are permuted between two instances hash
+differently and therefore do not share a cache entry — conservative
+(some isomorphic instances miss) but never wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import Connection, ConnectionSet
+from repro.core.routing import WeightFunction
+
+__all__ = ["WeightTable"]
+
+
+@dataclass(frozen=True)
+class WeightTable:
+    """Explicit Problem-3 weight matrix: ``values[i][t]`` is the cost of
+    assigning connection ``i`` (in :class:`ConnectionSet` order) to track
+    ``t`` (in the channel's actual track order)."""
+
+    values: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        widths = {len(row) for row in self.values}
+        if len(widths) > 1:
+            raise ValueError(
+                f"weight table rows have inconsistent widths {sorted(widths)}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_function(
+        cls,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        fn: Callable[[Connection, int], float],
+    ) -> "WeightTable":
+        """Tabulate any ``w(c, t)`` callable into an explicit table."""
+        return cls(tuple(
+            tuple(float(fn(c, t)) for t in range(channel.n_tracks))
+            for c in connections
+        ))
+
+    def check_shape(
+        self, channel: SegmentedChannel, connections: ConnectionSet
+    ) -> None:
+        """Raise ``ValueError`` unless the table matches the instance."""
+        if len(self.values) != len(connections):
+            raise ValueError(
+                f"weight table has {len(self.values)} rows for "
+                f"{len(connections)} connections"
+            )
+        if self.values and len(self.values[0]) != channel.n_tracks:
+            raise ValueError(
+                f"weight table rows have {len(self.values[0])} columns for "
+                f"{channel.n_tracks} tracks"
+            )
+
+    def function(self, connections: ConnectionSet) -> WeightFunction:
+        """Rebuild the ``w(c, t)`` callable for this instance."""
+        values = self.values
+
+        def w(c: Connection, track: int) -> float:
+            return values[connections.index_of(c)][track]
+
+        return w
+
+    # ------------------------------------------------------------------
+    def digest(
+        self, channel: SegmentedChannel, connections: ConnectionSet
+    ) -> str:
+        """Cache-key digest of the table in canonical track order.
+
+        Rows stay in ``ConnectionSet`` index order; columns are permuted
+        by the canonical track order the cache uses for assignment
+        replay, so isomorphic instances whose tables agree *under that
+        permutation* share a digest (see module docstring).
+        """
+        self.check_shape(channel, connections)
+        order = sorted(
+            range(channel.n_tracks), key=lambda i: channel.track(i).breaks
+        )
+        h = hashlib.sha256()
+        for row in self.values:
+            for pos in order:
+                h.update(struct.pack("<d", row[pos]))
+            h.update(b"|")
+        return h.hexdigest()[:32]

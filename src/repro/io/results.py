@@ -151,6 +151,8 @@ def batch_to_json(results, labels=None) -> str:
             "fallbacks": r.fallbacks,
             "timed_out": r.timed_out,
         }
+        if getattr(r, "trace_id", ""):
+            record["trace_id"] = r.trace_id
         if r.routing is not None:
             record["assignment"] = {
                 (c.name or f"c{j + 1}"): t + 1

@@ -1,0 +1,44 @@
+"""Observability: structured tracing, trace analysis, Prometheus export.
+
+See ``docs/OBSERVABILITY.md`` for the span schema and taxonomy.
+"""
+
+from repro.obs.prom import render_prometheus
+from repro.obs.report import (
+    Trace,
+    TraceError,
+    build_traces,
+    load_spans,
+    render_summary,
+    summarize,
+)
+from repro.obs.trace import (
+    SPAN_FIELDS,
+    SPAN_VERSION,
+    ActiveSpan,
+    JsonlTraceSink,
+    ListTraceSink,
+    SpanCollector,
+    TraceSink,
+    completed_span,
+    derive_trace_id,
+)
+
+__all__ = [
+    "SPAN_FIELDS",
+    "SPAN_VERSION",
+    "ActiveSpan",
+    "JsonlTraceSink",
+    "ListTraceSink",
+    "SpanCollector",
+    "TraceSink",
+    "completed_span",
+    "derive_trace_id",
+    "render_prometheus",
+    "Trace",
+    "TraceError",
+    "build_traces",
+    "load_spans",
+    "render_summary",
+    "summarize",
+]

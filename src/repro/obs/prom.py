@@ -1,0 +1,87 @@
+"""Prometheus text-exposition rendering of an engine metrics snapshot.
+
+Works from the plain-dict :meth:`repro.engine.metrics.Metrics.snapshot`
+schema (``{"counters", "derived", "histograms"}``) rather than from a
+live ``Metrics`` object, so a snapshot saved to JSON (``segroute batch
+--metrics-out stats.json``) can be rendered offline with ``segroute
+stats stats.json --format prom``.
+
+Mapping:
+
+* counter ``cache.hits`` → ``segroute_cache_hits_total 9``
+* derived ``cache.hit_rate`` → gauge ``segroute_cache_hit_rate 0.9``
+* histogram ``latency.dp`` → a Prometheus summary::
+
+      segroute_latency_seconds{algorithm="dp",quantile="0.5"} 0.012
+      segroute_latency_seconds{algorithm="dp",quantile="0.95"} 0.044
+      segroute_latency_seconds_sum{algorithm="dp"} 1.93
+      segroute_latency_seconds_count{algorithm="dp"} 117
+
+  plus ``_min``/``_max`` gauges (Prometheus summaries have no native
+  min/max, but the snapshot tracks them exactly).
+
+Quantiles above the histogram's reservoir bound are approximate — see
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(raw: str) -> str:
+    """``cache.hits`` → ``segroute_cache_hits`` (Prometheus-legal)."""
+    return "segroute_" + _NAME_OK.sub("_", raw)
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value; integers without a trailing ``.0``."""
+    if isinstance(value, bool):  # guard: bools are ints in Python
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a ``Metrics.snapshot()`` dict in Prometheus text format."""
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = _metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(snapshot['counters'][name])}")
+
+    for name in sorted(snapshot.get("derived", {})):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snapshot['derived'][name])}")
+
+    # Latency histograms become one summary family labelled by algorithm;
+    # any other histogram family gets its own summary keyed by full name.
+    latency_seen = False
+    for name in sorted(snapshot.get("histograms", {})):
+        h = snapshot["histograms"][name]
+        if name.startswith("latency."):
+            family = "segroute_latency_seconds"
+            label = f'{{algorithm="{name[len("latency."):]}"}}'
+            if not latency_seen:
+                lines.append(f"# TYPE {family} summary")
+                latency_seen = True
+        else:
+            family = _metric_name(name)
+            label = ""
+            lines.append(f"# TYPE {family} summary")
+        q_label = label[:-1] + "," if label else "{"
+        lines.append(f'{family}{q_label}quantile="0.5"}} {_fmt(h["p50"])}')
+        lines.append(f'{family}{q_label}quantile="0.95"}} {_fmt(h["p95"])}')
+        lines.append(f"{family}_sum{label} {_fmt(h['total'])}")
+        lines.append(f"{family}_count{label} {_fmt(h['count'])}")
+        lines.append(f"{family}_min{label} {_fmt(h['min'])}")
+        lines.append(f"{family}_max{label} {_fmt(h['max'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

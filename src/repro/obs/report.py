@@ -1,0 +1,193 @@
+"""Trace-file analysis: parse, validate, and summarize JSONL traces.
+
+This is the library behind ``tools/trace_report.py`` (and the CI
+trace-smoke job).  It loads a trace file written by
+:class:`repro.obs.trace.JsonlTraceSink`, validates the span schema and
+the parent/child link structure of every trace, and produces an
+aggregate summary: per-phase time breakdown, fallback/retry/cache rates,
+and the slowest requests.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.trace import SPAN_FIELDS, SPAN_VERSION
+
+__all__ = ["TraceError", "Trace", "load_spans", "build_traces", "summarize", "render_summary"]
+
+
+class TraceError(ValueError):
+    """A trace file failed schema or link validation."""
+
+
+@dataclass
+class Trace:
+    """All spans of one request, indexed, with the root identified."""
+
+    trace_id: str
+    spans: list[dict] = field(default_factory=list)
+
+    @property
+    def by_id(self) -> dict[str, dict]:
+        return {s["span_id"]: s for s in self.spans}
+
+    @property
+    def root(self) -> dict:
+        roots = [s for s in self.spans if not s["parent_id"]]
+        if len(roots) != 1:
+            raise TraceError(
+                f"trace {self.trace_id}: expected exactly one root span, "
+                f"found {len(roots)}"
+            )
+        return roots[0]
+
+    def validate(self) -> None:
+        """Check span-ID uniqueness and that every parent link resolves."""
+        ids = self.by_id
+        if len(ids) != len(self.spans):
+            raise TraceError(f"trace {self.trace_id}: duplicate span IDs")
+        self.root  # noqa: B018 - raises unless exactly one root exists
+        for span in self.spans:
+            parent = span["parent_id"]
+            if parent and parent not in ids:
+                raise TraceError(
+                    f"trace {self.trace_id}: span {span['span_id']} "
+                    f"({span['name']}) has unknown parent {parent!r}"
+                )
+
+    def names(self) -> set[str]:
+        return {s["name"] for s in self.spans}
+
+
+def _check_span(span: dict, line_no: int) -> None:
+    if not isinstance(span, dict):
+        raise TraceError(f"line {line_no}: span is not an object")
+    missing = [k for k in SPAN_FIELDS if k not in span]
+    if missing:
+        raise TraceError(f"line {line_no}: span missing fields {missing}")
+    if span["v"] != SPAN_VERSION:
+        raise TraceError(
+            f"line {line_no}: unsupported span version {span['v']!r} "
+            f"(expected {SPAN_VERSION})"
+        )
+    if not isinstance(span["attrs"], dict):
+        raise TraceError(f"line {line_no}: attrs is not an object")
+
+
+def load_spans(path: str) -> list[dict]:
+    """Parse a JSONL trace file, validating each span's schema."""
+    spans: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                span = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}: line {line_no}: invalid JSON: {exc}") from exc
+            try:
+                _check_span(span, line_no)
+            except TraceError as exc:
+                raise TraceError(f"{path}: {exc}") from None
+            spans.append(span)
+    return spans
+
+
+def build_traces(spans: Iterable[dict]) -> dict[str, Trace]:
+    """Group spans by trace ID and validate each trace's link structure."""
+    traces: dict[str, Trace] = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], Trace(span["trace_id"])).spans.append(span)
+    for trace in traces.values():
+        trace.validate()
+    return traces
+
+
+# ----------------------------------------------------------------------
+# aggregate summary
+# ----------------------------------------------------------------------
+def summarize(traces: dict[str, Trace]) -> dict:
+    """Aggregate statistics over a set of validated traces.
+
+    Returns a plain dict (JSON-serializable)::
+
+        {"requests": N,
+         "phases": {name: {"count", "total_s", "mean_s", "max_s"}},
+         "rates": {"cache_hit", "fallback", "retry", "error"},
+         "slowest": [{"trace_id", "dur_s", "outcome", "algorithm"}, ...]}
+    """
+    phases: dict[str, dict] = {}
+    cache_hits = fallbacks = retried = errors = 0
+    requests: list[dict] = []
+
+    for trace in traces.values():
+        for span in trace.spans:
+            ph = phases.setdefault(
+                span["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0}
+            )
+            ph["count"] += 1
+            ph["total_s"] += span["dur"]
+            ph["max_s"] = max(ph["max_s"], span["dur"])
+
+        names = trace.names()
+        root = trace.root
+        attrs = root["attrs"]
+        if attrs.get("cache") == "hit":
+            cache_hits += 1
+        if attrs.get("fallback"):
+            fallbacks += 1
+        if "retry" in names:
+            retried += 1
+        if not attrs.get("ok", True):
+            errors += 1
+        requests.append({
+            "trace_id": trace.trace_id,
+            "dur_s": root["dur"],
+            "outcome": "ok" if attrs.get("ok", True) else attrs.get("error", "error"),
+            "algorithm": attrs.get("algorithm", ""),
+        })
+
+    n = len(traces)
+    for ph in phases.values():
+        ph["mean_s"] = ph["total_s"] / ph["count"] if ph["count"] else 0.0
+    requests.sort(key=lambda r: r["dur_s"], reverse=True)
+    return {
+        "requests": n,
+        "phases": {k: phases[k] for k in sorted(phases)},
+        "rates": {
+            "cache_hit": cache_hits / n if n else 0.0,
+            "fallback": fallbacks / n if n else 0.0,
+            "retry": retried / n if n else 0.0,
+            "error": errors / n if n else 0.0,
+        },
+        "slowest": requests[:10],
+    }
+
+
+def render_summary(summary: dict) -> str:
+    """Human-readable rendering of :func:`summarize` output."""
+    lines = [f"trace report: {summary['requests']} request(s)"]
+    lines.append("  per-phase time breakdown:")
+    for name, ph in summary["phases"].items():
+        lines.append(
+            f"    {name:<20} n={ph['count']:<5} total={ph['total_s']:.4f}s "
+            f"mean={ph['mean_s']:.4f}s max={ph['max_s']:.4f}s"
+        )
+    rates = summary["rates"]
+    lines.append(
+        "  rates: "
+        f"cache_hit={rates['cache_hit']:.1%} fallback={rates['fallback']:.1%} "
+        f"retry={rates['retry']:.1%} error={rates['error']:.1%}"
+    )
+    if summary["slowest"]:
+        lines.append("  slowest requests:")
+        for req in summary["slowest"]:
+            lines.append(
+                f"    {req['trace_id']}  {req['dur_s']:.4f}s  "
+                f"{req['outcome']}  {req['algorithm']}"
+            )
+    return "\n".join(lines) + "\n"

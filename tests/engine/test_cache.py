@@ -117,3 +117,65 @@ class TestInstanceCache:
     def test_rejects_bad_size(self):
         with pytest.raises(ValueError):
             InstanceCache(max_entries=0)
+
+
+class TestWeightTableKey:
+    """Regression: custom weight tables must key the cache by their
+    *values*, not just a spec name.  Before the fix, two same-geometry
+    instances whose optima differ under different tables collided on one
+    cache entry, so the second request replayed the first's (wrong)
+    optimum."""
+
+    def _instance(self):
+        from repro.core.connection import Connection
+
+        ch = channel_from_breaks(6, [(), ()])
+        conns = ConnectionSet([Connection(1, 3, "a")])
+        return ch, conns
+
+    def _tables(self):
+        from repro.engine import WeightTable
+
+        # Track 1 cheap vs track 2 cheap: the optima differ.
+        return WeightTable(((1.0, 5.0),)), WeightTable(((5.0, 1.0),))
+
+    def test_different_tables_different_keys(self):
+        ch, conns = self._instance()
+        ta, tb = self._tables()
+        assert canonical_key(ch, conns, None, ta, "dp") != canonical_key(
+            ch, conns, None, tb, "dp"
+        )
+
+    def test_equal_tables_share_a_key(self):
+        from repro.engine import WeightTable
+
+        ch, conns = self._instance()
+        ta = WeightTable(((1.0, 5.0),))
+        tb = WeightTable(((1.0, 5.0),))
+        assert canonical_key(ch, conns, None, ta, "dp") == canonical_key(
+            ch, conns, None, tb, "dp"
+        )
+
+    def test_engine_returns_each_tables_own_optimum(self):
+        """End-to-end: route the same geometry under table A then table B
+        through one engine (shared cache); each result must be optimal
+        for its *own* objective.  Fails on pre-fix code, where B is
+        served A's cached assignment."""
+        from repro.engine import RoutingEngine
+
+        ch, conns = self._instance()
+        ta, tb = self._tables()
+        engine = RoutingEngine()
+        ra = engine.route(ch, conns, weight=ta)
+        rb = engine.route(ch, conns, weight=tb)
+        assert ra.total_weight(ta.function(conns)) == 1.0
+        assert rb.total_weight(tb.function(conns)) == 1.0
+        assert ra.assignment != rb.assignment
+
+    def test_table_shape_validated(self):
+        from repro.engine import RoutingEngine, WeightTable
+
+        ch, conns = self._instance()
+        bad = WeightTable(((1.0,),))  # one column, channel has two tracks
+        with pytest.raises(ValueError):
+            RoutingEngine().route(ch, conns, weight=bad)

@@ -1,6 +1,8 @@
 """Engine metrics registry: counters, histograms, snapshots."""
 
-from repro.engine.metrics import Metrics
+import threading
+
+from repro.engine.metrics import _RESERVOIR_SIZE, Metrics
 
 
 class TestCounters:
@@ -41,6 +43,48 @@ class TestHistograms:
         assert h["count"] == 10_000  # totals stay exact
         assert h["max"] == 9999.0
 
+    def test_quantiles_unbiased_over_whole_stream(self):
+        """Regression: the old halving window kept only the most recent
+        burst, so 3x4096 zeros followed by 4096 ones reported p50 = 1.0
+        — the long steady phase was erased.  The whole-stream reservoir
+        keeps ~25% ones, so the median stays at the majority value while
+        p95 still sees the burst."""
+        m = Metrics()
+        for _ in range(3 * _RESERVOIR_SIZE):
+            m.observe("drift", 0.0)
+        for _ in range(_RESERVOIR_SIZE):
+            m.observe("drift", 1.0)
+        h = m.snapshot()["histograms"]["drift"]
+        assert h["count"] == 4 * _RESERVOIR_SIZE
+        assert h["mean"] == 0.25
+        assert h["p50"] < 0.5  # pre-fix: 1.0 (zeros phase erased)
+        assert h["p95"] == 1.0  # the burst is still represented
+
+    def test_reservoir_memory_bounded(self):
+        m = Metrics()
+        for i in range(10 * _RESERVOIR_SIZE):
+            m.observe("x", float(i))
+        hist = m._histograms["x"]
+        assert len(hist.reservoir) == _RESERVOIR_SIZE
+        assert hist.count == 10 * _RESERVOIR_SIZE
+
+    def test_exact_quantiles_below_reservoir_bound(self):
+        m = Metrics()
+        for i in range(101):
+            m.observe("x", float(i))
+        h = m.snapshot()["histograms"]["x"]
+        assert h["p50"] == 50.0
+        assert h["p95"] == 95.0
+
+    def test_snapshots_deterministic_for_same_stream(self):
+        def run():
+            m = Metrics()
+            for i in range(3 * _RESERVOIR_SIZE):
+                m.observe("latency.dp", float(i % 997))
+            return m.snapshot()
+
+        assert run() == run()
+
     def test_reset(self):
         m = Metrics()
         m.incr("a")
@@ -48,6 +92,76 @@ class TestHistograms:
         m.reset()
         snap = m.snapshot()
         assert snap["counters"] == {} and snap["histograms"] == {}
+
+
+class TestConcurrency:
+    """The registry's invariants hold under concurrent recording."""
+
+    def test_counters_and_histograms_under_threads(self):
+        m = Metrics()
+        n_threads, per_thread = 8, 500
+
+        def work(tid):
+            for i in range(per_thread):
+                m.incr("requests")
+                m.observe("latency.auto", float(tid * per_thread + i))
+
+        threads = [
+            threading.Thread(target=work, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        expected = n_threads * per_thread
+        assert m.counter("requests") == expected
+        h = m.snapshot()["histograms"]["latency.auto"]
+        assert h["count"] == expected
+        assert h["min"] == 0.0 and h["max"] == float(expected - 1)
+
+    def test_concurrent_route_many_counts_every_request(self):
+        """Counters stay monotone and the latency histogram records one
+        observation per completed request when route_many batches run
+        from several threads against one engine."""
+        from repro.engine import EngineConfig, RoutingEngine
+        from repro.generators.random_instances import (
+            random_channel,
+            random_feasible_instance,
+        )
+
+        engine = RoutingEngine(EngineConfig(jobs=1, cache=False))
+        batches = []
+        for b in range(3):
+            batch = []
+            for i in range(4):
+                ch = random_channel(4, 20, 4.0, seed=10 * b + i)
+                batch.append(
+                    (ch, random_feasible_instance(ch, 5, seed=50 + 10 * b + i))
+                )
+            batches.append(batch)
+
+        errors = []
+
+        def run(batch):
+            try:
+                engine.route_many(batch)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(b,)) for b in batches]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        total = sum(len(b) for b in batches)
+        assert engine.metrics.counter("requests") == total
+        snap = engine.stats()
+        observed = sum(
+            h["count"] for name, h in snap["histograms"].items()
+            if name.startswith("latency.")
+        )
+        assert observed == total
 
 
 class TestRender:

@@ -138,6 +138,102 @@ class TestBatch:
         assert "manifest" in capsys.readouterr().err
 
 
+class TestBatchResume:
+    def test_resume_missing_journal_is_typed_error(self, instance_file, tmp_path, capsys):
+        journal = tmp_path / "never_written.jsonl"
+        code = main([
+            "batch", instance_file,
+            "--checkpoint", str(journal), "--resume",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot resume" in err
+        assert "does not exist" in err
+        assert str(journal) in err
+        assert "Traceback" not in err
+
+    def test_resume_empty_journal_is_typed_error(self, instance_file, tmp_path, capsys):
+        journal = tmp_path / "empty.jsonl"
+        journal.write_text("")
+        code = main([
+            "batch", instance_file,
+            "--checkpoint", str(journal), "--resume",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "cannot resume" in err
+        assert "no records" in err
+        assert str(journal) in err
+        assert "Traceback" not in err
+
+    def test_resume_with_records_still_works(self, instance_file, tmp_path, capsys):
+        journal = str(tmp_path / "ck.jsonl")
+        assert main(["batch", instance_file, "--checkpoint", journal]) == 0
+        capsys.readouterr()
+        assert main([
+            "batch", instance_file, "--checkpoint", journal, "--resume",
+        ]) == 0
+        assert "1/1 routed" in capsys.readouterr().out
+
+
+class TestObservabilityCLI:
+    def test_batch_trace_and_metrics_out(self, instance_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        stats = tmp_path / "stats.json"
+        assert main([
+            "batch", instance_file, instance_file,
+            "--trace", str(trace), "--metrics-out", str(stats),
+        ]) == 0
+        from repro.obs.report import build_traces, load_spans
+
+        traces = build_traces(load_spans(str(trace)))
+        assert len(traces) == 2
+        snap = json.loads(stats.read_text())
+        assert snap["counters"]["requests"] == 2
+        # trace IDs surface in the batch JSON report
+        capsys.readouterr()
+        assert main([
+            "batch", instance_file, "--format", "json",
+            "--trace", str(tmp_path / "t2.jsonl"),
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["trace_id"]
+
+    def test_route_trace_flag(self, instance_file, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main([
+            "route", instance_file, "--k", "1", "--trace", str(trace),
+        ]) == 0
+        from repro.obs.report import build_traces, load_spans
+
+        (t,) = build_traces(load_spans(str(trace))).values()
+        assert t.root["name"] == "request"
+
+    def test_stats_subcommand_renders_snapshot(self, instance_file, tmp_path, capsys):
+        stats = tmp_path / "stats.json"
+        assert main([
+            "batch", instance_file, "--metrics-out", str(stats),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(stats)]) == 0
+        out = capsys.readouterr().out
+        assert "engine stats:" in out and "requests" in out
+        assert main(["stats", str(stats), "--format", "prom"]) == 0
+        prom = capsys.readouterr().out
+        assert "segroute_requests_total 1" in prom
+        assert "# TYPE segroute_latency_seconds summary" in prom
+        assert main(["stats", str(stats), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["counters"]["requests"] == 1
+
+    def test_stats_rejects_non_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        assert main(["stats", str(bad)]) == 1
+        assert "not a metrics snapshot" in capsys.readouterr().err
+
+
 class TestRender:
     def test_render(self, instance_file, capsys):
         assert main(["render", instance_file]) == 0

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Analyze a JSONL trace written by ``segroute --trace``.
+
+Thin CLI over :mod:`repro.obs.report`: validates every span's schema and
+every trace's parent/child link structure, then prints the aggregate
+summary — per-phase time breakdown, cache-hit/fallback/retry/error
+rates, and the slowest requests.
+
+Exit status is non-zero when the file fails validation, or when
+``--min-spans-per-request`` is given and some trace has fewer spans than
+required (CI's trace-smoke job uses this to prove tracing actually
+instrumented each request).
+
+Usage:
+    python tools/trace_report.py trace.jsonl
+    python tools/trace_report.py trace.jsonl --json
+    python tools/trace_report.py trace.jsonl --min-spans-per-request 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.obs.report import (  # noqa: E402
+    TraceError,
+    build_traces,
+    load_spans,
+    render_summary,
+    summarize,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="validate and summarize a segroute JSONL trace file"
+    )
+    parser.add_argument("trace", help="JSONL trace file (segroute --trace)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the summary as JSON instead of text",
+    )
+    parser.add_argument(
+        "--min-spans-per-request", type=int, default=None, metavar="N",
+        help="fail unless every trace holds at least N spans",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        spans = load_spans(args.trace)
+        traces = build_traces(spans)
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    failures = 0
+    if args.min_spans_per_request is not None:
+        for trace in traces.values():
+            if len(trace.spans) < args.min_spans_per_request:
+                print(
+                    f"error: trace {trace.trace_id} has only "
+                    f"{len(trace.spans)} span(s), expected >= "
+                    f"{args.min_spans_per_request}",
+                    file=sys.stderr,
+                )
+                failures += 1
+
+    summary = summarize(traces)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        sys.stdout.write(render_summary(summary))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
