@@ -21,5 +21,8 @@ Quickstart::
 from repro.core import *  # noqa: F401,F403 - the curated core namespace
 from repro.core import __all__ as _core_all
 
-__version__ = "1.0.0"
+# The single source of truth for the project version: pyproject.toml
+# declares `dynamic = ["version"]` and reads this attribute at build
+# time, and `segroute --version` reports it for source-tree runs.
+__version__ = "1.1.0"
 __all__ = list(_core_all) + ["__version__"]

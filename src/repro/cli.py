@@ -20,14 +20,22 @@ Usage (also available as ``python -m repro``)::
                     -o OUT.sch
     segroute chip NETLIST.net --rows R --cells-per-row C [--timing]
     segroute bench [--quick] [--check] [--repeats N] [-o BENCH_kernels.json]
+    segroute serve [--port P] [--http-port P] [--max-batch B]
+                   [--max-wait-ms MS] [--max-queue Q] [--rate R]
+                   [--jobs N] [--timeout S] [--trace TRACE.jsonl]
+    segroute loadgen [INSTANCE ...] [--manifest FILE.jsonl]
+                     [--requests N] [--mode closed|open] [--concurrency C]
+                     [--rate R] [--deadline-ms MS] [-o REPORT.json]
 
 Subcommands map 1:1 onto the library: ``route`` runs any of the paper's
 algorithms on an ``.sch`` instance, ``batch`` routes many instances
 through the :mod:`repro.engine` worker pool, ``render`` draws an
 instance, ``generate`` writes a random feasible one, ``reduce``
 emits a Theorem-1/2 NP-completeness instance from a numerical matching
-problem, and ``bench`` runs the reference-vs-packed kernel benchmark
-(the perf-regression harness; see docs/PERFORMANCE.md).
+problem, ``bench`` runs the reference-vs-packed kernel benchmark
+(the perf-regression harness; see docs/PERFORMANCE.md), ``serve``
+exposes the engine over the network (see docs/SERVING.md), and
+``loadgen`` drives open-/closed-loop traffic at a running server.
 """
 
 from __future__ import annotations
@@ -57,10 +65,32 @@ from repro.viz.render import render_channel, render_connections, render_routing
 __all__ = ["main"]
 
 
+def _version() -> str:
+    """Version of the code that is actually running.
+
+    ``repro.__version__`` is the single source of truth
+    (``pyproject.toml`` reads the same attribute via
+    ``[tool.setuptools.dynamic]``); ``importlib.metadata`` is only the
+    fallback for exotic installs where the attribute is absent, since
+    dist metadata can be stale next to a newer source tree.
+    """
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - broken install
+        from importlib.metadata import version
+
+        return version("repro")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="segroute",
         description="Segmented channel routing (Roychowdhury/Greene/El Gamal)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -266,6 +296,111 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "-o", "--output", default="BENCH_kernels.json",
         help="report path (default: BENCH_kernels.json)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="serve the engine over newline-delimited JSON"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7455,
+        help="protocol port (0 picks an ephemeral port; default: 7455)",
+    )
+    p_serve.add_argument(
+        "--http-port", type=int, default=7456,
+        help="admin port: /healthz /readyz /metrics (default: 7456)",
+    )
+    p_serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="engine workers per micro-batch (default: 1)",
+    )
+    p_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request engine deadline in seconds",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=16,
+        help="micro-batch window size bound (default: 16)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms", type=float, default=5.0,
+        help="micro-batch window age bound in ms (default: 5)",
+    )
+    p_serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission bound on in-flight requests (default: 64)",
+    )
+    p_serve.add_argument(
+        "--rate", type=float, default=None,
+        help="token-bucket rate in req/s (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--burst", type=float, default=None,
+        help="token-bucket burst capacity (default: 1s of --rate)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds to wait for in-flight work on SIGTERM (default: 10)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--trace", metavar="TRACE.jsonl",
+        help="write one JSON span per line for every request",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive open-/closed-loop traffic at a server"
+    )
+    p_load.add_argument(
+        "instances", nargs="*",
+        help=".sch paths or @name registry instances for the corpus "
+             "(default: a generated corpus of --corpus-size instances)",
+    )
+    p_load.add_argument(
+        "--manifest",
+        help="JSONL manifest: one {\"path\": ..., \"k\": ...} per line",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=7455)
+    p_load.add_argument(
+        "--requests", type=int, default=100,
+        help="total requests to send (default: 100)",
+    )
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed: --concurrency workers; open: --rate arrivals/s",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=8,
+        help="closed-loop worker count (default: 8)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=None,
+        help="open-loop arrival rate in req/s",
+    )
+    p_load.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-request latency budget carried to the admission layer",
+    )
+    p_load.add_argument("--k", type=int, default=None, help="K-segment limit")
+    p_load.add_argument(
+        "--weight", choices=("none", "length", "segments"), default="none",
+    )
+    p_load.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="auto",
+    )
+    p_load.add_argument(
+        "--corpus-size", type=int, default=16,
+        help="generated corpus size when no instances are given",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="client-side per-request timeout in seconds",
+    )
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "-o", "--output", default=None,
+        help="also write the JSON report here",
     )
     return parser
 
@@ -610,6 +745,56 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import RoutingServer, ServeConfig
+
+    sink = _trace_sink(args)
+    server = RoutingServer(ServeConfig(
+        host=args.host, port=args.port, http_port=args.http_port,
+        jobs=args.jobs, timeout=args.timeout, max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
+        rate=args.rate, burst=args.burst, drain_grace=args.drain_grace,
+        seed=args.seed,
+    ), trace_sink=sink)
+    try:
+        asyncio.run(server.run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.loadgen import render_report, run_loadgen
+
+    corpus = None
+    if args.instances or args.manifest:
+        specs = _load_batch_specs(args)
+        corpus = [(*_load(spec), k) for spec, k in specs]
+    report = run_loadgen(
+        args.host, args.port,
+        corpus=corpus, corpus_size=args.corpus_size,
+        requests=args.requests, mode=args.mode,
+        concurrency=args.concurrency, rate=args.rate,
+        deadline_ms=args.deadline_ms,
+        weight=None if args.weight == "none" else args.weight,
+        algorithm=args.algorithm, timeout=args.timeout, seed=args.seed,
+    )
+    print(render_report(report))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            _json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if report["protocol_errors"] == 0 else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -623,6 +808,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "reduce": _cmd_reduce,
         "chip": _cmd_chip,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }[args.command]
     try:
         return handler(args)

@@ -119,3 +119,34 @@ class CheckpointError(EngineError):
     journaled result does not validate against the instance it claims to
     solve (e.g. the manifest changed between runs).
     """
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the :mod:`repro.serve` subsystem."""
+
+
+class ProtocolError(ServeError):
+    """A wire message violates the serving protocol.
+
+    Raised for lines that are not JSON objects, carry an unsupported
+    protocol version, name an unknown operation, or embed an instance
+    payload that cannot be parsed.  The server answers with a typed
+    ``error`` response instead of dropping the connection.
+    """
+
+
+class AdmissionRejected(ServeError):
+    """A request was refused by the admission layer instead of queued.
+
+    ``status`` distinguishes the two refusal kinds: ``"shed"`` for
+    deadline-doomed work (the estimated queue wait exceeds the request's
+    remaining deadline, so queuing it would only produce a timeout) and
+    ``"overloaded"`` for capacity refusals (admission queue full, or the
+    token-bucket rate limit is exhausted).  Clients should back off and
+    retry ``overloaded`` rejections; ``shed`` rejections are final for
+    the given deadline.
+    """
+
+    def __init__(self, message: str = "", status: str = "overloaded") -> None:
+        super().__init__(message)
+        self.status = status

@@ -28,6 +28,7 @@ from repro.engine.config import EngineConfig, default_jobs
 from repro.engine.engine import (
     BatchResult,
     RoutingEngine,
+    close_default_engine,
     default_engine,
     reset_stats,
     route_many,
@@ -51,6 +52,7 @@ __all__ = [
     "stats",
     "reset_stats",
     "default_engine",
+    "close_default_engine",
     "default_jobs",
     "InstanceCache",
     "canonical_key",

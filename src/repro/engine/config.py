@@ -81,6 +81,15 @@ class EngineConfig:
         Optional :class:`~repro.engine.resilience.FaultPlan` injecting
         deterministic worker crashes/hangs/corruption — the chaos-test
         hook, never set in production.
+    keep_pool:
+        Keep one :class:`~repro.engine.resilience.SupervisedExecutor`
+        (and its worker pool) alive across ``route_many`` calls instead
+        of building and tearing one down per batch.  This is the serving
+        mode — :mod:`repro.serve` feeds the engine a stream of
+        micro-batches and cannot afford pool start-up per window — and
+        it obliges the owner to call :meth:`RoutingEngine.close` (or use
+        the engine as a context manager) so the workers are released
+        deterministically.
     """
 
     jobs: int = 1
@@ -94,6 +103,7 @@ class EngineConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     watchdog: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
+    keep_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 0:

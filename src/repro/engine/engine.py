@@ -19,6 +19,7 @@ A module-level default engine backs the convenience functions
 
 from __future__ import annotations
 
+import atexit
 import os
 import signal
 import threading
@@ -29,7 +30,12 @@ from typing import Iterable, Iterator, Optional, Sequence, Union
 from repro.core.api import ALGORITHMS
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import CheckpointError, ValidationError, WorkerCrashError
+from repro.core.errors import (
+    CheckpointError,
+    EngineError,
+    ValidationError,
+    WorkerCrashError,
+)
 from repro.core.routing import Routing
 from repro.engine.cache import (
     InstanceCache,
@@ -63,10 +69,17 @@ __all__ = [
     "stats",
     "reset_stats",
     "default_engine",
+    "close_default_engine",
 ]
 
 Instance = tuple[SegmentedChannel, ConnectionSet]
 MaxSegmentsArg = Union[None, int, Sequence[Optional[int]]]
+
+#: Per-instance external trace context: ``(trace_id, parent_span_id)``.
+#: When a caller (e.g. the :mod:`repro.serve` server) already opened a
+#: span for the request, the engine joins that trace instead of deriving
+#: its own, so one connected tree spans client → server → worker.
+TraceParent = tuple[str, str]
 
 
 @dataclass
@@ -119,6 +132,44 @@ class RoutingEngine:
         self.trace_sink = trace_sink
         self._trace_lock = threading.Lock()
         self._batch_seq = 0
+        self._closed = False
+        self._supervisor: Optional[SupervisedExecutor] = None
+        self._supervisor_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release every resource the engine holds (idempotent).
+
+        Tears down the persistent supervisor/worker pool kept by
+        ``keep_pool`` engines and marks the engine closed; subsequent
+        routing calls raise :class:`~repro.core.errors.EngineError`.
+        Ephemeral pools (the default mode) are torn down by each
+        ``route_many`` call already, so for them ``close`` only fences
+        off further use.  A long-lived process (the :mod:`repro.serve`
+        server, a notebook) should close engines deterministically
+        rather than leaking pools until interpreter exit.
+        """
+        self._closed = True
+        with self._supervisor_lock:
+            supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.close()
+
+    def __enter__(self) -> "RoutingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise EngineError("engine is closed")
 
     # ------------------------------------------------------------------
     # tracing plumbing
@@ -130,16 +181,33 @@ class RoutingEngine:
             return self._batch_seq
 
     def _start_trace(
-        self, batch_no: int, index: int, key, algorithm: str
+        self,
+        batch_no: int,
+        index: int,
+        key,
+        algorithm: str,
+        parent: Optional[TraceParent] = None,
     ) -> tuple[Optional[SpanCollector], Optional[ActiveSpan]]:
-        """Open the root ``request`` span for one request (or no-op)."""
+        """Open the root ``request`` span for one request (or no-op).
+
+        With an external ``parent`` — ``(trace_id, parent_span_id)`` from
+        a caller that already opened a span, e.g. the serving layer —
+        the request span joins that trace as a child instead of rooting
+        a freshly derived one.
+        """
         if self.trace_sink is None:
             return None, None
-        trace_id = derive_trace_id(
-            self.config.seed, f"{batch_no}:{index}:{key!r}"
-        )
+        if parent is not None:
+            trace_id, parent_span = parent
+        else:
+            trace_id = derive_trace_id(
+                self.config.seed, f"{batch_no}:{index}:{key!r}"
+            )
+            parent_span = ""
         collector = SpanCollector(trace_id, "p")
-        root = collector.start("request", index=index, algorithm=algorithm)
+        root = collector.start(
+            "request", parent_id=parent_span, index=index, algorithm=algorithm
+        )
         return collector, root
 
     def _finish_trace(
@@ -218,6 +286,7 @@ class RoutingEngine:
         timeout: Optional[float],
         portfolio: bool,
     ) -> BatchResult:
+        self._ensure_open()
         self.metrics.incr("requests")
         result = BatchResult(
             index=0, channel=channel, connections=connections,
@@ -350,6 +419,7 @@ class RoutingEngine:
         jobs: Optional[int] = None,
         timeout: Optional[float] = None,
         journal: Optional[CheckpointJournal] = None,
+        trace_parents: Optional[Sequence[Optional[TraceParent]]] = None,
     ) -> list[BatchResult]:
         """Route a batch of instances, in input order.
 
@@ -376,6 +446,14 @@ class RoutingEngine:
             restored — after independent re-validation — instead of
             re-run, so an interrupted batch re-runs only the lost work
             and still returns bit-identical results.
+        trace_parents:
+            Optional per-instance external trace context,
+            ``(trace_id, parent_span_id)`` or ``None``.  When the engine
+            has a trace sink, an instance with a trace parent emits its
+            ``request`` span as a *child* of that span in the given
+            trace (each instance's trace ID must be distinct), which is
+            how the serving layer stitches client → server → worker
+            spans into one tree.
 
         Failed requests do not raise: each :class:`BatchResult` carries
         either a validated routing or a typed error name + message, so
@@ -383,8 +461,10 @@ class RoutingEngine:
         and corrupt results are retried (then quarantined) under the
         config's :class:`~repro.engine.resilience.RetryPolicy`.
         """
+        self._ensure_open()
         pairs = list(instances)
         k_list = self._per_instance_k(max_segments, len(pairs))
+        parents = self._per_instance_parents(trace_parents, len(pairs))
         weight = self._check_weight(weight)
         algorithm = self._check_algorithm(algorithm)
         jobs = self.config.effective_jobs if jobs is None else max(jobs, 1)
@@ -402,7 +482,9 @@ class RoutingEngine:
             self.metrics.incr("requests")
             key = canonical_key(channel, connections, k_list[i], weight, algorithm)
             keys[i] = key
-            collector, root = self._start_trace(batch_no, i, key, algorithm)
+            collector, root = self._start_trace(
+                batch_no, i, key, algorithm, parents[i]
+            )
             if collector is not None:
                 traces[i] = (collector, root)
             if journal is not None:
@@ -483,11 +565,14 @@ class RoutingEngine:
         if not tasks:
             return
         config = self.config
-        if jobs == 1 or len(tasks) == 1:
+        if jobs == 1 or (len(tasks) == 1 and not config.keep_pool):
             yield from run_sequential(
                 tasks, seed=config.seed, policy=config.retry,
                 fault_plan=config.fault_plan, metrics=self.metrics,
             )
+            return
+        if config.keep_pool:
+            yield from self._run_persistent(tasks, jobs)
             return
         supervisor = SupervisedExecutor(
             min(jobs, len(tasks)), seed=config.seed, policy=config.retry,
@@ -495,6 +580,28 @@ class RoutingEngine:
             metrics=self.metrics,
         )
         yield from supervisor.run(tasks)
+
+    def _run_persistent(
+        self, tasks: list[RouteTask], jobs: int
+    ) -> Iterator[TaskOutcome]:
+        """Run tasks on the engine-owned persistent supervisor.
+
+        The supervisor (and its worker pool) survives across calls; the
+        lock both protects lazy creation and serializes batches — the
+        supervisor's scheduling loop is single-batch by design, and the
+        serving layer already funnels all traffic through one dispatch
+        thread.  :meth:`close` tears the pool down.
+        """
+        config = self.config
+        with self._supervisor_lock:
+            self._ensure_open()
+            if self._supervisor is None:
+                self._supervisor = SupervisedExecutor(
+                    jobs, seed=config.seed, policy=config.retry,
+                    fault_plan=config.fault_plan, watchdog=config.watchdog,
+                    metrics=self.metrics, persistent=True,
+                )
+            yield from self._supervisor.run(tasks)
 
     # ------------------------------------------------------------------
     # checkpoint plumbing
@@ -751,6 +858,20 @@ class RoutingEngine:
             )
         return k_list
 
+    @staticmethod
+    def _per_instance_parents(
+        trace_parents: Optional[Sequence[Optional[TraceParent]]], n: int
+    ) -> list[Optional[TraceParent]]:
+        if trace_parents is None:
+            return [None] * n
+        parents = list(trace_parents)
+        if len(parents) != n:
+            raise ValueError(
+                f"trace_parents sequence has {len(parents)} entries "
+                f"for {n} instances"
+            )
+        return parents
+
     def _check_weight(self, weight):
         if (
             weight is not None
@@ -799,11 +920,31 @@ _default_engine: Optional[RoutingEngine] = None
 
 
 def default_engine() -> RoutingEngine:
-    """The process-wide default engine (created on first use)."""
+    """The process-wide default engine (created on first use).
+
+    An :mod:`atexit` hook closes it at interpreter shutdown, so worker
+    pools never outlive the process by accident; call
+    :func:`close_default_engine` to release it earlier.
+    """
     global _default_engine
     if _default_engine is None:
         _default_engine = RoutingEngine()
     return _default_engine
+
+
+def close_default_engine() -> None:
+    """Close and discard the default engine (if one was ever created).
+
+    The next :func:`default_engine` call starts a fresh one, so this is
+    safe to call from tests and from the registered exit hook alike.
+    """
+    global _default_engine
+    engine, _default_engine = _default_engine, None
+    if engine is not None:
+        engine.close()
+
+
+atexit.register(close_default_engine)
 
 
 def route_many(instances: Iterable[Instance], **kwargs) -> list[BatchResult]:

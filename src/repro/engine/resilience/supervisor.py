@@ -256,6 +256,13 @@ class SupervisedExecutor:
     Owns the worker pool, the heartbeat queue, and the per-task ledgers;
     ``run`` yields :class:`TaskOutcome` objects as tasks finalize
     (out of input order — callers index by ``outcome.index``).
+
+    By default the pool is torn down when ``run`` finishes, so a batch
+    leaves no worker processes behind.  With ``persistent=True`` the
+    pool survives across ``run`` calls — the mode a long-lived server
+    uses to avoid paying pool start-up per micro-batch — and the owner
+    must call :meth:`close` (or use the executor as a context manager)
+    to release the workers deterministically.
     """
 
     def __init__(
@@ -267,6 +274,7 @@ class SupervisedExecutor:
         fault_plan: Optional[FaultPlan] = None,
         watchdog: Optional[float] = None,
         metrics: Optional[Metrics] = None,
+        persistent: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -276,9 +284,20 @@ class SupervisedExecutor:
         self.fault_plan = fault_plan
         self.watchdog = watchdog
         self.metrics = metrics
+        self.persistent = persistent
         self._ctx = _mp_context()
         self._heartbeats = self._ctx.SimpleQueue()
         self._pool: Optional[ProcessPoolExecutor] = None
+
+    def close(self) -> None:
+        """Tear down the worker pool now (idempotent; kills hung workers)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "SupervisedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _incr(self, name: str, amount: int = 1) -> None:
@@ -376,7 +395,8 @@ class SupervisedExecutor:
                         yield outcome
                 self._check_watchdog(states, started)
         finally:
-            self._teardown_pool()
+            if not self.persistent:
+                self._teardown_pool()
 
     # ------------------------------------------------------------------
     def _drain_heartbeats(

@@ -20,6 +20,8 @@ __all__ = [
     "routing_from_json",
     "batch_report",
     "batch_to_json",
+    "result_record",
+    "digest_records",
     "result_stream_digest",
 ]
 
@@ -165,7 +167,38 @@ def batch_to_json(results, labels=None) -> str:
             record["error_type"] = r.error_type
             record["error"] = r.error
         records.append(record)
-    return json.dumps({"results": records}, indent=2)
+    return json.dumps(
+        {"results": records, "digest": result_stream_digest(results)},
+        indent=2,
+    )
+
+
+def result_record(index, ok, assignment, error_type) -> dict:
+    """The canonical per-result record hashed by :func:`digest_records`.
+
+    Shared by every producer of a result digest — the offline engine
+    (:func:`result_stream_digest` over ``BatchResult`` objects) and the
+    serving layer (:mod:`repro.serve`, which reconstructs records from
+    wire responses) — so online and offline runs of the same instances
+    can be compared byte-for-byte.
+    """
+    return {
+        "index": index,
+        "ok": bool(ok),
+        "assignment": list(assignment) if assignment is not None else None,
+        "error_type": error_type,
+    }
+
+
+def digest_records(records) -> str:
+    """SHA-256 over an iterable of :func:`result_record` dicts, in order."""
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(
+            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def result_stream_digest(results) -> str:
@@ -176,24 +209,19 @@ def result_stream_digest(results) -> str:
     deliberately excluding durations, cache hits, and the winning
     algorithm, which legitimately vary across runs.  Two runs of the
     same batch (different ``jobs``, an interrupted-then-resumed run, a
-    fault-injected chaos run) are bit-identical iff their digests match;
-    the chaos suite asserts exactly that.
+    fault-injected chaos run, a batch served over the network by
+    :mod:`repro.serve`) are bit-identical iff their digests match; the
+    chaos suite and the serving end-to-end tests assert exactly that.
     """
-    digest = hashlib.sha256()
-    for r in results:
-        record = {
-            "index": r.index,
-            "ok": r.routing is not None,
-            "assignment": (
-                list(r.routing.assignment) if r.routing is not None else None
-            ),
-            "error_type": r.error_type,
-        }
-        digest.update(
-            json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+    return digest_records(
+        result_record(
+            r.index,
+            r.routing is not None,
+            r.routing.assignment if r.routing is not None else None,
+            r.error_type,
         )
-        digest.update(b"\n")
-    return digest.hexdigest()
+        for r in results
+    )
 
 
 def routing_from_json(text: str) -> Routing:

@@ -1,0 +1,61 @@
+"""repro.serve — asyncio routing service in front of the engine.
+
+The paper routes each channel "in a fraction of a second"; this package
+turns that into an online service: a newline-delimited JSON protocol
+(:mod:`.protocol`), an admission layer with a bounded queue,
+token-bucket rate limiting, and deadline-aware load shedding
+(:mod:`.admission`), a micro-batcher that coalesces concurrent requests
+into :meth:`~repro.engine.RoutingEngine.route_many` windows
+(:mod:`.batcher`), the server itself with health/readiness probes, a
+Prometheus ``/metrics`` endpoint, and graceful drain on SIGTERM
+(:mod:`.server`), a sync + async client SDK (:mod:`.client`), and an
+open-/closed-loop load generator (:mod:`.loadgen`).  See
+``docs/SERVING.md`` for the architecture and knobs.
+
+Quickstart (server)::
+
+    segroute serve --port 7455 --http-port 7456 --max-batch 16
+
+Quickstart (client)::
+
+    from repro.serve import RoutingClient
+
+    with RoutingClient("127.0.0.1", 7455) as client:
+        result = client.route(channel, connections, max_segments=2)
+        assert result.ok and result.assignment is not None
+"""
+
+from repro.core.errors import AdmissionRejected, ProtocolError, ServeError
+from repro.serve.admission import AdmissionController, AdmissionDecision
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.client import AsyncRoutingClient, RoutingClient, ServeResult
+from repro.serve.loadgen import run_loadgen
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHED,
+)
+from repro.serve.server import RoutingServer, ServeConfig
+
+__all__ = [
+    "RoutingServer",
+    "ServeConfig",
+    "RoutingClient",
+    "AsyncRoutingClient",
+    "ServeResult",
+    "AdmissionController",
+    "AdmissionDecision",
+    "MicroBatcher",
+    "PendingRequest",
+    "run_loadgen",
+    "PROTOCOL_VERSION",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_SHED",
+    "STATUS_OVERLOADED",
+    "ServeError",
+    "ProtocolError",
+    "AdmissionRejected",
+]

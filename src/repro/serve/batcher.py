@@ -1,0 +1,249 @@
+"""Micro-batching: coalesce concurrent requests into ``route_many`` windows.
+
+The engine's batch API amortizes canonical-key computation, cache
+bookkeeping, and (with ``keep_pool``) worker-pool scheduling across a
+whole batch; feeding it singletons throws that away.  The
+:class:`MicroBatcher` sits between the asyncio request handlers and the
+engine: admitted requests land on an internal queue, and a single
+dispatcher task closes a *window* when either ``max_batch`` requests
+have accumulated or ``max_wait`` seconds have passed since the window
+opened — the classic latency/throughput knob pair.
+
+Each window is partitioned by ``(weight, algorithm)`` (the two
+parameters ``route_many`` fixes per call; ``max_segments`` rides along
+per instance) and dispatched on a dedicated single worker thread, so
+the event loop never blocks on routing and windows are processed in
+order.  Requests whose deadline expired while queued are failed with a
+``shed``-typed :class:`~repro.core.errors.AdmissionRejected` *before*
+the engine sees them — a doomed request costs the solver nothing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Optional
+
+from repro.core.errors import AdmissionRejected, ServeError
+from repro.engine.engine import RoutingEngine
+from repro.engine.metrics import Metrics
+from repro.serve.protocol import STATUS_SHED, RouteRequest
+
+__all__ = ["MicroBatcher", "PendingRequest"]
+
+#: Queue sentinel that tells the dispatcher loop to flush and exit.
+_STOP = object()
+
+
+@dataclass
+class PendingRequest:
+    """One admitted request waiting for its window."""
+
+    request: RouteRequest
+    future: asyncio.Future
+    enqueued_at: float = field(default_factory=time.monotonic)
+    #: Absolute monotonic deadline, or ``None`` when the request has none.
+    deadline_at: Optional[float] = None
+    #: ``(trace_id, parent_span_id)`` handed to the engine, or ``None``.
+    trace_parent: Optional[tuple[str, str]] = None
+
+
+class MicroBatcher:
+    """Window-building dispatcher in front of one :class:`RoutingEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine every window is routed through.
+    max_batch:
+        Window size bound: a window dispatches as soon as this many
+        requests are waiting.
+    max_wait:
+        Window age bound in seconds: a non-empty window dispatches at
+        latest this long after its first request arrived.  ``0`` makes
+        the batcher a pass-through (batches form only from genuinely
+        concurrent arrivals).
+    jobs / timeout:
+        Passed through to :meth:`RoutingEngine.route_many`.
+    metrics:
+        Optional serve-side :class:`~repro.engine.metrics.Metrics`
+        registry (``serve.batches``, ``serve.batch_size``,
+        ``serve.queue_wait`` histograms).
+    service_observer:
+        Optional callback fed the per-request service time of each
+        dispatched window (window wall time / window size) — the
+        admission controller's EWMA input.
+    """
+
+    def __init__(
+        self,
+        engine: RoutingEngine,
+        *,
+        max_batch: int = 16,
+        max_wait: float = 0.005,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        metrics: Optional[Metrics] = None,
+        service_observer=None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.engine = engine
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self.jobs = jobs
+        self.timeout = timeout
+        self.metrics = metrics
+        self.service_observer = service_observer
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-dispatch"
+        )
+        self._task: Optional[asyncio.Task] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the dispatcher task (call from a running event loop)."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="serve-batcher"
+            )
+
+    async def submit(self, pending: PendingRequest):
+        """Queue one admitted request; resolves with its ``BatchResult``.
+
+        Raises the typed rejection/teardown error set by the dispatcher
+        (``AdmissionRejected`` for in-queue deadline expiry,
+        ``ServeError`` if the batcher closed underneath the request).
+        """
+        if self._closed:
+            raise ServeError("batcher is closed")
+        await self._queue.put(pending)
+        return await pending.future
+
+    async def close(self) -> None:
+        """Flush queued requests, then stop the dispatcher (idempotent).
+
+        Every request already queued is still dispatched — graceful
+        drain means no admitted work is dropped — and only then does the
+        dispatcher exit and the dispatch thread shut down.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._task is not None:
+            await self._queue.put(_STOP)
+            await self._task
+            self._task = None
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    def _incr(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.incr(name, amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.observe(name, value)
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        stopping = False
+        while not stopping:
+            first = await self._queue.get()
+            if first is _STOP:
+                break
+            window = [first]
+            closes_at = loop.time() + self.max_wait
+            while len(window) < self.max_batch:
+                remaining = closes_at - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(
+                        self._queue.get(), remaining
+                    )
+                except asyncio.TimeoutError:
+                    break
+                if item is _STOP:
+                    stopping = True
+                    break
+                window.append(item)
+            await self._dispatch(window)
+        # Flush anything that arrived behind the sentinel.
+        tail: list[PendingRequest] = []
+        while not self._queue.empty():
+            item = self._queue.get_nowait()
+            if item is not _STOP:
+                tail.append(item)
+        if tail:
+            await self._dispatch(tail)
+
+    async def _dispatch(self, window: list[PendingRequest]) -> None:
+        """Shed expired requests, then route one window through the engine."""
+        now = time.monotonic()
+        live: list[PendingRequest] = []
+        for pending in window:
+            if pending.future.cancelled():
+                continue
+            if pending.deadline_at is not None and now > pending.deadline_at:
+                pending.future.set_exception(AdmissionRejected(
+                    "deadline expired while queued "
+                    f"(waited {(now - pending.enqueued_at) * 1000:.1f}ms)",
+                    status=STATUS_SHED,
+                ))
+                continue
+            live.append(pending)
+            self._observe("serve.queue_wait", now - pending.enqueued_at)
+        if not live:
+            return
+        self._incr("serve.batches")
+        self._observe("serve.batch_size", float(len(live)))
+        started = time.monotonic()
+        for group in self._partition(live):
+            await self._route_group(group)
+        if self.service_observer is not None:
+            self.service_observer(
+                (time.monotonic() - started) / len(live)
+            )
+
+    @staticmethod
+    def _partition(window: list[PendingRequest]) -> list[list[PendingRequest]]:
+        """Split a window by the parameters ``route_many`` fixes per call."""
+        groups: dict[tuple, list[PendingRequest]] = {}
+        for pending in window:
+            key = (pending.request.weight, pending.request.algorithm)
+            groups.setdefault(key, []).append(pending)
+        return list(groups.values())
+
+    async def _route_group(self, group: list[PendingRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        requests = [p.request for p in group]
+        call = partial(
+            self.engine.route_many,
+            [(r.channel, r.connections) for r in requests],
+            max_segments=[r.max_segments for r in requests],
+            weight=requests[0].weight,
+            algorithm=requests[0].algorithm,
+            jobs=self.jobs,
+            timeout=self.timeout,
+            trace_parents=[p.trace_parent for p in group],
+        )
+        try:
+            results = await loop.run_in_executor(self._executor, call)
+        except Exception as exc:
+            for pending in group:
+                if not pending.future.cancelled():
+                    pending.future.set_exception(
+                        ServeError(f"batch dispatch failed: {exc}")
+                    )
+            return
+        for pending, result in zip(group, results):
+            if not pending.future.cancelled():
+                pending.future.set_result(result)

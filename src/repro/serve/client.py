@@ -1,0 +1,425 @@
+"""Client SDK for the routing service: async fan-in and a sync wrapper.
+
+:class:`AsyncRoutingClient` owns one connection and one background
+reader task; because the protocol matches responses to requests by
+``id``, any number of coroutines can have requests in flight at once —
+``route_many`` is just ``asyncio.gather`` over ``route`` and exercises
+the server's micro-batcher for real.  :class:`RoutingClient` is the
+blocking one-request-at-a-time wrapper for scripts and the CLI.
+
+Both clients retry connection establishment with the engine's own
+deterministic backoff policy
+(:func:`repro.engine.resilience.retry.backoff_delay`), so "client
+started before server finished binding" — the normal CI race — is
+absorbed rather than surfaced.
+
+With a ``trace_sink``, every ``route`` call emits a ``client.request``
+span (prefix ``cl``) whose trace ID is derived from ``(seed, request
+id)`` via :func:`~repro.obs.trace.derive_trace_id`, and the trace
+context rides the request so the server's and engine's spans land in
+the *same* trace — ``repro.obs.report`` can then reassemble the full
+client → server → worker tree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ProtocolError, ServeError
+from repro.engine.resilience.retry import RetryPolicy, backoff_delay
+from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_OK,
+    decode,
+    encode,
+    route_request,
+)
+
+__all__ = ["ServeResult", "AsyncRoutingClient", "RoutingClient"]
+
+#: Connection-establishment retries (reuses the engine's backoff shape).
+_CONNECT_POLICY = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=1.0)
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """One ``route`` response, parsed.
+
+    ``status`` is one of the protocol statuses (``ok`` / ``error`` /
+    ``shed`` / ``overloaded``); :attr:`ok` is sugar for the first.
+    ``assignment`` is the raw 0-based track list (present iff ``ok``),
+    ``latency`` the client-observed seconds for the full round trip.
+    """
+
+    request_id: str
+    status: str
+    assignment: Optional[list[int]] = None
+    algorithm: Optional[str] = None
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    duration_ms: float = 0.0
+    latency: float = 0.0
+    trace_id: str = ""
+    raw: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+def _parse_response(message: dict, latency: float) -> ServeResult:
+    return ServeResult(
+        request_id=str(message.get("id") or ""),
+        status=str(message.get("status") or ""),
+        assignment=(
+            list(message["assignment"]) if "assignment" in message else None
+        ),
+        algorithm=message.get("algorithm"),
+        error_type=message.get("error_type"),
+        error=message.get("error"),
+        cache_hit=bool(message.get("cache_hit", False)),
+        duration_ms=float(message.get("duration_ms", 0.0)),
+        latency=latency,
+        trace_id=str(message.get("trace_id", "")),
+        raw=message,
+    )
+
+
+class AsyncRoutingClient:
+    """One connection, many concurrent in-flight requests.
+
+    Use as an async context manager::
+
+        async with AsyncRoutingClient(host, port) as client:
+            results = await client.route_many(instances, max_segments=2)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7455,
+        *,
+        timeout: Optional[float] = 30.0,
+        connect_policy: RetryPolicy = _CONNECT_POLICY,
+        trace_sink: Optional[TraceSink] = None,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_policy = connect_policy
+        self.trace_sink = trace_sink
+        self.seed = seed
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    async def connect(self) -> None:
+        """Open the connection, retrying with deterministic backoff."""
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.connect_policy.max_attempts + 1):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                self._reader_task = asyncio.get_running_loop().create_task(
+                    self._read_loop(), name="serve-client-reader"
+                )
+                return
+            except OSError as exc:
+                last_error = exc
+                if attempt < self.connect_policy.max_attempts:
+                    await asyncio.sleep(backoff_delay(
+                        self.connect_policy, attempt, self.seed, "connect"
+                    ))
+        raise ServeError(
+            f"cannot connect to {self.host}:{self.port}: {last_error}"
+        )
+
+    async def close(self) -> None:
+        """Close the connection and fail anything still in flight."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._writer is not None:
+            self._writer.close()
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending(ServeError("client closed"))
+
+    async def __aenter__(self) -> "AsyncRoutingClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode(line)
+                except ProtocolError as exc:
+                    self._fail_pending(exc)
+                    return
+                request_id = message.get("id")
+                future = self._pending.pop(str(request_id), None)
+                if future is not None and not future.done():
+                    future.set_result(message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # connection reset etc.
+            self._fail_pending(ServeError(f"connection lost: {exc}"))
+        else:
+            self._fail_pending(ServeError("server closed the connection"))
+
+    def _fail_pending(self, error: Exception) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    async def _call(self, message: dict) -> dict:
+        if self._writer is None:
+            raise ServeError("client is not connected (call connect())")
+        if self._closed:
+            raise ServeError("client is closed")
+        request_id = str(message["id"])
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(encode(message))
+            await self._writer.drain()
+        try:
+            if self.timeout is not None:
+                return await asyncio.wait_for(future, self.timeout)
+            return await future
+        except asyncio.TimeoutError:
+            self._pending.pop(request_id, None)
+            raise ServeError(
+                f"request {request_id} timed out after {self.timeout}s"
+            ) from None
+
+    def _next_id(self) -> str:
+        return f"q{next(self._ids)}"
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> dict:
+        """Round-trip a ``ping``; returns the raw response message."""
+        return await self._call({
+            "v": PROTOCOL_VERSION, "id": self._next_id(), "op": "ping",
+        })
+
+    async def stats(self) -> dict:
+        """Fetch the server's merged metrics snapshot."""
+        response = await self._call({
+            "v": PROTOCOL_VERSION, "id": self._next_id(), "op": "stats",
+        })
+        return response.get("stats", {})
+
+    async def route(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        *,
+        max_segments: Optional[int] = None,
+        weight: Optional[str] = None,
+        algorithm: str = "auto",
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResult:
+        """Route one instance; never raises for routing failures.
+
+        Admission refusals and routing errors come back as non-``ok``
+        :class:`ServeResult`\\ s; only transport problems raise.
+        """
+        request_id = self._next_id()
+        collector = root = None
+        trace_id = parent_id = ""
+        if self.trace_sink is not None:
+            trace_id = derive_trace_id(self.seed, f"client:{request_id}")
+            collector = SpanCollector(trace_id, "cl")
+            root = collector.start("client.request", request=request_id)
+            parent_id = root.span_id
+        message = route_request(
+            request_id, channel, connections,
+            max_segments=max_segments, weight=weight, algorithm=algorithm,
+            deadline_ms=deadline_ms, trace_id=trace_id,
+            trace_parent=parent_id,
+        )
+        started = time.monotonic()
+        try:
+            response = await self._call(message)
+        except Exception:
+            if collector is not None:
+                root.set(status="transport-error")
+                root.finish()
+                self.trace_sink.write_all(collector.drain())
+            raise
+        latency = time.monotonic() - started
+        result = _parse_response(response, latency)
+        if collector is not None:
+            root.set(status=result.status)
+            root.finish()
+            self.trace_sink.write_all(collector.drain())
+        return result
+
+    async def route_many(
+        self,
+        instances: Sequence[tuple[SegmentedChannel, ConnectionSet]],
+        *,
+        max_segments=None,
+        weight: Optional[str] = None,
+        algorithm: str = "auto",
+        deadline_ms: Optional[float] = None,
+    ) -> list[ServeResult]:
+        """Fan all instances in concurrently; results in instance order.
+
+        ``max_segments`` may be a single value or one per instance, as
+        in :meth:`RoutingEngine.route_many`.
+        """
+        if max_segments is None or isinstance(max_segments, int):
+            per_instance = [max_segments] * len(instances)
+        else:
+            per_instance = list(max_segments)
+            if len(per_instance) != len(instances):
+                raise ValueError(
+                    f"max_segments has {len(per_instance)} entries for "
+                    f"{len(instances)} instances"
+                )
+        return list(await asyncio.gather(*(
+            self.route(
+                channel, connections, max_segments=k, weight=weight,
+                algorithm=algorithm, deadline_ms=deadline_ms,
+            )
+            for (channel, connections), k in zip(instances, per_instance)
+        )))
+
+
+class RoutingClient:
+    """Blocking single-connection client (one request at a time).
+
+    A thin socket wrapper for scripts and the CLI::
+
+        with RoutingClient(host, port) as client:
+            result = client.route(channel, connections, max_segments=2)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7455,
+        *,
+        timeout: Optional[float] = 30.0,
+        connect_policy: RetryPolicy = _CONNECT_POLICY,
+        seed: int = 0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_policy = connect_policy
+        self.seed = seed
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._ids = itertools.count(1)
+
+    def connect(self) -> None:
+        last_error: Optional[Exception] = None
+        for attempt in range(1, self.connect_policy.max_attempts + 1):
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+                self._file = self._sock.makefile("rb")
+                return
+            except OSError as exc:
+                last_error = exc
+                self._sock = None
+                if attempt < self.connect_policy.max_attempts:
+                    time.sleep(backoff_delay(
+                        self.connect_policy, attempt, self.seed, "connect"
+                    ))
+        raise ServeError(
+            f"cannot connect to {self.host}:{self.port}: {last_error}"
+        )
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "RoutingClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _call(self, message: dict) -> dict:
+        if self._sock is None or self._file is None:
+            raise ServeError("client is not connected (call connect())")
+        self._sock.sendall(encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        return decode(line)
+
+    def _next_id(self) -> str:
+        return f"s{next(self._ids)}"
+
+    def ping(self) -> dict:
+        return self._call({
+            "v": PROTOCOL_VERSION, "id": self._next_id(), "op": "ping",
+        })
+
+    def stats(self) -> dict:
+        response = self._call({
+            "v": PROTOCOL_VERSION, "id": self._next_id(), "op": "stats",
+        })
+        return response.get("stats", {})
+
+    def route(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        *,
+        max_segments: Optional[int] = None,
+        weight: Optional[str] = None,
+        algorithm: str = "auto",
+        deadline_ms: Optional[float] = None,
+    ) -> ServeResult:
+        request_id = self._next_id()
+        message = route_request(
+            request_id, channel, connections,
+            max_segments=max_segments, weight=weight, algorithm=algorithm,
+            deadline_ms=deadline_ms,
+        )
+        started = time.monotonic()
+        response = self._call(message)
+        return _parse_response(response, time.monotonic() - started)

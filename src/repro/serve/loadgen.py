@@ -1,0 +1,270 @@
+"""Load generation against a live routing server.
+
+Two traffic shapes, the standard pair from the serving-systems
+literature:
+
+* **closed loop** — ``concurrency`` workers, each sending its next
+  request the moment the previous response lands.  Throughput is
+  whatever the server sustains; the queue never grows beyond
+  ``concurrency``.  This measures *capacity*.
+* **open loop** — requests depart on a fixed schedule (``rate`` per
+  second) regardless of completions, like independent clients arriving.
+  When the server falls behind, the backlog grows and the admission
+  layer must shed — this measures *overload behaviour*, which closed
+  loops structurally cannot produce.
+
+Requests draw round-robin from a seeded corpus of
+feasible-by-construction instances, so a run that covers each corpus
+entry exactly once yields a :func:`~repro.io.results.digest_records`
+digest directly comparable to ``segroute batch`` over the same corpus —
+the serving stack is digest-verified against the offline engine, not
+just smoke-tested.
+
+The report (written to ``BENCH_serve.json`` by
+``tools/collect_bench_tables.py``) carries status counts, protocol
+errors, throughput, and client-observed latency percentiles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional, Sequence
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import ProtocolError, ServeError
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+)
+from repro.substrate.prng import derive_seed
+from repro.io.results import digest_records, result_record
+from repro.serve.client import AsyncRoutingClient, ServeResult
+from repro.serve.protocol import REJECTION_STATUSES, STATUS_OK
+
+__all__ = ["build_corpus", "run_loadgen", "render_report"]
+
+#: One corpus entry: ``(channel, connections, max_segments)``.
+CorpusEntry = tuple[SegmentedChannel, ConnectionSet, Optional[int]]
+
+
+def build_corpus(
+    size: int,
+    seed: int = 0,
+    *,
+    n_tracks: int = 12,
+    n_columns: int = 24,
+    n_connections: int = 8,
+    mean_segment_length: float = 3.0,
+    max_segments: Optional[int] = 2,
+) -> list[CorpusEntry]:
+    """Seeded corpus of feasible instances (distinct channel per entry)."""
+    corpus: list[CorpusEntry] = []
+    for i in range(size):
+        channel = random_channel(
+            n_tracks, n_columns, mean_segment_length,
+            seed=derive_seed(seed, f"loadgen:chan:{i}"),
+        )
+        connections = random_feasible_instance(
+            channel, n_connections,
+            seed=derive_seed(seed, f"loadgen:conn:{i}"),
+            max_segments=max_segments,
+        )
+        corpus.append((channel, connections, max_segments))
+    return corpus
+
+
+async def _run_async(
+    host: str,
+    port: int,
+    corpus: Sequence[CorpusEntry],
+    *,
+    requests: int,
+    mode: str,
+    concurrency: int,
+    rate: Optional[float],
+    deadline_ms: Optional[float],
+    weight: Optional[str],
+    algorithm: str,
+    timeout: Optional[float],
+    seed: int,
+) -> tuple[list[dict], int, float]:
+    records: list[Optional[dict]] = [None] * requests
+    protocol_errors = 0
+
+    async def one(client: AsyncRoutingClient, i: int) -> None:
+        nonlocal protocol_errors
+        channel, connections, k = corpus[i % len(corpus)]
+        started = time.monotonic()
+        try:
+            result = await client.route(
+                channel, connections, max_segments=k, weight=weight,
+                algorithm=algorithm, deadline_ms=deadline_ms,
+            )
+        except ProtocolError:
+            protocol_errors += 1
+            result = None
+        except ServeError as exc:
+            result = ServeResult(
+                request_id="", status="transport-error", error=str(exc),
+                latency=time.monotonic() - started,
+            )
+        if result is not None:
+            records[i] = {
+                "corpus_index": i % len(corpus),
+                "status": result.status,
+                "latency": result.latency,
+                "assignment": result.assignment,
+                "error_type": result.error_type,
+                "cache_hit": result.cache_hit,
+            }
+
+    async with AsyncRoutingClient(
+        host, port, timeout=timeout, seed=seed
+    ) as client:
+        started = time.monotonic()
+        if mode == "open":
+            interval = 1.0 / rate
+            tasks = []
+            for i in range(requests):
+                target = started + i * interval
+                delay = target - time.monotonic()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                tasks.append(asyncio.get_running_loop().create_task(
+                    one(client, i)
+                ))
+            await asyncio.gather(*tasks)
+        elif mode == "closed":
+            counter = iter(range(requests))
+
+            async def worker() -> None:
+                for i in counter:
+                    await one(client, i)
+
+            await asyncio.gather(*(
+                worker() for _ in range(max(1, concurrency))
+            ))
+        else:
+            raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
+        wall = time.monotonic() - started
+    return [r for r in records if r is not None], protocol_errors, wall
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, int(round(q * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[rank]
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    *,
+    corpus: Optional[Sequence[CorpusEntry]] = None,
+    corpus_size: int = 16,
+    requests: int = 100,
+    mode: str = "closed",
+    concurrency: int = 8,
+    rate: Optional[float] = None,
+    deadline_ms: Optional[float] = None,
+    weight: Optional[str] = None,
+    algorithm: str = "auto",
+    timeout: Optional[float] = 30.0,
+    seed: int = 0,
+) -> dict:
+    """Drive traffic at a server and return the measurement report.
+
+    When every corpus entry is hit exactly once with an ``ok``/``error``
+    response, the report carries a ``digest`` comparable to the offline
+    ``segroute batch`` digest of the same corpus.
+    """
+    if corpus is None:
+        corpus = build_corpus(corpus_size, seed)
+    if not corpus:
+        raise ValueError("corpus is empty")
+    if mode == "open" and (rate is None or rate <= 0):
+        raise ValueError("open-loop mode needs a positive rate")
+    if mode not in ("open", "closed"):
+        raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
+    records, protocol_errors, wall = asyncio.run(_run_async(
+        host, port, corpus,
+        requests=requests, mode=mode, concurrency=concurrency, rate=rate,
+        deadline_ms=deadline_ms, weight=weight, algorithm=algorithm,
+        timeout=timeout, seed=seed,
+    ))
+
+    statuses: dict[str, int] = {}
+    for record in records:
+        statuses[record["status"]] = statuses.get(record["status"], 0) + 1
+    latencies = sorted(r["latency"] for r in records)
+    completed = [
+        r for r in records
+        if r["status"] not in REJECTION_STATUSES
+        and r["status"] != "transport-error"
+    ]
+
+    # Digest only when the run maps 1:1 onto the corpus and nothing was
+    # shed — that is exactly the offline-comparable case.
+    digest = None
+    if len(completed) == len(records) == len(corpus):
+        by_index = sorted(records, key=lambda r: r["corpus_index"])
+        if [r["corpus_index"] for r in by_index] == list(range(len(corpus))):
+            digest = digest_records(
+                result_record(
+                    r["corpus_index"],
+                    r["status"] == STATUS_OK,
+                    r["assignment"],
+                    r["error_type"],
+                )
+                for r in by_index
+            )
+
+    return {
+        "mode": mode,
+        "requests": requests,
+        "completed": len(records),
+        "corpus_size": len(corpus),
+        "concurrency": concurrency if mode == "closed" else None,
+        "rate": rate if mode == "open" else None,
+        "deadline_ms": deadline_ms,
+        "wall_s": round(wall, 4),
+        "throughput_rps": round(len(records) / wall, 2) if wall > 0 else 0.0,
+        "statuses": dict(sorted(statuses.items())),
+        "shed": sum(statuses.get(s, 0) for s in REJECTION_STATUSES),
+        "protocol_errors": protocol_errors,
+        "latency_ms": {
+            "p50": round(_percentile(latencies, 0.50) * 1000.0, 3),
+            "p95": round(_percentile(latencies, 0.95) * 1000.0, 3),
+            "p99": round(_percentile(latencies, 0.99) * 1000.0, 3),
+            "max": round(latencies[-1] * 1000.0, 3) if latencies else 0.0,
+        },
+        "digest": digest,
+    }
+
+
+def render_report(report: dict) -> str:
+    """Human-readable loadgen summary (the CLI output)."""
+    lines = [
+        f"mode        {report['mode']}",
+        f"requests    {report['requests']} "
+        f"({report['completed']} completed, "
+        f"{report['protocol_errors']} protocol errors)",
+        f"throughput  {report['throughput_rps']} req/s "
+        f"over {report['wall_s']}s",
+        "statuses    " + ", ".join(
+            f"{k}={v}" for k, v in report["statuses"].items()
+        ),
+        "latency ms  " + ", ".join(
+            f"{k}={v}" for k, v in report["latency_ms"].items()
+        ),
+    ]
+    if report.get("digest"):
+        lines.append(f"digest      {report['digest']}")
+    return "\n".join(lines)

@@ -1,0 +1,273 @@
+"""The versioned newline-delimited JSON wire protocol.
+
+One message per line, UTF-8 JSON objects, ``\\n``-terminated.  Every
+message carries the protocol version under ``"v"`` and a client-chosen
+request ID under ``"id"`` that the response echoes, so a client may
+pipeline many requests over one connection and match responses out of
+order (the server answers each request as soon as its micro-batch
+completes, not in arrival order).
+
+Requests (``"op"`` selects the operation)::
+
+    {"v": 1, "id": "r1", "op": "route", "sch": "<.sch text>",
+     "k": 2, "weight": "length", "algorithm": "auto",
+     "deadline_ms": 500,
+     "trace": {"trace_id": "8f3a...", "parent_id": "cl0"}}
+    {"v": 1, "id": "r2", "op": "ping"}
+    {"v": 1, "id": "r3", "op": "stats"}
+
+The instance rides inside the request as ``.sch`` text (the archival
+format of :mod:`repro.io.text_format`), so anything that can be routed
+offline can be routed online byte-for-byte.  ``weight`` is a named
+objective (``"length"`` / ``"segments"``) or absent;
+:class:`~repro.engine.weights.WeightTable` objects do not cross the
+wire.  ``deadline_ms`` is the client's remaining latency budget, used
+by the admission layer to shed doomed work.  ``trace`` is optional
+client trace context; when present (and the server traces), the
+server-side spans join the client's trace.
+
+Responses (``"status"``)::
+
+    {"v": 1, "id": "r1", "status": "ok", "assignment": [2, 0, 1],
+     "algorithm": "greedy1", "duration_ms": 1.74, "cache_hit": false,
+     "fallbacks": 0, "trace_id": "8f3a..."}
+    {"v": 1, "id": "r1", "status": "error",
+     "error_type": "RoutingInfeasibleError", "error": "..."}
+    {"v": 1, "id": "r1", "status": "shed",
+     "error_type": "AdmissionRejected", "error": "..."}
+    {"v": 1, "id": "r1", "status": "overloaded", ...}
+
+``assignment`` is the raw 0-based track per connection in
+:class:`~repro.core.connection.ConnectionSet` order — exactly what
+:func:`repro.io.results.result_stream_digest` hashes, so online and
+offline results can be digest-compared.  ``shed`` and ``overloaded``
+are the admission layer's typed refusals (see
+:class:`~repro.core.errors.AdmissionRejected`); they arrive quickly by
+design, instead of a timeout after queuing doomed work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.channel import SegmentedChannel
+from repro.core.connection import ConnectionSet
+from repro.core.errors import FormatError, ProtocolError, ReproError
+from repro.io.text_format import dumps_instance, loads_instance
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_SHED",
+    "STATUS_OVERLOADED",
+    "REJECTION_STATUSES",
+    "RouteRequest",
+    "encode",
+    "decode",
+    "route_request",
+    "parse_route_request",
+    "ok_response",
+    "failure_response",
+]
+
+#: Protocol version stamped on (and required in) every message.
+PROTOCOL_VERSION = 1
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_SHED = "shed"
+STATUS_OVERLOADED = "overloaded"
+
+#: Statuses the admission layer produces instead of routing.
+REJECTION_STATUSES = (STATUS_SHED, STATUS_OVERLOADED)
+
+_OPS = ("route", "ping", "stats")
+
+
+def encode(message: dict) -> bytes:
+    """Serialize one message to its wire form (one JSON line)."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: Union[bytes, str]) -> dict:
+    """Parse and version-check one wire line.
+
+    Raises
+    ------
+    ProtocolError
+        If the line is not a JSON object, lacks the version field, or
+        carries a version this implementation does not speak.
+    """
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"message is not UTF-8: {exc}") from exc
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})"
+        )
+    op = message.get("op")
+    if op is not None and op not in _OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {_OPS}")
+    return message
+
+
+@dataclass(frozen=True)
+class RouteRequest:
+    """One parsed ``route`` request, ready for admission and batching."""
+
+    request_id: str
+    channel: SegmentedChannel
+    connections: ConnectionSet
+    max_segments: Optional[int] = None
+    weight: Optional[str] = None
+    algorithm: str = "auto"
+    deadline_ms: Optional[float] = None
+    trace_id: str = ""
+    trace_parent: str = ""
+
+
+def route_request(
+    request_id: str,
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    *,
+    max_segments: Optional[int] = None,
+    weight: Optional[str] = None,
+    algorithm: str = "auto",
+    deadline_ms: Optional[float] = None,
+    trace_id: str = "",
+    trace_parent: str = "",
+) -> dict:
+    """Build the wire form of one ``route`` request (client side)."""
+    message: dict = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "op": "route",
+        "sch": dumps_instance(channel, connections),
+    }
+    if max_segments is not None:
+        message["k"] = max_segments
+    if weight is not None:
+        message["weight"] = weight
+    if algorithm != "auto":
+        message["algorithm"] = algorithm
+    if deadline_ms is not None:
+        message["deadline_ms"] = deadline_ms
+    if trace_id:
+        message["trace"] = {"trace_id": trace_id, "parent_id": trace_parent}
+    return message
+
+
+def parse_route_request(message: dict) -> RouteRequest:
+    """Validate and parse a decoded ``route`` message (server side).
+
+    Raises :class:`~repro.core.errors.ProtocolError` naming the field at
+    fault; the embedded instance is parsed (and validated against the
+    channel) by the ``.sch`` loader.
+    """
+    request_id = _request_id(message)
+    sch = message.get("sch")
+    if not isinstance(sch, str):
+        raise ProtocolError("route request needs an 'sch' instance payload")
+    try:
+        channel, connections = loads_instance(sch)
+    except (FormatError, ReproError) as exc:
+        raise ProtocolError(f"bad instance payload: {exc}") from exc
+    k = message.get("k")
+    if k is not None and not isinstance(k, int):
+        raise ProtocolError(f"'k' must be an integer, got {k!r}")
+    weight = message.get("weight")
+    if weight is not None and weight not in ("length", "segments"):
+        raise ProtocolError(
+            f"'weight' must be 'length' or 'segments', got {weight!r}"
+        )
+    algorithm = message.get("algorithm", "auto")
+    if not isinstance(algorithm, str):
+        raise ProtocolError(f"'algorithm' must be a string, got {algorithm!r}")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None:
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise ProtocolError(
+                f"'deadline_ms' must be a positive number, got {deadline_ms!r}"
+            )
+    trace = message.get("trace") or {}
+    if not isinstance(trace, dict):
+        raise ProtocolError(f"'trace' must be an object, got {trace!r}")
+    return RouteRequest(
+        request_id=request_id,
+        channel=channel,
+        connections=connections,
+        max_segments=k,
+        weight=weight,
+        algorithm=algorithm,
+        deadline_ms=float(deadline_ms) if deadline_ms is not None else None,
+        trace_id=str(trace.get("trace_id", "")),
+        trace_parent=str(trace.get("parent_id", "")),
+    )
+
+
+def _request_id(message: dict) -> str:
+    request_id = message.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("message needs a non-empty string 'id'")
+    return request_id
+
+
+def ok_response(request_id: str, result) -> dict:
+    """Wire response for one completed engine ``BatchResult``."""
+    if result.routing is not None:
+        response = {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "status": STATUS_OK,
+            "assignment": list(result.routing.assignment),
+            "algorithm": result.algorithm,
+            "duration_ms": round(result.duration * 1000.0, 3),
+            "cache_hit": result.cache_hit,
+            "fallbacks": result.fallbacks,
+        }
+    else:
+        response = {
+            "v": PROTOCOL_VERSION,
+            "id": request_id,
+            "status": STATUS_ERROR,
+            "error_type": result.error_type,
+            "error": result.error,
+            "timed_out": result.timed_out,
+        }
+    if getattr(result, "trace_id", ""):
+        response["trace_id"] = result.trace_id
+    return response
+
+
+def failure_response(
+    request_id: Optional[str],
+    status: str,
+    error_type: str,
+    error: str,
+) -> dict:
+    """Wire response for a request that never reached the engine."""
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": status,
+        "error_type": error_type,
+        "error": error,
+    }

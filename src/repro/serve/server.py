@@ -1,0 +1,474 @@
+"""The asyncio routing server.
+
+One :class:`RoutingServer` owns one :class:`~repro.engine.RoutingEngine`
+(or wraps a caller-provided one), an
+:class:`~repro.serve.admission.AdmissionController`, and a
+:class:`~repro.serve.batcher.MicroBatcher`, and listens on two ports:
+
+* the **protocol port** speaks the newline-delimited JSON protocol of
+  :mod:`repro.serve.protocol`; requests on one connection are handled
+  concurrently and answered out of order (matched by ``id``);
+* the **admin port** speaks just enough HTTP/1.0 for probes and
+  scraping: ``GET /healthz`` (process liveness), ``GET /readyz``
+  (``200`` while accepting, ``503`` while draining), and
+  ``GET /metrics`` (Prometheus text exposition of the merged
+  serve + engine metrics, via
+  :func:`repro.obs.prom.render_prometheus`).
+
+Graceful drain (SIGTERM/SIGINT or :meth:`RoutingServer.request_drain`):
+stop accepting, flip ``/readyz`` to 503, let every admitted request
+finish (bounded by ``drain_grace``), flush the batcher, close client
+connections, and close the engine — worker pools never leak past the
+server's lifetime.
+
+With a trace sink, every routed request emits a ``serve.request`` span;
+when the client supplied trace context the span joins the *client's*
+trace, and the engine's ``request`` span (and all worker-side spans
+below it) are stitched underneath via ``route_many(trace_parents=...)``
+— one connected tree from client to kernel.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import AdmissionRejected, ProtocolError, ServeError
+from repro.engine.config import EngineConfig
+from repro.engine.engine import RoutingEngine
+from repro.engine.metrics import Metrics
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_SHED,
+    decode,
+    encode,
+    failure_response,
+    ok_response,
+    parse_route_request,
+)
+
+__all__ = ["ServeConfig", "RoutingServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every knob of one routing server (see ``docs/SERVING.md``).
+
+    Attributes
+    ----------
+    host / port:
+        Protocol listener.  ``port=0`` binds an ephemeral port (the
+        bound port is published as :attr:`RoutingServer.port` after
+        start — how the tests run hermetically).
+    http_port:
+        Admin/metrics listener (same host); ``0`` for ephemeral.
+    jobs:
+        Engine workers per micro-batch; ``1`` (the default, and the
+        only sensible value on a 1-CPU host) routes in the dispatch
+        thread with no pool.
+    timeout:
+        Per-request engine deadline (seconds) applied to every batch.
+    max_batch / max_wait_ms:
+        Micro-batch window bounds (size / age).
+    max_queue / rate / burst:
+        Admission knobs — bounded queue depth, token-bucket rate
+        (requests/second, ``None`` = unlimited) and burst capacity.
+    drain_grace:
+        Seconds to wait for in-flight requests during graceful drain.
+    seed:
+        Engine seed (results are bit-reproducible for a given seed) and
+        the namespace for server-derived trace IDs.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7455
+    http_port: int = 7456
+    jobs: int = 1
+    timeout: Optional[float] = None
+    max_batch: int = 16
+    max_wait_ms: float = 5.0
+    max_queue: int = 64
+    rate: Optional[float] = None
+    burst: Optional[float] = None
+    drain_grace: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.drain_grace < 0:
+            raise ValueError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
+            )
+
+
+class RoutingServer:
+    """Admission → micro-batch → engine, behind two asyncio listeners."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        engine: Optional[RoutingEngine] = None,
+        trace_sink: Optional[TraceSink] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self._owns_engine = engine is None
+        self.engine = engine or RoutingEngine(
+            EngineConfig(
+                jobs=self.config.jobs,
+                seed=self.config.seed,
+                keep_pool=self.config.jobs > 1,
+            ),
+            trace_sink=trace_sink,
+        )
+        self.trace_sink = trace_sink if trace_sink is not None else (
+            self.engine.trace_sink
+        )
+        self.metrics = Metrics()
+        self.admission = AdmissionController(
+            max_queue=self.config.max_queue,
+            rate=self.config.rate,
+            burst=self.config.burst,
+        )
+        self.batcher = MicroBatcher(
+            self.engine,
+            max_batch=self.config.max_batch,
+            max_wait=self.config.max_wait_ms / 1000.0,
+            jobs=self.config.jobs,
+            timeout=self.config.timeout,
+            metrics=self.metrics,
+            service_observer=self.admission.observe_service,
+        )
+        self.port: Optional[int] = None
+        self.http_port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._http: Optional[asyncio.base_events.Server] = None
+        self._ready = False
+        self._drained = False
+        self._stop: Optional[asyncio.Event] = None
+        self._inflight: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_seq = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind both listeners and start the batcher."""
+        self._stop = asyncio.Event()
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self._http = await asyncio.start_server(
+            self._on_http, self.config.host, self.config.http_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.http_port = self._http.sockets[0].getsockname()[1]
+        self._ready = True
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (call from the event loop)."""
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or platform without signal support
+
+    def request_drain(self) -> None:
+        """Ask the server to drain and stop (signal-handler safe)."""
+        self._ready = False
+        if self._stop is not None:
+            self._stop.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a drain is requested, then drain."""
+        assert self._stop is not None, "start() first"
+        await self._stop.wait()
+        await self.drain()
+
+    async def run(self) -> None:
+        """``start`` + signal handlers + ``serve_forever`` (the CLI path)."""
+        await self.start()
+        self.install_signal_handlers()
+        print(
+            f"serving on {self.config.host}:{self.port} "
+            f"(admin http {self.config.host}:{self.http_port})",
+            flush=True,
+        )
+        await self.serve_forever()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: stop accepting, flush in-flight, close all."""
+        if self._drained:
+            return
+        self._drained = True
+        self._ready = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.wait(
+                list(self._inflight), timeout=self.config.drain_grace
+            )
+        await self.batcher.close()
+        for writer in list(self._writers):
+            self._close_writer(writer)
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+        if self._owns_engine:
+            self.engine.close()
+
+    # ------------------------------------------------------------------
+    # protocol connections
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            self._close_writer(writer)
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - already torn down
+            pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: dict,
+    ) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(encode(message))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            message = decode(line)
+        except ProtocolError as exc:
+            self.metrics.incr("serve.protocol_errors")
+            await self._write(writer, write_lock, failure_response(
+                None, STATUS_ERROR, "ProtocolError", str(exc)
+            ))
+            return
+        op = message.get("op")
+        if op == "ping":
+            await self._write(writer, write_lock, {
+                "v": PROTOCOL_VERSION,
+                "id": message.get("id"),
+                "status": STATUS_OK,
+                "pong": True,
+                "ready": self._ready,
+                "protocol": PROTOCOL_VERSION,
+            })
+        elif op == "stats":
+            await self._write(writer, write_lock, {
+                "v": PROTOCOL_VERSION,
+                "id": message.get("id"),
+                "status": STATUS_OK,
+                "stats": self.metrics_snapshot(),
+            })
+        else:  # "route" (decode() already rejected unknown ops)
+            await self._handle_route(message, writer, write_lock)
+
+    # ------------------------------------------------------------------
+    # the route path
+    # ------------------------------------------------------------------
+    def _start_span(self, request):
+        """Open the ``serve.request`` span (or no-op without a sink)."""
+        if self.trace_sink is None:
+            return None, None, None
+        self._request_seq += 1
+        trace_id = request.trace_id or derive_trace_id(
+            self.config.seed, f"serve:{self._request_seq}"
+        )
+        collector = SpanCollector(trace_id, "sv")
+        root = collector.start(
+            "serve.request",
+            parent_id=request.trace_parent,
+            request=request.request_id,
+        )
+        return collector, root, (trace_id, root.span_id)
+
+    def _finish_span(self, collector, root, status: str) -> None:
+        if collector is None:
+            return
+        root.set(status=status)
+        root.finish()
+        self.trace_sink.write_all(collector.drain())
+
+    async def _handle_route(
+        self,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.metrics.incr("serve.requests")
+        started = time.monotonic()
+        try:
+            request = parse_route_request(message)
+        except ProtocolError as exc:
+            self.metrics.incr("serve.protocol_errors")
+            await self._write(writer, write_lock, failure_response(
+                message.get("id") if isinstance(message.get("id"), str)
+                else None,
+                STATUS_ERROR, "ProtocolError", str(exc),
+            ))
+            return
+
+        decision = self.admission.try_admit(request.deadline_ms)
+        if not decision.admitted:
+            self.metrics.incr(
+                "serve.shed" if decision.status == STATUS_SHED
+                else "serve.overloaded"
+            )
+            await self._write(writer, write_lock, failure_response(
+                request.request_id, decision.status,
+                "AdmissionRejected", decision.reason,
+            ))
+            return
+
+        collector, root, trace_parent = self._start_span(request)
+        deadline_at = (
+            started + request.deadline_ms / 1000.0
+            if request.deadline_ms is not None else None
+        )
+        pending = PendingRequest(
+            request=request,
+            future=asyncio.get_running_loop().create_future(),
+            enqueued_at=started,
+            deadline_at=deadline_at,
+            trace_parent=trace_parent,
+        )
+        try:
+            result = await self.batcher.submit(pending)
+        except AdmissionRejected as exc:
+            self.metrics.incr(
+                "serve.shed" if exc.status == STATUS_SHED
+                else "serve.overloaded"
+            )
+            response = failure_response(
+                request.request_id, exc.status, "AdmissionRejected", str(exc)
+            )
+        except ServeError as exc:
+            self.metrics.incr("serve.errors")
+            response = failure_response(
+                request.request_id, STATUS_ERROR, "ServeError", str(exc)
+            )
+        else:
+            response = ok_response(request.request_id, result)
+            self.metrics.incr(
+                "serve.ok" if response["status"] == STATUS_OK
+                else "serve.errors"
+            )
+        finally:
+            self.admission.release()
+        self._finish_span(collector, root, response["status"])
+        self.metrics.observe("serve.latency", time.monotonic() - started)
+        await self._write(writer, write_lock, response)
+
+    # ------------------------------------------------------------------
+    # admin HTTP (probes + metrics)
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Merged serve + engine metrics in the standard snapshot schema."""
+        engine_snap = self.engine.stats()
+        serve_snap = self.metrics.snapshot()
+        return {
+            "counters": {
+                **engine_snap["counters"], **serve_snap["counters"],
+            },
+            "derived": {
+                **engine_snap["derived"], **serve_snap["derived"],
+                **self.admission.snapshot(),
+            },
+            "histograms": {
+                **engine_snap["histograms"], **serve_snap["histograms"],
+            },
+        }
+
+    async def _on_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if path == "/metrics":
+                code, body = 200, render_prometheus(self.metrics_snapshot())
+            elif path == "/healthz":
+                code, body = 200, "ok\n"
+            elif path == "/readyz":
+                code, body = (
+                    (200, "ready\n") if self._ready else (503, "draining\n")
+                )
+            else:
+                code, body = 404, f"no such path: {path}\n"
+            reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.0 {code} {reason.get(code, 'OK')}\r\n"
+                f"Content-Type: text/plain; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._close_writer(writer)
+
+    # Convenience for tests and embedding: run in a context.
+    async def __aenter__(self) -> "RoutingServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()

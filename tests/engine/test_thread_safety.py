@@ -1,0 +1,102 @@
+"""Concurrent ``route_many`` calls against one shared engine.
+
+The serving layer funnels traffic through one dispatch thread, but the
+engine's contract is broader: it is safe to share across threads.  These
+tests hammer one engine from many threads and assert the shared state —
+metrics counters, the canonical cache, and trace collection — stays
+consistent.
+"""
+
+import threading
+
+from repro.io.results import result_stream_digest
+from repro.obs.report import build_traces
+from repro.obs.trace import ListTraceSink
+from repro.engine import EngineConfig, RoutingEngine
+from repro.serve.loadgen import build_corpus
+
+N_THREADS = 4
+N_ROUNDS = 3
+
+
+def _hammer(engine, corpus, rounds=N_ROUNDS, threads=N_THREADS):
+    """Run route_many from many threads; return per-thread digests."""
+    instances = [(c, s) for c, s, _ in corpus]
+    ks = [k for _, _, k in corpus]
+    digests: list[list[str]] = [[] for _ in range(threads)]
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(threads)
+
+    def work(slot: int) -> None:
+        try:
+            barrier.wait(timeout=30)
+            for _ in range(rounds):
+                results = engine.route_many(instances, max_segments=ks)
+                digests[slot].append(result_stream_digest(results))
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=work, args=(i,)) for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join(timeout=120)
+    assert not errors, errors
+    return digests
+
+
+def test_concurrent_batches_identical_results():
+    corpus = build_corpus(6, seed=61)
+    engine = RoutingEngine(EngineConfig(seed=61))
+    digests = _hammer(engine, corpus)
+    flat = {d for per_thread in digests for d in per_thread}
+    assert len(flat) == 1  # every thread, every round: the same answer
+    assert all(len(d) == N_ROUNDS for d in digests)
+
+
+def test_concurrent_batches_metrics_consistent():
+    corpus = build_corpus(5, seed=62)
+    engine = RoutingEngine(EngineConfig(seed=62))
+    _hammer(engine, corpus)
+    snap = engine.stats()
+    total = N_THREADS * N_ROUNDS * len(corpus)
+    assert snap["counters"]["requests"] == total
+    # Every request either hit or missed the cache; no increments lost.
+    hits = snap["counters"].get("cache.hits", 0)
+    misses = snap["counters"].get("cache.misses", 0)
+    assert hits + misses == total
+    # Each distinct instance is solved at most once per interleaving
+    # epoch; with one shared cache the misses stay near the corpus size.
+    assert misses >= len(corpus)
+    assert hits >= total - N_THREADS * len(corpus)
+
+
+def test_concurrent_batches_cache_serves_all_threads():
+    corpus = build_corpus(4, seed=63)
+    engine = RoutingEngine(EngineConfig(seed=63))
+    # Warm the cache single-threaded, then hammer: everything must hit.
+    instances = [(c, s) for c, s, _ in corpus]
+    ks = [k for _, _, k in corpus]
+    engine.route_many(instances, max_segments=ks)
+    engine.reset_stats()
+    _hammer(engine, corpus)
+    snap = engine.stats()
+    total = N_THREADS * N_ROUNDS * len(corpus)
+    assert snap["counters"]["requests"] == total
+    assert snap["counters"]["cache.hits"] == total
+    assert snap["counters"].get("cache.misses", 0) == 0
+
+
+def test_concurrent_batches_trace_trees_stay_connected():
+    corpus = build_corpus(3, seed=64)
+    sink = ListTraceSink()
+    engine = RoutingEngine(EngineConfig(seed=64), trace_sink=sink)
+    _hammer(engine, corpus, rounds=2, threads=3)
+    traces = build_traces(sink.spans)
+    # One trace per request; interleaved writers must not corrupt trees.
+    assert len(traces) == 3 * 2 * len(corpus)
+    for trace in traces.values():
+        trace.validate()
+        assert trace.root["name"] == "request"

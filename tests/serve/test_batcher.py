@@ -1,0 +1,200 @@
+"""Micro-batcher: window formation, partitioning, shedding, drain."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.errors import AdmissionRejected, ServeError
+from repro.engine import EngineConfig, RoutingEngine
+from repro.engine.metrics import Metrics
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.loadgen import build_corpus
+from repro.serve.protocol import STATUS_SHED, RouteRequest
+
+
+def _pending(entry, loop, **kwargs):
+    channel, conns, k = entry
+    request = RouteRequest(
+        request_id=kwargs.pop("request_id", "r"),
+        channel=channel, connections=conns, max_segments=k,
+        **{k2: v for k2, v in kwargs.items()
+           if k2 in ("weight", "algorithm")},
+    )
+    return PendingRequest(
+        request=request, future=loop.create_future(),
+        deadline_at=kwargs.get("deadline_at"),
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_concurrent_submissions_share_one_batch():
+    corpus = build_corpus(6, seed=11)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=11))
+        metrics = Metrics()
+        batcher = MicroBatcher(
+            engine, max_batch=16, max_wait=0.05, metrics=metrics
+        )
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        pendings = [_pending(e, loop) for e in corpus]
+        results = await asyncio.gather(*(
+            batcher.submit(p) for p in pendings
+        ))
+        await batcher.close()
+        snap = metrics.snapshot()
+        return results, snap
+
+    results, snap = _run(main())
+    assert all(r.ok for r in results)
+    # Six concurrent submissions and a 50ms window: far fewer batches
+    # than requests (normally exactly 1, but the first window can close
+    # with only the earliest arrivals on a slow machine).
+    assert snap["counters"]["serve.batches"] < len(results)
+    assert snap["histograms"]["serve.batch_size"]["max"] > 1
+
+
+def test_max_batch_bounds_window_size():
+    corpus = build_corpus(5, seed=12)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=12))
+        metrics = Metrics()
+        batcher = MicroBatcher(
+            engine, max_batch=2, max_wait=10.0, metrics=metrics
+        )
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        results = await asyncio.gather(*(
+            batcher.submit(_pending(e, loop)) for e in corpus
+        ))
+        await batcher.close()
+        return results, metrics.snapshot()
+
+    results, snap = _run(main())
+    assert all(r.ok for r in results)
+    assert snap["histograms"]["serve.batch_size"]["max"] <= 2
+    assert snap["counters"]["serve.batches"] >= 3
+
+
+def test_expired_deadline_is_shed_not_routed():
+    corpus = build_corpus(2, seed=13)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=13))
+        batcher = MicroBatcher(engine, max_batch=4, max_wait=0.01)
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        dead = _pending(corpus[0], loop)
+        dead.deadline_at = time.monotonic() - 1.0  # already expired
+        live = _pending(corpus[1], loop)
+        shed_error = None
+        try:
+            await batcher.submit(dead)
+        except AdmissionRejected as exc:
+            shed_error = exc
+        result = await batcher.submit(live)
+        await batcher.close()
+        return shed_error, result, engine.stats()
+
+    shed_error, result, stats = _run(main())
+    assert shed_error is not None and shed_error.status == STATUS_SHED
+    assert result.ok
+    # Only the live request reached the engine.
+    assert stats["counters"]["requests"] == 1
+
+
+def test_mixed_parameters_partition_into_groups():
+    corpus = build_corpus(4, seed=14)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=14))
+        batcher = MicroBatcher(engine, max_batch=8, max_wait=0.05)
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        pendings = [
+            _pending(corpus[0], loop),
+            _pending(corpus[1], loop, weight="length"),
+            _pending(corpus[2], loop, algorithm="greedy1"),
+            _pending(corpus[3], loop, weight="length"),
+        ]
+        results = await asyncio.gather(*(
+            batcher.submit(p) for p in pendings
+        ))
+        await batcher.close()
+        return results
+
+    results = _run(main())
+    assert all(r.ok for r in results)
+    assert results[2].algorithm == "greedy1"
+
+
+def test_close_flushes_queued_work():
+    corpus = build_corpus(3, seed=15)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=15))
+        batcher = MicroBatcher(engine, max_batch=8, max_wait=5.0)
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        pendings = [_pending(e, loop) for e in corpus]
+        submits = [
+            asyncio.ensure_future(batcher.submit(p)) for p in pendings
+        ]
+        await asyncio.sleep(0)  # let submissions enqueue
+        await batcher.close()   # must flush, not drop
+        return await asyncio.gather(*submits)
+
+    results = _run(main())
+    assert all(r.ok for r in results)
+
+
+def test_submit_after_close_raises():
+    corpus = build_corpus(1, seed=16)
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=16))
+        batcher = MicroBatcher(engine)
+        batcher.start()
+        await batcher.close()
+        with pytest.raises(ServeError):
+            await batcher.submit(
+                _pending(corpus[0], asyncio.get_running_loop())
+            )
+
+    _run(main())
+
+
+def test_service_observer_fed_per_request_times():
+    corpus = build_corpus(2, seed=17)
+    observed = []
+
+    async def main():
+        engine = RoutingEngine(EngineConfig(seed=17))
+        batcher = MicroBatcher(
+            engine, max_wait=0.02, service_observer=observed.append
+        )
+        batcher.start()
+        loop = asyncio.get_running_loop()
+        await asyncio.gather(*(
+            batcher.submit(_pending(e, loop)) for e in corpus
+        ))
+        await batcher.close()
+
+    _run(main())
+    assert observed and all(t >= 0 for t in observed)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_batch": 0},
+    {"max_wait": -0.1},
+])
+def test_constructor_validation(kwargs):
+    engine = RoutingEngine()
+    with pytest.raises(ValueError):
+        MicroBatcher(engine, **kwargs)

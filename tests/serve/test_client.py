@@ -1,0 +1,138 @@
+"""Client SDK: sync wrapper, connect retries, transport failures."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.errors import ServeError
+from repro.engine.resilience.retry import RetryPolicy
+from repro.serve import RoutingClient, RoutingServer, ServeConfig, STATUS_OK
+from repro.serve.client import _parse_response
+from repro.serve.loadgen import build_corpus
+
+pytestmark = pytest.mark.serve
+
+
+class ServerThread:
+    """A live server on its own event loop, for exercising sync clients."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.server = RoutingServer(config)
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_until_complete(self.server.serve_forever())
+        self.loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(10), "server failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.loop.call_soon_threadsafe(self.server.request_drain)
+        self._thread.join(15)
+
+
+def test_sync_client_routes_and_pings():
+    corpus = build_corpus(3, seed=23)
+    with ServerThread(ServeConfig(port=0, http_port=0, seed=23)) as st:
+        with RoutingClient("127.0.0.1", st.server.port, timeout=30) as client:
+            pong = client.ping()
+            assert pong["pong"] is True
+            for channel, conns, k in corpus:
+                result = client.route(channel, conns, max_segments=k)
+                assert result.status == STATUS_OK
+                assert result.assignment is not None
+                assert result.latency > 0
+            stats = client.stats()
+            assert stats["counters"]["serve.ok"] == len(corpus)
+
+
+def test_sync_client_connect_retries_then_fails():
+    policy = RetryPolicy(
+        max_attempts=2, base_delay=0.01, max_delay=0.01, jitter=0.0
+    )
+    client = RoutingClient(
+        "127.0.0.1", 1, timeout=1, connect_policy=policy
+    )  # port 1: nothing listens there
+    with pytest.raises(ServeError, match="cannot connect"):
+        client.connect()
+
+
+def test_sync_client_requires_connect():
+    client = RoutingClient("127.0.0.1", 1)
+    with pytest.raises(ServeError, match="not connected"):
+        client.ping()
+
+
+def test_async_client_connect_retries_then_fails():
+    from repro.serve import AsyncRoutingClient
+
+    policy = RetryPolicy(
+        max_attempts=2, base_delay=0.01, max_delay=0.01, jitter=0.0
+    )
+
+    async def main():
+        client = AsyncRoutingClient(
+            "127.0.0.1", 1, timeout=1, connect_policy=policy
+        )
+        with pytest.raises(ServeError, match="cannot connect"):
+            await client.connect()
+
+    asyncio.run(main())
+
+
+def test_async_client_pending_fail_on_server_close():
+    corpus = build_corpus(1, seed=29)
+    channel, conns, k = corpus[0]
+
+    async def main():
+        from repro.serve import AsyncRoutingClient
+
+        server = RoutingServer(ServeConfig(
+            port=0, http_port=0, seed=29, max_wait_ms=200.0, max_batch=64,
+        ))
+        await server.start()
+        client = AsyncRoutingClient("127.0.0.1", server.port, timeout=10)
+        await client.connect()
+        # Drain while a request sits in the batch window; graceful drain
+        # still answers it (flush-don't-drop).
+        task = asyncio.ensure_future(
+            client.route(channel, conns, max_segments=k)
+        )
+        await asyncio.sleep(0.05)
+        await server.drain()
+        result = await task
+        await client.close()
+        return result
+
+    result = asyncio.run(main())
+    assert result.status == STATUS_OK
+
+
+def test_parse_response_maps_fields():
+    result = _parse_response({
+        "v": 1, "id": "r1", "status": "ok", "assignment": [1, 0],
+        "algorithm": "greedy1", "cache_hit": True, "duration_ms": 1.5,
+        "trace_id": "t",
+    }, latency=0.25)
+    assert result.ok
+    assert result.assignment == [1, 0]
+    assert result.cache_hit is True
+    assert result.latency == 0.25
+    assert result.trace_id == "t"
+
+    failure = _parse_response({
+        "v": 1, "id": "r2", "status": "shed",
+        "error_type": "AdmissionRejected", "error": "full",
+    }, latency=0.01)
+    assert not failure.ok
+    assert failure.assignment is None
+    assert failure.error_type == "AdmissionRejected"

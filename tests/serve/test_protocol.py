@@ -1,0 +1,147 @@
+"""Wire protocol: encode/decode, request building/parsing, responses."""
+
+import json
+
+import pytest
+
+from repro.core.errors import ProtocolError
+from repro.engine.engine import BatchResult
+from repro.io.text_format import loads_instance
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_SHED,
+    decode,
+    encode,
+    failure_response,
+    ok_response,
+    parse_route_request,
+    route_request,
+)
+from repro.core.channel import uniform_channel
+from repro.core.connection import ConnectionSet
+
+
+@pytest.fixture()
+def instance():
+    channel = uniform_channel(n_tracks=4, n_columns=16, segment_length=4)
+    conns = ConnectionSet.from_spans([(1, 3), (2, 7), (5, 12), (9, 16)])
+    return channel, conns
+
+
+def test_encode_is_one_json_line():
+    wire = encode({"v": 1, "id": "r1", "op": "ping"})
+    assert wire.endswith(b"\n")
+    assert wire.count(b"\n") == 1
+    assert json.loads(wire) == {"v": 1, "id": "r1", "op": "ping"}
+
+
+def test_decode_roundtrip():
+    message = {"v": PROTOCOL_VERSION, "id": "r1", "op": "ping"}
+    assert decode(encode(message)) == message
+
+
+@pytest.mark.parametrize("line", [
+    b"\xff\xfe",                      # not UTF-8
+    b"not json\n",                    # not JSON
+    b"[1, 2]\n",                      # not an object
+    b'{"id": "r1"}\n',                # missing version
+    b'{"v": 99, "id": "r1"}\n',       # wrong version
+    b'{"v": 1, "op": "explode"}\n',   # unknown op
+])
+def test_decode_rejects_bad_lines(line):
+    with pytest.raises(ProtocolError):
+        decode(line)
+
+
+def test_route_request_roundtrip(instance):
+    channel, conns = instance
+    message = decode(encode(route_request(
+        "r7", channel, conns, max_segments=2, weight="length",
+        deadline_ms=250.0, trace_id="abc123", trace_parent="cl0",
+    )))
+    request = parse_route_request(message)
+    assert request.request_id == "r7"
+    assert request.max_segments == 2
+    assert request.weight == "length"
+    assert request.deadline_ms == 250.0
+    assert request.trace_id == "abc123"
+    assert request.trace_parent == "cl0"
+    # The instance survives the wire byte-for-byte.
+    assert request.channel == channel
+    assert list(request.connections) == list(conns)
+
+
+def test_route_request_minimal_defaults(instance):
+    channel, conns = instance
+    request = parse_route_request(decode(encode(
+        route_request("r1", channel, conns)
+    )))
+    assert request.max_segments is None
+    assert request.weight is None
+    assert request.algorithm == "auto"
+    assert request.deadline_ms is None
+    assert request.trace_id == ""
+
+
+@pytest.mark.parametrize("mutate", [
+    lambda m: m.pop("id"),
+    lambda m: m.update(id=7),
+    lambda m: m.pop("sch"),
+    lambda m: m.update(sch="garbage"),
+    lambda m: m.update(k="two"),
+    lambda m: m.update(weight="area"),
+    lambda m: m.update(deadline_ms=-5),
+    lambda m: m.update(trace="not-an-object"),
+])
+def test_parse_route_request_rejects_bad_fields(instance, mutate):
+    channel, conns = instance
+    message = route_request("r1", channel, conns)
+    mutate(message)
+    with pytest.raises(ProtocolError):
+        parse_route_request(message)
+
+
+def test_ok_response_success(instance):
+    channel, conns = instance
+    from repro.core.api import route
+
+    routing = route(channel, conns, max_segments=2)
+    result = BatchResult(
+        index=0, channel=channel, connections=conns, routing=routing,
+        algorithm="greedy1", duration=0.01, cache_hit=True, trace_id="t1",
+    )
+    response = ok_response("r1", result)
+    assert response["status"] == STATUS_OK
+    assert response["assignment"] == list(routing.assignment)
+    assert response["cache_hit"] is True
+    assert response["trace_id"] == "t1"
+
+
+def test_ok_response_engine_error(instance):
+    channel, conns = instance
+    result = BatchResult(
+        index=0, channel=channel, connections=conns, routing=None,
+        error_type="RoutingInfeasibleError", error="no dice", timed_out=False,
+    )
+    response = ok_response("r1", result)
+    assert response["status"] == STATUS_ERROR
+    assert response["error_type"] == "RoutingInfeasibleError"
+    assert "assignment" not in response
+
+
+def test_failure_response_shape():
+    response = failure_response("r9", STATUS_SHED, "AdmissionRejected", "why")
+    assert response == {
+        "v": PROTOCOL_VERSION, "id": "r9", "status": STATUS_SHED,
+        "error_type": "AdmissionRejected", "error": "why",
+    }
+
+
+def test_sch_payload_is_loadable_text(instance):
+    channel, conns = instance
+    message = route_request("r1", channel, conns)
+    loaded_channel, loaded_conns = loads_instance(message["sch"])
+    assert loaded_channel == channel
+    assert list(loaded_conns) == list(conns)

@@ -6,6 +6,8 @@ the kind of hygiene a downstream user relies on.
 """
 
 import inspect
+import pathlib
+import re
 
 import pytest
 
@@ -43,7 +45,18 @@ def test_public_callables_documented(module):
 
 
 def test_version_exported():
-    assert repro.__version__ == "1.0.0"
+    # Semver-shaped; the exact value lives only in repro/__init__.py
+    # (pyproject.toml reads it via [tool.setuptools.dynamic]).
+    assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+
+def test_version_single_sourced():
+    pyproject = (
+        pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+    ).read_text()
+    assert 'dynamic = ["version"]' in pyproject
+    assert 'version = { attr = "repro.__version__" }' in pyproject
+    assert not re.search(r'^version\s*=\s*"\d', pyproject, re.MULTILINE)
 
 
 def test_no_private_leaks_in_top_level_all():

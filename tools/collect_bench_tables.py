@@ -147,6 +147,80 @@ def run_engine_bench(jobs: int = 0) -> dict:
     }
 
 
+#: Serve-bench runs: (label, mode, requests, concurrency, rate, deadline_ms).
+#: A calm closed loop (digest-verified against the offline engine), a
+#: saturating closed loop, and an open loop hot enough to trigger the
+#: admission layer on a 1-CPU host.
+SERVE_RUNS = (
+    ("closed_calm", "closed", 32, 4, None, None),
+    ("closed_saturated", "closed", 64, 16, None, None),
+    ("open_overload", "open", 256, 0, 4000.0, 20.0),
+)
+
+
+def run_serve_bench(seed: int = 0) -> dict:
+    """Serve a corpus over loopback and measure the serving stack.
+
+    Starts a real :class:`repro.serve.RoutingServer` on ephemeral ports,
+    runs each :data:`SERVE_RUNS` traffic shape through ``run_loadgen``,
+    and digest-checks the calm run against an offline ``route_many`` of
+    the same corpus.  Returns the ``BENCH_serve.json`` payload.
+    """
+    import asyncio
+    import threading
+
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.io.results import result_stream_digest
+    from repro.serve import RoutingServer, ServeConfig
+    from repro.serve.loadgen import build_corpus, run_loadgen
+
+    corpus = build_corpus(32, seed)
+    server = RoutingServer(ServeConfig(
+        port=0, http_port=0, seed=seed, max_queue=16,
+    ))
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def serve() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(server.start())
+        ready.set()
+        loop.run_until_complete(server.serve_forever())
+        loop.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    if not ready.wait(30):
+        raise RuntimeError("serve bench: server failed to start")
+
+    try:
+        runs = {}
+        for label, mode, requests, concurrency, rate, deadline_ms in SERVE_RUNS:
+            runs[label] = run_loadgen(
+                "127.0.0.1", server.port, corpus=corpus,
+                requests=requests, mode=mode, concurrency=concurrency,
+                rate=rate, deadline_ms=deadline_ms, seed=seed,
+            )
+    finally:
+        loop.call_soon_threadsafe(server.request_drain)
+        thread.join(30)
+
+    offline = RoutingEngine(EngineConfig(seed=seed)).route_many(
+        [(c, s) for c, s, _ in corpus],
+        max_segments=[k for _, _, k in corpus],
+    )
+    offline_digest = result_stream_digest(offline)
+    calm = runs["closed_calm"]
+    return {
+        "generated_unix": int(time.time()),
+        "cpus": os.cpu_count(),
+        "corpus_size": len(corpus),
+        "offline_digest": offline_digest,
+        "digest_identical": calm.get("digest") == offline_digest,
+        "runs": runs,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--from-log", help="parse an existing bench log")
@@ -167,12 +241,27 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the engine benchmark",
     )
     parser.add_argument(
+        "--serve-json", default="BENCH_serve.json",
+        help="where to write the serving benchmark JSON",
+    )
+    parser.add_argument(
+        "--serve-only", action="store_true",
+        help="run only the serving benchmark (implies --no-engine)",
+    )
+    parser.add_argument(
+        "--no-serve", action="store_true",
+        help="skip the serving benchmark",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker count for the engine benchmark (default: per CPU)",
     )
     args = parser.parse_args(argv)
 
-    if not args.engine_only:
+    if args.serve_only:
+        args.no_engine = True
+
+    if not args.engine_only and not args.serve_only:
         if args.from_log:
             text = Path(args.from_log).read_text()
         else:
@@ -195,6 +284,15 @@ def main(argv: list[str] | None = None) -> int:
             f"wrote {args.engine_json} "
             f"({len(payload['entries'])} corpus shapes, "
             f"{payload['cpus']} cpus)"
+        )
+
+    if not args.no_serve:
+        payload = run_serve_bench()
+        Path(args.serve_json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(
+            f"wrote {args.serve_json} "
+            f"({len(payload['runs'])} traffic shapes, digest "
+            f"{'identical' if payload['digest_identical'] else 'DIVERGED'})"
         )
     return 0
 
