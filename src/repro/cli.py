@@ -23,6 +23,8 @@ Usage (also available as ``python -m repro``)::
     segroute serve [--port P] [--http-port P] [--max-batch B]
                    [--max-wait-ms MS] [--max-queue Q] [--rate R]
                    [--jobs N] [--timeout S] [--trace TRACE.jsonl]
+                   [--replicas N] [--hedge-ms MS] [--inject-faults SPEC]
+                   [--port-file FILE]
     segroute loadgen [INSTANCE ...] [--manifest FILE.jsonl]
                      [--requests N] [--mode closed|open] [--concurrency C]
                      [--rate R] [--deadline-ms MS] [-o REPORT.json]
@@ -34,8 +36,10 @@ instance, ``generate`` writes a random feasible one, ``reduce``
 emits a Theorem-1/2 NP-completeness instance from a numerical matching
 problem, ``bench`` runs the reference-vs-packed kernel benchmark
 (the perf-regression harness; see docs/PERFORMANCE.md), ``serve``
-exposes the engine over the network (see docs/SERVING.md), and
-``loadgen`` drives open-/closed-loop traffic at a running server.
+exposes the engine over the network — ``--replicas N`` runs N
+supervised engine replicas behind a failover/hedging router (see
+docs/SERVING.md) — and ``loadgen`` drives open-/closed-loop traffic at
+a running server or router.
 """
 
 from __future__ import annotations
@@ -346,6 +350,27 @@ def _build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--trace", metavar="TRACE.jsonl",
         help="write one JSON span per line for every request",
+    )
+    p_serve.add_argument(
+        "--port-file", metavar="FILE",
+        help="write {\"port\", \"http_port\", \"pid\"} JSON after binding "
+             "(how a supervisor discovers ephemeral ports)",
+    )
+    p_serve.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="replicated mode: supervise N engine replica processes "
+             "behind a failover router on --port (default: 0, single "
+             "server)",
+    )
+    p_serve.add_argument(
+        "--hedge-ms", type=float, default=None, metavar="MS",
+        help="replicated mode: hedge straggler requests against a "
+             "second replica after MS milliseconds",
+    )
+    p_serve.add_argument(
+        "--inject-faults", metavar="SPEC", default=None,
+        help="chaos-testing only: seeded serve-layer fault plan, e.g. "
+             "'conn_drop=0.05,kill_replica_after=20,seed=7'",
     )
 
     p_load = sub.add_parser(
@@ -751,12 +776,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import RoutingServer, ServeConfig
 
     sink = _trace_sink(args)
+    if args.replicas and args.replicas > 0:
+        from repro.serve.replica import ReplicaSet
+        from repro.serve.router import RouterConfig, RoutingRouter
+
+        plan = _fault_plan(args)
+        replica_set = ReplicaSet(
+            args.replicas,
+            host=args.host,
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+            fault_plan=plan,
+        )
+        # Admission is lifted to the router in replicated mode: --rate /
+        # --burst shape the per-replica token buckets at the front.
+        router = RoutingRouter(
+            replica_set,
+            RouterConfig(
+                host=args.host, port=args.port, http_port=args.http_port,
+                hedge_ms=args.hedge_ms,
+                replica_rate=args.rate, replica_burst=args.burst,
+                replica_queue=args.max_queue,
+                drain_grace=args.drain_grace, seed=args.seed,
+                port_file=args.port_file,
+            ),
+            trace_sink=sink,
+            fault_plan=plan,
+            own_replica_set=True,
+        )
+        try:
+            asyncio.run(router.run())
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            pass
+        finally:
+            if sink is not None:
+                sink.close()
+        return 0
+
     server = RoutingServer(ServeConfig(
         host=args.host, port=args.port, http_port=args.http_port,
         jobs=args.jobs, timeout=args.timeout, max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
         rate=args.rate, burst=args.burst, drain_grace=args.drain_grace,
-        seed=args.seed,
+        seed=args.seed, port_file=args.port_file,
     ), trace_sink=sink)
     try:
         asyncio.run(server.run())

@@ -135,6 +135,31 @@ class ProtocolError(ServeError):
     """
 
 
+class ConnectionLostError(ServeError):
+    """The transport under an in-flight request died.
+
+    Raised by the client SDKs when the server closes (or the network
+    drops) a connection that still has requests outstanding — the
+    futures fail *immediately* with this error instead of waiting out
+    the request timeout.  Route requests are idempotent (routing is a
+    deterministic function of the instance), so the async client will
+    transparently reconnect and resend in-flight requests when
+    ``resend_on_reconnect`` is enabled; this error surfaces only when
+    reconnection itself fails or resending is disabled.
+    """
+
+
+class ReplicaError(ServeError):
+    """A replicated serving tier could not complete a request.
+
+    Raised (and returned as a typed ``error`` response) by the
+    :mod:`repro.serve.router` front process when every candidate replica
+    failed a request — all crashed, quarantined, or breaker-open.  With
+    at least one healthy replica the router fails over instead, so
+    clients see this only on total fleet loss.
+    """
+
+
 class AdmissionRejected(ServeError):
     """A request was refused by the admission layer instead of queued.
 

@@ -17,6 +17,24 @@ an environment variable (``ENGINE_FAULT_PLAN``) or CLI flag
 ``kill_after_checkpoints=N`` is a parent-side fault: the engine SIGKILLs
 its own process after ``N`` checkpoint records have been journaled,
 which is how the checkpoint/resume path is exercised deterministically.
+
+Serve-layer faults (see ``docs/RESILIENCE.md``) extend the same spec
+grammar one tier up, into :mod:`repro.serve`:
+
+* ``conn_drop`` / ``conn_garble`` / ``serve_latency`` are per-forward-
+  attempt rates drawn by :meth:`FaultPlan.decide_serve` — the router
+  drops the replica connection mid-request, garbles the replica's
+  response assignment (which can never pass validation), or delays the
+  response by ``latency_seconds`` (which is what trips hedging);
+* ``kill_replica_after=N`` / ``stop_replica_after=N`` are parent-side
+  faults applied by the :class:`~repro.serve.replica.ReplicaSet`:
+  after ``N`` routed requests a seeded-chosen replica process is
+  SIGKILLed (crash mid-batch) or SIGSTOPped (hang until the heartbeat
+  watchdog kills and restarts it).
+
+All serve-layer decisions are pure functions of the plan seed, so a
+chaos run under injection is replayable and can be digest-compared to a
+fault-free run.
 """
 
 from __future__ import annotations
@@ -29,8 +47,14 @@ from repro.substrate.prng import derive_seed
 
 __all__ = ["FaultPlan", "corrupt_assignment"]
 
-_FLOAT_FIELDS = ("crash", "hang", "garbage", "hang_seconds")
-_INT_FIELDS = ("seed", "kill_after_checkpoints")
+_FLOAT_FIELDS = (
+    "crash", "hang", "garbage", "hang_seconds",
+    "conn_drop", "conn_garble", "serve_latency", "latency_seconds",
+)
+_INT_FIELDS = (
+    "seed", "kill_after_checkpoints",
+    "kill_replica_after", "stop_replica_after",
+)
 
 
 @dataclass(frozen=True)
@@ -50,9 +74,19 @@ class FaultPlan:
     seed: int = 0
     hang_seconds: float = 3600.0
     kill_after_checkpoints: Optional[int] = None
+    #: Serve-layer per-forward-attempt rates (see :meth:`decide_serve`).
+    conn_drop: float = 0.0
+    conn_garble: float = 0.0
+    serve_latency: float = 0.0
+    #: Injected delay of one ``serve_latency`` fault, in seconds.
+    latency_seconds: float = 0.25
+    #: Parent-side replica faults applied by the ReplicaSet.
+    kill_replica_after: Optional[int] = None
+    stop_replica_after: Optional[int] = None
 
     def __post_init__(self) -> None:
-        for name in ("crash", "hang", "garbage"):
+        for name in ("crash", "hang", "garbage",
+                     "conn_drop", "conn_garble", "serve_latency"):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise FormatError(
@@ -60,15 +94,21 @@ class FaultPlan:
                 )
         if self.crash + self.hang + self.garbage > 1.0:
             raise FormatError("fault rates must sum to <= 1")
+        if self.conn_drop + self.conn_garble + self.serve_latency > 1.0:
+            raise FormatError("serve fault rates must sum to <= 1")
         if self.hang_seconds <= 0:
             raise FormatError(
                 f"hang_seconds must be positive, got {self.hang_seconds}"
             )
-        if self.kill_after_checkpoints is not None and self.kill_after_checkpoints < 1:
+        if self.latency_seconds <= 0:
             raise FormatError(
-                f"kill_after_checkpoints must be >= 1, "
-                f"got {self.kill_after_checkpoints}"
+                f"latency_seconds must be positive, got {self.latency_seconds}"
             )
+        for name in ("kill_after_checkpoints", "kill_replica_after",
+                     "stop_replica_after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise FormatError(f"{name} must be >= 1, got {value}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,6 +150,18 @@ class FaultPlan:
         ]
         if self.kill_after_checkpoints is not None:
             parts.append(f"kill_after_checkpoints={self.kill_after_checkpoints}")
+        # Serve-layer fields ride along only when active, so worker-bound
+        # spec strings from engine-only plans are unchanged.
+        for name in ("conn_drop", "conn_garble", "serve_latency"):
+            rate = getattr(self, name)
+            if rate:
+                parts.append(f"{name}={rate!r}")
+        if self.serve_latency:
+            parts.append(f"latency_seconds={self.latency_seconds!r}")
+        for name in ("kill_replica_after", "stop_replica_after"):
+            value = getattr(self, name)
+            if value is not None:
+                parts.append(f"{name}={value}")
         return ",".join(parts)
 
     # ------------------------------------------------------------------
@@ -127,6 +179,31 @@ class FaultPlan:
         if unit < self.crash + self.hang + self.garbage:
             return "garbage"
         return None
+
+    def decide_serve(self, request_key: str, attempt: int) -> Optional[str]:
+        """Serve-layer fault for one forward attempt:
+        ``"drop"``/``"garble"``/``"latency"``/None.
+
+        Pure function of ``(self.seed, request_key, attempt)``, drawn
+        from a stream distinct from :meth:`decide` so engine- and
+        serve-layer injections never correlate.
+        """
+        unit = derive_seed(
+            self.seed, f"serve-fault:{request_key}:{attempt}"
+        ) / 2**64
+        if unit < self.conn_drop:
+            return "drop"
+        if unit < self.conn_drop + self.conn_garble:
+            return "garble"
+        if unit < self.conn_drop + self.conn_garble + self.serve_latency:
+            return "latency"
+        return None
+
+    def replica_victim(self, n_replicas: int, kind: str) -> int:
+        """Seeded victim index for a ``kill``/``stop`` replica fault."""
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        return derive_seed(self.seed, f"replica-victim:{kind}") % n_replicas
 
 
 def corrupt_assignment(

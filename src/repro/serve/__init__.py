@@ -9,12 +9,24 @@ into :meth:`~repro.engine.RoutingEngine.route_many` windows
 (:mod:`.batcher`), the server itself with health/readiness probes, a
 Prometheus ``/metrics`` endpoint, and graceful drain on SIGTERM
 (:mod:`.server`), a sync + async client SDK (:mod:`.client`), and an
-open-/closed-loop load generator (:mod:`.loadgen`).  See
-``docs/SERVING.md`` for the architecture and knobs.
+open-/closed-loop load generator (:mod:`.loadgen`).
+
+For fault tolerance, the replicated tier: a :class:`ReplicaSet`
+supervises N engine replica processes (heartbeats, restart with
+backoff, flap quarantine — :mod:`.replica`) behind a
+:class:`RoutingRouter` that places requests by consistent hash of the
+canonical instance key, fails over with digest-validated replay, opens
+per-replica circuit breakers, and hedges stragglers
+(:mod:`.router`).  See ``docs/SERVING.md`` for the architecture and
+knobs.
 
 Quickstart (server)::
 
     segroute serve --port 7455 --http-port 7456 --max-batch 16
+
+Quickstart (replicated)::
+
+    segroute serve --replicas 3 --port 7455 --hedge-ms 50
 
 Quickstart (client)::
 
@@ -25,7 +37,13 @@ Quickstart (client)::
         assert result.ok and result.assignment is not None
 """
 
-from repro.core.errors import AdmissionRejected, ProtocolError, ServeError
+from repro.core.errors import (
+    AdmissionRejected,
+    ConnectionLostError,
+    ProtocolError,
+    ReplicaError,
+    ServeError,
+)
 from repro.serve.admission import AdmissionController, AdmissionDecision
 from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.client import AsyncRoutingClient, RoutingClient, ServeResult
@@ -37,6 +55,8 @@ from repro.serve.protocol import (
     STATUS_OVERLOADED,
     STATUS_SHED,
 )
+from repro.serve.replica import ReplicaSet, ReplicaStatus, StaticReplicaSet
+from repro.serve.router import CircuitBreaker, RouterConfig, RoutingRouter
 from repro.serve.server import RoutingServer, ServeConfig
 
 __all__ = [
@@ -49,6 +69,12 @@ __all__ = [
     "AdmissionDecision",
     "MicroBatcher",
     "PendingRequest",
+    "ReplicaSet",
+    "ReplicaStatus",
+    "StaticReplicaSet",
+    "RoutingRouter",
+    "RouterConfig",
+    "CircuitBreaker",
     "run_loadgen",
     "PROTOCOL_VERSION",
     "STATUS_OK",
@@ -58,4 +84,6 @@ __all__ = [
     "ServeError",
     "ProtocolError",
     "AdmissionRejected",
+    "ConnectionLostError",
+    "ReplicaError",
 ]

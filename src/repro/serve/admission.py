@@ -15,6 +15,12 @@ queuing it can possibly end well.  Three gates, in order:
    refused with ``shed``: it would time out anyway, so the server
    spends zero solve time on it and tells the client immediately.
 
+The service-time estimate is seeded from a configurable prior
+(``service_prior_s``) so a cold, unmeasured server does not admit
+unboundedly, and it decays back toward that prior with half-life
+``decay_halflife_s`` while no requests complete — a transient spike
+observed just before an idle period cannot shed forever.
+
 Gates 1 and 2 protect the server; gate 3 protects the client.  Both
 refusals are typed (:class:`~repro.core.errors.AdmissionRejected`) and
 reach the wire as ``overloaded`` / ``shed`` responses — load shedding
@@ -67,6 +73,15 @@ class AdmissionController:
     burst:
         Bucket capacity; defaults to ``rate`` (1 second of burst).
         Ignored when ``rate`` is ``None``.
+    service_prior_s:
+        Prior per-request service time in seconds: the estimate before
+        the first observation, and the value the EWMA decays back to
+        while idle.  ``0.0`` (the default) reproduces the historical
+        cold-start behaviour of never shedding an unmeasured server.
+    decay_halflife_s:
+        Idle half-life of the EWMA's excursion from the prior, or
+        ``None`` for no decay.  After ``h`` idle seconds the effective
+        estimate is ``prior + (ewma - prior) * 0.5 ** (h / halflife)``.
     clock:
         Monotonic clock, injectable for tests.
     """
@@ -76,6 +91,8 @@ class AdmissionController:
         max_queue: int = 64,
         rate: Optional[float] = None,
         burst: Optional[float] = None,
+        service_prior_s: float = 0.0,
+        decay_halflife_s: Optional[float] = 30.0,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_queue < 1:
@@ -84,15 +101,26 @@ class AdmissionController:
             raise ValueError(f"rate must be positive, got {rate}")
         if burst is not None and burst < 1:
             raise ValueError(f"burst must be >= 1, got {burst}")
+        if service_prior_s < 0:
+            raise ValueError(
+                f"service_prior_s must be >= 0, got {service_prior_s}"
+            )
+        if decay_halflife_s is not None and decay_halflife_s <= 0:
+            raise ValueError(
+                f"decay_halflife_s must be positive, got {decay_halflife_s}"
+            )
         self.max_queue = max_queue
         self.rate = rate
         self.burst = float(burst if burst is not None else (rate or 0.0)) or 1.0
+        self.service_prior_s = service_prior_s
+        self.decay_halflife_s = decay_halflife_s
         self._clock = clock
         self._lock = threading.Lock()
         self._tokens = self.burst
         self._refilled_at = clock()
         self._pending = 0
         self._service_ewma_s: Optional[float] = None
+        self._observed_at: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,17 +132,31 @@ class AdmissionController:
     def estimated_wait_s(self) -> float:
         """Predicted queue wait for a newly admitted request.
 
-        Pending depth times the EWMA of observed per-request service
-        time; zero until the first observation (an idle, unmeasured
-        server never sheds on deadline alone).
+        Pending depth times the effective per-request service-time
+        estimate (prior before any observation; idle-decayed EWMA
+        after — see :meth:`effective_service_s`).
         """
         with self._lock:
             return self._estimated_wait_s()
 
-    def _estimated_wait_s(self) -> float:
+    def effective_service_s(self) -> float:
+        """Current per-request service-time estimate in seconds."""
+        with self._lock:
+            return self._effective_service_s()
+
+    def _effective_service_s(self) -> float:
         if self._service_ewma_s is None:
-            return 0.0
-        return self._pending * self._service_ewma_s
+            return self.service_prior_s
+        if self.decay_halflife_s is None or self._observed_at is None:
+            return self._service_ewma_s
+        idle = max(0.0, self._clock() - self._observed_at)
+        weight = 0.5 ** (idle / self.decay_halflife_s)
+        return self.service_prior_s + (
+            self._service_ewma_s - self.service_prior_s
+        ) * weight
+
+    def _estimated_wait_s(self) -> float:
+        return self._pending * self._effective_service_s()
 
     # ------------------------------------------------------------------
     def try_admit(
@@ -156,16 +198,21 @@ class AdmissionController:
                 self._pending -= 1
 
     def observe_service(self, seconds: float) -> None:
-        """Feed one completed request's service time into the EWMA."""
+        """Feed one completed request's service time into the EWMA.
+
+        The update applies to the *decayed* estimate, so a sample after
+        a long idle period moves on from the prior, not from a stale
+        spike.
+        """
         if seconds < 0:
             return
         with self._lock:
             if self._service_ewma_s is None:
                 self._service_ewma_s = seconds
             else:
-                self._service_ewma_s += _EWMA_ALPHA * (
-                    seconds - self._service_ewma_s
-                )
+                base = self._effective_service_s()
+                self._service_ewma_s = base + _EWMA_ALPHA * (seconds - base)
+            self._observed_at = self._clock()
 
     # ------------------------------------------------------------------
     def _refill(self) -> None:
@@ -185,4 +232,7 @@ class AdmissionController:
                 "serve.queue_bound": self.max_queue,
                 "serve.tokens": round(self._tokens, 3),
                 "serve.estimated_wait_s": round(self._estimated_wait_s(), 6),
+                "serve.service_estimate_s": round(
+                    self._effective_service_s(), 6
+                ),
             }

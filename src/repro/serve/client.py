@@ -13,6 +13,16 @@ deterministic backoff policy
 started before server finished binding" — the normal CI race — is
 absorbed rather than surfaced.
 
+Mid-request connection loss is *typed and immediate*: in-flight futures
+fail with :class:`~repro.core.errors.ConnectionLostError` the moment the
+transport dies instead of waiting out the request timeout.  Because
+every protocol operation is idempotent (routing is a deterministic
+function of the instance), the async client first tries to reconnect
+and transparently *resend* whatever was in flight
+(``resend_on_reconnect=True``, the default); only when reconnection
+fails — or resending is disabled, as the failover router requires —
+does the typed error surface.
+
 With a ``trace_sink``, every ``route`` call emits a ``client.request``
 span (prefix ``cl``) whose trace ID is derived from ``(seed, request
 id)`` via :func:`~repro.obs.trace.derive_trace_id`, and the trace
@@ -32,7 +42,7 @@ from typing import Optional, Sequence
 
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import ProtocolError, ServeError
+from repro.core.errors import ConnectionLostError, ProtocolError, ServeError
 from repro.engine.resilience.retry import RetryPolicy, backoff_delay
 from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.protocol import (
@@ -112,6 +122,7 @@ class AsyncRoutingClient:
         connect_policy: RetryPolicy = _CONNECT_POLICY,
         trace_sink: Optional[TraceSink] = None,
         seed: int = 0,
+        resend_on_reconnect: bool = True,
     ) -> None:
         self.host = host
         self.port = port
@@ -119,25 +130,27 @@ class AsyncRoutingClient:
         self.connect_policy = connect_policy
         self.trace_sink = trace_sink
         self.seed = seed
+        self.resend_on_reconnect = resend_on_reconnect
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
-        self._pending: dict[str, asyncio.Future] = {}
+        #: request id -> (future, wire message) — the message is kept so
+        #: an in-flight request can be resent after a reconnect.
+        self._pending: dict[str, tuple[asyncio.Future, dict]] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
         self._closed = False
 
     # ------------------------------------------------------------------
-    async def connect(self) -> None:
-        """Open the connection, retrying with deterministic backoff."""
+    async def _open(self) -> None:
+        """One connection attempt loop with deterministic backoff."""
         last_error: Optional[Exception] = None
         for attempt in range(1, self.connect_policy.max_attempts + 1):
+            if self._closed:
+                raise ServeError("client is closed")
             try:
                 self._reader, self._writer = await asyncio.open_connection(
                     self.host, self.port
-                )
-                self._reader_task = asyncio.get_running_loop().create_task(
-                    self._read_loop(), name="serve-client-reader"
                 )
                 return
             except OSError as exc:
@@ -148,6 +161,13 @@ class AsyncRoutingClient:
                     ))
         raise ServeError(
             f"cannot connect to {self.host}:{self.port}: {last_error}"
+        )
+
+    async def connect(self) -> None:
+        """Open the connection, retrying with deterministic backoff."""
+        await self._open()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name="serve-client-reader"
         )
 
     async def close(self) -> None:
@@ -174,31 +194,58 @@ class AsyncRoutingClient:
 
     # ------------------------------------------------------------------
     async def _read_loop(self) -> None:
-        assert self._reader is not None
-        try:
-            while True:
-                line = await self._reader.readline()
-                if not line:
-                    break
+        while True:
+            assert self._reader is not None
+            error: Exception
+            try:
+                while True:
+                    line = await self._reader.readline()
+                    if not line:
+                        error = ConnectionLostError(
+                            "server closed the connection"
+                        )
+                        break
+                    try:
+                        message = decode(line)
+                    except ProtocolError as exc:
+                        self._fail_pending(exc)
+                        return
+                    request_id = message.get("id")
+                    entry = self._pending.pop(str(request_id), None)
+                    if entry is not None and not entry[0].done():
+                        entry[0].set_result(message)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # connection reset etc.
+                error = ConnectionLostError(f"connection lost: {exc}")
+            if self._closed:
+                self._fail_pending(ServeError("client closed"))
+                return
+            if not (self.resend_on_reconnect and self._pending):
+                self._fail_pending(error)
+                return
+            # Reconnect and replay: route requests are idempotent, so
+            # resending whatever was in flight is safe and invisible to
+            # the awaiting coroutines.
+            if self._writer is not None:
+                self._writer.close()
+            try:
+                await self._open()
+            except ServeError:
+                self._fail_pending(error)
+                return
+            async with self._write_lock:
+                assert self._writer is not None
+                for _, pending_message in self._pending.values():
+                    self._writer.write(encode(pending_message))
                 try:
-                    message = decode(line)
-                except ProtocolError as exc:
-                    self._fail_pending(exc)
-                    return
-                request_id = message.get("id")
-                future = self._pending.pop(str(request_id), None)
-                if future is not None and not future.done():
-                    future.set_result(message)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:  # connection reset etc.
-            self._fail_pending(ServeError(f"connection lost: {exc}"))
-        else:
-            self._fail_pending(ServeError("server closed the connection"))
+                    await self._writer.drain()
+                except OSError:
+                    pass  # the reader sees the same death next iteration
 
     def _fail_pending(self, error: Exception) -> None:
         pending, self._pending = self._pending, {}
-        for future in pending.values():
+        for future, _ in pending.values():
             if not future.done():
                 future.set_exception(error)
 
@@ -209,10 +256,23 @@ class AsyncRoutingClient:
             raise ServeError("client is closed")
         request_id = str(message["id"])
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = future
-        async with self._write_lock:
-            self._writer.write(encode(message))
-            await self._writer.drain()
+        self._pending[request_id] = (future, message)
+        try:
+            async with self._write_lock:
+                self._writer.write(encode(message))
+                await self._writer.drain()
+        except OSError as exc:
+            # A write onto a dead transport: when the reader task is
+            # alive and resend is on, it reconnects and replays this
+            # request; otherwise fail typed and immediately.
+            if (not self.resend_on_reconnect
+                    or self._reader_task is None
+                    or self._reader_task.done()):
+                self._pending.pop(request_id, None)
+                raise ConnectionLostError(
+                    f"connection to {self.host}:{self.port} lost "
+                    f"mid-request: {exc}"
+                ) from exc
         try:
             if self.timeout is not None:
                 return await asyncio.wait_for(future, self.timeout)
@@ -225,6 +285,26 @@ class AsyncRoutingClient:
 
     def _next_id(self) -> str:
         return f"q{next(self._ids)}"
+
+    @property
+    def connected(self) -> bool:
+        """Whether the transport (and its reader task) is still usable."""
+        return (
+            not self._closed
+            and self._writer is not None
+            and not self._writer.is_closing()
+            and self._reader_task is not None
+            and not self._reader_task.done()
+        )
+
+    async def call(self, message: dict) -> dict:
+        """Send one pre-built wire message, await its matched response.
+
+        The low-level forwarding primitive used by the failover router,
+        which needs full control over request IDs and trace context;
+        ``route`` / ``ping`` / ``stats`` are sugar over this.
+        """
+        return await self._call(message)
 
     # ------------------------------------------------------------------
     async def ping(self) -> dict:
@@ -384,10 +464,16 @@ class RoutingClient:
     def _call(self, message: dict) -> dict:
         if self._sock is None or self._file is None:
             raise ServeError("client is not connected (call connect())")
-        self._sock.sendall(encode(message))
-        line = self._file.readline()
+        try:
+            self._sock.sendall(encode(message))
+            line = self._file.readline()
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} lost "
+                f"mid-request: {exc}"
+            ) from exc
         if not line:
-            raise ServeError("server closed the connection")
+            raise ConnectionLostError("server closed the connection")
         return decode(line)
 
     def _next_id(self) -> str:

@@ -14,15 +14,22 @@ literature:
   loops structurally cannot produce.
 
 Requests draw round-robin from a seeded corpus of
-feasible-by-construction instances, so a run that covers each corpus
-entry exactly once yields a :func:`~repro.io.results.digest_records`
-digest directly comparable to ``segroute batch`` over the same corpus —
-the serving stack is digest-verified against the offline engine, not
-just smoke-tested.
+feasible-by-construction instances, so a run that covers every corpus
+entry yields a :func:`~repro.io.results.digest_records` digest directly
+comparable to ``segroute batch`` over the same corpus — the serving
+stack is digest-verified against the offline engine, not just
+smoke-tested.  When ``requests`` exceeds the corpus size the corpus is
+covered multiple times; the digest is then computed from the first
+response per entry *and only if every repeat answered identically*
+(``consistent`` in the report), which is exactly the property a
+failover router must preserve: a request replayed on a different
+replica mid-run may not change the answer.
 
 The report (written to ``BENCH_serve.json`` by
 ``tools/collect_bench_tables.py``) carries status counts, protocol
-errors, throughput, and client-observed latency percentiles.
+errors, throughput, client-observed latency percentiles, and — against
+a replicated router — the server's own failover/hedge/per-replica
+counters fetched over the ``stats`` op.
 """
 
 from __future__ import annotations
@@ -89,9 +96,11 @@ async def _run_async(
     algorithm: str,
     timeout: Optional[float],
     seed: int,
-) -> tuple[list[dict], int, float]:
+    collect_stats: bool,
+) -> tuple[list[dict], int, float, Optional[dict]]:
     records: list[Optional[dict]] = [None] * requests
     protocol_errors = 0
+    server_stats: Optional[dict] = None
 
     async def one(client: AsyncRoutingClient, i: int) -> None:
         nonlocal protocol_errors
@@ -149,7 +158,15 @@ async def _run_async(
         else:
             raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
         wall = time.monotonic() - started
-    return [r for r in records if r is not None], protocol_errors, wall
+        if collect_stats:
+            try:
+                server_stats = await client.stats()
+            except (ServeError, ProtocolError):
+                server_stats = None
+    return (
+        [r for r in records if r is not None],
+        protocol_errors, wall, server_stats,
+    )
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -178,12 +195,17 @@ def run_loadgen(
     algorithm: str = "auto",
     timeout: Optional[float] = 30.0,
     seed: int = 0,
+    include_server_stats: bool = True,
 ) -> dict:
     """Drive traffic at a server and return the measurement report.
 
-    When every corpus entry is hit exactly once with an ``ok``/``error``
-    response, the report carries a ``digest`` comparable to the offline
-    ``segroute batch`` digest of the same corpus.
+    When every corpus entry completes with an ``ok``/``error`` response
+    — and repeats of the same entry answered identically — the report
+    carries a ``digest`` comparable to the offline ``segroute batch``
+    digest of the same corpus.  With ``include_server_stats`` the
+    server's ``serve.*`` counters (and, against a router, its
+    per-replica failover/shed counts) are fetched post-run under
+    ``"server"``.
     """
     if corpus is None:
         corpus = build_corpus(corpus_size, seed)
@@ -193,11 +215,11 @@ def run_loadgen(
         raise ValueError("open-loop mode needs a positive rate")
     if mode not in ("open", "closed"):
         raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
-    records, protocol_errors, wall = asyncio.run(_run_async(
+    records, protocol_errors, wall, server_stats = asyncio.run(_run_async(
         host, port, corpus,
         requests=requests, mode=mode, concurrency=concurrency, rate=rate,
         deadline_ms=deadline_ms, weight=weight, algorithm=algorithm,
-        timeout=timeout, seed=seed,
+        timeout=timeout, seed=seed, collect_stats=include_server_stats,
     ))
 
     statuses: dict[str, int] = {}
@@ -210,21 +232,44 @@ def run_loadgen(
         and r["status"] != "transport-error"
     ]
 
-    # Digest only when the run maps 1:1 onto the corpus and nothing was
-    # shed — that is exactly the offline-comparable case.
+    # Digest when the run covers the whole corpus (possibly multiple
+    # times) and nothing was shed or lost: hash the first response per
+    # entry, but only if every repeat of an entry answered identically —
+    # the invariant a failover/hedging tier must preserve.
     digest = None
-    if len(completed) == len(records) == len(corpus):
-        by_index = sorted(records, key=lambda r: r["corpus_index"])
-        if [r["corpus_index"] for r in by_index] == list(range(len(corpus))):
+    consistent = None
+    covered = {r["corpus_index"] for r in records}
+    if len(completed) == len(records) and covered == set(range(len(corpus))):
+        first: dict[int, dict] = {}
+        consistent = True
+        for r in records:
+            prev = first.setdefault(r["corpus_index"], r)
+            if prev is not r and (
+                prev["status"], prev["assignment"], prev["error_type"]
+            ) != (r["status"], r["assignment"], r["error_type"]):
+                consistent = False
+        if consistent:
             digest = digest_records(
                 result_record(
-                    r["corpus_index"],
-                    r["status"] == STATUS_OK,
-                    r["assignment"],
-                    r["error_type"],
+                    i,
+                    first[i]["status"] == STATUS_OK,
+                    first[i]["assignment"],
+                    first[i]["error_type"],
                 )
-                for r in by_index
+                for i in sorted(first)
             )
+
+    server = None
+    if server_stats is not None:
+        server = {
+            "counters": {
+                name: value
+                for name, value in server_stats.get("counters", {}).items()
+                if name.startswith("serve.")
+            },
+        }
+        if "replicas" in server_stats:
+            server["replicas"] = server_stats["replicas"]
 
     return {
         "mode": mode,
@@ -246,6 +291,8 @@ def run_loadgen(
             "max": round(latencies[-1] * 1000.0, 3) if latencies else 0.0,
         },
         "digest": digest,
+        "consistent": consistent,
+        "server": server,
     }
 
 
@@ -267,4 +314,21 @@ def render_report(report: dict) -> str:
     ]
     if report.get("digest"):
         lines.append(f"digest      {report['digest']}")
+    server = report.get("server") or {}
+    counters = server.get("counters", {})
+    if "serve.router.requests" in counters:
+        lines.append(
+            "router      "
+            f"failovers={counters.get('serve.router.failovers', 0)}, "
+            f"hedges={counters.get('serve.router.hedges', 0)}, "
+            f"hedge_wins={counters.get('serve.router.hedge_wins', 0)}, "
+            f"spills={counters.get('serve.router.spills', 0)}, "
+            f"breaker_opens={counters.get('serve.router.breaker_opens', 0)}"
+        )
+    for idx, counts in sorted(server.get("replicas", {}).items()):
+        lines.append(
+            f"replica {idx}   " + ", ".join(
+                f"{k}={v}" for k, v in sorted(counts.items())
+            )
+        )
     return "\n".join(lines)

@@ -1,0 +1,1021 @@
+"""The failover/hedging front router for a replicated serving tier.
+
+A :class:`RoutingRouter` speaks the same newline-delimited JSON protocol
+as :class:`~repro.serve.server.RoutingServer` — clients cannot tell the
+difference — but instead of routing, it *places* each request on one of
+N engine replicas and survives their deaths:
+
+* **placement** — consistent hash of the canonical instance key
+  (:func:`repro.engine.cache.canonical_key`) onto a ring of seeded
+  virtual nodes per replica *index*.  Indices are stable across
+  restarts, so a replica that crashes and comes back on a new port
+  re-warms exactly the key range it owned before — cache affinity
+  survives failover.
+* **failover with digest-validated replay** — every protocol operation
+  is idempotent (routing is a deterministic function of the instance
+  and the shared seed), so on replica death the router simply replays
+  the request on the next ring replica.  ``ok`` responses are validated
+  (:meth:`~repro.core.routing.Routing.is_valid`) before being trusted:
+  a garbled assignment fails over exactly like a dead connection,
+  instead of reaching the client.
+* **per-replica circuit breaker** — ``failure_threshold`` consecutive
+  transport/validation failures open a replica's breaker; after
+  ``breaker_reset_s`` one half-open probe is allowed through, and its
+  outcome closes or re-opens the breaker.  Deterministic routing errors
+  (``status: "error"``) are *successes* for the breaker: the replica is
+  healthy, the instance is infeasible, and no other replica would
+  answer differently.
+* **hedging** — when a request's first attempt has not answered within
+  the hedge delay (fixed ``hedge_ms``, or the observed ``p`` latency
+  percentile once enough samples exist), a second attempt is raced on
+  the next ring replica; the first digest-valid response wins and the
+  loser is cancelled exactly once — portfolio racing one layer up.
+* **admission, lifted** — each replica gets its own token bucket and
+  in-flight bound at the router (``replica_rate`` / ``replica_burst`` /
+  ``replica_queue``); a replica over budget is spilled past to the next
+  ring candidate, and only when *every* candidate refuses does the
+  client see ``overloaded``.
+
+Serve-layer fault injection
+(:meth:`~repro.engine.resilience.faults.FaultPlan.decide_serve`) is
+applied here, per forward attempt: ``drop`` severs the replica
+connection, ``garble`` corrupts the returned assignment (caught by
+validation), ``latency`` delays the response (what trips hedging) —
+all as pure functions of the plan seed, so chaos runs replay exactly.
+
+With a trace sink the router emits ``router.request`` / one
+``router.forward`` span per attempt (prefix ``rt``), parented into the
+client's trace and passed as trace context to the replica, whose
+``serve.request`` span nests underneath — the full tree reads client →
+router → replica → engine → worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.errors import ProtocolError, ReplicaError, ServeError
+from repro.core.routing import Routing
+from repro.engine.cache import canonical_key
+from repro.engine.metrics import Metrics
+from repro.engine.resilience.faults import FaultPlan, corrupt_assignment
+from repro.engine.resilience.retry import RetryPolicy
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
+from repro.serve.admission import AdmissionController
+from repro.serve.client import AsyncRoutingClient
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    REJECTION_STATUSES,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    decode,
+    encode,
+    failure_response,
+    parse_route_request,
+)
+from repro.substrate.prng import derive_seed
+
+__all__ = [
+    "CircuitBreaker",
+    "RouterConfig",
+    "RoutingRouter",
+    "BREAKER_CLOSED",
+    "BREAKER_OPEN",
+    "BREAKER_HALF_OPEN",
+]
+
+BREAKER_CLOSED = "closed"
+BREAKER_OPEN = "open"
+BREAKER_HALF_OPEN = "half-open"
+
+#: Replica connections are established lazily on the forward path, so
+#: retries must stay short: a dead replica should cost milliseconds,
+#: not a full client-style backoff ladder.
+_FORWARD_CONNECT_POLICY = RetryPolicy(
+    max_attempts=2, base_delay=0.05, max_delay=0.2
+)
+
+
+class CircuitBreaker:
+    """Per-replica circuit breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` *consecutive* failures open the breaker; after
+    ``reset_timeout_s`` one probe is allowed through (half-open), and
+    its outcome closes (success) or re-opens (failure) the breaker.
+    Clock-injectable, so the transitions unit-test without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be positive, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """Current state (open breakers report half-open once expired)."""
+        if (
+            self._state == BREAKER_OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            return BREAKER_HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent now?  Half-open admits a single probe."""
+        state = self.state
+        if state == BREAKER_CLOSED:
+            return True
+        if state == BREAKER_OPEN:
+            return False
+        if self._probing:
+            return False
+        self._state = BREAKER_HALF_OPEN
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._probing = False
+
+    def record_failure(self) -> bool:
+        """Record one failure; returns True when this *opens* the breaker."""
+        self._consecutive_failures += 1
+        should_open = (
+            self._state == BREAKER_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        )
+        if should_open:
+            newly = self._state != BREAKER_OPEN
+            self._state = BREAKER_OPEN
+            self._opened_at = self._clock()
+            self._probing = False
+            return newly
+        return False
+
+    def record_abandoned(self) -> None:
+        """A probe was cancelled before completing: release the slot."""
+        self._probing = False
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Every knob of one routing router (see ``docs/SERVING.md``).
+
+    Attributes
+    ----------
+    host / port / http_port:
+        Protocol and admin listeners, as on
+        :class:`~repro.serve.server.ServeConfig` (``0`` = ephemeral).
+    ring_points:
+        Virtual nodes per replica on the consistent-hash ring.
+    failure_threshold / breaker_reset_s:
+        Per-replica circuit-breaker shape.
+    hedge_ms:
+        Fixed hedge delay in milliseconds; ``None`` disables fixed
+        hedging.
+    hedge_percentile / hedge_min_samples:
+        Adaptive hedging: once ``hedge_min_samples`` forward latencies
+        are observed, hedge past that percentile of them.  ``hedge_ms``
+        wins when both are set.
+    replica_rate / replica_burst / replica_queue:
+        Lifted admission: per-replica token bucket (requests/second and
+        burst; ``None`` = unlimited) and in-flight bound at the router.
+    forward_timeout:
+        Per-attempt client timeout against a replica, seconds.
+    drain_grace:
+        Seconds to wait for in-flight requests during graceful drain.
+    seed:
+        Namespace for ring points, placement hashes and trace IDs.
+    port_file:
+        Optional path to write ``{"port", "http_port", "pid"}`` after
+        binding, exactly as the single server does.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7465
+    http_port: int = 7466
+    ring_points: int = 32
+    failure_threshold: int = 3
+    breaker_reset_s: float = 5.0
+    hedge_ms: Optional[float] = None
+    hedge_percentile: Optional[float] = None
+    hedge_min_samples: int = 20
+    replica_rate: Optional[float] = None
+    replica_burst: Optional[float] = None
+    replica_queue: int = 64
+    forward_timeout: Optional[float] = 30.0
+    drain_grace: float = 10.0
+    seed: int = 0
+    port_file: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.ring_points < 1:
+            raise ValueError(
+                f"ring_points must be >= 1, got {self.ring_points}"
+            )
+        if self.hedge_ms is not None and self.hedge_ms < 0:
+            raise ValueError(f"hedge_ms must be >= 0, got {self.hedge_ms}")
+        if self.hedge_percentile is not None and not (
+            0.0 < self.hedge_percentile < 1.0
+        ):
+            raise ValueError(
+                f"hedge_percentile must be in (0, 1), "
+                f"got {self.hedge_percentile}"
+            )
+        if self.drain_grace < 0:
+            raise ValueError(
+                f"drain_grace must be >= 0, got {self.drain_grace}"
+            )
+
+
+#: Per-replica counter keys tracked by the router.
+_REPLICA_COUNTS = (
+    "ok", "error", "failed", "refused", "spill", "hedged", "down_skips",
+)
+
+
+class RoutingRouter:
+    """Protocol front that places, fails over, and hedges across replicas.
+
+    ``replica_set`` is anything with the
+    :class:`~repro.serve.replica.ReplicaSet` interface (``n_replicas``,
+    ``endpoint(i)``, ``note_request()``, ``counters()``) — a real
+    subprocess supervisor or a
+    :class:`~repro.serve.replica.StaticReplicaSet` over in-process
+    servers.  With ``own_replica_set=True`` the router starts/stops the
+    set inside its own lifecycle (the CLI path).
+    """
+
+    def __init__(
+        self,
+        replica_set,
+        config: Optional[RouterConfig] = None,
+        *,
+        trace_sink: Optional[TraceSink] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        own_replica_set: bool = False,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.replica_set = replica_set
+        self.config = config or RouterConfig()
+        self.trace_sink = trace_sink
+        self.fault_plan = fault_plan
+        self.own_replica_set = own_replica_set
+        self.metrics: Metrics = getattr(replica_set, "metrics", None) or (
+            Metrics()
+        )
+        n = replica_set.n_replicas
+        self.breakers = [
+            CircuitBreaker(
+                self.config.failure_threshold,
+                self.config.breaker_reset_s,
+                clock,
+            )
+            for _ in range(n)
+        ]
+        self.admissions = [
+            AdmissionController(
+                max_queue=self.config.replica_queue,
+                rate=self.config.replica_rate,
+                burst=self.config.replica_burst,
+            )
+            for _ in range(n)
+        ]
+        self._replica_counts = [
+            {key: 0 for key in _REPLICA_COUNTS} for _ in range(n)
+        ]
+        self._ring = self._build_ring(n)
+        self._clients: dict[int, AsyncRoutingClient] = {}
+        # Serializes close-and-recreate per replica: two concurrent
+        # forwards noticing the same dead client must not both rebuild
+        # it (the loser's client would leak its reader task).
+        self._client_locks = [asyncio.Lock() for _ in range(n)]
+        self._latencies: list[float] = []
+        self._forward_ids = itertools.count(1)
+        self._request_seq = 0
+        self.port: Optional[int] = None
+        self.http_port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._http: Optional[asyncio.base_events.Server] = None
+        self._ready = False
+        self._drained = False
+        self._stop: Optional[asyncio.Event] = None
+        self._inflight: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def _build_ring(self, n: int) -> list[tuple[int, int]]:
+        ring = [
+            (derive_seed(self.config.seed, f"ring:{idx}:{v}"), idx)
+            for idx in range(n)
+            for v in range(self.config.ring_points)
+        ]
+        ring.sort()
+        return ring
+
+    def placement(self, key: str) -> list[int]:
+        """All replica indices in ring-walk order for ``key``.
+
+        The first entry is the home replica; the rest are the failover
+        order.  Pure function of ``(config.seed, key)``.
+        """
+        n = self.replica_set.n_replicas
+        point = derive_seed(self.config.seed, f"place:{key}")
+        start = bisect.bisect_left(self._ring, (point,))
+        order: list[int] = []
+        seen: set[int] = set()
+        for offset in range(len(self._ring)):
+            _, idx = self._ring[(start + offset) % len(self._ring)]
+            if idx not in seen:
+                seen.add(idx)
+                order.append(idx)
+                if len(order) == n:
+                    break
+        return order
+
+    @staticmethod
+    def request_key(request) -> str:
+        """Canonical placement/fault key of one parsed route request."""
+        return repr(canonical_key(
+            request.channel, request.connections, request.max_segments,
+            request.weight, request.algorithm,
+        ))
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors RoutingServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Start the owned replica set (if any) and bind both listeners."""
+        import json as _json
+        import os as _os
+
+        if self.own_replica_set:
+            await self.replica_set.start()
+        self._stop = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port
+        )
+        self._http = await asyncio.start_server(
+            self._on_http, self.config.host, self.config.http_port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.http_port = self._http.sockets[0].getsockname()[1]
+        self._ready = True
+        if self.config.port_file:
+            tmp = self.config.port_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                _json.dump({
+                    "port": self.port,
+                    "http_port": self.http_port,
+                    "pid": _os.getpid(),
+                }, handle)
+            _os.replace(tmp, self.config.port_file)
+
+    def install_signal_handlers(self) -> None:
+        """Drain gracefully on SIGTERM/SIGINT (call from the event loop)."""
+        import signal as _signal
+
+        loop = asyncio.get_running_loop()
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+
+    def request_drain(self) -> None:
+        """Ask the router to drain and stop (signal-handler safe)."""
+        self._ready = False
+        if self._stop is not None:
+            self._stop.set()
+
+    async def serve_forever(self) -> None:
+        assert self._stop is not None, "start() first"
+        await self._stop.wait()
+        await self.drain()
+
+    async def run(self) -> None:
+        """``start`` + signal handlers + ``serve_forever`` (the CLI path)."""
+        await self.start()
+        self.install_signal_handlers()
+        print(
+            f"routing {self.replica_set.n_replicas} replicas on "
+            f"{self.config.host}:{self.port} "
+            f"(admin http {self.config.host}:{self.http_port})",
+            flush=True,
+        )
+        await self.serve_forever()
+
+    async def drain(self) -> None:
+        """Stop accepting, flush in-flight, close clients and replicas."""
+        if self._drained:
+            return
+        self._drained = True
+        self._ready = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._inflight:
+            await asyncio.wait(
+                list(self._inflight), timeout=self.config.drain_grace
+            )
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+        if self._http is not None:
+            self._http.close()
+            await self._http.wait_closed()
+        for client in self._clients.values():
+            await client.close()
+        self._clients.clear()
+        if self.own_replica_set:
+            await self.replica_set.stop()
+
+    async def __aenter__(self) -> "RoutingRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # protocol connections
+    # ------------------------------------------------------------------
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        self._writers.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.get_running_loop().create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._writers.discard(writer)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: dict,
+    ) -> None:
+        async with write_lock:
+            if writer.is_closing():
+                return
+            writer.write(encode(message))
+            try:
+                await writer.drain()
+            except ConnectionError:
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            message = decode(line)
+        except ProtocolError as exc:
+            self.metrics.incr("serve.router.protocol_errors")
+            await self._write(writer, write_lock, failure_response(
+                None, STATUS_ERROR, "ProtocolError", str(exc)
+            ))
+            return
+        op = message.get("op")
+        if op == "ping":
+            await self._write(writer, write_lock, {
+                "v": PROTOCOL_VERSION,
+                "id": message.get("id"),
+                "status": STATUS_OK,
+                "pong": True,
+                "ready": self._ready and bool(self._usable_indices()),
+                "protocol": PROTOCOL_VERSION,
+                "replicas": self.replica_set.n_replicas,
+            })
+        elif op == "stats":
+            await self._write(writer, write_lock, {
+                "v": PROTOCOL_VERSION,
+                "id": message.get("id"),
+                "status": STATUS_OK,
+                "stats": self.metrics_snapshot(),
+            })
+        else:  # "route"
+            await self._handle_route(message, writer, write_lock)
+
+    def _usable_indices(self) -> list[int]:
+        return [
+            idx for idx in range(self.replica_set.n_replicas)
+            if self.replica_set.endpoint(idx) is not None
+        ]
+
+    # ------------------------------------------------------------------
+    # the forwarding path
+    # ------------------------------------------------------------------
+    async def _handle_route(
+        self,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.metrics.incr("serve.router.requests")
+        started = time.monotonic()
+        try:
+            request = parse_route_request(message)
+        except ProtocolError as exc:
+            self.metrics.incr("serve.router.protocol_errors")
+            await self._write(writer, write_lock, failure_response(
+                message.get("id") if isinstance(message.get("id"), str)
+                else None,
+                STATUS_ERROR, "ProtocolError", str(exc),
+            ))
+            return
+        if not self._ready:
+            self.metrics.incr("serve.router.drain_refused")
+            await self._write(writer, write_lock, failure_response(
+                request.request_id, STATUS_OVERLOADED,
+                "ServeError", "router is draining",
+            ))
+            return
+
+        collector = root = None
+        trace_id = parent_id = ""
+        if self.trace_sink is not None:
+            self._request_seq += 1
+            trace_id = request.trace_id or derive_trace_id(
+                self.config.seed, f"router:{self._request_seq}"
+            )
+            collector = SpanCollector(trace_id, "rt")
+            root = collector.start(
+                "router.request",
+                parent_id=request.trace_parent,
+                request=request.request_id,
+            )
+            parent_id = root.span_id
+
+        self.replica_set.note_request()
+        response = await self._route_with_failover(
+            request, message, collector, trace_id, parent_id
+        )
+        response = dict(response)
+        response["id"] = request.request_id
+        status = str(response.get("status", ""))
+        self.metrics.incr(
+            "serve.router.ok" if status == STATUS_OK else (
+                "serve.router.refused" if status in REJECTION_STATUSES
+                else "serve.router.errors"
+            )
+        )
+        self.metrics.observe(
+            "serve.router.latency", time.monotonic() - started
+        )
+        if collector is not None:
+            root.set(status=status)
+            root.finish()
+            self.trace_sink.write_all(collector.drain())
+        await self._write(writer, write_lock, response)
+
+    async def _route_with_failover(
+        self, request, message, collector, trace_id, parent_id
+    ) -> dict:
+        key = self.request_key(request)
+        candidates = self.placement(key)
+        tried: set[int] = set()
+        attempts = itertools.count()
+        last_refusal: Optional[dict] = None
+        hedged = False
+        hedge_delay = self._hedge_delay()
+        failures = 0
+
+        while True:
+            idx = self._next_usable(candidates, tried)
+            if idx is None:
+                break
+            tried.add(idx)
+            task = asyncio.get_running_loop().create_task(
+                self._try_replica(
+                    idx, key, message, request, next(attempts),
+                    collector, trace_id, parent_id,
+                )
+            )
+            kind: Optional[str] = None
+            response: Optional[dict] = None
+            if hedge_delay is not None and not hedged:
+                done, _ = await asyncio.wait({task}, timeout=hedge_delay)
+                if not done:
+                    hedge_idx = self._next_usable(candidates, tried)
+                    if hedge_idx is not None:
+                        tried.add(hedge_idx)
+                        hedged = True
+                        self.metrics.incr("serve.router.hedges")
+                        self._replica_counts[hedge_idx]["hedged"] += 1
+                        hedge_task = asyncio.get_running_loop().create_task(
+                            self._try_replica(
+                                hedge_idx, key, message, request,
+                                next(attempts), collector, trace_id,
+                                parent_id,
+                            )
+                        )
+                        kind, response = await self._race(
+                            task, hedge_task
+                        )
+            if kind is None:
+                try:
+                    kind, response = await task
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # pragma: no cover - defensive
+                    kind, response = "failed", None
+                    self.metrics.incr("serve.router.internal_errors")
+            if kind in ("ok", "error"):
+                return response  # type: ignore[return-value]
+            if kind == "refused" and response is not None:
+                last_refusal = response
+            if kind == "failed":
+                failures += 1
+                self.metrics.incr("serve.router.failovers")
+                self.metrics.incr("serve.router.failover_attempts")
+
+        if last_refusal is not None:
+            return last_refusal
+        error = ReplicaError(
+            f"no replica could serve the request "
+            f"({failures} failed, {len(tried)} tried of "
+            f"{self.replica_set.n_replicas})"
+        )
+        return failure_response(
+            request.request_id, STATUS_ERROR, "ReplicaError", str(error)
+        )
+
+    def _next_usable(
+        self, candidates: list[int], tried: set[int]
+    ) -> Optional[int]:
+        """Next untried candidate that is up and breaker-admitted.
+
+        Skipped candidates are marked tried: within one request there is
+        no point reconsidering a replica that was down or breaker-open
+        a failover ago.
+        """
+        for idx in candidates:
+            if idx in tried:
+                continue
+            if self.replica_set.endpoint(idx) is None:
+                # Rerouting off a dead candidate is a failover even when
+                # no attempt was wasted — the supervisor just noticed
+                # the death before the router did.
+                tried.add(idx)
+                self.metrics.incr("serve.router.failovers")
+                self.metrics.incr("serve.router.failover_down")
+                self._replica_counts[idx]["down_skips"] += 1
+                continue
+            if not self.breakers[idx].allow():
+                tried.add(idx)
+                self.metrics.incr("serve.router.breaker_skips")
+                continue
+            return idx
+        return None
+
+    async def _race(
+        self, primary: asyncio.Task, hedge: asyncio.Task
+    ) -> tuple[str, Optional[dict]]:
+        """Race two attempts; first terminal (ok/error) response wins.
+
+        The loser is cancelled exactly once; when neither terminates
+        usefully, the worse-ranked outcome is returned for the failover
+        loop to continue past.
+        """
+        pending = {primary, hedge}
+        results: dict[asyncio.Task, tuple[str, Optional[dict]]] = {}
+        while pending:
+            done, pending = await asyncio.wait(
+                pending, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                try:
+                    results[task] = task.result()
+                except (asyncio.CancelledError, Exception):
+                    results[task] = ("failed", None)
+                if results[task][0] in ("ok", "error") and pending:
+                    for loser in pending:
+                        loser.cancel()
+                    self.metrics.incr("serve.router.hedge_cancelled")
+                    if task is hedge and results[task][0] == "ok":
+                        self.metrics.incr("serve.router.hedge_wins")
+                    await asyncio.gather(*pending, return_exceptions=True)
+                    return results[task]
+        # Both ran to completion: prefer a terminal outcome, primary
+        # first; a hedge success over a failed primary is a hedge win.
+        for task in (primary, hedge):
+            if results[task][0] in ("ok", "error"):
+                if task is hedge and results[task][0] == "ok":
+                    self.metrics.incr("serve.router.hedge_wins")
+                return results[task]
+        for task in (primary, hedge):
+            if results[task][0] == "refused":
+                return results[task]
+        return results[primary]
+
+    async def _try_replica(
+        self, idx, key, message, request, attempt,
+        collector, trace_id, parent_id,
+    ) -> tuple[str, Optional[dict]]:
+        """One admission-gated, breaker-accounted forward attempt."""
+        admission = self.admissions[idx]
+        decision = admission.try_admit(request.deadline_ms)
+        if not decision.admitted:
+            self._replica_counts[idx]["spill"] += 1
+            self.metrics.incr("serve.router.spills")
+            return ("refused", failure_response(
+                request.request_id, decision.status,
+                "AdmissionRejected", decision.reason,
+            ))
+        span = None
+        if collector is not None:
+            span = collector.start(
+                "router.forward", parent_id=parent_id,
+                replica=idx, attempt=attempt,
+            )
+        started = time.monotonic()
+        try:
+            kind, response = await self._forward_once(
+                idx, key, message, request, attempt,
+                trace_id, span.span_id if span is not None else "",
+            )
+        except asyncio.CancelledError:
+            self.breakers[idx].record_abandoned()
+            if span is not None:
+                span.set(status="cancelled")
+                span.finish()
+            raise
+        finally:
+            admission.release()
+        elapsed = time.monotonic() - started
+        if kind in ("ok", "error"):
+            self.breakers[idx].record_success()
+            self._replica_counts[idx][
+                "ok" if kind == "ok" else "error"
+            ] += 1
+            admission.observe_service(elapsed)
+            self._latencies.append(elapsed)
+            if len(self._latencies) > 1024:
+                del self._latencies[:512]
+        elif kind == "failed":
+            self._replica_counts[idx]["failed"] += 1
+            if self.breakers[idx].record_failure():
+                self.metrics.incr("serve.router.breaker_opens")
+        elif kind == "refused":
+            self._replica_counts[idx]["refused"] += 1
+        if span is not None:
+            span.set(status=kind)
+            span.finish()
+        return (kind, response)
+
+    async def _forward_once(
+        self, idx, key, message, request, attempt, trace_id, span_id,
+    ) -> tuple[str, Optional[dict]]:
+        """Send to one replica and classify the outcome.
+
+        Outcome kinds: ``ok`` (validated success), ``error``
+        (deterministic routing error — do not fail over), ``refused``
+        (replica-level shed/overload — spill), ``failed`` (transport
+        death or invalid assignment — fail over + breaker).
+        """
+        fault = (
+            self.fault_plan.decide_serve(key, attempt)
+            if self.fault_plan is not None else None
+        )
+        if fault == "drop":
+            self.metrics.incr("serve.router.injected_drop")
+            await self._drop_client(idx)
+            return ("failed", None)
+        try:
+            client = await self._client(idx)
+        except (ServeError, OSError):
+            return ("failed", None)
+        forward = dict(message)
+        forward["id"] = f"f{next(self._forward_ids)}"
+        if trace_id:
+            forward["trace"] = {
+                "trace_id": trace_id, "parent_id": span_id,
+            }
+        else:
+            forward.pop("trace", None)
+        try:
+            response = await client.call(forward)
+        except (ServeError, OSError):
+            return ("failed", None)
+        status = response.get("status")
+        if status in REJECTION_STATUSES:
+            return ("refused", response)
+        if status == STATUS_ERROR:
+            return ("error", response)
+        assignment = response.get("assignment")
+        if fault == "garble":
+            self.metrics.incr("serve.router.injected_garble")
+            response = dict(response)
+            response["assignment"] = list(corrupt_assignment(
+                tuple(assignment or ()), request.channel.n_tracks
+            ))
+            assignment = response["assignment"]
+        if not self._validate(request, assignment):
+            self.metrics.incr("serve.router.invalid_responses")
+            return ("failed", response)
+        if fault == "latency":
+            self.metrics.incr("serve.router.injected_latency")
+            await asyncio.sleep(self.fault_plan.latency_seconds)
+        return ("ok", response)
+
+    @staticmethod
+    def _validate(request, assignment) -> bool:
+        """Digest-validate an ``ok`` response before trusting it."""
+        if not isinstance(assignment, list):
+            return False
+        try:
+            routing = Routing(
+                request.channel, request.connections,
+                tuple(int(t) for t in assignment),
+            )
+        except Exception:
+            return False
+        return routing.is_valid(request.max_segments)
+
+    def _hedge_delay(self) -> Optional[float]:
+        cfg = self.config
+        if cfg.hedge_ms is not None:
+            return cfg.hedge_ms / 1000.0
+        if (
+            cfg.hedge_percentile is not None
+            and len(self._latencies) >= cfg.hedge_min_samples
+        ):
+            ordered = sorted(self._latencies)
+            rank = min(
+                len(ordered) - 1,
+                max(0, int(round(cfg.hedge_percentile * (len(ordered) - 1)))),
+            )
+            return ordered[rank]
+        return None
+
+    # ------------------------------------------------------------------
+    # replica clients
+    # ------------------------------------------------------------------
+    async def _client(self, idx: int) -> AsyncRoutingClient:
+        """The (lazily connected) client for replica ``idx``.
+
+        Recreated whenever the replica's endpoint moved (restart landed
+        on a new port) or the previous connection died.
+        """
+        async with self._client_locks[idx]:
+            endpoint = self.replica_set.endpoint(idx)
+            if endpoint is None:
+                raise ReplicaError(f"replica {idx} is down")
+            client = self._clients.get(idx)
+            if client is not None and (
+                (client.host, client.port) != endpoint
+                or not client.connected
+            ):
+                self._clients.pop(idx, None)
+                await client.close()
+                client = None
+            if client is None:
+                client = AsyncRoutingClient(
+                    endpoint[0], endpoint[1],
+                    timeout=self.config.forward_timeout,
+                    connect_policy=_FORWARD_CONNECT_POLICY,
+                    seed=derive_seed(
+                        self.config.seed, f"router-client:{idx}"
+                    ),
+                    resend_on_reconnect=False,
+                )
+                await client.connect()
+                self._clients[idx] = client
+            return client
+
+    async def _drop_client(self, idx: int) -> None:
+        """Sever the connection to replica ``idx`` (injected ``drop``)."""
+        async with self._client_locks[idx]:
+            client = self._clients.pop(idx, None)
+            if client is not None:
+                await client.close()
+
+    # ------------------------------------------------------------------
+    # stats + admin HTTP
+    # ------------------------------------------------------------------
+    def replica_counts(self) -> dict:
+        """Per-replica routing counters merged with supervision state."""
+        supervision = self.replica_set.counters()
+        return {
+            str(idx): {
+                **self._replica_counts[idx],
+                **supervision.get(str(idx), {}),
+                "breaker": self.breakers[idx].state,
+            }
+            for idx in range(self.replica_set.n_replicas)
+        }
+
+    def metrics_snapshot(self) -> dict:
+        """Router metrics in the standard snapshot schema.
+
+        Per-replica counters are flattened into the counter namespace
+        (``serve.router.replica0.ok`` ...) so they render to Prometheus,
+        and also nested under ``"replicas"`` for reports.
+        """
+        snap = self.metrics.snapshot()
+        counters = dict(snap["counters"])
+        replicas = self.replica_counts()
+        for idx, counts in replicas.items():
+            for key, value in counts.items():
+                if isinstance(value, int):
+                    counters[f"serve.router.replica{idx}.{key}"] = value
+        derived = dict(snap["derived"])
+        derived["serve.router.replicas_live"] = len(self._usable_indices())
+        for idx in range(self.replica_set.n_replicas):
+            derived.update({
+                f"serve.router.replica{idx}.queue_depth":
+                    self.admissions[idx].pending,
+            })
+        return {
+            "counters": counters,
+            "derived": derived,
+            "histograms": snap["histograms"],
+            "replicas": replicas,
+        }
+
+    async def _on_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            while True:  # drain headers
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            if path == "/metrics":
+                code, body = 200, render_prometheus(self.metrics_snapshot())
+            elif path == "/healthz":
+                code, body = 200, "ok\n"
+            elif path == "/readyz":
+                ready = self._ready and bool(self._usable_indices())
+                code, body = (200, "ready\n") if ready else (
+                    503, "draining\n" if not self._ready
+                    else "no live replicas\n"
+                )
+            else:
+                code, body = 404, f"no such path: {path}\n"
+            reason = {200: "OK", 404: "Not Found", 503: "Service Unavailable"}
+            payload = body.encode("utf-8")
+            writer.write(
+                f"HTTP/1.0 {code} {reason.get(code, 'OK')}\r\n"
+                f"Content-Type: text/plain; charset=utf-8\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n".encode("latin-1") + payload
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover
+                pass

@@ -31,6 +31,8 @@ below it) are stitched underneath via ``route_many(trace_parents=...)``
 from __future__ import annotations
 
 import asyncio
+import json
+import os
 import signal
 import time
 from dataclasses import dataclass
@@ -88,6 +90,14 @@ class ServeConfig:
     seed:
         Engine seed (results are bit-reproducible for a given seed) and
         the namespace for server-derived trace IDs.
+    service_prior_s / decay_halflife_s:
+        Admission service-time prior and idle decay half-life (see
+        :class:`~repro.serve.admission.AdmissionController`).
+    port_file:
+        Path to write ``{"port", "http_port", "pid"}`` as JSON after
+        both listeners have bound — how a supervising
+        :class:`~repro.serve.replica.ReplicaSet` discovers the
+        ephemeral ports of its replica subprocesses.
     """
 
     host: str = "127.0.0.1"
@@ -102,6 +112,9 @@ class ServeConfig:
     burst: Optional[float] = None
     drain_grace: float = 10.0
     seed: int = 0
+    service_prior_s: float = 0.0
+    decay_halflife_s: Optional[float] = 30.0
+    port_file: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -143,6 +156,8 @@ class RoutingServer:
             max_queue=self.config.max_queue,
             rate=self.config.rate,
             burst=self.config.burst,
+            service_prior_s=self.config.service_prior_s,
+            decay_halflife_s=self.config.decay_halflife_s,
         )
         self.batcher = MicroBatcher(
             self.engine,
@@ -180,6 +195,15 @@ class RoutingServer:
         self.port = self._server.sockets[0].getsockname()[1]
         self.http_port = self._http.sockets[0].getsockname()[1]
         self._ready = True
+        if self.config.port_file:
+            tmp = self.config.port_file + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump({
+                    "port": self.port,
+                    "http_port": self.http_port,
+                    "pid": os.getpid(),
+                }, handle)
+            os.replace(tmp, self.config.port_file)
 
     def install_signal_handlers(self) -> None:
         """Drain gracefully on SIGTERM/SIGINT (call from the event loop)."""
@@ -356,6 +380,17 @@ class RoutingServer:
                 message.get("id") if isinstance(message.get("id"), str)
                 else None,
                 STATUS_ERROR, "ProtocolError", str(exc),
+            ))
+            return
+
+        if not self._ready:
+            # Drain has been requested: existing connections stay open
+            # for in-flight responses, but new route work is refused so
+            # a router/load-balancer moves on immediately.
+            self.metrics.incr("serve.drain_refused")
+            await self._write(writer, write_lock, failure_response(
+                request.request_id, STATUS_OVERLOADED,
+                "ServeError", "server is draining",
             ))
             return
 

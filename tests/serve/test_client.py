@@ -36,7 +36,10 @@ class ServerThread:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        self.loop.call_soon_threadsafe(self.server.request_drain)
+        try:
+            self.loop.call_soon_threadsafe(self.server.request_drain)
+        except RuntimeError:
+            pass  # already drained (a test may trigger drain itself)
         self._thread.join(15)
 
 
@@ -136,3 +139,134 @@ def test_parse_response_maps_fields():
     assert not failure.ok
     assert failure.assignment is None
     assert failure.error_type == "AdmissionRejected"
+
+
+# ----------------------------------------------------------------------
+# typed connection loss + idempotent resend
+# ----------------------------------------------------------------------
+class FlakyServer:
+    """Accepts connections; kills the first N without ever answering."""
+
+    def __init__(self, drop_first: int = 1) -> None:
+        self.drop_first = drop_first
+        self.connections = 0
+        self._server = None
+
+    async def _handle(self, reader, writer):
+        self.connections += 1
+        if self.connections <= self.drop_first:
+            await reader.readline()  # swallow the request, then die
+            writer.close()
+            return
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                from repro.serve.protocol import decode, encode
+                message = decode(line)
+                writer.write(encode({
+                    "v": 1, "id": message.get("id"), "status": "ok",
+                    "pong": True,
+                }))
+                await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(
+            self._handle, "127.0.0.1", 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+
+def test_async_client_resends_inflight_after_reconnect():
+    from repro.serve import AsyncRoutingClient
+
+    async def main():
+        async with FlakyServer(drop_first=1) as flaky:
+            async with AsyncRoutingClient(
+                "127.0.0.1", flaky.port, timeout=10
+            ) as client:
+                # The first connection dies mid-request; the client must
+                # reconnect and replay transparently (ops are idempotent).
+                pong = await client.ping()
+        return pong, flaky.connections
+
+    pong, connections = asyncio.run(main())
+    assert pong["pong"] is True
+    assert connections == 2  # proof the request rode a second connection
+
+
+def test_async_client_raises_typed_error_when_resend_disabled():
+    from repro.core.errors import ConnectionLostError
+    from repro.serve import AsyncRoutingClient
+
+    async def main():
+        async with FlakyServer(drop_first=1) as flaky:
+            async with AsyncRoutingClient(
+                "127.0.0.1", flaky.port, timeout=10,
+                resend_on_reconnect=False,
+            ) as client:
+                with pytest.raises(ConnectionLostError):
+                    await client.ping()
+
+    asyncio.run(main())
+
+
+def test_async_client_typed_error_when_reconnect_impossible():
+    from repro.core.errors import ConnectionLostError
+    from repro.serve import AsyncRoutingClient
+
+    async def main():
+        flaky = FlakyServer(drop_first=10)
+        await flaky.__aenter__()
+        client = AsyncRoutingClient(
+            "127.0.0.1", flaky.port, timeout=10,
+            connect_policy=RetryPolicy(
+                max_attempts=2, base_delay=0.01, max_delay=0.01,
+                jitter=0.0,
+            ),
+        )
+        await client.connect()
+        # Stop the listener: the established connection still dies
+        # mid-request, and now the reconnect cannot land either — the
+        # client must surface the typed original error, not a timeout.
+        await flaky.__aexit__(None, None, None)
+        with pytest.raises(ConnectionLostError):
+            await client.ping()
+        await client.close()
+
+    asyncio.run(main())
+
+
+def test_sync_client_connection_loss_is_typed():
+    from repro.core.errors import ConnectionLostError
+
+    with ServerThread(ServeConfig(port=0, http_port=0, seed=3)) as st:
+        client = RoutingClient("127.0.0.1", st.server.port, timeout=5)
+        client.connect()
+        assert client.ping()["pong"] is True
+        st.loop.call_soon_threadsafe(st.server.request_drain)
+        # Wait for the server to drop the connection, then poke it.
+        deadline = 50
+        while deadline:
+            try:
+                client.ping()
+            except ConnectionLostError:
+                break
+            except ServeError:
+                pytest.fail("expected the typed ConnectionLostError")
+            import time
+            time.sleep(0.1)
+            deadline -= 1
+        else:
+            pytest.fail("connection never dropped")
+        client.close()

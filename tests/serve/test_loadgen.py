@@ -88,8 +88,10 @@ def test_open_loop_mode_runs_and_counts():
     assert report["mode"] == "open"
     assert report["rate"] == 200.0
     assert report["completed"] == 8
-    # 8 requests over a 4-entry corpus: double coverage, so no digest.
-    assert report["digest"] is None
+    # 8 requests over a 4-entry corpus: double coverage still digests
+    # (first response per entry), provided every repeat agreed.
+    assert report["consistent"] is True
+    assert report["digest"] is not None
 
 
 def test_open_loop_requires_rate():

@@ -322,3 +322,59 @@ def test_external_engine_is_not_closed_by_drain():
 def test_config_validation(kwargs):
     with pytest.raises(ValueError):
         ServeConfig(**kwargs)
+
+
+def test_readyz_flips_the_instant_drain_is_requested():
+    """Drain race: not-ready must be visible *before* drain completes,
+    and new routes must be refused while in-flight work finishes."""
+    corpus = build_corpus(4, seed=43)
+
+    async def main():
+        server = RoutingServer(_config(seed=43, max_wait_ms=50.0))
+        await server.start()
+        client = AsyncRoutingClient("127.0.0.1", server.port, timeout=30)
+        await client.connect()
+        # Requests sitting in the batch window when drain is requested.
+        inflight = [
+            asyncio.ensure_future(client.route(c, s, max_segments=k))
+            for c, s, k in corpus[:3]
+        ]
+        # Long enough to be admitted into the open batch window, short
+        # enough (< max_wait_ms) that the batch has not flushed yet.
+        await asyncio.sleep(0.02)
+        server.request_drain()
+        # The probe flips immediately — the listener is still accepting
+        # (drain has not even started), but load balancers must stop
+        # sending new work now.
+        ready = await _http_get(server.http_port, "/readyz")
+        late = await client.route(*corpus[3][:2], max_segments=corpus[3][2])
+        results = await asyncio.gather(*inflight, return_exceptions=True)
+        await server.drain()
+        stats = server.metrics.snapshot()["counters"]
+        await client.close()
+        return ready, late, results, stats
+
+    ready, late, results, stats = asyncio.run(main())
+    assert ready == (503, "draining\n")
+    assert late.status == STATUS_OVERLOADED
+    assert late.error == "server is draining"
+    assert stats["serve.drain_refused"] == 1
+    completed = [r for r in results if not isinstance(r, Exception)]
+    assert completed and all(r.status == STATUS_OK for r in completed)
+
+
+def test_port_file_written_after_bind(tmp_path):
+    import json
+    import os
+
+    port_file = tmp_path / "server.json"
+
+    async def main():
+        server = RoutingServer(_config(port_file=str(port_file)))
+        async with server:
+            ports = json.loads(port_file.read_text())
+            assert ports["port"] == server.port
+            assert ports["http_port"] == server.http_port
+            assert ports["pid"] == os.getpid()
+
+    asyncio.run(main())

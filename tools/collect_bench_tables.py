@@ -218,6 +218,94 @@ def run_serve_bench(seed: int = 0) -> dict:
         "offline_digest": offline_digest,
         "digest_identical": calm.get("digest") == offline_digest,
         "runs": runs,
+        "replicated_faulted": run_replicated_fault_bench(seed),
+    }
+
+
+def run_replicated_fault_bench(
+    seed: int = 0, replicas: int = 3, requests: int = 100
+) -> dict:
+    """Availability under faults: loadgen a replicated tier being killed.
+
+    Starts a :class:`repro.serve.ReplicaSet` of real replica processes
+    behind a :class:`repro.serve.RoutingRouter`, with a seeded
+    :class:`~repro.engine.resilience.faults.FaultPlan` that SIGKILLs one
+    replica a third of the way through the run, then drives a closed
+    loadgen through the router.  The scenario's contract — zero
+    client-visible failures, at least one recorded failover, digest
+    identical to the offline engine — is what the ``serve-chaos`` CI job
+    asserts; here the same run is recorded into ``BENCH_serve.json``
+    with per-replica failover/shed counts.
+    """
+    import asyncio
+    import threading
+
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.engine.resilience.faults import FaultPlan
+    from repro.io.results import result_stream_digest
+    from repro.serve import ReplicaSet, RouterConfig, RoutingRouter
+    from repro.serve.loadgen import build_corpus, run_loadgen
+
+    corpus = build_corpus(25, seed)
+    plan = FaultPlan(kill_replica_after=requests // 3, seed=seed + 7)
+    replica_set = ReplicaSet(
+        replicas, seed=seed, fault_plan=plan, heartbeat_interval=0.2,
+    )
+    router = RoutingRouter(
+        replica_set,
+        RouterConfig(port=0, http_port=0, seed=seed, forward_timeout=10.0),
+        fault_plan=plan,
+        own_replica_set=True,
+    )
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+
+    def serve() -> None:
+        asyncio.set_event_loop(loop)
+        loop.run_until_complete(router.start())
+        ready.set()
+        loop.run_until_complete(router.serve_forever())
+        loop.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    if not ready.wait(60):
+        raise RuntimeError("replicated bench: router failed to start")
+
+    try:
+        report = run_loadgen(
+            "127.0.0.1", router.port, corpus=corpus,
+            requests=requests, mode="closed", concurrency=8, seed=seed,
+        )
+    finally:
+        loop.call_soon_threadsafe(router.request_drain)
+        thread.join(60)
+
+    offline = RoutingEngine(EngineConfig(seed=seed)).route_many(
+        [(c, s) for c, s, _ in corpus],
+        max_segments=[k for _, _, k in corpus],
+    )
+    server_stats = report.get("server") or {}
+    counters = server_stats.get("counters", {})
+    statuses = report["statuses"]
+    completed = report["completed"] or 1
+    return {
+        "replicas": replicas,
+        "requests": requests,
+        "faults": plan.as_spec(),
+        "availability": round(statuses.get("ok", 0) / completed, 4),
+        "statuses": statuses,
+        "shed": report["shed"],
+        "failovers": counters.get("serve.router.failovers", 0),
+        "breaker_opens": counters.get("serve.router.breaker_opens", 0),
+        "hedges": counters.get("serve.router.hedges", 0),
+        "replica_kills": counters.get("serve.replica.fault_kills", 0),
+        "restarts": counters.get("serve.replica.restarts", 0),
+        "digest_identical": (
+            report.get("digest") == result_stream_digest(offline)
+        ),
+        "per_replica": server_stats.get("replicas", {}),
+        "latency_ms": report["latency_ms"],
     }
 
 
@@ -289,10 +377,13 @@ def main(argv: list[str] | None = None) -> int:
     if not args.no_serve:
         payload = run_serve_bench()
         Path(args.serve_json).write_text(json.dumps(payload, indent=2) + "\n")
+        faulted = payload["replicated_faulted"]
         print(
             f"wrote {args.serve_json} "
             f"({len(payload['runs'])} traffic shapes, digest "
-            f"{'identical' if payload['digest_identical'] else 'DIVERGED'})"
+            f"{'identical' if payload['digest_identical'] else 'DIVERGED'}; "
+            f"replicated availability {faulted['availability']:.2%} with "
+            f"{faulted['failovers']} failovers under faults)"
         )
     return 0
 
