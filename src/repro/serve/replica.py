@@ -216,11 +216,24 @@ class ReplicaSet:
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Launch every replica, wait until all answer, start supervising."""
+        """Launch every replica, wait until all answer, start supervising.
+
+        If any launch fails, the replicas that *did* start are
+        terminated before the error propagates — a half-started set
+        must not orphan live subprocesses.
+        """
         self._workdir = tempfile.TemporaryDirectory(prefix="segroute-replicas-")
-        await asyncio.gather(*(
+        results = await asyncio.gather(*(
             self._launch(replica) for replica in self._replicas
-        ))
+        ), return_exceptions=True)
+        errors = [r for r in results if isinstance(r, BaseException)]
+        if errors:
+            for replica in self._replicas:
+                self._terminate(replica)
+                replica.state = REPLICA_STOPPED
+            self._workdir.cleanup()
+            self._workdir = None
+            raise errors[0]
         self._supervisor = asyncio.get_running_loop().create_task(
             self._supervise(), name="replica-supervisor"
         )

@@ -133,6 +133,7 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self._probing = False
+        self._probe_started_at = 0.0
 
     @property
     def state(self) -> str:
@@ -145,16 +146,25 @@ class CircuitBreaker:
         return self._state
 
     def allow(self) -> bool:
-        """May a request be sent now?  Half-open admits a single probe."""
+        """May a request be sent now?  Half-open admits a single probe.
+
+        A probe whose outcome is never recorded (a lost caller) must not
+        wedge the breaker half-open forever: once ``reset_timeout_s``
+        has elapsed since the stuck probe started, a new probe is
+        admitted in its place.
+        """
         state = self.state
         if state == BREAKER_CLOSED:
             return True
         if state == BREAKER_OPEN:
             return False
-        if self._probing:
+        if self._probing and (
+            self._clock() - self._probe_started_at < self.reset_timeout_s
+        ):
             return False
         self._state = BREAKER_HALF_OPEN
         self._probing = True
+        self._probe_started_at = self._clock()
         return True
 
     def record_success(self) -> None:
@@ -626,55 +636,80 @@ class RoutingRouter:
         hedged = False
         hedge_delay = self._hedge_delay()
         failures = 0
+        # Attempts race as a pool: a straggler (e.g. a hung hedge pair
+        # member) keeps racing while the loop moves on to the next
+        # candidate, so one slow replica never blocks failover.  The
+        # first terminal (ok/error) result wins; every completed
+        # attempt settles its own breaker/failover accounting in
+        # _try_replica / below, so a hedged pair that both fail counts
+        # two failovers, not one.
+        racing: set[asyncio.Task] = set()
+        hedge_task: Optional[asyncio.Task] = None
 
-        while True:
-            idx = self._next_usable(candidates, tried)
-            if idx is None:
-                break
-            tried.add(idx)
+        def spawn(idx: int) -> asyncio.Task:
             task = asyncio.get_running_loop().create_task(
                 self._try_replica(
                     idx, key, message, request, next(attempts),
                     collector, trace_id, parent_id,
                 )
             )
-            kind: Optional[str] = None
-            response: Optional[dict] = None
-            if hedge_delay is not None and not hedged:
-                done, _ = await asyncio.wait({task}, timeout=hedge_delay)
-                if not done:
-                    hedge_idx = self._next_usable(candidates, tried)
-                    if hedge_idx is not None:
-                        tried.add(hedge_idx)
-                        hedged = True
-                        self.metrics.incr("serve.router.hedges")
-                        self._replica_counts[hedge_idx]["hedged"] += 1
-                        hedge_task = asyncio.get_running_loop().create_task(
-                            self._try_replica(
-                                hedge_idx, key, message, request,
-                                next(attempts), collector, trace_id,
-                                parent_id,
-                            )
+            racing.add(task)
+            return task
+
+        try:
+            while True:
+                idx = self._next_usable(candidates, tried)
+                if idx is not None:
+                    tried.add(idx)
+                    spawn(idx)
+                    if hedge_delay is not None and not hedged:
+                        done, _ = await asyncio.wait(
+                            racing, timeout=hedge_delay,
+                            return_when=asyncio.FIRST_COMPLETED,
                         )
-                        kind, response = await self._race(
-                            task, hedge_task
-                        )
-            if kind is None:
-                try:
-                    kind, response = await task
-                except asyncio.CancelledError:
-                    raise
-                except Exception:  # pragma: no cover - defensive
-                    kind, response = "failed", None
-                    self.metrics.incr("serve.router.internal_errors")
-            if kind in ("ok", "error"):
-                return response  # type: ignore[return-value]
-            if kind == "refused" and response is not None:
-                last_refusal = response
-            if kind == "failed":
-                failures += 1
-                self.metrics.incr("serve.router.failovers")
-                self.metrics.incr("serve.router.failover_attempts")
+                        if not done:
+                            hedge_idx = self._next_usable(candidates, tried)
+                            if hedge_idx is not None:
+                                tried.add(hedge_idx)
+                                hedged = True
+                                self.metrics.incr("serve.router.hedges")
+                                self._replica_counts[hedge_idx][
+                                    "hedged"
+                                ] += 1
+                                hedge_task = spawn(hedge_idx)
+                elif not racing:
+                    break
+                done, _ = await asyncio.wait(
+                    racing, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Primary-first: a primary and its hedge finishing in
+                # the same tick must not spuriously count a hedge win.
+                for task in sorted(done, key=lambda t: t is hedge_task):
+                    racing.discard(task)
+                    try:
+                        kind, response = task.result()
+                    except asyncio.CancelledError:
+                        raise
+                    except Exception:  # pragma: no cover - defensive
+                        kind, response = "failed", None
+                        self.metrics.incr("serve.router.internal_errors")
+                    if kind in ("ok", "error"):
+                        if task is hedge_task and kind == "ok":
+                            self.metrics.incr("serve.router.hedge_wins")
+                        return response  # type: ignore[return-value]
+                    if kind == "refused" and response is not None:
+                        last_refusal = response
+                    if kind == "failed":
+                        failures += 1
+                        self.metrics.incr("serve.router.failovers")
+                        self.metrics.incr("serve.router.failover_attempts")
+        finally:
+            if racing:
+                for straggler in racing:
+                    straggler.cancel()
+                if hedged:
+                    self.metrics.incr("serve.router.hedge_cancelled")
+                await asyncio.gather(*racing, return_exceptions=True)
 
         if last_refusal is not None:
             return last_refusal
@@ -715,46 +750,6 @@ class RoutingRouter:
             return idx
         return None
 
-    async def _race(
-        self, primary: asyncio.Task, hedge: asyncio.Task
-    ) -> tuple[str, Optional[dict]]:
-        """Race two attempts; first terminal (ok/error) response wins.
-
-        The loser is cancelled exactly once; when neither terminates
-        usefully, the worse-ranked outcome is returned for the failover
-        loop to continue past.
-        """
-        pending = {primary, hedge}
-        results: dict[asyncio.Task, tuple[str, Optional[dict]]] = {}
-        while pending:
-            done, pending = await asyncio.wait(
-                pending, return_when=asyncio.FIRST_COMPLETED
-            )
-            for task in done:
-                try:
-                    results[task] = task.result()
-                except (asyncio.CancelledError, Exception):
-                    results[task] = ("failed", None)
-                if results[task][0] in ("ok", "error") and pending:
-                    for loser in pending:
-                        loser.cancel()
-                    self.metrics.incr("serve.router.hedge_cancelled")
-                    if task is hedge and results[task][0] == "ok":
-                        self.metrics.incr("serve.router.hedge_wins")
-                    await asyncio.gather(*pending, return_exceptions=True)
-                    return results[task]
-        # Both ran to completion: prefer a terminal outcome, primary
-        # first; a hedge success over a failed primary is a hedge win.
-        for task in (primary, hedge):
-            if results[task][0] in ("ok", "error"):
-                if task is hedge and results[task][0] == "ok":
-                    self.metrics.incr("serve.router.hedge_wins")
-                return results[task]
-        for task in (primary, hedge):
-            if results[task][0] == "refused":
-                return results[task]
-        return results[primary]
-
     async def _try_replica(
         self, idx, key, message, request, attempt,
         collector, trace_id, parent_id,
@@ -763,6 +758,9 @@ class RoutingRouter:
         admission = self.admissions[idx]
         decision = admission.try_admit(request.deadline_ms)
         if not decision.admitted:
+            # allow() in _next_usable may have claimed the half-open
+            # probe slot; nothing reached the wire, so release it.
+            self.breakers[idx].record_abandoned()
             self._replica_counts[idx]["spill"] += 1
             self.metrics.incr("serve.router.spills")
             return ("refused", failure_response(
@@ -804,6 +802,9 @@ class RoutingRouter:
             if self.breakers[idx].record_failure():
                 self.metrics.incr("serve.router.breaker_opens")
         elif kind == "refused":
+            # A shed says nothing about replica health — neither a
+            # breaker success nor failure — but it does end the probe.
+            self.breakers[idx].record_abandoned()
             self._replica_counts[idx]["refused"] += 1
         if span is not None:
             span.set(status=kind)

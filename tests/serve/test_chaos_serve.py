@@ -464,6 +464,133 @@ def test_hedged_request_wins_and_cancels_loser_exactly_once():
     assert counters["serve.router.replica1.hedged"] == 1
 
 
+async def _slow_close_server():
+    """A replica stand-in that accepts a request, stalls briefly past
+    the hedge trigger, then drops the connection — a fast 'failed'."""
+    async def handler(reader, writer):
+        try:
+            await reader.readline()
+            await asyncio.sleep(0.2)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    return await asyncio.start_server(handler, "127.0.0.1", 0)
+
+
+def test_fast_failure_does_not_wait_for_a_hung_hedge():
+    """When the primary fails while its hedge is still racing, the
+    failover loop must proceed to the next candidate immediately — a
+    hung hedge must not hold the request hostage until
+    forward_timeout."""
+    seed = 67
+    channel, conns, k = build_corpus(1, seed=seed)[0]
+
+    async def main():
+        async def blackhole(reader, writer):  # accepts, never answers
+            try:
+                while await reader.readline():
+                    pass
+            except (ConnectionError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                writer.close()
+
+        hole = await asyncio.start_server(blackhole, "127.0.0.1", 0)
+        closer = await _slow_close_server()
+        real = RoutingServer(ServeConfig(port=0, http_port=0, seed=seed))
+        await real.start()
+        replica_set = StaticReplicaSet([
+            ("127.0.0.1", 1), ("127.0.0.1", 2), ("127.0.0.1", 3),
+        ])
+        router = RoutingRouter(
+            replica_set,
+            RouterConfig(port=0, http_port=0, seed=seed,
+                         hedge_ms=50.0, forward_timeout=30.0),
+        )
+        await router.start()
+        try:
+            message = route_request("x", channel, conns, max_segments=k)
+            key = RoutingRouter.request_key(parse_route_request(message))
+            order = router.placement(key)
+            # Home fails fast-ish, the hedge target hangs, the third
+            # candidate answers.
+            replica_set.set_endpoint(
+                order[0],
+                ("127.0.0.1", closer.sockets[0].getsockname()[1]),
+            )
+            replica_set.set_endpoint(
+                order[1],
+                ("127.0.0.1", hole.sockets[0].getsockname()[1]),
+            )
+            replica_set.set_endpoint(order[2], ("127.0.0.1", real.port))
+            async with AsyncRoutingClient(
+                "127.0.0.1", router.port, timeout=30
+            ) as client:
+                started = time.monotonic()
+                result = await client.route(channel, conns, max_segments=k)
+                elapsed = time.monotonic() - started
+            counters = router.metrics_snapshot()["counters"]
+        finally:
+            await router.drain()
+            hole.close()
+            closer.close()
+            await hole.wait_closed()
+            await closer.wait_closed()
+            await real.drain()
+        return result, elapsed, counters
+
+    result, elapsed, counters = asyncio.run(main())
+    assert result.status == STATUS_OK
+    assert elapsed < 10.0  # nowhere near the 30 s forward_timeout
+    assert counters["serve.router.hedges"] == 1
+    assert counters["serve.router.failover_attempts"] == 1  # the primary
+    assert counters["serve.router.hedge_cancelled"] == 1    # the straggler
+
+
+def test_hedged_pair_that_both_fail_counts_two_failovers():
+    seed = 71
+    channel, conns, k = build_corpus(1, seed=seed)[0]
+
+    async def main():
+        failers = [await _slow_close_server() for _ in range(2)]
+        replica_set = StaticReplicaSet([
+            ("127.0.0.1", s.sockets[0].getsockname()[1]) for s in failers
+        ])
+        router = RoutingRouter(
+            replica_set,
+            RouterConfig(port=0, http_port=0, seed=seed,
+                         hedge_ms=50.0, forward_timeout=30.0),
+        )
+        await router.start()
+        try:
+            async with AsyncRoutingClient(
+                "127.0.0.1", router.port, timeout=30
+            ) as client:
+                result = await client.route(channel, conns, max_segments=k)
+            counters = router.metrics_snapshot()["counters"]
+        finally:
+            await router.drain()
+            for failer in failers:
+                failer.close()
+                await failer.wait_closed()
+        return result, counters
+
+    result, counters = asyncio.run(main())
+    assert result.status != STATUS_OK
+    assert result.error_type == "ReplicaError"
+    assert counters["serve.router.hedges"] == 1
+    # Two replicas were attempted and both failed: the failover
+    # counters agree with the per-replica 'failed' counters.
+    assert counters["serve.router.failovers"] == 2
+    assert counters["serve.router.failover_attempts"] == 2
+    assert sum(
+        counters.get(f"serve.router.replica{i}.failed", 0)
+        for i in range(2)
+    ) == 2
+
+
 def test_hedge_loses_to_a_merely_slow_primary():
     seed = 59
     channel, conns, k = build_corpus(1, seed=seed)[0]

@@ -7,10 +7,12 @@ the chaos suite (``test_chaos_serve.py``).
 """
 
 import asyncio
+import sys
 import time
 
 import pytest
 
+from repro.core.errors import ServeError
 from repro.engine.resilience.faults import FaultPlan
 from repro.engine.resilience.retry import RetryPolicy
 from repro.serve.replica import (
@@ -172,5 +174,31 @@ def test_replica_set_launches_and_stops_a_real_server():
             assert await replicas._ping(replicas._replicas[0])
         assert replicas.endpoint(0) is None
         assert replicas.status()[0].state == REPLICA_STOPPED
+
+    asyncio.run(main())
+
+
+def test_partial_launch_failure_terminates_started_replicas():
+    """One replica failing to launch must not orphan the ones that
+    did: start() terminates them before the error propagates."""
+    async def main():
+        replicas = ReplicaSet(2, seed=7)
+        real_argv = replicas._argv
+
+        def argv(replica):
+            if replica.index == 1:  # dies immediately during startup
+                return [sys.executable, "-c", "import sys; sys.exit(3)"]
+            return real_argv(replica)
+
+        replicas._argv = argv
+        with pytest.raises(ServeError):
+            await replicas.start()
+        survivor = replicas._replicas[0].process
+        assert survivor is not None
+        assert survivor.poll() is not None  # terminated, not orphaned
+        assert all(
+            r.state == REPLICA_STOPPED for r in replicas._replicas
+        )
+        assert replicas._workdir is None
 
     asyncio.run(main())

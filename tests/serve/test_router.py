@@ -100,6 +100,22 @@ def test_breaker_probe_failure_reopens():
     assert not breaker.allow()
 
 
+def test_breaker_stale_probe_expires_and_readmits():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=1, reset_timeout_s=1.0, clock=clock
+    )
+    breaker.record_failure()
+    clock.advance(1.0)
+    assert breaker.allow()       # the probe
+    assert not breaker.allow()   # outstanding
+    # The probe's outcome is never recorded (lost caller): after the
+    # reset timeout a replacement probe must be admitted, not a wedge.
+    clock.advance(1.0)
+    assert breaker.allow()
+    assert not breaker.allow()
+
+
 def test_breaker_abandoned_probe_releases_the_slot():
     clock = FakeClock()
     breaker = CircuitBreaker(
@@ -339,6 +355,44 @@ def test_router_spills_to_overloaded_only_when_all_replicas_refuse():
     assert admitted.status == STATUS_OK
     assert counters["serve.router.spills"] == 2   # both replicas spilled
     assert counters["serve.router.refused"] == 1  # but one client refusal
+
+
+def test_refused_probe_does_not_wedge_the_breaker():
+    """A half-open probe that ends in an admission spill must release
+    the probe slot: the next request is a fresh probe, not a permanent
+    route-around of a healthy replica."""
+    seed = 61
+    channel, conns, k = build_corpus(1, seed=seed)[0]
+    clock = FakeClock()
+
+    async def main():
+        servers, _, router = await _serving_stack(
+            1, seed,
+            config=RouterConfig(port=0, http_port=0, seed=seed,
+                                failure_threshold=1, breaker_reset_s=5.0,
+                                replica_queue=1),
+            clock=clock,
+        )
+        try:
+            breaker = router.breakers[0]
+            breaker.record_failure()            # open
+            clock.advance(5.0)                  # expires to half-open
+            assert router.admissions[0].try_admit().admitted  # hold the slot
+            async with AsyncRoutingClient(
+                "127.0.0.1", router.port, timeout=30
+            ) as client:
+                refused = await client.route(channel, conns, max_segments=k)
+                router.admissions[0].release()
+                ok = await client.route(channel, conns, max_segments=k)
+            state = breaker.state
+        finally:
+            await _teardown(servers, router)
+        return refused, ok, state
+
+    refused, ok, state = asyncio.run(main())
+    assert refused.status == STATUS_OVERLOADED
+    assert ok.status == STATUS_OK      # the replacement probe went through
+    assert state == BREAKER_CLOSED     # ... and closed the breaker
 
 
 def test_router_drain_refuses_new_requests():
