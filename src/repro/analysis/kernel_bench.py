@@ -1,18 +1,26 @@
-"""Reference-vs-packed kernel benchmark (the perf-regression harness).
+"""Three-way DP kernel benchmark (the perf-regression harness).
 
 Runs the same instance families as ``benchmarks/test_dp_scaling_m.py``
-and ``benchmarks/test_dp_scaling_k.py`` through both DP kernels and
-reports, per batch:
+and ``benchmarks/test_dp_scaling_k.py`` through the reference, packed,
+and vectorized DP kernels and reports, per batch:
 
-* best-of-``repeats`` wall-clock for each kernel and the speedup;
-* ``result_stream_digest`` equality — the packed kernel must be
+* best-of-``repeats`` wall-clock for each kernel and the speedups
+  (packed vs reference, vectorized vs packed);
+* ``result_stream_digest`` equality — every kernel must be
   *bit-identical* to the reference, including on infeasible instances;
 * assignment-graph node counts before/after dominance pruning.
+
+``scale_k`` includes a *wide* tier — unlimited-segment instances on
+10-track channels whose levels hold hundreds of frontiers (the
+Theorem 5 ``2^T·T!`` regime) — because that is where array-native
+batching pays; the narrow tiers keep the kernels honest about
+small-level overhead.
 
 The ``segroute bench`` CLI subcommand wraps :func:`run_kernel_bench` and
 writes ``BENCH_kernels.json``; CI's ``bench-smoke`` job runs it with
 ``--quick --check`` and fails when the packed kernel regresses by more
-than 10% or any digest diverges.  All numbers are single-process,
+than 10%, the vectorized kernel falls behind packed by more than 50% on
+any batch, or any digest diverges.  All numbers are single-process,
 single-thread — see the 1-CPU caveat in ``docs/PERFORMANCE.md``.
 """
 
@@ -26,7 +34,7 @@ from typing import Callable
 
 from repro.core.errors import RoutingInfeasibleError
 from repro.core.geometry import channel_geometry
-from repro.core.kernels import run_dp_packed, run_dp_reference
+from repro.core.kernels import run_dp_packed, run_dp_reference, run_dp_vectorized
 from repro.generators.random_instances import (
     random_channel,
     random_feasible_instance,
@@ -44,6 +52,14 @@ __all__ = [
 #: than this fraction on any batch.
 MAX_SLOWDOWN = 0.10
 
+#: Fail threshold for ``--check``: vectorized slower than *packed* by
+#: more than this fraction on any batch.  Lenient because the narrow
+#: batches are exactly where array dispatch has nothing to amortize and
+#: the adaptive kernel runs the scalar loop plus a little bookkeeping;
+#: a genuinely broken adaptive path (all-numpy on narrow levels) still
+#: trips it at ~2.5x slower.
+VEC_MAX_SLOWDOWN = 0.50
+
 
 def _scale_m_batch(sizes: tuple[int, ...]) -> list[tuple]:
     items = []
@@ -54,7 +70,15 @@ def _scale_m_batch(sizes: tuple[int, ...]) -> list[tuple]:
     return items
 
 
-def _scale_k_batch(n_instances: int) -> list[tuple]:
+#: Wide-tier instances for ``scale_k``: ``(channel_seed, conn_seed)`` on
+#: a 10-track, 30-column channel with 24 connections.  Mean level widths
+#: run 100-180 frontiers (Theorem 5 growth), which is the regime the
+#: vectorized kernel exists for.
+_WIDE_CASES = ((2, 42), (2, 41), (1, 41))
+_WIDE_CASES_QUICK = ((2, 41),)
+
+
+def _scale_k_batch(n_instances: int, wide_cases: tuple) -> list[tuple]:
     items = []
     for K in (1, 2, 3, None):
         for seed in range(n_instances):
@@ -63,6 +87,10 @@ def _scale_k_batch(n_instances: int) -> list[tuple]:
                 ch, 16, seed=500 + seed, max_segments=1, mean_length=2.5
             )
             items.append((ch, cs, K))
+    for seed, cseed in wide_cases:
+        ch = random_channel(10, 30, 4.0, seed=seed)
+        cs = random_feasible_instance(ch, 24, seed=cseed, mean_length=2.2)
+        items.append((ch, cs, None))
     return items
 
 
@@ -71,12 +99,15 @@ def build_batches(quick: bool = False) -> dict[str, list[tuple]]:
 
     Mirrors the ``benchmarks/test_dp_scaling_*`` families (same
     generators, same seeds) so BENCH_kernels.json speaks about the same
-    instances as the pytest benchmarks.  ``quick`` shrinks the set for
-    CI smoke runs.
+    instances as the pytest benchmarks, plus the wide Theorem-5 tier in
+    ``scale_k``.  ``quick`` shrinks the set for CI smoke runs.
     """
     return {
         "scale_m": _scale_m_batch((25, 50) if quick else (25, 50, 100, 200)),
-        "scale_k": _scale_k_batch(3 if quick else 8),
+        "scale_k": _scale_k_batch(
+            3 if quick else 8,
+            _WIDE_CASES_QUICK if quick else _WIDE_CASES,
+        ),
     }
 
 
@@ -124,11 +155,14 @@ def run_kernel_bench(quick: bool = False, repeats: int = 3) -> dict:
 
         ref_records, _ = _run_batch(items, run_dp_reference)
         packed_records, packed_stats = _run_batch(items, run_dp_packed)
+        vec_records, _ = _run_batch(items, run_dp_vectorized)
         ref_digest = result_stream_digest(ref_records)
         packed_digest = result_stream_digest(packed_records)
+        vec_digest = result_stream_digest(vec_records)
 
         ref_time = _time_batch(items, run_dp_reference, repeats)
         packed_time = _time_batch(items, run_dp_packed, repeats)
+        vec_time = _time_batch(items, run_dp_vectorized, repeats)
 
         nodes_kept = sum(
             s.total_nodes for s in packed_stats if s is not None
@@ -142,22 +176,35 @@ def run_kernel_bench(quick: bool = False, repeats: int = 3) -> dict:
             "feasible": sum(1 for r in ref_records if r.routing is not None),
             "reference_s": round(ref_time, 6),
             "packed_s": round(packed_time, 6),
+            "vectorized_s": round(vec_time, 6),
             "speedup": round(ref_time / packed_time, 3) if packed_time else None,
-            "results_identical": ref_digest == packed_digest,
+            "speedup_vectorized": (
+                round(ref_time / vec_time, 3) if vec_time else None
+            ),
+            "vectorized_vs_packed": (
+                round(packed_time / vec_time, 3) if vec_time else None
+            ),
+            "results_identical": ref_digest == packed_digest == vec_digest,
             "result_stream_digest": packed_digest,
             "dp_nodes_before_pruning": nodes_kept + nodes_pruned,
             "dp_nodes_after_pruning": nodes_kept,
             "dp_nodes_pruned": nodes_pruned,
         })
     speedups = [b["speedup"] for b in out_batches if b["speedup"]]
+    vec_ratios = [
+        b["vectorized_vs_packed"] for b in out_batches
+        if b["vectorized_vs_packed"]
+    ]
     return {
-        "schema": "kernel-bench/1",
+        "schema": "kernel-bench/2",
         "quick": quick,
         "repeats": repeats,
         "cpus": os.cpu_count() or 1,
         "batches": out_batches,
         "speedup_min": min(speedups) if speedups else None,
         "speedup_max": max(speedups) if speedups else None,
+        "vectorized_vs_packed_min": min(vec_ratios) if vec_ratios else None,
+        "vectorized_vs_packed_max": max(vec_ratios) if vec_ratios else None,
     }
 
 
@@ -168,7 +215,7 @@ def check_report(report: dict, max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
     for batch in report["batches"]:
         if not batch["results_identical"]:
             failures.append(
-                f"{batch['name']}: packed and reference kernels disagree "
+                f"{batch['name']}: kernels disagree "
                 f"(result_stream_digest mismatch)"
             )
         speedup = batch["speedup"]
@@ -176,6 +223,13 @@ def check_report(report: dict, max_slowdown: float = MAX_SLOWDOWN) -> list[str]:
             failures.append(
                 f"{batch['name']}: packed kernel {1 / speedup:.2f}x slower "
                 f"than reference (allowed slowdown {max_slowdown:.0%})"
+            )
+        vec_ratio = batch.get("vectorized_vs_packed")
+        if vec_ratio is not None and vec_ratio < 1.0 - VEC_MAX_SLOWDOWN:
+            failures.append(
+                f"{batch['name']}: vectorized kernel {1 / vec_ratio:.2f}x "
+                f"slower than packed "
+                f"(allowed slowdown {VEC_MAX_SLOWDOWN:.0%})"
             )
     return failures
 
@@ -186,13 +240,16 @@ def render_report(report: dict) -> str:
         f"kernel bench (cpus={report['cpus']}, repeats={report['repeats']}"
         f"{', quick' if report['quick'] else ''})",
         f"{'batch':<10} {'inst':>4} {'reference':>10} {'packed':>10} "
-        f"{'speedup':>8} {'pruned':>8} {'identical':>9}",
+        f"{'vector':>10} {'spdup':>6} {'vec/pkd':>7} {'pruned':>8} "
+        f"{'identical':>9}",
     ]
     for b in report["batches"]:
         lines.append(
             f"{b['name']:<10} {b['instances']:>4} "
             f"{b['reference_s'] * 1000:>8.1f}ms {b['packed_s'] * 1000:>8.1f}ms "
-            f"{b['speedup']:>7.2f}x {b['dp_nodes_pruned']:>8} "
+            f"{b['vectorized_s'] * 1000:>8.1f}ms "
+            f"{b['speedup']:>5.2f}x {b['vectorized_vs_packed']:>6.2f}x "
+            f"{b['dp_nodes_pruned']:>8} "
             f"{str(b['results_identical']):>9}"
         )
     return "\n".join(lines)

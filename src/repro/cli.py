@@ -27,14 +27,15 @@ Usage (also available as ``python -m repro``)::
                    [--port-file FILE]
     segroute loadgen [INSTANCE ...] [--manifest FILE.jsonl]
                      [--requests N] [--mode closed|open] [--concurrency C]
-                     [--rate R] [--deadline-ms MS] [-o REPORT.json]
+                     [--rate R] [--deadline-ms MS] [--wire auto|v1|v2]
+                     [-o REPORT.json]
 
 Subcommands map 1:1 onto the library: ``route`` runs any of the paper's
 algorithms on an ``.sch`` instance, ``batch`` routes many instances
 through the :mod:`repro.engine` worker pool, ``render`` draws an
 instance, ``generate`` writes a random feasible one, ``reduce``
 emits a Theorem-1/2 NP-completeness instance from a numerical matching
-problem, ``bench`` runs the reference-vs-packed kernel benchmark
+problem, ``bench`` runs the reference-vs-packed-vs-vectorized kernel benchmark
 (the perf-regression harness; see docs/PERFORMANCE.md), ``serve``
 exposes the engine over the network — ``--replicas N`` runs N
 supervised engine replicas behind a failover/hedging router (see
@@ -422,6 +423,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0,
         help="client-side per-request timeout in seconds",
     )
+    p_load.add_argument(
+        "--wire", choices=("auto", "v1", "v2"), default="auto",
+        help="client framing: auto negotiates binary when the server "
+             "offers it, v1 forces NDJSON, v2 requires binary",
+    )
     p_load.add_argument("--seed", type=int, default=0)
     p_load.add_argument(
         "-o", "--output", default=None,
@@ -766,7 +772,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(f"CHECK FAILED: {failure}", file=sys.stderr)
         if failures:
             return 1
-        print("check passed: packed kernel within budget, results identical")
+        print("check passed: kernels within budget, results identical")
     return 0
 
 
@@ -851,6 +857,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         deadline_ms=args.deadline_ms,
         weight=None if args.weight == "none" else args.weight,
         algorithm=args.algorithm, timeout=args.timeout, seed=args.seed,
+        wire=args.wire,
     )
     print(render_report(report))
     if args.output:

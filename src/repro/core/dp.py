@@ -23,8 +23,10 @@ Key facts implemented here:
 
 The inner loop lives in :mod:`repro.core.kernels`: a tuple-based
 reference implementation and a packed-frontier kernel with dominance
-pruning that is the default.  Set ``REPRO_KERNELS=reference`` to force
-the reference implementation (see ``docs/PERFORMANCE.md``).
+pruning that is the default.  Set ``REPRO_KERNELS=vectorized`` for the
+array-native kernel (whole levels as numpy batches) or
+``REPRO_KERNELS=reference`` to force the reference implementation (see
+``docs/PERFORMANCE.md``).
 
 Instrumentation: :func:`route_dp_with_stats` exposes the per-level node
 counts so the Theorem 5/6 bounds can be checked experimentally.
@@ -44,6 +46,7 @@ from repro.core.kernels import (
     record_kernel_trace,
     run_dp_packed,
     run_dp_reference,
+    run_dp_vectorized,
 )
 from repro.core.routing import Routing, WeightFunction
 
@@ -59,7 +62,11 @@ def _run_dp(
     *,
     partial: bool = False,
 ) -> tuple[Optional[Routing], DPStats]:
-    kernel = run_dp_packed if active_kernel() == "packed" else run_dp_reference
+    kernel = {
+        "packed": run_dp_packed,
+        "vectorized": run_dp_vectorized,
+        "reference": run_dp_reference,
+    }[active_kernel()]
     if not kernel_trace_enabled():
         return kernel(
             channel, connections, max_segments, weight, node_limit, partial=partial

@@ -2,21 +2,27 @@
 
 The Section IV-B DP of :mod:`repro.core.dp` represents each frontier as a
 ``T``-tuple and rebuilds one per edge — an ``O(T)`` allocation repeated
-``O(M·L·T)`` times.  This module provides two interchangeable kernels
+``O(M·L·T)`` times.  This module provides three interchangeable kernels
 behind one contract:
 
 * :func:`run_dp_reference` — the tuple-based reference implementation
   (the seed algorithm, now reading its geometry tables from
   :mod:`repro.core.geometry`);
-* :func:`run_dp_packed` — the fast kernel: each frontier is a single
-  ``int`` (one fixed-width bit field per track), per-edge work is a few
-  machine-word operations on precomputed masks, and *dominance pruning*
-  drops frontiers that cannot be part of any better completion.
+* :func:`run_dp_packed` — the fast scalar kernel: each frontier is a
+  single ``int`` (one fixed-width bit field per track), per-edge work is
+  a few machine-word operations on precomputed masks, and *dominance
+  pruning* drops frontiers that cannot be part of any better completion;
+* :func:`run_dp_vectorized` — the array-native kernel: whole DP levels
+  as flat ``numpy`` ``uint64`` arrays, the same SWAR identities
+  broadcast across every frontier of a level at once, canonical winner
+  selection via one ``lexsort``, and the Pareto filter as a batched
+  matrix test.  Levels too narrow to amortize array dispatch fall back
+  to the packed scalar loop per level, so the kernel is adaptive.
 
 Which kernel backs :func:`repro.core.dp.route_dp` is chosen by the
-``REPRO_KERNELS`` environment variable (``packed``, the default, or
-``reference``) — the escape hatch for debugging and for the equivalence
-harness.
+``REPRO_KERNELS`` environment variable (``packed``, the default,
+``vectorized``, or ``reference``) — the escape hatch for debugging and
+for the equivalence harness.
 
 Packed encoding
 ---------------
@@ -75,6 +81,7 @@ __all__ = [
     "active_kernel",
     "run_dp_reference",
     "run_dp_packed",
+    "run_dp_vectorized",
     "consume_dp_pruned",
     "set_kernel_trace",
     "kernel_trace_enabled",
@@ -83,7 +90,7 @@ __all__ = [
 ]
 
 #: Selectable kernels, in preference order.
-KERNELS = ("packed", "reference")
+KERNELS = ("packed", "vectorized", "reference")
 
 #: Environment variable that picks the kernel (default: ``packed``).
 KERNEL_ENV_VAR = "REPRO_KERNELS"
@@ -513,3 +520,341 @@ def run_dp_packed(
         tuple(pruned_per_level),
         "packed",
     )
+
+
+# ----------------------------------------------------------------------
+# vectorized kernel
+# ----------------------------------------------------------------------
+
+#: A level is lifted to the numpy path only when it has at least this
+#: many candidate edges (frontiers × K-feasible tracks); below that the
+#: per-call array dispatch overhead exceeds the scalar loop's cost.
+_VEC_MIN_EDGES = 384
+
+#: Row cap for one block of the batched Pareto filter (bounds the
+#: ``block × level`` domination matrix to a few MB of uint64).
+_VEC_PRUNE_BLOCK = 1024
+
+
+def run_dp_vectorized(
+    channel: SegmentedChannel,
+    connections: ConnectionSet,
+    max_segments: Optional[int] = None,
+    weight: Optional[WeightFunction] = None,
+    node_limit: int = 2_000_000,
+    *,
+    partial: bool = False,
+    prune: bool = True,
+) -> tuple[Optional[Routing], DPStats]:
+    """Array-native packed-frontier DP over whole levels at once.
+
+    Same contract, same packed encoding, and same returned routing as
+    :func:`run_dp_packed`; the per-edge Python dict loop is replaced by
+    flat ``numpy`` batch operations:
+
+    * the feasibility / re-normalization SWAR identities are evaluated
+      for every frontier of the level in one broadcast;
+    * all candidate edges materialize as parallel arrays and the
+      canonical min-``(cost, parent frontier, track)`` winner per
+      successor is selected with a single ``lexsort`` + first-of-group
+      scan (the sort order *is* the packed kernel's tie-break order);
+    * dominance pruning scans the ``(cost, frontier-lex)``-sorted level
+      as a blocked domination matrix — sound because "dominated by an
+      earlier survivor" and "dominated by any earlier item" coincide
+      (domination is transitive, so the earliest dominator is itself
+      undominated; see ``docs/PERFORMANCE.md``).
+
+    Levels with fewer than ``_VEC_MIN_EDGES`` candidate edges run the
+    packed scalar loop instead — array dispatch costs more than it saves
+    there — so narrow instances track ``run_dp_packed`` closely while
+    wide levels (the Theorem 5 ``2^T·T!`` regime) vectorize.
+
+    Channels whose packed encoding exceeds one machine word
+    (``T·b > 64``) fall back to :func:`run_dp_packed` wholesale —
+    arbitrary-precision ints don't vectorize — with the stats relabeled
+    so callers still see which kernel the dispatch selected.
+    """
+    try:
+        import numpy as np
+    except ImportError as exc:  # pragma: no cover - numpy is a core dep
+        raise ReproError(
+            f"{KERNEL_ENV_VAR}=vectorized requires numpy; "
+            "use the packed or reference kernel"
+        ) from exc
+
+    connections.check_within(channel)
+    conns = connections.connections
+    M = len(conns)
+    T = channel.n_tracks
+    if M == 0:
+        return Routing(channel, connections, ()), DPStats((), (), (), "vectorized")
+
+    geom = channel_geometry(channel)
+    seg_index = geom.seg_index
+    seg_end = geom.seg_end
+    N = channel.n_columns
+
+    # Same field layout as run_dp_packed (track 0 most significant, one
+    # guard bit per field).  uint64 SWAR needs the whole frontier in one
+    # machine word; the guard bits keep every subtraction borrow inside
+    # its field, so T*b == 64 is still safe.
+    b = (N + 1).bit_length() + 1
+    if T * b > 64:
+        routing, stats = run_dp_packed(
+            channel, connections, max_segments, weight, node_limit,
+            partial=partial, prune=prune,
+        )
+        return routing, DPStats(
+            stats.nodes_per_level,
+            stats.edges_per_level,
+            stats.nodes_pruned_per_level,
+            "vectorized",
+        )
+
+    FM = (1 << b) - 1
+    TOT = (1 << (T * b)) - 1
+    ones = 0
+    for t in range(T):
+        ones |= 1 << ((T - 1 - t) * b)
+    H = ones << (b - 1)
+    bm1 = b - 1
+
+    weighted = weight is not None
+    # Per-connection candidate rows, exactly as in run_dp_packed (weight
+    # callables observe the same calls in the same order).  The numpy
+    # mirror of a row is built lazily on the first wide level that needs
+    # it, so all-narrow instances never touch numpy.
+    cand: list[list[tuple[int, int, int, float, int]]] = []
+    for i, c in enumerate(conns):
+        next_ref = conns[i + 1].left if i + 1 < M else N + 1
+        l, r = c.left, c.right
+        row: list[tuple[int, int, int, float, int]] = []
+        for t in range(T):
+            if (
+                max_segments is not None
+                and seg_index[t][r] - seg_index[t][l] + 1 > max_segments
+            ):
+                continue
+            sh = (T - 1 - t) * b
+            row.append((
+                1 << (sh + bm1),
+                TOT ^ (FM << sh),
+                max(seg_end[t][r] + 1, next_ref) << sh,
+                weight(c, t) if weighted else 0.0,
+                t,
+            ))
+        cand.append(row)
+    cand_np: list[Optional[tuple]] = [None] * M
+
+    u64 = np.uint64
+    nH = u64(H)
+    nFM = u64(FM)
+    nTOT = u64(TOT)
+    nbm1 = u64(bm1)
+
+    # Level state: packed frontiers in canonical order — (cost,
+    # frontier-lex) when weighted, frontier-lex otherwise — held either
+    # as Python lists (scalar levels) or numpy arrays (wide levels),
+    # converted only when a level switches regime.
+    keys_list: Optional[list[int]] = [conns[0].left * ones]
+    cost_list: Optional[list[float]] = [0.0]
+    keys_np = None
+    cost_np = None
+
+    # Traceback: per level, parallel parent-index / track containers
+    # aligned with that level's canonical order.
+    tb_parent: list = []
+    tb_track: list = []
+    nodes_per_level: list[int] = []
+    edges_per_level: list[int] = []
+    pruned_per_level: list[int] = []
+    total_nodes = 1
+
+    def _stats() -> DPStats:
+        return DPStats(
+            tuple(nodes_per_level),
+            tuple(edges_per_level),
+            tuple(pruned_per_level),
+            "vectorized",
+        )
+
+    for i, c in enumerate(conns):
+        next_ref = conns[i + 1].left if i + 1 < M else N + 1
+        row = cand[i]
+        n = len(keys_list) if keys_list is not None else keys_np.shape[0]
+
+        if n * len(row) >= _VEC_MIN_EDGES:
+            # ---------------- numpy path: the whole level at once.
+            if keys_np is None:
+                keys_np = np.array(keys_list, dtype=u64)
+                cost_np = np.array(cost_list, dtype=np.float64)
+                keys_list = cost_list = None
+            tables = cand_np[i]
+            if tables is None:
+                tables = (
+                    np.array([e[0] for e in row], dtype=u64),
+                    np.array([e[1] for e in row], dtype=u64),
+                    np.array([e[2] for e in row], dtype=u64),
+                    np.array([e[3] for e in row], dtype=np.float64),
+                    np.array([e[4] for e in row], dtype=np.int64),
+                    u64(next_ref * ones),
+                    u64((c.left + 1) * ones),
+                )
+                cand_np[i] = tables
+            gbits, clear, nv, w_np, tracks, R_np, L1_np = tables
+
+            XH = keys_np | nH
+            feas = nH & ~(XH - L1_np)
+            ge = ((XH - R_np) & nH) >> nbm1
+            m = ge * nFM
+            base = (keys_np & m) | (R_np & (~m & nTOT))
+            src, ti = np.nonzero((feas[:, None] & gbits[None, :]) != 0)
+            edges = int(src.size)
+            if edges == 0:
+                if partial:
+                    return None, _stats()
+                raise _infeasible_error(i, conns, max_segments)
+
+            newkey = (base[src] & clear[ti]) | nv[ti]
+            parentkey = keys_np[src]
+            tr = tracks[ti]
+            # Canonical winner per successor: sorting by (newkey, cost,
+            # parent frontier, track) puts the min-(cost, X, t) edge
+            # first within each newkey group (== the dict tie-break).
+            if weighted:
+                ncost = cost_np[src] + w_np[ti]
+                order = np.lexsort((tr, parentkey, ncost, newkey))
+            else:
+                ncost = None
+                order = np.lexsort((tr, parentkey, newkey))
+            skey = newkey[order]
+            first = np.empty(skey.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(skey[1:], skey[:-1], out=first[1:])
+            winners = order[first]
+            keys = newkey[winners]       # ascending (frontier-lex)
+            kparent = src[winners]
+            ktrack = tr[winners]
+            if weighted:
+                kcost = ncost[winners]
+                ro = np.lexsort((keys, kcost))
+                keys = keys[ro]
+                kcost = kcost[ro]
+                kparent = kparent[ro]
+                ktrack = ktrack[ro]
+            else:
+                kcost = np.zeros(keys.shape[0], dtype=np.float64)
+
+            width = keys.shape[0]
+            pruned = 0
+            if prune and width > 1:
+                # Blocked Pareto filter over the canonically sorted
+                # level: item j is dropped iff some earlier item is
+                # componentwise <= it (guard bits all survive the SWAR
+                # subtraction).
+                KH = keys | nH
+                dominated = np.zeros(width, dtype=bool)
+                for s0 in range(1, width, _VEC_PRUNE_BLOCK):
+                    s1 = min(width, s0 + _VEC_PRUNE_BLOCK)
+                    dom = ((KH[s0:s1, None] - keys[None, :s1]) & nH) == nH
+                    dom &= np.arange(s1)[None, :] < np.arange(s0, s1)[:, None]
+                    dominated[s0:s1] = dom.any(axis=1)
+                pruned = int(dominated.sum())
+                if pruned:
+                    kept = ~dominated
+                    keys = keys[kept]
+                    kcost = kcost[kept]
+                    kparent = kparent[kept]
+                    ktrack = ktrack[kept]
+                    width = keys.shape[0]
+                _counters["dp_nodes_pruned"] += pruned
+            keys_np = keys
+            cost_np = kcost
+            tb_parent.append(kparent)
+            tb_track.append(ktrack)
+        else:
+            # ---------------- scalar path: the packed per-edge loop,
+            # carrying the parent *index* instead of the parent key.
+            if keys_list is None:
+                keys_list = keys_np.tolist()
+                cost_list = cost_np.tolist()
+                keys_np = cost_np = None
+            R = next_ref * ones
+            L1 = (c.left + 1) * ones
+            nxt: dict[int, tuple[float, int, int, int]] = {}
+            nxt_get = nxt.get
+            edges = 0
+            for si in range(n):
+                X = keys_list[si]
+                XH = X | H
+                feas = H & ~(XH - L1)
+                if not feas:
+                    continue
+                ge = ((XH - R) & H) >> bm1
+                m = ge * FM
+                base = (X & m) | (R & (TOT ^ m))
+                cost = cost_list[si]
+                for gbit, clear, nv, w, t in row:
+                    if feas & gbit:
+                        edges += 1
+                        new = (base & clear) | nv
+                        ncost = cost + w if weighted else 0.0
+                        prev = nxt_get(new)
+                        if (
+                            prev is None
+                            or ncost < prev[0]
+                            or (
+                                ncost == prev[0]
+                                and (X, t) < (prev[1], prev[2])
+                            )
+                        ):
+                            nxt[new] = (ncost, X, t, si)
+            if not nxt:
+                if partial:
+                    return None, _stats()
+                raise _infeasible_error(i, conns, max_segments)
+
+            if weighted:
+                items = sorted(nxt.items(), key=lambda kv: (kv[1][0], kv[0]))
+            else:
+                items = sorted(nxt.items())
+            pruned = 0
+            if prune and len(items) > 1:
+                survivors: list[int] = []
+                kept_items: list[tuple[int, tuple[float, int, int, int]]] = []
+                for key, val in items:
+                    KH = key | H
+                    for s in survivors:
+                        if (KH - s) & H == H:
+                            pruned += 1
+                            break
+                    else:
+                        survivors.append(key)
+                        kept_items.append((key, val))
+                items = kept_items
+                _counters["dp_nodes_pruned"] += pruned
+
+            keys_list = [key for key, _ in items]
+            cost_list = [val[0] for _, val in items]
+            tb_parent.append([val[3] for _, val in items])
+            tb_track.append([val[2] for _, val in items])
+            width = len(keys_list)
+
+        pruned_per_level.append(pruned)
+        nodes_per_level.append(width)
+        edges_per_level.append(edges)
+        total_nodes += width
+        if total_nodes > node_limit:
+            if partial:
+                return None, _stats()
+            raise _node_limit_error(node_limit)
+
+    final_width = len(keys_list) if keys_list is not None else keys_np.shape[0]
+    assert final_width == 1, "normalization should collapse level M"
+    assignment = [-1] * M
+    idx = 0
+    for i in range(M - 1, -1, -1):
+        assignment[i] = int(tb_track[i][idx])
+        idx = int(tb_parent[i][idx])
+    routing = Routing(channel, connections, tuple(assignment))
+    return routing, _stats()

@@ -276,6 +276,46 @@ class RoutingEngine:
             outcome.raise_error()
         return result.routing
 
+    def route_cached(
+        self,
+        channel: SegmentedChannel,
+        connections: ConnectionSet,
+        max_segments: Optional[int] = None,
+        weight: Union[None, str, WeightTable] = None,
+        algorithm: str = "auto",
+    ) -> Optional[BatchResult]:
+        """Non-blocking cache probe: a completed result, or ``None``.
+
+        The serve-layer fast path: a canonical-cache hit is answered
+        with key computation + lookup + replay validation only — no
+        solver, no worker pool, nothing that blocks — so an event loop
+        can call this inline and skip its dispatch machinery entirely.
+        On a miss (or with the cache disabled, or when tracing is on —
+        trace runs want the full span tree) it returns ``None`` and
+        counts *nothing*: the full path the caller falls back to does
+        its own request/hit/miss accounting.
+        """
+        if not self.config.cache or self.trace_sink is not None:
+            return None
+        self._ensure_open()
+        key = canonical_key(
+            channel, connections, max_segments,
+            self._check_weight(weight), self._check_algorithm(algorithm),
+        )
+        assignment = self.cache.lookup(key, channel)
+        if assignment is None:
+            return None
+        result = BatchResult(
+            index=0, channel=channel, connections=connections,
+            max_segments=max_segments,
+        )
+        self._finish_hit(result, assignment)
+        if not result.ok:  # pragma: no cover - defensive replay failure
+            return None
+        self.metrics.incr("requests")
+        self.metrics.incr("cache.hits")
+        return result
+
     def _route_one(
         self,
         channel: SegmentedChannel,

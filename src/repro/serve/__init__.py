@@ -2,7 +2,8 @@
 
 The paper routes each channel "in a fraction of a second"; this package
 turns that into an online service: a newline-delimited JSON protocol
-(:mod:`.protocol`), an admission layer with a bounded queue,
+with an optional negotiated binary framing for the route hot path
+(:mod:`.protocol`, :mod:`.wire`), an admission layer with a bounded queue,
 token-bucket rate limiting, and deadline-aware load shedding
 (:mod:`.admission`), a micro-batcher that coalesces concurrent requests
 into :meth:`~repro.engine.RoutingEngine.route_many` windows
@@ -49,15 +50,25 @@ from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.client import AsyncRoutingClient, RoutingClient, ServeResult
 from repro.serve.loadgen import run_loadgen
 from repro.serve.protocol import (
+    CAPABILITIES,
+    CAP_WIRE_V1,
+    CAP_WIRE_V2,
     PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
     STATUS_SHED,
+    SUPPORTED_VERSIONS,
 )
 from repro.serve.replica import ReplicaSet, ReplicaStatus, StaticReplicaSet
 from repro.serve.router import CircuitBreaker, RouterConfig, RoutingRouter
 from repro.serve.server import RoutingServer, ServeConfig
+from repro.serve.wire import (
+    MAX_FRAME_BYTES,
+    FrameTooLargeError,
+    WireCodec,
+    WireStats,
+)
 
 __all__ = [
     "RoutingServer",
@@ -77,6 +88,14 @@ __all__ = [
     "CircuitBreaker",
     "run_loadgen",
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "CAPABILITIES",
+    "CAP_WIRE_V1",
+    "CAP_WIRE_V2",
+    "WireCodec",
+    "WireStats",
+    "FrameTooLargeError",
+    "MAX_FRAME_BYTES",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_SHED",

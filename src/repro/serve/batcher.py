@@ -49,6 +49,9 @@ class PendingRequest:
     deadline_at: Optional[float] = None
     #: ``(trace_id, parent_span_id)`` handed to the engine, or ``None``.
     trace_parent: Optional[tuple[str, str]] = None
+    #: Framing the request arrived in (``"v1"`` NDJSON / ``"v2"`` binary);
+    #: the server answers in kind once the window completes.
+    wire: str = "v1"
 
 
 class MicroBatcher:
@@ -205,6 +208,9 @@ class MicroBatcher:
             return
         self._incr("serve.batches")
         self._observe("serve.batch_size", float(len(live)))
+        v2 = sum(1 for pending in live if pending.wire == "v2")
+        if v2:
+            self._incr("serve.wire_v2_batched", v2)
         started = time.monotonic()
         for group in self._partition(live):
             await self._route_group(group)

@@ -46,17 +46,38 @@ from repro.core.errors import ConnectionLostError, ProtocolError, ServeError
 from repro.engine.resilience.retry import RetryPolicy, backoff_delay
 from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.protocol import (
+    CAP_WIRE_V2,
     PROTOCOL_VERSION,
     STATUS_OK,
+    RouteRequest,
     decode,
-    encode,
+    hello_request,
     route_request,
+)
+from repro.serve.wire import (
+    FRAME_JSON,
+    FRAME_OK,
+    HEADER_SIZE,
+    WIRE_V1,
+    WIRE_V2,
+    FrameTooLargeError,
+    WireCodec,
+    decode_ok_frame,
+    read_wire_message,
+    read_wire_message_sync,
 )
 
 __all__ = ["ServeResult", "AsyncRoutingClient", "RoutingClient"]
 
 #: Connection-establishment retries (reuses the engine's backoff shape).
 _CONNECT_POLICY = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=1.0)
+
+#: Cap on the capability handshake round trip: a pre-``hello`` server
+#: answers with an unmatchable error (id ``null``), so the client must
+#: time out quickly and fall back to wire v1 instead of hanging.
+_HELLO_TIMEOUT = 2.0
+
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -123,7 +144,12 @@ class AsyncRoutingClient:
         trace_sink: Optional[TraceSink] = None,
         seed: int = 0,
         resend_on_reconnect: bool = True,
+        wire: str = "auto",
     ) -> None:
+        if wire not in ("auto", "v1", "v2"):
+            raise ValueError(
+                f"wire must be 'auto', 'v1' or 'v2', got {wire!r}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
@@ -131,12 +157,24 @@ class AsyncRoutingClient:
         self.trace_sink = trace_sink
         self.seed = seed
         self.resend_on_reconnect = resend_on_reconnect
+        #: Requested framing: ``"auto"`` negotiates via ``hello`` and
+        #: falls back to v1, ``"v1"`` skips the handshake entirely,
+        #: ``"v2"`` negotiates and *fails* if the server lacks it.
+        self.wire = wire
+        self._wire_active = WIRE_V1
+        self._codec = WireCodec()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
-        #: request id -> (future, wire message) — the message is kept so
-        #: an in-flight request can be resent after a reconnect.
-        self._pending: dict[str, tuple[asyncio.Future, dict]] = {}
+        #: request id -> (future, encode thunk, replay budget) — the
+        #: thunk re-encodes the request under the *current* framing, so
+        #: an in-flight request can be resent after a reconnect (which
+        #: resets the framing to v1 until renegotiated).  Budget
+        #: ``None`` means replay freely; the ``hello`` probe carries
+        #: budget 1 so a swallowed handshake cannot reconnect-storm.
+        self._pending: dict[
+            str, tuple[asyncio.Future, object, Optional[int]]
+        ] = {}
         self._ids = itertools.count(1)
         self._write_lock = asyncio.Lock()
         self._closed = False
@@ -164,11 +202,50 @@ class AsyncRoutingClient:
         )
 
     async def connect(self) -> None:
-        """Open the connection, retrying with deterministic backoff."""
+        """Open the connection, retrying with deterministic backoff.
+
+        Unless ``wire="v1"``, a ``hello`` handshake follows: if the
+        server advertises ``wire.v2.binary``, subsequent route requests
+        go out as packed binary frames.
+        """
         await self._open()
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop(), name="serve-client-reader"
         )
+        if self.wire != "v1":
+            await self._negotiate()
+
+    async def _negotiate(self) -> None:
+        """One ``hello`` round trip; degrades to v1 unless ``wire="v2"``."""
+        # Outside the qN id namespace: negotiation must not shift the
+        # ids observable on route requests.
+        message = hello_request("hello")
+        timeout = _HELLO_TIMEOUT if self.timeout is None else min(
+            self.timeout, _HELLO_TIMEOUT
+        )
+        try:
+            response = await self._send(
+                str(message["id"]),
+                lambda: self._codec.encode_line(message),
+                timeout=timeout,
+                replay=1,
+            )
+        except (ServeError, OSError):
+            response = None
+        versions = (response or {}).get("versions") or []
+        caps = (response or {}).get("caps") or []
+        if (
+            response is not None
+            and response.get("status") == STATUS_OK
+            and 2 in versions
+            and CAP_WIRE_V2 in caps
+        ):
+            self._wire_active = WIRE_V2
+        elif self.wire == "v2":
+            raise ServeError(
+                f"server at {self.host}:{self.port} does not speak "
+                f"{CAP_WIRE_V2} (versions={versions!r}, caps={caps!r})"
+            )
 
     async def close(self) -> None:
         """Close the connection and fail anything still in flight."""
@@ -193,20 +270,33 @@ class AsyncRoutingClient:
         await self.close()
 
     # ------------------------------------------------------------------
+    def _decode_incoming(self, wire: str, payload) -> Optional[dict]:
+        """One incoming message -> response dict (stats-counted)."""
+        if wire == WIRE_V2:
+            ftype, body = payload
+            self._codec.note_in(wire, HEADER_SIZE + len(body))
+            if ftype == FRAME_OK:
+                return self._codec.timed_decode(decode_ok_frame, body)
+            if ftype == FRAME_JSON:
+                return self._codec.timed_decode(decode, body)
+            raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+        self._codec.note_in(wire, len(payload))
+        return self._codec.timed_decode(decode, payload)
+
     async def _read_loop(self) -> None:
         while True:
             assert self._reader is not None
             error: Exception
             try:
                 while True:
-                    line = await self._reader.readline()
-                    if not line:
+                    item = await read_wire_message(self._reader)
+                    if item is None:
                         error = ConnectionLostError(
                             "server closed the connection"
                         )
                         break
                     try:
-                        message = decode(line)
+                        message = self._decode_incoming(*item)
                     except ProtocolError as exc:
                         self._fail_pending(exc)
                         return
@@ -216,17 +306,35 @@ class AsyncRoutingClient:
                         entry[0].set_result(message)
             except asyncio.CancelledError:
                 raise
+            except FrameTooLargeError as exc:
+                self._fail_pending(exc)
+                return
             except Exception as exc:  # connection reset etc.
                 error = ConnectionLostError(f"connection lost: {exc}")
             if self._closed:
                 self._fail_pending(ServeError("client closed"))
                 return
-            if not (self.resend_on_reconnect and self._pending):
+            # Entries with an exhausted replay budget (the ``hello``
+            # probe rides with budget 1) fail here instead of being
+            # resent forever; once only exhausted probes died and
+            # nothing replayable remains, the reader exits rather than
+            # reconnecting with nothing to say.
+            expired = [
+                rid for rid, entry in self._pending.items()
+                if entry[2] is not None and entry[2] <= 0
+            ]
+            for rid in expired:
+                future = self._pending.pop(rid)[0]
+                if not future.done():
+                    future.set_exception(error)
+            if not self.resend_on_reconnect or not self._pending:
                 self._fail_pending(error)
                 return
             # Reconnect and replay: route requests are idempotent, so
             # resending whatever was in flight is safe and invisible to
-            # the awaiting coroutines.
+            # the awaiting coroutines.  The new connection has not been
+            # negotiated, so the framing drops back to v1 (always
+            # understood) and the thunks re-encode accordingly.
             if self._writer is not None:
                 self._writer.close()
             try:
@@ -234,10 +342,15 @@ class AsyncRoutingClient:
             except ServeError:
                 self._fail_pending(error)
                 return
+            self._wire_active = WIRE_V1
             async with self._write_lock:
                 assert self._writer is not None
-                for _, pending_message in self._pending.values():
-                    self._writer.write(encode(pending_message))
+                for rid, (future, thunk, budget) in list(
+                    self._pending.items()
+                ):
+                    self._writer.write(thunk())
+                    if budget is not None:
+                        self._pending[rid] = (future, thunk, budget - 1)
                 try:
                     await self._writer.drain()
                 except OSError:
@@ -245,21 +358,33 @@ class AsyncRoutingClient:
 
     def _fail_pending(self, error: Exception) -> None:
         pending, self._pending = self._pending, {}
-        for future, _ in pending.values():
+        for future, _, _ in pending.values():
             if not future.done():
                 future.set_exception(error)
 
-    async def _call(self, message: dict) -> dict:
+    async def _send(
+        self,
+        request_id: str,
+        thunk,
+        timeout=_UNSET,
+        replay: Optional[int] = None,
+    ) -> dict:
+        """Register, encode (via ``thunk``), send, and await the match."""
         if self._writer is None:
             raise ServeError("client is not connected (call connect())")
         if self._closed:
             raise ServeError("client is closed")
-        request_id = str(message["id"])
+        if self._reader_task is not None and self._reader_task.done():
+            # The read loop exits only on terminal connection failure;
+            # a request written now could never be matched to a reply.
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} lost"
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        self._pending[request_id] = (future, message)
+        self._pending[request_id] = (future, thunk, replay)
         try:
             async with self._write_lock:
-                self._writer.write(encode(message))
+                self._writer.write(thunk())
                 await self._writer.drain()
         except OSError as exc:
             # A write onto a dead transport: when the reader task is
@@ -273,15 +398,24 @@ class AsyncRoutingClient:
                     f"connection to {self.host}:{self.port} lost "
                     f"mid-request: {exc}"
                 ) from exc
+        except Exception:
+            self._pending.pop(request_id, None)
+            raise
+        effective = self.timeout if timeout is _UNSET else timeout
         try:
-            if self.timeout is not None:
-                return await asyncio.wait_for(future, self.timeout)
+            if effective is not None:
+                return await asyncio.wait_for(future, effective)
             return await future
         except asyncio.TimeoutError:
             self._pending.pop(request_id, None)
             raise ServeError(
-                f"request {request_id} timed out after {self.timeout}s"
+                f"request {request_id} timed out after {effective}s"
             ) from None
+
+    async def _call(self, message: dict) -> dict:
+        return await self._send(
+            str(message["id"]), lambda: self._codec.encode_line(message)
+        )
 
     def _next_id(self) -> str:
         return f"q{next(self._ids)}"
@@ -297,14 +431,64 @@ class AsyncRoutingClient:
             and not self._reader_task.done()
         )
 
-    async def call(self, message: dict) -> dict:
-        """Send one pre-built wire message, await its matched response.
+    @property
+    def negotiated_wire(self) -> str:
+        """Framing currently used for route requests (``v1``/``v2``)."""
+        return self._wire_active
 
-        The low-level forwarding primitive used by the failover router,
-        which needs full control over request IDs and trace context;
-        ``route`` / ``ping`` / ``stats`` are sugar over this.
+    def wire_stats(self) -> dict:
+        """Serde accounting for this connection (loadgen's breakdown)."""
+        snapshot = self._codec.stats.snapshot()
+        snapshot["negotiated"] = self._wire_active
+        return snapshot
+
+    async def call(self, message: dict) -> dict:
+        """Send one pre-built JSON wire message, await its match.
+
+        Always NDJSON-framed (any server understands it); the packed
+        fast path is :meth:`call_route`.
         """
         return await self._call(message)
+
+    async def call_route(
+        self,
+        request_id: str,
+        request: RouteRequest,
+        *,
+        trace_id: str = "",
+        trace_parent: str = "",
+    ) -> dict:
+        """Send one route request under the negotiated framing.
+
+        The forwarding primitive of the failover router (full control
+        over request id and trace context) and the core of
+        :meth:`route`.  Encodes a packed FRAME_ROUTE when the
+        connection negotiated wire v2, an NDJSON line otherwise — the
+        decision is re-made at (re)send time, so a replay after
+        reconnect is always understood.
+        """
+        def thunk() -> bytes:
+            if self._wire_active == WIRE_V2:
+                return self._codec.encode_route(
+                    request_id, request.channel, request.connections,
+                    max_segments=request.max_segments,
+                    weight=request.weight,
+                    algorithm=request.algorithm,
+                    deadline_ms=request.deadline_ms,
+                    trace_id=trace_id,
+                    trace_parent=trace_parent,
+                )
+            return self._codec.encode_line(route_request(
+                request_id, request.channel, request.connections,
+                max_segments=request.max_segments,
+                weight=request.weight,
+                algorithm=request.algorithm,
+                deadline_ms=request.deadline_ms,
+                trace_id=trace_id,
+                trace_parent=trace_parent,
+            ))
+
+        return await self._send(request_id, thunk)
 
     # ------------------------------------------------------------------
     async def ping(self) -> dict:
@@ -343,15 +527,17 @@ class AsyncRoutingClient:
             collector = SpanCollector(trace_id, "cl")
             root = collector.start("client.request", request=request_id)
             parent_id = root.span_id
-        message = route_request(
-            request_id, channel, connections,
+        request = RouteRequest(
+            request_id=request_id, channel=channel, connections=connections,
             max_segments=max_segments, weight=weight, algorithm=algorithm,
-            deadline_ms=deadline_ms, trace_id=trace_id,
-            trace_parent=parent_id,
+            deadline_ms=deadline_ms,
         )
         started = time.monotonic()
         try:
-            response = await self._call(message)
+            response = await self.call_route(
+                request_id, request,
+                trace_id=trace_id, trace_parent=parent_id,
+            )
         except Exception:
             if collector is not None:
                 root.set(status="transport-error")
@@ -415,12 +601,20 @@ class RoutingClient:
         timeout: Optional[float] = 30.0,
         connect_policy: RetryPolicy = _CONNECT_POLICY,
         seed: int = 0,
+        wire: str = "auto",
     ) -> None:
+        if wire not in ("auto", "v1", "v2"):
+            raise ValueError(
+                f"wire must be 'auto', 'v1' or 'v2', got {wire!r}"
+            )
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_policy = connect_policy
         self.seed = seed
+        self.wire = wire
+        self._wire_active = WIRE_V1
+        self._codec = WireCodec()
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._ids = itertools.count(1)
@@ -433,7 +627,7 @@ class RoutingClient:
                     (self.host, self.port), timeout=self.timeout
                 )
                 self._file = self._sock.makefile("rb")
-                return
+                break
             except OSError as exc:
                 last_error = exc
                 self._sock = None
@@ -441,9 +635,44 @@ class RoutingClient:
                     time.sleep(backoff_delay(
                         self.connect_policy, attempt, self.seed, "connect"
                     ))
-        raise ServeError(
-            f"cannot connect to {self.host}:{self.port}: {last_error}"
-        )
+        else:
+            raise ServeError(
+                f"cannot connect to {self.host}:{self.port}: {last_error}"
+            )
+        if self.wire != "v1":
+            self._negotiate()
+
+    def _negotiate(self) -> None:
+        """Blocking ``hello``; a pre-``hello`` server answers with a
+        typed error, which reads as "v1 only"."""
+        try:
+            response = self._call(hello_request("hello"))
+        except ProtocolError:
+            response = {}
+        versions = response.get("versions") or []
+        caps = response.get("caps") or []
+        if (
+            response.get("status") == STATUS_OK
+            and 2 in versions
+            and CAP_WIRE_V2 in caps
+        ):
+            self._wire_active = WIRE_V2
+        elif self.wire == "v2":
+            raise ServeError(
+                f"server at {self.host}:{self.port} does not speak "
+                f"{CAP_WIRE_V2} (versions={versions!r}, caps={caps!r})"
+            )
+
+    @property
+    def negotiated_wire(self) -> str:
+        """Framing currently used for route requests (``v1``/``v2``)."""
+        return self._wire_active
+
+    def wire_stats(self) -> dict:
+        """Serde accounting for this connection."""
+        snapshot = self._codec.stats.snapshot()
+        snapshot["negotiated"] = self._wire_active
+        return snapshot
 
     def close(self) -> None:
         if self._file is not None:
@@ -461,20 +690,33 @@ class RoutingClient:
         self.close()
 
     # ------------------------------------------------------------------
-    def _call(self, message: dict) -> dict:
+    def _call_bytes(self, data: bytes) -> dict:
         if self._sock is None or self._file is None:
             raise ServeError("client is not connected (call connect())")
         try:
-            self._sock.sendall(encode(message))
-            line = self._file.readline()
+            self._sock.sendall(data)
+            item = read_wire_message_sync(self._file)
         except OSError as exc:
             raise ConnectionLostError(
                 f"connection to {self.host}:{self.port} lost "
                 f"mid-request: {exc}"
             ) from exc
-        if not line:
+        if item is None:
             raise ConnectionLostError("server closed the connection")
-        return decode(line)
+        wire, payload = item
+        if wire == WIRE_V2:
+            ftype, body = payload
+            self._codec.note_in(wire, HEADER_SIZE + len(body))
+            if ftype == FRAME_OK:
+                return self._codec.timed_decode(decode_ok_frame, body)
+            if ftype == FRAME_JSON:
+                return self._codec.timed_decode(decode, body)
+            raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+        self._codec.note_in(wire, len(payload))
+        return self._codec.timed_decode(decode, payload)
+
+    def _call(self, message: dict) -> dict:
+        return self._call_bytes(self._codec.encode_line(message))
 
     def _next_id(self) -> str:
         return f"s{next(self._ids)}"
@@ -501,11 +743,18 @@ class RoutingClient:
         deadline_ms: Optional[float] = None,
     ) -> ServeResult:
         request_id = self._next_id()
-        message = route_request(
-            request_id, channel, connections,
-            max_segments=max_segments, weight=weight, algorithm=algorithm,
-            deadline_ms=deadline_ms,
-        )
+        if self._wire_active == WIRE_V2:
+            data = self._codec.encode_route(
+                request_id, channel, connections,
+                max_segments=max_segments, weight=weight,
+                algorithm=algorithm, deadline_ms=deadline_ms,
+            )
+        else:
+            data = self._codec.encode_line(route_request(
+                request_id, channel, connections,
+                max_segments=max_segments, weight=weight,
+                algorithm=algorithm, deadline_ms=deadline_ms,
+            ))
         started = time.monotonic()
-        response = self._call(message)
+        response = self._call_bytes(data)
         return _parse_response(response, time.monotonic() - started)

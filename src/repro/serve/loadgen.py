@@ -97,7 +97,8 @@ async def _run_async(
     timeout: Optional[float],
     seed: int,
     collect_stats: bool,
-) -> tuple[list[dict], int, float, Optional[dict]]:
+    wire: str,
+) -> tuple[list[dict], int, float, Optional[dict], dict]:
     records: list[Optional[dict]] = [None] * requests
     protocol_errors = 0
     server_stats: Optional[dict] = None
@@ -130,7 +131,7 @@ async def _run_async(
             }
 
     async with AsyncRoutingClient(
-        host, port, timeout=timeout, seed=seed
+        host, port, timeout=timeout, seed=seed, wire=wire
     ) as client:
         started = time.monotonic()
         if mode == "open":
@@ -163,9 +164,10 @@ async def _run_async(
                 server_stats = await client.stats()
             except (ServeError, ProtocolError):
                 server_stats = None
+        wire_stats = client.wire_stats()
     return (
         [r for r in records if r is not None],
-        protocol_errors, wall, server_stats,
+        protocol_errors, wall, server_stats, wire_stats,
     )
 
 
@@ -196,6 +198,7 @@ def run_loadgen(
     timeout: Optional[float] = 30.0,
     seed: int = 0,
     include_server_stats: bool = True,
+    wire: str = "auto",
 ) -> dict:
     """Drive traffic at a server and return the measurement report.
 
@@ -206,6 +209,11 @@ def run_loadgen(
     server's ``serve.*`` counters (and, against a router, its
     per-replica failover/shed counts) are fetched post-run under
     ``"server"``.
+
+    ``wire`` selects the client framing (``"auto"`` negotiates binary
+    when the server offers it, ``"v1"`` forces NDJSON, ``"v2"``
+    requires binary); the report's ``"wire"`` section carries the
+    negotiated framing plus byte and encode/decode-time accounting.
     """
     if corpus is None:
         corpus = build_corpus(corpus_size, seed)
@@ -215,12 +223,17 @@ def run_loadgen(
         raise ValueError("open-loop mode needs a positive rate")
     if mode not in ("open", "closed"):
         raise ValueError(f"mode must be 'open' or 'closed', got {mode!r}")
-    records, protocol_errors, wall, server_stats = asyncio.run(_run_async(
-        host, port, corpus,
-        requests=requests, mode=mode, concurrency=concurrency, rate=rate,
-        deadline_ms=deadline_ms, weight=weight, algorithm=algorithm,
-        timeout=timeout, seed=seed, collect_stats=include_server_stats,
-    ))
+    if wire not in ("auto", "v1", "v2"):
+        raise ValueError(f"wire must be 'auto', 'v1' or 'v2', got {wire!r}")
+    records, protocol_errors, wall, server_stats, wire_stats = asyncio.run(
+        _run_async(
+            host, port, corpus,
+            requests=requests, mode=mode, concurrency=concurrency,
+            rate=rate, deadline_ms=deadline_ms, weight=weight,
+            algorithm=algorithm, timeout=timeout, seed=seed,
+            collect_stats=include_server_stats, wire=wire,
+        )
+    )
 
     statuses: dict[str, int] = {}
     for record in records:
@@ -292,6 +305,16 @@ def run_loadgen(
         },
         "digest": digest,
         "consistent": consistent,
+        "wire": {
+            "requested": wire,
+            "negotiated": wire_stats.get("negotiated"),
+            "wire_bytes_out": wire_stats.get("bytes_out", 0),
+            "wire_bytes_in": wire_stats.get("bytes_in", 0),
+            "encode_ms": wire_stats.get("encode_ms", 0.0),
+            "decode_ms": wire_stats.get("decode_ms", 0.0),
+            "frames_out": wire_stats.get("frames_out", {}),
+            "frames_in": wire_stats.get("frames_in", {}),
+        },
         "server": server,
     }
 
@@ -312,6 +335,15 @@ def render_report(report: dict) -> str:
             f"{k}={v}" for k, v in report["latency_ms"].items()
         ),
     ]
+    wire = report.get("wire") or {}
+    if wire:
+        lines.append(
+            f"wire        {wire.get('negotiated', 'v1')} "
+            f"(out={wire.get('wire_bytes_out', 0)}B, "
+            f"in={wire.get('wire_bytes_in', 0)}B, "
+            f"encode={wire.get('encode_ms', 0.0)}ms, "
+            f"decode={wire.get('decode_ms', 0.0)}ms)"
+        )
     if report.get("digest"):
         lines.append(f"digest      {report['digest']}")
     server = report.get("server") or {}

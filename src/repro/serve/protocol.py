@@ -44,6 +44,16 @@ offline results can be digest-compared.  ``shed`` and ``overloaded``
 are the admission layer's typed refusals (see
 :class:`~repro.core.errors.AdmissionRejected`); they arrive quickly by
 design, instead of a timeout after queuing doomed work.
+
+Protocol version 2 keeps this message schema bit-for-bit and adds the
+*binary framing* of :mod:`repro.serve.wire` for the two hot message
+kinds (route requests and ``ok`` responses).  A client opts in with
+the ``hello`` op (:func:`hello_request`); the response advertises
+``versions`` and ``caps`` (:data:`CAPABILITIES`) and names the framing
+both sides share.  Servers never initiate binary frames — they answer
+each request in the framing it arrived in — so v1-only clients work
+against a v2 server unmodified, and both framings may interleave on
+one connection.
 """
 
 from __future__ import annotations
@@ -59,6 +69,10 @@ from repro.io.text_format import dumps_instance, loads_instance
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
+    "CAPABILITIES",
+    "CAP_WIRE_V1",
+    "CAP_WIRE_V2",
     "STATUS_OK",
     "STATUS_ERROR",
     "STATUS_SHED",
@@ -71,10 +85,25 @@ __all__ = [
     "parse_route_request",
     "ok_response",
     "failure_response",
+    "hello_request",
+    "hello_response",
+    "negotiated_wire",
 ]
 
-#: Protocol version stamped on (and required in) every message.
+#: Protocol version stamped on NDJSON messages (wire v1, unchanged).
 PROTOCOL_VERSION = 1
+
+#: Every protocol version this implementation accepts on the wire.
+#: Version 2 adds the binary framing of :mod:`repro.serve.wire`; the
+#: message *schema* is unchanged, so a v1-only client needs nothing.
+SUPPORTED_VERSIONS = (1, 2)
+
+CAP_WIRE_V1 = "wire.v1.ndjson"
+CAP_WIRE_V2 = "wire.v2.binary"
+
+#: The capability set advertised in ``hello`` responses and named in
+#: version-rejection errors.
+CAPABILITIES = (CAP_WIRE_V1, CAP_WIRE_V2)
 
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
@@ -84,7 +113,7 @@ STATUS_OVERLOADED = "overloaded"
 #: Statuses the admission layer produces instead of routing.
 REJECTION_STATUSES = (STATUS_SHED, STATUS_OVERLOADED)
 
-_OPS = ("route", "ping", "stats")
+_OPS = ("route", "ping", "stats", "hello")
 
 
 def encode(message: dict) -> bytes:
@@ -117,10 +146,11 @@ def decode(line: Union[bytes, str]) -> dict:
             f"message must be a JSON object, got {type(message).__name__}"
         )
     version = message.get("v")
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(
-            f"unsupported protocol version {version!r} "
-            f"(this server speaks v{PROTOCOL_VERSION})"
+            f"unsupported protocol version {version!r} (this server "
+            f"speaks versions {list(SUPPORTED_VERSIONS)} with "
+            f"capabilities {list(CAPABILITIES)})"
         )
     op = message.get("op")
     if op is not None and op not in _OPS:
@@ -271,3 +301,51 @@ def failure_response(
         "error_type": error_type,
         "error": error,
     }
+
+
+def hello_request(request_id: str) -> dict:
+    """Capability handshake (client side): always a v1 NDJSON message.
+
+    Sent first on a connection by clients that *want* wire v2; servers
+    that predate the op answer with a typed error (or nothing matching
+    the id), which clients treat as "v1 only".
+    """
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "op": "hello",
+        "versions": list(SUPPORTED_VERSIONS),
+        "caps": list(CAPABILITIES),
+    }
+
+
+def hello_response(request_id: Optional[str], message: dict) -> dict:
+    """Answer one ``hello``: advertise versions/capabilities, pick a wire.
+
+    ``"wire"`` is the framing the server suggests for hot messages —
+    the highest version and capability set both sides share.  Either
+    side may still send v1 JSON lines at any time; negotiation only
+    gates who may *start* sending binary frames.
+    """
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "status": STATUS_OK,
+        "protocol": PROTOCOL_VERSION,
+        "versions": list(SUPPORTED_VERSIONS),
+        "caps": list(CAPABILITIES),
+        "wire": negotiated_wire(message),
+    }
+
+
+def negotiated_wire(peer_hello: dict) -> str:
+    """The framing label both sides of a ``hello`` exchange support."""
+    versions = peer_hello.get("versions")
+    caps = peer_hello.get("caps")
+    if not isinstance(versions, (list, tuple)):
+        versions = [peer_hello.get("v", 1)]
+    if not isinstance(caps, (list, tuple)):
+        caps = [CAP_WIRE_V1]
+    if 2 in versions and CAP_WIRE_V2 in caps and 2 in SUPPORTED_VERSIONS:
+        return "v2"
+    return "v1"

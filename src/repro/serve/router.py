@@ -1,9 +1,14 @@
 """The failover/hedging front router for a replicated serving tier.
 
-A :class:`RoutingRouter` speaks the same newline-delimited JSON protocol
-as :class:`~repro.serve.server.RoutingServer` — clients cannot tell the
-difference — but instead of routing, it *places* each request on one of
-N engine replicas and survives their deaths:
+A :class:`RoutingRouter` speaks the same protocol as
+:class:`~repro.serve.server.RoutingServer` — both the newline-delimited
+JSON framing and the binary wire v2 of :mod:`repro.serve.wire`, so
+clients cannot tell the difference — but instead of routing, it
+*places* each request on one of N engine replicas and survives their
+deaths.  Forwarding is typed: the parsed request is re-encoded for the
+replica under whatever framing that replica connection negotiated, so
+binary-speaking clients stay binary end to end (and v1 clients still
+benefit when the router↔replica hop negotiates v2):
 
 * **placement** — consistent hash of the canonical instance key
   (:func:`repro.engine.cache.canonical_key`) onto a ring of seeded
@@ -70,15 +75,28 @@ from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.admission import AdmissionController
 from repro.serve.client import AsyncRoutingClient
 from repro.serve.protocol import (
+    CAPABILITIES,
     PROTOCOL_VERSION,
     REJECTION_STATUSES,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
+    SUPPORTED_VERSIONS,
     decode,
     encode,
     failure_response,
+    hello_response,
     parse_route_request,
+)
+from repro.serve.wire import (
+    FRAME_JSON,
+    FRAME_ROUTE,
+    WIRE_V1,
+    WIRE_V2,
+    FrameTooLargeError,
+    WireCodec,
+    decode_route_frame,
+    read_wire_message,
 )
 from repro.substrate.prng import derive_seed
 
@@ -483,14 +501,25 @@ class RoutingRouter:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         write_lock = asyncio.Lock()
+        codec = WireCodec()
         self._writers.add(writer)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    item = await read_wire_message(reader)
+                except FrameTooLargeError as exc:
+                    self.metrics.incr("serve.router.protocol_errors")
+                    await self._write(writer, write_lock, failure_response(
+                        None, STATUS_ERROR, "ProtocolError", str(exc)
+                    ), WIRE_V2, codec)
                     break
+                if item is None:
+                    break
+                wire, payload = item
                 task = asyncio.get_running_loop().create_task(
-                    self._handle_line(line, writer, write_lock)
+                    self._handle_message(
+                        wire, payload, writer, write_lock, codec
+                    )
                 )
                 self._inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
@@ -508,29 +537,69 @@ class RoutingRouter:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         message: dict,
+        wire: str = WIRE_V1,
+        codec: Optional[WireCodec] = None,
     ) -> None:
         async with write_lock:
             if writer.is_closing():
                 return
-            writer.write(encode(message))
+            if wire == WIRE_V2 and codec is not None:
+                if (
+                    message.get("status") == STATUS_OK
+                    and "assignment" in message
+                ):
+                    data = codec.encode_ok(message)
+                else:
+                    data = codec.encode_json(message)
+            else:
+                data = encode(message)
+            writer.write(data)
             try:
                 await writer.drain()
             except ConnectionError:
                 pass
 
-    async def _handle_line(
+    async def _handle_message(
         self,
-        line: bytes,
+        wire: str,
+        payload,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        codec: WireCodec,
     ) -> None:
+        if wire == WIRE_V2:
+            ftype, body = payload
+            if ftype == FRAME_ROUTE:
+                self.metrics.incr("serve.router.requests")
+                try:
+                    request = decode_route_frame(body)
+                except ProtocolError as exc:
+                    self.metrics.incr("serve.router.protocol_errors")
+                    await self._write(writer, write_lock, failure_response(
+                        None, STATUS_ERROR, "ProtocolError", str(exc)
+                    ), wire, codec)
+                    return
+                await self._handle_route_request(
+                    request, writer, write_lock, wire, codec
+                )
+                return
+            if ftype != FRAME_JSON:
+                self.metrics.incr("serve.router.protocol_errors")
+                await self._write(writer, write_lock, failure_response(
+                    None, STATUS_ERROR, "ProtocolError",
+                    f"unknown frame type 0x{ftype:02x}",
+                ), wire, codec)
+                return
+            line = body
+        else:
+            line = payload
         try:
             message = decode(line)
         except ProtocolError as exc:
             self.metrics.incr("serve.router.protocol_errors")
             await self._write(writer, write_lock, failure_response(
                 None, STATUS_ERROR, "ProtocolError", str(exc)
-            ))
+            ), wire, codec)
             return
         op = message.get("op")
         if op == "ping":
@@ -541,17 +610,36 @@ class RoutingRouter:
                 "pong": True,
                 "ready": self._ready and bool(self._usable_indices()),
                 "protocol": PROTOCOL_VERSION,
+                "versions": list(SUPPORTED_VERSIONS),
+                "caps": list(CAPABILITIES),
                 "replicas": self.replica_set.n_replicas,
-            })
+            }, wire, codec)
         elif op == "stats":
             await self._write(writer, write_lock, {
                 "v": PROTOCOL_VERSION,
                 "id": message.get("id"),
                 "status": STATUS_OK,
                 "stats": self.metrics_snapshot(),
-            })
+            }, wire, codec)
+        elif op == "hello":
+            await self._write(writer, write_lock, hello_response(
+                message.get("id"), message
+            ), wire, codec)
         else:  # "route"
-            await self._handle_route(message, writer, write_lock)
+            self.metrics.incr("serve.router.requests")
+            try:
+                request = parse_route_request(message)
+            except ProtocolError as exc:
+                self.metrics.incr("serve.router.protocol_errors")
+                await self._write(writer, write_lock, failure_response(
+                    message.get("id") if isinstance(message.get("id"), str)
+                    else None,
+                    STATUS_ERROR, "ProtocolError", str(exc),
+                ), wire, codec)
+                return
+            await self._handle_route_request(
+                request, writer, write_lock, wire, codec
+            )
 
     def _usable_indices(self) -> list[int]:
         return [
@@ -562,30 +650,21 @@ class RoutingRouter:
     # ------------------------------------------------------------------
     # the forwarding path
     # ------------------------------------------------------------------
-    async def _handle_route(
+    async def _handle_route_request(
         self,
-        message: dict,
+        request,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        wire: str,
+        codec: WireCodec,
     ) -> None:
-        self.metrics.incr("serve.router.requests")
         started = time.monotonic()
-        try:
-            request = parse_route_request(message)
-        except ProtocolError as exc:
-            self.metrics.incr("serve.router.protocol_errors")
-            await self._write(writer, write_lock, failure_response(
-                message.get("id") if isinstance(message.get("id"), str)
-                else None,
-                STATUS_ERROR, "ProtocolError", str(exc),
-            ))
-            return
         if not self._ready:
             self.metrics.incr("serve.router.drain_refused")
             await self._write(writer, write_lock, failure_response(
                 request.request_id, STATUS_OVERLOADED,
                 "ServeError", "router is draining",
-            ))
+            ), wire, codec)
             return
 
         collector = root = None
@@ -605,7 +684,7 @@ class RoutingRouter:
 
         self.replica_set.note_request()
         response = await self._route_with_failover(
-            request, message, collector, trace_id, parent_id
+            request, collector, trace_id, parent_id
         )
         response = dict(response)
         response["id"] = request.request_id
@@ -623,10 +702,10 @@ class RoutingRouter:
             root.set(status=status)
             root.finish()
             self.trace_sink.write_all(collector.drain())
-        await self._write(writer, write_lock, response)
+        await self._write(writer, write_lock, response, wire, codec)
 
     async def _route_with_failover(
-        self, request, message, collector, trace_id, parent_id
+        self, request, collector, trace_id, parent_id
     ) -> dict:
         key = self.request_key(request)
         candidates = self.placement(key)
@@ -649,7 +728,7 @@ class RoutingRouter:
         def spawn(idx: int) -> asyncio.Task:
             task = asyncio.get_running_loop().create_task(
                 self._try_replica(
-                    idx, key, message, request, next(attempts),
+                    idx, key, request, next(attempts),
                     collector, trace_id, parent_id,
                 )
             )
@@ -751,7 +830,7 @@ class RoutingRouter:
         return None
 
     async def _try_replica(
-        self, idx, key, message, request, attempt,
+        self, idx, key, request, attempt,
         collector, trace_id, parent_id,
     ) -> tuple[str, Optional[dict]]:
         """One admission-gated, breaker-accounted forward attempt."""
@@ -776,7 +855,7 @@ class RoutingRouter:
         started = time.monotonic()
         try:
             kind, response = await self._forward_once(
-                idx, key, message, request, attempt,
+                idx, key, request, attempt,
                 trace_id, span.span_id if span is not None else "",
             )
         except asyncio.CancelledError:
@@ -812,7 +891,7 @@ class RoutingRouter:
         return (kind, response)
 
     async def _forward_once(
-        self, idx, key, message, request, attempt, trace_id, span_id,
+        self, idx, key, request, attempt, trace_id, span_id,
     ) -> tuple[str, Optional[dict]]:
         """Send to one replica and classify the outcome.
 
@@ -820,6 +899,11 @@ class RoutingRouter:
         (deterministic routing error — do not fail over), ``refused``
         (replica-level shed/overload — spill), ``failed`` (transport
         death or invalid assignment — fail over + breaker).
+
+        Forwarding is typed (``call_route`` on the parsed request), so
+        a request that arrived as a binary frame is re-packed for the
+        replica without ever becoming JSON — and a replica that
+        negotiated wire v2 gets binary frames even for v1 clients.
         """
         fault = (
             self.fault_plan.decide_serve(key, attempt)
@@ -833,16 +917,11 @@ class RoutingRouter:
             client = await self._client(idx)
         except (ServeError, OSError):
             return ("failed", None)
-        forward = dict(message)
-        forward["id"] = f"f{next(self._forward_ids)}"
-        if trace_id:
-            forward["trace"] = {
-                "trace_id": trace_id, "parent_id": span_id,
-            }
-        else:
-            forward.pop("trace", None)
         try:
-            response = await client.call(forward)
+            response = await client.call_route(
+                f"f{next(self._forward_ids)}", request,
+                trace_id=trace_id, trace_parent=span_id if trace_id else "",
+            )
         except (ServeError, OSError):
             return ("failed", None)
         status = response.get("status")

@@ -6,7 +6,9 @@ One :class:`RoutingServer` owns one :class:`~repro.engine.RoutingEngine`
 :class:`~repro.serve.batcher.MicroBatcher`, and listens on two ports:
 
 * the **protocol port** speaks the newline-delimited JSON protocol of
-  :mod:`repro.serve.protocol`; requests on one connection are handled
+  :mod:`repro.serve.protocol` and, per message, the binary wire-v2
+  framing of :mod:`repro.serve.wire` (each response goes back in the
+  framing of its request); requests on one connection are handled
   concurrently and answered out of order (matched by ``id``);
 * the **admin port** speaks just enough HTTP/1.0 for probes and
   scraping: ``GET /healthz`` (process liveness), ``GET /readyz``
@@ -47,7 +49,9 @@ from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.protocol import (
+    CAPABILITIES,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
@@ -55,8 +59,19 @@ from repro.serve.protocol import (
     decode,
     encode,
     failure_response,
+    hello_response,
     ok_response,
     parse_route_request,
+)
+from repro.serve.wire import (
+    FRAME_JSON,
+    FRAME_ROUTE,
+    WIRE_V1,
+    WIRE_V2,
+    FrameTooLargeError,
+    WireCodec,
+    decode_route_frame,
+    read_wire_message,
 )
 
 __all__ = ["ServeConfig", "RoutingServer"]
@@ -266,14 +281,27 @@ class RoutingServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         write_lock = asyncio.Lock()
+        codec = WireCodec()
         self._writers.add(writer)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                try:
+                    item = await read_wire_message(reader)
+                except FrameTooLargeError as exc:
+                    # The stream position cannot be trusted past an
+                    # insane length prefix: answer typed, then close.
+                    self.metrics.incr("serve.protocol_errors")
+                    await self._write(writer, write_lock, failure_response(
+                        None, STATUS_ERROR, "ProtocolError", str(exc)
+                    ), WIRE_V2, codec)
                     break
+                if item is None:
+                    break
+                wire, payload = item
                 task = asyncio.get_running_loop().create_task(
-                    self._handle_line(line, writer, write_lock)
+                    self._handle_message(
+                        wire, payload, writer, write_lock, codec
+                    )
                 )
                 self._inflight.add(task)
                 task.add_done_callback(self._inflight.discard)
@@ -294,29 +322,78 @@ class RoutingServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         message: dict,
+        wire: str = WIRE_V1,
+        codec: Optional[WireCodec] = None,
     ) -> None:
+        """Send one response in the framing its request arrived in.
+
+        Binary connections get ``ok`` route responses as packed
+        FRAME_OK; every other shape rides a FRAME_JSON.  Encoding
+        happens under the write lock because the codec buffer is
+        per-connection.
+        """
         async with write_lock:
             if writer.is_closing():
                 return
-            writer.write(encode(message))
+            if wire == WIRE_V2 and codec is not None:
+                if (
+                    message.get("status") == STATUS_OK
+                    and "assignment" in message
+                ):
+                    data = codec.encode_ok(message)
+                else:
+                    data = codec.encode_json(message)
+            else:
+                data = encode(message)
+            writer.write(data)
             try:
                 await writer.drain()
             except ConnectionError:
                 pass
 
-    async def _handle_line(
+    async def _handle_message(
         self,
-        line: bytes,
+        wire: str,
+        payload,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        codec: WireCodec,
     ) -> None:
+        if wire == WIRE_V2:
+            ftype, body = payload
+            if ftype == FRAME_ROUTE:
+                self.metrics.incr("serve.requests")
+                self.metrics.incr("serve.wire_v2_requests")
+                started = time.monotonic()
+                try:
+                    request = decode_route_frame(body)
+                except ProtocolError as exc:
+                    self.metrics.incr("serve.protocol_errors")
+                    await self._write(writer, write_lock, failure_response(
+                        None, STATUS_ERROR, "ProtocolError", str(exc)
+                    ), wire, codec)
+                    return
+                await self._handle_route_request(
+                    request, writer, write_lock, wire, codec, started
+                )
+                return
+            if ftype != FRAME_JSON:
+                self.metrics.incr("serve.protocol_errors")
+                await self._write(writer, write_lock, failure_response(
+                    None, STATUS_ERROR, "ProtocolError",
+                    f"unknown frame type 0x{ftype:02x}",
+                ), wire, codec)
+                return
+            line = body
+        else:
+            line = payload
         try:
             message = decode(line)
         except ProtocolError as exc:
             self.metrics.incr("serve.protocol_errors")
             await self._write(writer, write_lock, failure_response(
                 None, STATUS_ERROR, "ProtocolError", str(exc)
-            ))
+            ), wire, codec)
             return
         op = message.get("op")
         if op == "ping":
@@ -327,16 +404,36 @@ class RoutingServer:
                 "pong": True,
                 "ready": self._ready,
                 "protocol": PROTOCOL_VERSION,
-            })
+                "versions": list(SUPPORTED_VERSIONS),
+                "caps": list(CAPABILITIES),
+            }, wire, codec)
         elif op == "stats":
             await self._write(writer, write_lock, {
                 "v": PROTOCOL_VERSION,
                 "id": message.get("id"),
                 "status": STATUS_OK,
                 "stats": self.metrics_snapshot(),
-            })
+            }, wire, codec)
+        elif op == "hello":
+            await self._write(writer, write_lock, hello_response(
+                message.get("id"), message
+            ), wire, codec)
         else:  # "route" (decode() already rejected unknown ops)
-            await self._handle_route(message, writer, write_lock)
+            self.metrics.incr("serve.requests")
+            started = time.monotonic()
+            try:
+                request = parse_route_request(message)
+            except ProtocolError as exc:
+                self.metrics.incr("serve.protocol_errors")
+                await self._write(writer, write_lock, failure_response(
+                    message.get("id") if isinstance(message.get("id"), str)
+                    else None,
+                    STATUS_ERROR, "ProtocolError", str(exc),
+                ), wire, codec)
+                return
+            await self._handle_route_request(
+                request, writer, write_lock, wire, codec, started
+            )
 
     # ------------------------------------------------------------------
     # the route path
@@ -364,25 +461,15 @@ class RoutingServer:
         root.finish()
         self.trace_sink.write_all(collector.drain())
 
-    async def _handle_route(
+    async def _handle_route_request(
         self,
-        message: dict,
+        request,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        wire: str,
+        codec: WireCodec,
+        started: float,
     ) -> None:
-        self.metrics.incr("serve.requests")
-        started = time.monotonic()
-        try:
-            request = parse_route_request(message)
-        except ProtocolError as exc:
-            self.metrics.incr("serve.protocol_errors")
-            await self._write(writer, write_lock, failure_response(
-                message.get("id") if isinstance(message.get("id"), str)
-                else None,
-                STATUS_ERROR, "ProtocolError", str(exc),
-            ))
-            return
-
         if not self._ready:
             # Drain has been requested: existing connections stay open
             # for in-flight responses, but new route work is refused so
@@ -391,7 +478,7 @@ class RoutingServer:
             await self._write(writer, write_lock, failure_response(
                 request.request_id, STATUS_OVERLOADED,
                 "ServeError", "server is draining",
-            ))
+            ), wire, codec)
             return
 
         decision = self.admission.try_admit(request.deadline_ms)
@@ -403,7 +490,7 @@ class RoutingServer:
             await self._write(writer, write_lock, failure_response(
                 request.request_id, decision.status,
                 "AdmissionRejected", decision.reason,
-            ))
+            ), wire, codec)
             return
 
         collector, root, trace_parent = self._start_span(request)
@@ -411,15 +498,28 @@ class RoutingServer:
             started + request.deadline_ms / 1000.0
             if request.deadline_ms is not None else None
         )
-        pending = PendingRequest(
-            request=request,
-            future=asyncio.get_running_loop().create_future(),
-            enqueued_at=started,
-            deadline_at=deadline_at,
-            trace_parent=trace_parent,
-        )
         try:
-            result = await self.batcher.submit(pending)
+            # Cache fast path: a canonical-cache hit is answered inline
+            # on the event loop — no batch window, no dispatch-thread
+            # hop.  Misses (and traced runs) fall through to the
+            # batcher, which does its own cache/metrics accounting.
+            result = self.engine.route_cached(
+                request.channel, request.connections,
+                max_segments=request.max_segments,
+                weight=request.weight, algorithm=request.algorithm,
+            )
+            if result is not None:
+                self.metrics.incr("serve.cache_fastpath")
+                self.admission.observe_service(time.monotonic() - started)
+            else:
+                result = await self.batcher.submit(PendingRequest(
+                    request=request,
+                    future=asyncio.get_running_loop().create_future(),
+                    enqueued_at=started,
+                    deadline_at=deadline_at,
+                    trace_parent=trace_parent,
+                    wire=wire,
+                ))
         except AdmissionRejected as exc:
             self.metrics.incr(
                 "serve.shed" if exc.status == STATUS_SHED
@@ -443,7 +543,7 @@ class RoutingServer:
             self.admission.release()
         self._finish_span(collector, root, response["status"])
         self.metrics.observe("serve.latency", time.monotonic() - started)
-        await self._write(writer, write_lock, response)
+        await self._write(writer, write_lock, response, wire, codec)
 
     # ------------------------------------------------------------------
     # admin HTTP (probes + metrics)

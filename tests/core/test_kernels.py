@@ -1,13 +1,14 @@
-"""Kernel equivalence: packed-frontier DP vs the tuple reference.
+"""Kernel equivalence: packed and vectorized DP vs the tuple reference.
 
 The load-bearing guarantee of :mod:`repro.core.kernels` is that the
-packed kernel — bit-packed frontiers, SWAR feasibility tests, dominance
-pruning — is *observationally identical* to the reference DP: same
-assignments, same infeasibility errors at the same level, same optimal
-Problem-3 weights, and (with pruning off) the same per-level node and
-edge counts.  The property suite here routes hundreds of seeded random
-instances, mixed across K limits, weight objectives, and infeasible
-cases, and asserts exactly that.
+fast kernels — packed (bit-packed frontiers, SWAR feasibility tests,
+dominance pruning) and vectorized (the same encoding lifted to numpy
+batches over whole levels) — are *observationally identical* to the
+reference DP: same assignments, same infeasibility errors at the same
+level, same optimal Problem-3 weights, and (with pruning off) the same
+per-level node and edge counts.  The property suite here routes
+hundreds of seeded random instances, mixed across K limits, weight
+objectives, and infeasible cases, and asserts exactly that.
 """
 
 from __future__ import annotations
@@ -26,9 +27,13 @@ from repro.core.kernels import (
     consume_dp_pruned,
     run_dp_packed,
     run_dp_reference,
+    run_dp_vectorized,
 )
 from repro.core.routing import occupied_length_weight, segment_count_weight
-from repro.generators.random_instances import random_channel
+from repro.generators.random_instances import (
+    random_channel,
+    random_feasible_instance,
+)
 
 
 # ----------------------------------------------------------------------
@@ -119,6 +124,31 @@ class TestKernelEquivalence:
             assert pk_s.kernel == "packed"
             assert ref_s.kernel == "reference"
 
+    @pytest.mark.parametrize("chunk", range(8))
+    def test_vectorized_matches_packed(self, chunk):
+        """The array-native kernel is indistinguishable from packed:
+        same assignments, same error messages, and — because both apply
+        the same canonical tie-break and Pareto filter — exactly the
+        same per-level node/edge/pruned counts, pruning on or off."""
+        for ch, cs, K, weight in self.CORPUS[chunk::8]:
+            for kw in ({}, {"prune": False}):
+                pk_a, pk_s, pk_err = _solve(
+                    run_dp_packed, ch, cs, K, weight, **kw
+                )
+                v_a, v_s, v_err = _solve(
+                    run_dp_vectorized, ch, cs, K, weight, **kw
+                )
+                assert pk_err == v_err
+                assert pk_a == v_a
+                if pk_a is None:
+                    continue
+                assert pk_s.nodes_per_level == v_s.nodes_per_level
+                assert pk_s.edges_per_level == v_s.edges_per_level
+                assert (
+                    pk_s.nodes_pruned_per_level == v_s.nodes_pruned_per_level
+                )
+                assert v_s.kernel == "vectorized"
+
     @pytest.mark.parametrize("chunk", range(4))
     def test_pruning_preserves_problem3_optimum(self, chunk):
         """Dominance pruning never changes an optimal Problem-3 weight."""
@@ -144,7 +174,7 @@ class TestKernelEquivalence:
 def test_empty_connection_set():
     ch = random_channel(3, 12, 3.0, seed=1)
     cs = ConnectionSet(())
-    for kernel in (run_dp_reference, run_dp_packed):
+    for kernel in (run_dp_reference, run_dp_packed, run_dp_vectorized):
         routing, stats = kernel(ch, cs)
         assert routing.assignment == ()
         assert stats.nodes_per_level == ()
@@ -153,7 +183,7 @@ def test_empty_connection_set():
 def test_single_track_channel():
     ch = channel_from_breaks(10, [(5,)])
     cs = ConnectionSet([Connection(1, 4, "a"), Connection(6, 9, "b")])
-    for kernel in (run_dp_reference, run_dp_packed):
+    for kernel in (run_dp_reference, run_dp_packed, run_dp_vectorized):
         routing, _ = kernel(ch, cs)
         assert routing.assignment == (0, 0)
 
@@ -164,8 +194,11 @@ def test_node_limit_raises_same_message():
     cs = _random_connections(rng, 60, 12)
     ref = _solve(run_dp_reference, ch, cs, None, None, node_limit=3)
     pk = _solve(run_dp_packed, ch, cs, None, None, prune=False, node_limit=3)
+    vec = _solve(
+        run_dp_vectorized, ch, cs, None, None, prune=False, node_limit=3
+    )
     assert ref[2] is not None and "node limit" in ref[2]
-    assert ref[2] == pk[2]
+    assert ref[2] == pk[2] == vec[2]
 
 
 def test_partial_mode_returns_stats_instead_of_raising():
@@ -173,7 +206,7 @@ def test_partial_mode_returns_stats_instead_of_raising():
     # under K=1.
     ch = channel_from_breaks(10, [(5,), (5,)])
     cs = ConnectionSet([Connection(1, 4, "a"), Connection(2, 8, "b")])
-    for kernel in (run_dp_reference, run_dp_packed):
+    for kernel in (run_dp_reference, run_dp_packed, run_dp_vectorized):
         with pytest.raises(RoutingInfeasibleError):
             kernel(ch, cs, 1)
         routing, stats = kernel(ch, cs, 1, partial=True)
@@ -203,6 +236,56 @@ def test_dominance_prunes_on_real_instances():
     assert total > 0
 
 
+def test_vectorized_wide_levels_match_packed():
+    """A 10-track channel drives level widths into the hundreds
+    (Theorem 5 growth), which is the regime the numpy path actually
+    runs in — the mixed corpus above stays narrow enough that the
+    adaptive kernel mostly picks the scalar loop."""
+    ch = random_channel(10, 30, 4.0, seed=2)
+    cs = random_feasible_instance(ch, 24, seed=41, mean_length=2.2)
+    for kw in ({}, {"prune": False}):
+        pk_r, pk_s = run_dp_packed(ch, cs, None, **kw)
+        v_r, v_s = run_dp_vectorized(ch, cs, None, **kw)
+        assert v_r.assignment == pk_r.assignment
+        assert v_s.nodes_per_level == pk_s.nodes_per_level
+        assert v_s.edges_per_level == pk_s.edges_per_level
+        assert v_s.nodes_pruned_per_level == pk_s.nodes_pruned_per_level
+    # the instance must actually exercise wide levels
+    assert pk_s.max_level_width > 200
+
+
+def test_vectorized_weighted_wide_levels_match_packed():
+    ch = random_channel(10, 30, 4.0, seed=2)
+    cs = random_feasible_instance(ch, 24, seed=42, mean_length=2.2)
+    weight = occupied_length_weight(ch)
+    pk_r, _ = run_dp_packed(ch, cs, None, weight)
+    v_r, _ = run_dp_vectorized(ch, cs, None, weight)
+    assert v_r.assignment == pk_r.assignment
+
+
+def test_vectorized_falls_back_when_frontier_exceeds_machine_word():
+    """T*b > 64 cannot pack into uint64; the kernel must delegate to
+    packed (arbitrary-precision ints) and relabel the stats."""
+    ch = random_channel(12, 120, 4.0, seed=1)  # b=8 -> 96 bits
+    cs = random_feasible_instance(ch, 10, seed=7, mean_length=3.0)
+    pk_r, pk_s = run_dp_packed(ch, cs, None)
+    v_r, v_s = run_dp_vectorized(ch, cs, None)
+    assert v_r.assignment == pk_r.assignment
+    assert v_s.kernel == "vectorized"
+    assert v_s.nodes_per_level == pk_s.nodes_per_level
+
+
+def test_vectorized_pruned_counter_matches_packed():
+    ch = random_channel(10, 30, 4.0, seed=2)
+    cs = random_feasible_instance(ch, 24, seed=41, mean_length=2.2)
+    consume_dp_pruned()
+    _, pk_s = run_dp_packed(ch, cs, None)
+    assert consume_dp_pruned() == pk_s.total_pruned
+    _, v_s = run_dp_vectorized(ch, cs, None)
+    assert consume_dp_pruned() == v_s.total_pruned == pk_s.total_pruned
+    assert pk_s.total_pruned > 0
+
+
 # ----------------------------------------------------------------------
 # env dispatch
 # ----------------------------------------------------------------------
@@ -223,7 +306,7 @@ def test_route_dp_dispatches_on_env(monkeypatch):
     rng = random.Random(5)
     cs = _random_connections(rng, 40, 6)
     results = {}
-    for kernel_name in ("packed", "reference"):
+    for kernel_name in ("packed", "vectorized", "reference"):
         monkeypatch.setenv(KERNEL_ENV_VAR, kernel_name)
         try:
             routing, stats = route_dp_with_stats(ch, cs)
@@ -231,7 +314,7 @@ def test_route_dp_dispatches_on_env(monkeypatch):
             assert stats.kernel == kernel_name
         except RoutingInfeasibleError as exc:
             results[kernel_name] = str(exc)
-    assert results["packed"] == results["reference"]
+    assert results["packed"] == results["vectorized"] == results["reference"]
 
 
 def test_route_dp_same_result_both_kernels_weighted(monkeypatch):
@@ -240,10 +323,10 @@ def test_route_dp_same_result_both_kernels_weighted(monkeypatch):
     cs = _random_connections(rng, 50, 8)
     weight = occupied_length_weight(ch)
     out = {}
-    for kernel_name in ("packed", "reference"):
+    for kernel_name in ("packed", "vectorized", "reference"):
         monkeypatch.setenv(KERNEL_ENV_VAR, kernel_name)
         try:
             out[kernel_name] = route_dp(ch, cs, weight=weight).assignment
         except RoutingInfeasibleError as exc:
             out[kernel_name] = str(exc)
-    assert out["packed"] == out["reference"]
+    assert out["packed"] == out["vectorized"] == out["reference"]

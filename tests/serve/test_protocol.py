@@ -8,13 +8,18 @@ from repro.core.errors import ProtocolError
 from repro.engine.engine import BatchResult
 from repro.io.text_format import loads_instance
 from repro.serve.protocol import (
+    CAPABILITIES,
     PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SHED,
+    SUPPORTED_VERSIONS,
     decode,
     encode,
     failure_response,
+    hello_request,
+    hello_response,
+    negotiated_wire,
     ok_response,
     parse_route_request,
     route_request,
@@ -145,3 +150,39 @@ def test_sch_payload_is_loadable_text(instance):
     loaded_channel, loaded_conns = loads_instance(message["sch"])
     assert loaded_channel == channel
     assert list(loaded_conns) == list(conns)
+
+
+def test_version_rejection_names_supported_versions_and_caps():
+    """A peer on an unknown version is told exactly what this side
+    speaks, so mismatched deployments are debuggable from one log line."""
+    with pytest.raises(ProtocolError) as excinfo:
+        decode(b'{"v": 99, "id": "r1"}\n')
+    text = str(excinfo.value)
+    for version in SUPPORTED_VERSIONS:
+        assert str(version) in text
+    for cap in CAPABILITIES:
+        assert cap in text
+
+
+def test_hello_roundtrip_negotiates_v2():
+    """hello request/response carry versions + caps; both-v2 peers
+    negotiate the binary framing."""
+    request = decode(encode(hello_request("hello")))
+    assert request["op"] == "hello"
+    assert list(SUPPORTED_VERSIONS) == request["versions"]
+    assert list(CAPABILITIES) == request["caps"]
+    response = hello_response("hello", request)
+    assert response["status"] == STATUS_OK
+    assert response["caps"] == list(CAPABILITIES)
+    assert response["versions"] == list(SUPPORTED_VERSIONS)
+    assert response["wire"] == "v2"
+    assert negotiated_wire(request) == "v2"
+
+
+@pytest.mark.parametrize("peer", [
+    {"v": 1, "op": "hello"},                                  # bare v1 peer
+    {"v": 1, "op": "hello", "versions": [1], "caps": []},     # explicit v1
+    {"v": 2, "op": "hello", "versions": [2], "caps": []},     # v2, no binary
+])
+def test_negotiated_wire_falls_back_to_v1(peer):
+    assert negotiated_wire(peer) == "v1"

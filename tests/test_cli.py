@@ -388,7 +388,7 @@ class TestBench:
             "bench", "--quick", "--check", "--repeats", "1", "-o", out_path,
         ]) == 0
         report = json.loads(open(out_path).read())
-        assert report["schema"] == "kernel-bench/1"
+        assert report["schema"] == "kernel-bench/2"
         assert report["batches"]
         for batch in report["batches"]:
             assert batch["results_identical"] is True

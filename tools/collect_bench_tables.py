@@ -158,23 +158,21 @@ SERVE_RUNS = (
 )
 
 
-def run_serve_bench(seed: int = 0) -> dict:
-    """Serve a corpus over loopback and measure the serving stack.
+def _run_serve_scenarios(seed: int, corpus, wire: str) -> dict:
+    """One framing's measurement: fresh server, warmup pass, then
+    every :data:`SERVE_RUNS` shape through ``run_loadgen``.
 
-    Starts a real :class:`repro.serve.RoutingServer` on ephemeral ports,
-    runs each :data:`SERVE_RUNS` traffic shape through ``run_loadgen``,
-    and digest-checks the calm run against an offline ``route_many`` of
-    the same corpus.  Returns the ``BENCH_serve.json`` payload.
+    A fresh server per framing keeps the comparison honest (neither
+    framing inherits the other's cache warmth), and the discarded
+    warmup pass makes the measured runs steady-state — the regime a
+    long-lived serving tier actually operates in.
     """
     import asyncio
     import threading
 
-    from repro.engine import EngineConfig, RoutingEngine
-    from repro.io.results import result_stream_digest
     from repro.serve import RoutingServer, ServeConfig
-    from repro.serve.loadgen import build_corpus, run_loadgen
+    from repro.serve.loadgen import run_loadgen
 
-    corpus = build_corpus(32, seed)
     server = RoutingServer(ServeConfig(
         port=0, http_port=0, seed=seed, max_queue=16,
     ))
@@ -194,30 +192,71 @@ def run_serve_bench(seed: int = 0) -> dict:
         raise RuntimeError("serve bench: server failed to start")
 
     try:
+        # Warmup: one full pass over the corpus, report discarded.
+        run_loadgen(
+            "127.0.0.1", server.port, corpus=corpus,
+            requests=len(corpus), mode="closed", concurrency=4,
+            seed=seed, include_server_stats=False, wire=wire,
+        )
         runs = {}
         for label, mode, requests, concurrency, rate, deadline_ms in SERVE_RUNS:
             runs[label] = run_loadgen(
                 "127.0.0.1", server.port, corpus=corpus,
                 requests=requests, mode=mode, concurrency=concurrency,
-                rate=rate, deadline_ms=deadline_ms, seed=seed,
+                rate=rate, deadline_ms=deadline_ms, seed=seed, wire=wire,
             )
     finally:
         loop.call_soon_threadsafe(server.request_drain)
         thread.join(30)
+    return runs
+
+
+def run_serve_bench(seed: int = 0) -> dict:
+    """Serve a corpus over loopback and measure the serving stack.
+
+    Runs every :data:`SERVE_RUNS` traffic shape twice — once per wire
+    framing (NDJSON v1, binary v2), each against its own freshly
+    started :class:`repro.serve.RoutingServer` with a warmup pass — and
+    digest-checks both calm runs against an offline ``route_many`` of
+    the same corpus.  Returns the ``BENCH_serve.json`` payload: binary
+    v2 under ``runs`` (the recommended framing), NDJSON v1 under
+    ``runs_v1``, and a ``wire`` section comparing the two.
+    """
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.io.results import result_stream_digest
+    from repro.serve.loadgen import build_corpus
+
+    corpus = build_corpus(32, seed)
+    runs_v1 = _run_serve_scenarios(seed, corpus, "v1")
+    runs = _run_serve_scenarios(seed, corpus, "v2")
 
     offline = RoutingEngine(EngineConfig(seed=seed)).route_many(
         [(c, s) for c, s, _ in corpus],
         max_segments=[k for _, _, k in corpus],
     )
     offline_digest = result_stream_digest(offline)
-    calm = runs["closed_calm"]
+    p50_v1 = runs_v1["closed_calm"]["latency_ms"]["p50"]
+    p50_v2 = runs["closed_calm"]["latency_ms"]["p50"]
     return {
         "generated_unix": int(time.time()),
         "cpus": os.cpu_count(),
         "corpus_size": len(corpus),
         "offline_digest": offline_digest,
-        "digest_identical": calm.get("digest") == offline_digest,
+        "digest_identical": (
+            runs["closed_calm"].get("digest") == offline_digest
+            and runs_v1["closed_calm"].get("digest") == offline_digest
+        ),
+        "wire": {
+            "closed_calm_p50_ms_v1": p50_v1,
+            "closed_calm_p50_ms_v2": p50_v2,
+            "closed_calm_p50_speedup": (
+                round(p50_v1 / p50_v2, 3) if p50_v2 else None
+            ),
+            "negotiated_v1": runs_v1["closed_calm"]["wire"]["negotiated"],
+            "negotiated_v2": runs["closed_calm"]["wire"]["negotiated"],
+        },
         "runs": runs,
+        "runs_v1": runs_v1,
         "replicated_faulted": run_replicated_fault_bench(seed),
     }
 

@@ -7,10 +7,18 @@ motivated the packed-frontier kernels and the shared geometry tables
 (see docs/PERFORMANCE.md).  Use it before and after touching an inner
 loop to see where the time actually went.
 
+``--serde`` profiles the wire layer instead of the solvers: it
+round-trips the same request/response corpus through both framings
+(NDJSON v1 via :func:`repro.serve.protocol.encode`/``decode`` and
+binary v2 via :class:`repro.serve.wire.WireCodec`) and prints per-op
+timings plus bytes on the wire — the view that motivated the
+length-prefixed v2 framing.
+
 Usage:
     python tools/profile_hotpaths.py                    # all algorithms
     python tools/profile_hotpaths.py --algorithm dp
     python tools/profile_hotpaths.py --top 15 --scale 2
+    python tools/profile_hotpaths.py --serde --scale 4
     REPRO_KERNELS=reference python tools/profile_hotpaths.py --algorithm dp
 """
 
@@ -94,6 +102,126 @@ def _route_corpus(name: str, spec: dict, corpus: list[tuple]) -> None:
             pass
 
 
+def profile_serde(scale: int, repeats: int = 50) -> str:
+    """Time both wire framings over one corpus of requests/responses.
+
+    Encodes and decodes every message ``repeats`` times per framing and
+    reports per-message microseconds plus bytes on the wire, requests
+    and responses separately — apples-to-apples because both framings
+    carry exactly the same corpus.
+    """
+    import time
+
+    from repro.serve.protocol import (
+        decode,
+        ok_response,
+        parse_route_request,
+        route_request,
+    )
+    from repro.serve.wire import (
+        HEADER_SIZE,
+        WireCodec,
+        decode_ok_frame,
+        decode_route_frame,
+    )
+
+    spec = {"k": 2, "tracks": 12, "columns": 24, "conns": 8, "count": 16}
+    corpus = _build_corpus(spec, scale)
+
+    class _Result:
+        """Shaped like an engine ``BatchResult`` for ``ok_response``."""
+
+        class _Routing:
+            def __init__(self, assignment):
+                self.assignment = assignment
+
+        def __init__(self, n_tracks, n_conns):
+            self.routing = self._Routing([i % n_tracks for i in range(n_conns)])
+            self.algorithm = "dp"
+            self.duration = 0.0123
+            self.cache_hit = True
+            self.fallbacks = 0
+            self.trace_id = ""
+
+    requests = [
+        route_request(f"p{i}", channel, conns, max_segments=spec["k"])
+        for i, (channel, conns) in enumerate(corpus)
+    ]
+    responses = [
+        ok_response(f"p{i}", _Result(spec["tracks"], len(conns)))
+        for i, (_, conns) in enumerate(corpus)
+    ]
+
+    def timed(fn, items):
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for item in items:
+                fn(item)
+        per_msg = (time.perf_counter() - started) / (repeats * len(items))
+        return per_msg * 1e6  # µs
+
+    codec = WireCodec()
+    rows = []
+
+    # --- v1: NDJSON lines both directions.
+    v1_req = [bytes(codec.encode_line(m)) for m in requests]
+    v1_resp = [bytes(codec.encode_line(m)) for m in responses]
+    rows.append((
+        "v1 request", timed(codec.encode_line, requests),
+        timed(decode, v1_req),
+        timed(lambda line: parse_route_request(decode(line)), v1_req),
+        sum(map(len, v1_req)) / len(v1_req),
+    ))
+    rows.append((
+        "v1 response", timed(codec.encode_line, responses),
+        timed(decode, v1_resp), None,
+        sum(map(len, v1_resp)) / len(v1_resp),
+    ))
+
+    # --- v2: packed binary frames (encode via the route/ok packers;
+    # decode on the frame bodies, header stripped).
+    def encode_route(pair):
+        i, (channel, conns) = pair
+        return codec.encode_route(
+            f"p{i}", channel, conns, max_segments=spec["k"],
+            weight=None, algorithm="auto", deadline_ms=None,
+            trace_id="", trace_parent="",
+        )
+
+    indexed = list(enumerate(corpus))
+    v2_req = [bytes(encode_route(p))[HEADER_SIZE:] for p in indexed]
+    v2_resp = [bytes(codec.encode_ok(m))[HEADER_SIZE:] for m in responses]
+    rows.append((
+        "v2 request", timed(encode_route, indexed),
+        timed(decode_route_frame, v2_req),
+        timed(decode_route_frame, v2_req),
+        HEADER_SIZE + sum(map(len, v2_req)) / len(v2_req),
+    ))
+    rows.append((
+        "v2 response", timed(codec.encode_ok, responses),
+        timed(decode_ok_frame, v2_resp), None,
+        HEADER_SIZE + sum(map(len, v2_resp)) / len(v2_resp),
+    ))
+
+    out = io.StringIO()
+    print(
+        f"{len(corpus)} messages x {repeats} repeats "
+        "(decode+parse = decode through to a typed RouteRequest)",
+        file=out,
+    )
+    print(
+        f"{'framing':<14}{'encode µs':>12}{'decode µs':>12}"
+        f"{'decode+parse µs':>18}{'bytes/msg':>12}", file=out,
+    )
+    for label, enc, dec, full, nbytes in rows:
+        full_s = f"{full:18.2f}" if full is not None else f"{'-':>18}"
+        print(
+            f"{label:<14}{enc:12.2f}{dec:12.2f}{full_s}{nbytes:12.1f}",
+            file=out,
+        )
+    return out.getvalue()
+
+
 def profile_algorithm(name: str, top: int, scale: int) -> str:
     spec = PROFILES[name]
     corpus = _build_corpus(spec, scale)
@@ -121,7 +249,17 @@ def main(argv: list[str] | None = None) -> int:
         "--scale", type=int, default=1,
         help="corpus size multiplier for longer, steadier profiles",
     )
+    parser.add_argument(
+        "--serde", action="store_true",
+        help="profile the wire layer (NDJSON v1 vs binary v2) instead "
+             "of the solvers",
+    )
     args = parser.parse_args(argv)
+
+    if args.serde:
+        print("=== serde (NDJSON v1 vs binary v2) ===")
+        print(profile_serde(args.scale))
+        return 0
 
     from repro.core.kernels import active_kernel
 
