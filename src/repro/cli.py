@@ -148,6 +148,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the engine metrics snapshot as JSON "
              "(render later with `segroute stats`)",
     )
+    p_route.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent shared result cache: previously-solved "
+             "instances (any process pointing at DIR) are answered "
+             "from disk (see docs/SERVING.md)",
+    )
 
     p_batch = sub.add_parser(
         "batch", help="route many instances through the engine worker pool"
@@ -217,6 +223,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos-testing only: deterministic fault plan, e.g. "
              "\"crash=0.1,hang=0.05,seed=7\" (falls back to the "
              "ENGINE_FAULT_PLAN environment variable)",
+    )
+    p_batch.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent shared result cache: instances already solved "
+             "by any process pointing at DIR are answered from disk, "
+             "and this batch's solves are written back for the next run",
     )
 
     p_stats = sub.add_parser(
@@ -373,6 +385,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="chaos-testing only: seeded serve-layer fault plan, e.g. "
              "'conn_drop=0.05,kill_replica_after=20,seed=7'",
     )
+    p_serve.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persistent shared result cache directory; with --replicas "
+             "all replicas share it, so solved instances survive "
+             "replica restarts and cross replica boundaries",
+    )
 
     p_load = sub.add_parser(
         "loadgen", help="drive open-/closed-loop traffic at a server"
@@ -475,15 +493,18 @@ def _cmd_route(args: argparse.Namespace) -> int:
     engine = None
     if (
         args.timeout is not None or args.jobs > 1 or args.stats
-        or args.trace or args.metrics_out
+        or args.trace or args.metrics_out or args.cache_dir
     ):
-        # Engine path: deadline enforcement, portfolio racing, and/or
-        # observability (tracing and metrics export).
-        from repro.engine import RoutingEngine
+        # Engine path: deadline enforcement, portfolio racing,
+        # persistent caching, and/or observability (tracing and
+        # metrics export).
+        from repro.engine import EngineConfig, RoutingEngine
 
         sink = _trace_sink(args)
         try:
-            engine = RoutingEngine(trace_sink=sink)
+            engine = RoutingEngine(
+                EngineConfig(cache_dir=args.cache_dir), trace_sink=sink
+            )
             routing = engine.route(
                 channel, conns, max_segments=args.k,
                 weight=None if args.weight == "none" else args.weight,
@@ -491,6 +512,8 @@ def _cmd_route(args: argparse.Namespace) -> int:
                 portfolio=args.jobs > 1,
             )
         finally:
+            if engine is not None:
+                engine.close()
             if sink is not None:
                 sink.close()
         _write_metrics(engine, args)
@@ -585,6 +608,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     sink = _trace_sink(args)
     engine = RoutingEngine(EngineConfig(
         jobs=args.jobs, watchdog=args.watchdog, fault_plan=_fault_plan(args),
+        cache_dir=args.cache_dir,
     ), trace_sink=sink)
     journal = None
     if args.checkpoint:
@@ -603,6 +627,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             journal=journal,
         )
     finally:
+        engine.close()
         if journal is not None:
             journal.close()
         if sink is not None:
@@ -796,6 +821,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue,
+            cache_dir=args.cache_dir,
             fault_plan=plan,
         )
         # Admission is lifted to the router in replicated mode: --rate /
@@ -829,6 +855,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_wait_ms=args.max_wait_ms, max_queue=args.max_queue,
         rate=args.rate, burst=args.burst, drain_grace=args.drain_grace,
         seed=args.seed, port_file=args.port_file,
+        cache_dir=args.cache_dir,
     ), trace_sink=sink)
     try:
         asyncio.run(server.run())

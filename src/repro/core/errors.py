@@ -121,6 +121,18 @@ class CheckpointError(EngineError):
     """
 
 
+class CacheCorruptionWarning(UserWarning):
+    """A persistent-cache segment record failed its digest check.
+
+    Unlike a checkpoint journal (whose mid-file corruption raises
+    :class:`CheckpointError`, because silently dropping a journaled
+    result would lose work), the persistent canonical-result cache is
+    advisory: a record that fails validation is *skipped* — the worst
+    outcome is a re-solve — so corruption surfaces as this warning plus
+    the ``cache.persist.corrupt_records`` counter instead of an error.
+    """
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the :mod:`repro.serve` subsystem."""
 

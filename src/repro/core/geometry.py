@@ -21,14 +21,19 @@ column, one row per track, built once per channel:
 
 Channels are immutable, so the tables are memoized on the channel itself
 (equality/hash is by break tuples, so isomorphic channel objects share
-one table).  Building costs ``O(T·N)`` time and memory; for the paper's
-instance sizes that is a few thousand machine words, repaid within a
-single DP solve.
+one table).  The memo holds the channel *weakly*: a long-running server
+streams an unbounded variety of channels through here, and a strong
+fixed-size cache (the old ``lru_cache``) would pin its most recent 256
+channels — and their ``O(T·N)`` tables — alive forever.  With weak keys
+the table lives exactly as long as some caller still holds the channel
+(or an equal one), and is rebuilt on next use otherwise; building costs
+``O(T·N)`` time and memory, repaid within a single DP solve.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+import threading
+import weakref
 
 from repro.core.channel import SegmentedChannel
 
@@ -50,6 +55,7 @@ class ChannelGeometry:
         "seg_end",
         "seg_id_base",
         "_covering",
+        "__weakref__",
     )
 
     def __init__(self, channel: SegmentedChannel) -> None:
@@ -122,13 +128,27 @@ class ChannelGeometry:
         return rights, tracks, seg_ids
 
 
-@lru_cache(maxsize=256)
+#: Weak-keyed memo: an entry lives while *some* equal channel object is
+#: reachable and is collected with the last one, so a server that has
+#: moved on from a channel does not keep its tables resident.  Lookup is
+#: by channel equality/hash (break tuples), same as the old strong cache.
+_geometry_cache: "weakref.WeakKeyDictionary[SegmentedChannel, ChannelGeometry]"
+_geometry_cache = weakref.WeakKeyDictionary()
+_geometry_lock = threading.Lock()
+
+
 def channel_geometry(channel: SegmentedChannel) -> ChannelGeometry:
     """Memoized geometry tables for ``channel``.
 
     Keyed by the channel itself; :class:`SegmentedChannel` equality and
     hashing are by break tuples, so equal channels (e.g. a pickled copy
     in a worker process and its parent original) share one table per
-    process.
+    process.  The key is held weakly: releasing every reference to a
+    channel releases its tables too (see the module docstring).
     """
-    return ChannelGeometry(channel)
+    with _geometry_lock:
+        geometry = _geometry_cache.get(channel)
+        if geometry is None:
+            geometry = ChannelGeometry(channel)
+            _geometry_cache[channel] = geometry
+        return geometry

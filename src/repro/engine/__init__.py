@@ -24,6 +24,7 @@ from repro.core.errors import (
     WorkerCrashError,
 )
 from repro.engine.cache import InstanceCache, canonical_key
+from repro.engine.cache_store import CacheStore, key_digest
 from repro.engine.config import EngineConfig, default_jobs
 from repro.engine.engine import (
     BatchResult,
@@ -56,6 +57,8 @@ __all__ = [
     "default_jobs",
     "InstanceCache",
     "canonical_key",
+    "CacheStore",
+    "key_digest",
     "Metrics",
     "WeightTable",
     "race",

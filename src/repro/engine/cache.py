@@ -26,6 +26,13 @@ track order, so isomorphic instances (tracks permuted, connections
 renamed) hit the same entry and still receive a valid routing for their
 own channel object.  Replayed routings are re-validated by the engine, so
 a (theoretically impossible) stale entry can never leak an invalid result.
+
+With a :class:`~repro.engine.cache_store.CacheStore` attached (engine
+``cache_dir=``), the in-memory LRU becomes the hot tier of a two-level
+cache: ``store`` writes through to disk, and a miss takes a
+*second-chance* probe of the persistent index before being declared —
+which is how a result solved by another process (a sibling replica, or a
+previous life of this one) becomes a hit here without re-solving.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ from typing import Optional
 
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
+from repro.engine.cache_store import CacheStore, key_digest
 from repro.engine.weights import WeightTable
 
 __all__ = ["CacheKey", "InstanceCache", "canonical_key"]
@@ -102,35 +110,100 @@ def replay_assignment(
 
 
 class InstanceCache:
-    """Thread-safe LRU cache of canonical assignments with hit/miss counters."""
+    """Thread-safe LRU cache of canonical assignments with hit/miss counters.
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    ``persist`` attaches a :class:`~repro.engine.cache_store.CacheStore`
+    as the shared disk tier: ``store`` writes through to it, and a miss
+    in the in-memory LRU takes a second-chance probe of the persistent
+    index (promoting a disk hit back into the LRU) before counting as a
+    miss.  The cache does not own the store — the engine that created it
+    closes it.
+    """
+
+    def __init__(
+        self, max_entries: int = 4096, *, persist: Optional[CacheStore] = None
+    ) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._max = max_entries
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, tuple[int, ...]] = OrderedDict()
+        self._persist = persist
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    @property
+    def persist(self) -> Optional[CacheStore]:
+        """The attached persistent tier, if any."""
+        return self._persist
+
     # ------------------------------------------------------------------
+    def _probe(self, key: CacheKey) -> Optional[tuple[int, ...]]:
+        """Canonical assignment for ``key`` from LRU or disk, or ``None``.
+
+        Caller holds ``_lock``.  A disk hit is promoted into the LRU so
+        subsequent lookups stay in memory.
+        """
+        canonical = self._entries.get(key)
+        if canonical is not None:
+            self._entries.move_to_end(key)
+            return canonical
+        if self._persist is not None:
+            canonical = self._persist.get(key_digest(key))
+            if canonical is not None:
+                self._insert(key, canonical)
+                return canonical
+        return None
+
+    def _insert(self, key: CacheKey, canonical: tuple[int, ...]) -> None:
+        """Caller holds ``_lock``."""
+        self._entries[key] = canonical
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max:
+            self._entries.popitem(last=False)
+
     def lookup(
-        self, key: CacheKey, channel: SegmentedChannel
+        self,
+        key: CacheKey,
+        channel: SegmentedChannel,
+        *,
+        count_miss: bool = True,
     ) -> Optional[tuple[int, ...]]:
         """Return the assignment replayed onto ``channel``, or ``None``.
 
-        Counts a hit/miss; a hit refreshes the entry's LRU position.
+        A hit counts and refreshes the entry's LRU position.  A miss
+        counts only when ``count_miss`` is true: a *probe* caller that
+        falls back to the full routing path on ``None`` — which performs
+        its own counted lookup — passes ``count_miss=False`` so each
+        missed request is counted exactly once.
+        """
+        with self._lock:
+            canonical = self._probe(key)
+            if canonical is None:
+                if count_miss:
+                    self.misses += 1
+                return None
+            self.hits += 1
+        return replay_assignment(channel, canonical)
+
+    def peek(
+        self, key: CacheKey, channel: SegmentedChannel
+    ) -> Optional[tuple[int, ...]]:
+        """Non-counting lookup: no hit, no miss, no LRU refresh.
+
+        For diagnostics and tests; the persistent tier is still probed
+        (its own ``cache.persist.hits`` counter does fire — disk-level
+        accounting is the store's concern, not this cache's).
         """
         with self._lock:
             canonical = self._entries.get(key)
-            if canonical is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
+            if canonical is None and self._persist is not None:
+                canonical = self._persist.get(key_digest(key))
+        if canonical is None:
+            return None
         return replay_assignment(channel, canonical)
 
     def store(
@@ -139,15 +212,22 @@ class InstanceCache:
         channel: SegmentedChannel,
         assignment: tuple[int, ...],
     ) -> None:
-        """Insert a solved request, evicting the LRU entry when full."""
+        """Insert a solved request, evicting the LRU entry when full.
+
+        Writes through to the persistent tier when one is attached.
+        """
         canonical = canonicalize_assignment(channel, assignment)
         with self._lock:
-            self._entries[key] = canonical
-            self._entries.move_to_end(key)
-            while len(self._entries) > self._max:
-                self._entries.popitem(last=False)
+            self._insert(key, canonical)
+        if self._persist is not None:
+            self._persist.put(key_digest(key), canonical)
 
     def clear(self) -> None:
+        """Drop the in-memory tier and reset counters.
+
+        The persistent tier is deliberately untouched: it is shared with
+        other processes and survives by design.
+        """
         with self._lock:
             self._entries.clear()
             self.hits = 0

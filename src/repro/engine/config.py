@@ -59,6 +59,13 @@ class EngineConfig:
         Enable the canonical instance cache.
     cache_size:
         Maximum number of cached routings (LRU eviction).
+    cache_dir:
+        Directory for the persistent shared cache tier
+        (:class:`~repro.engine.cache_store.CacheStore`), or ``None``
+        (the default) for in-memory caching only.  Processes pointed at
+        the same directory — replicas behind one router, successive
+        ``segroute batch`` runs — share solved results across process
+        boundaries and restarts.  Requires ``cache=True``.
     seed:
         Base seed for worker-process PRNG streams; per-task substreams
         are derived via :func:`repro.substrate.prng.derive_seed` so
@@ -98,6 +105,7 @@ class EngineConfig:
     portfolio: bool = False
     cache: bool = True
     cache_size: int = 4096
+    cache_dir: Optional[str] = None
     seed: int = 0
     validate: bool = True
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -112,6 +120,8 @@ class EngineConfig:
             raise ValueError(f"timeout must be positive, got {self.timeout}")
         if self.cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {self.cache_size}")
+        if self.cache_dir is not None and not self.cache:
+            raise ValueError("cache_dir requires cache=True")
         if self.watchdog is not None and self.watchdog <= 0:
             raise ValueError(f"watchdog must be positive, got {self.watchdog}")
 

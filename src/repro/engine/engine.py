@@ -43,6 +43,7 @@ from repro.engine.cache import (
     canonicalize_assignment,
     replay_assignment,
 )
+from repro.engine.cache_store import CacheStore
 from repro.engine.config import WEIGHT_SPECS, EngineConfig
 from repro.engine.executor import RouteTask, TaskOutcome, make_pool, run_task
 from repro.engine.metrics import Metrics
@@ -127,9 +128,19 @@ class RoutingEngine:
         trace_sink: Optional[TraceSink] = None,
     ) -> None:
         self.config = config or EngineConfig()
-        self.cache = InstanceCache(self.config.cache_size)
         self.metrics = Metrics()
         self.trace_sink = trace_sink
+        self.cache_store: Optional[CacheStore] = None
+        if self.config.cache and self.config.cache_dir is not None:
+            self.cache_store = CacheStore(
+                self.config.cache_dir,
+                metrics=self.metrics,
+                trace_sink=trace_sink,
+                seed=self.config.seed,
+            )
+        self.cache = InstanceCache(
+            self.config.cache_size, persist=self.cache_store
+        )
         self._trace_lock = threading.Lock()
         self._batch_seq = 0
         self._closed = False
@@ -160,6 +171,8 @@ class RoutingEngine:
             supervisor, self._supervisor = self._supervisor, None
         if supervisor is not None:
             supervisor.close()
+        if self.cache_store is not None:
+            self.cache_store.close()
 
     def __enter__(self) -> "RoutingEngine":
         return self
@@ -293,7 +306,10 @@ class RoutingEngine:
         On a miss (or with the cache disabled, or when tracing is on —
         trace runs want the full span tree) it returns ``None`` and
         counts *nothing*: the full path the caller falls back to does
-        its own request/hit/miss accounting.
+        its own request/hit/miss accounting.  The probe therefore uses
+        ``count_miss=False`` — a counted probe miss plus the fallback's
+        counted miss would double-count every missed request and skew
+        ``hit_rate`` low under serving load.
         """
         if not self.config.cache or self.trace_sink is not None:
             return None
@@ -302,7 +318,7 @@ class RoutingEngine:
             channel, connections, max_segments,
             self._check_weight(weight), self._check_algorithm(algorithm),
         )
-        assignment = self.cache.lookup(key, channel)
+        assignment = self.cache.lookup(key, channel, count_miss=False)
         if assignment is None:
             return None
         result = BatchResult(

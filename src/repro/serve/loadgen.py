@@ -274,11 +274,14 @@ def run_loadgen(
 
     server = None
     if server_stats is not None:
+        # serve.* is the serving layer itself; cache.* (notably the
+        # cache.persist.* tier) is what warm-restart smoke checks and
+        # the bench tables assert on.
         server = {
             "counters": {
                 name: value
                 for name, value in server_stats.get("counters", {}).items()
-                if name.startswith("serve.")
+                if name.startswith(("serve.", "cache."))
             },
         }
         if "replicas" in server_stats:

@@ -141,6 +141,13 @@ class ReplicaSet:
     jobs / timeout / max_batch / max_wait_ms / max_queue / rate / burst:
         Per-replica :class:`~repro.serve.server.ServeConfig` knobs,
         forwarded on each child's command line.
+    cache_dir:
+        Shared persistent-cache directory forwarded to every replica as
+        ``--cache-dir``.  All replicas point at the *same* directory, so
+        a result solved on replica 0 is a warm
+        :class:`~repro.engine.cache_store.CacheStore` hit on replica 2,
+        and a SIGKILLed-and-restarted replica answers its history from
+        disk.  ``None`` (the default) keeps caching per-process.
     restart_policy:
         Restart budget and backoff shape (the engine's own
         :class:`~repro.engine.resilience.retry.RetryPolicy`).
@@ -175,6 +182,7 @@ class ReplicaSet:
         rate: Optional[float] = None,
         burst: Optional[float] = None,
         drain_grace: float = 2.0,
+        cache_dir: Optional[str] = None,
         restart_policy: RetryPolicy = _RESTART_POLICY,
         flap_window_s: float = 60.0,
         heartbeat_interval: float = 0.5,
@@ -197,6 +205,7 @@ class ReplicaSet:
         self.rate = rate
         self.burst = burst
         self.drain_grace = drain_grace
+        self.cache_dir = cache_dir
         self.restart_policy = restart_policy
         self.flap_window_s = flap_window_s
         self.heartbeat_interval = heartbeat_interval
@@ -333,6 +342,8 @@ class ReplicaSet:
             argv += ["--rate", str(self.rate)]
         if self.burst is not None:
             argv += ["--burst", str(self.burst)]
+        if self.cache_dir is not None:
+            argv += ["--cache-dir", self.cache_dir]
         return argv
 
     @staticmethod

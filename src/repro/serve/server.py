@@ -113,6 +113,13 @@ class ServeConfig:
         both listeners have bound — how a supervising
         :class:`~repro.serve.replica.ReplicaSet` discovers the
         ephemeral ports of its replica subprocesses.
+    cache_dir:
+        Directory of the persistent shared canonical-result cache
+        (:class:`~repro.engine.cache_store.CacheStore`), ``None`` to
+        serve from the in-memory cache only.  Replicas sharing one
+        directory answer each other's solved instances via the cache
+        fast path, and a restarted replica keeps its history — the
+        shared cache tier of ``docs/SERVING.md``.
     """
 
     host: str = "127.0.0.1"
@@ -130,6 +137,7 @@ class ServeConfig:
     service_prior_s: float = 0.0
     decay_halflife_s: Optional[float] = 30.0
     port_file: Optional[str] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -160,6 +168,7 @@ class RoutingServer:
                 jobs=self.config.jobs,
                 seed=self.config.seed,
                 keep_pool=self.config.jobs > 1,
+                cache_dir=self.config.cache_dir,
             ),
             trace_sink=trace_sink,
         )

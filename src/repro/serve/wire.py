@@ -45,7 +45,9 @@ from __future__ import annotations
 
 import json
 import struct
+import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Optional
@@ -63,9 +65,11 @@ __all__ = [
     "HEADER_SIZE",
     "WIRE_V1",
     "WIRE_V2",
+    "DECODE_CACHE_BYTES",
     "FrameTooLargeError",
     "WireStats",
     "WireCodec",
+    "decode_cache_stats",
     "decode_route_frame",
     "decode_ok_frame",
     "read_wire_message",
@@ -134,6 +138,9 @@ class WireStats:
     frames_in: dict = field(default_factory=lambda: {WIRE_V1: 0, WIRE_V2: 0})
 
     def snapshot(self) -> dict:
+        # decode_cache is process-wide (the memo is shared across
+        # connections), reported here so every wire report carries the
+        # byte bound and its current occupancy.
         return {
             "bytes_out": self.bytes_out,
             "bytes_in": self.bytes_in,
@@ -141,6 +148,7 @@ class WireStats:
             "decode_ms": round(self.decode_s * 1000.0, 3),
             "frames_out": dict(self.frames_out),
             "frames_in": dict(self.frames_in),
+            "decode_cache": decode_cache_stats(),
         }
 
 
@@ -408,7 +416,81 @@ class _Cursor:
             )
 
 
-@lru_cache(maxsize=256)
+#: Total payload bytes the decode memo may retain.  The memo keys on the
+#: raw payload, so an entry-count bound (the old ``lru_cache(256)``) was
+#: really a *byte* bound of 256 × MAX_FRAME_BYTES ≈ 4 GiB in the
+#: adversarial worst case; 32 MiB holds thousands of realistic corpus
+#: entries while bounding the resident worst case to the bound itself.
+DECODE_CACHE_BYTES = 32 * 1024 * 1024
+
+
+class _DecodeCache:
+    """LRU over decoded instances, bounded by total *payload bytes*.
+
+    Each entry's cost is the length of its key (the raw payload bytes);
+    insertion evicts least-recently-used entries until the total fits
+    ``max_bytes``.  A payload larger than the whole bound is decoded but
+    never cached — one giant frame cannot flush the working set.
+    Thread-safe: the serve loop and client threads share the module
+    singleton.
+    """
+
+    def __init__(self, max_bytes: int = DECODE_CACHE_BYTES) -> None:
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[bytes, tuple]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, payload: bytes):
+        with self._lock:
+            value = self._entries.get(payload)
+            if value is not None:
+                self._entries.move_to_end(payload)
+                self.hits += 1
+            else:
+                self.misses += 1
+            return value
+
+    def put(self, payload: bytes, value: tuple) -> None:
+        if len(payload) > self.max_bytes:
+            return
+        with self._lock:
+            if payload not in self._entries:
+                self._bytes += len(payload)
+            self._entries[payload] = value
+            self._entries.move_to_end(payload)
+            while self._bytes > self.max_bytes:
+                evicted, _ = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_bytes": self.max_bytes,
+                "bytes": self._bytes,
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+_decode_cache = _DecodeCache()
+
+
+def decode_cache_stats() -> dict:
+    """Point-in-time stats of the shared instance-decode cache."""
+    return _decode_cache.stats()
+
+
 def _decode_instance(
     payload: bytes,
 ) -> tuple[SegmentedChannel, ConnectionSet]:
@@ -417,9 +499,15 @@ def _decode_instance(
     The decode twin of :func:`_instance_payload`: a server answering a
     steady request stream sees the same payload bytes again and again,
     and both result types are immutable, so the (validating, per-track)
-    object construction is paid once per distinct instance.  Exceptions
-    are not cached by ``lru_cache``, so garbled payloads stay strict.
+    object construction is paid once per distinct instance.  The memo
+    (:class:`_DecodeCache`) is bounded by total cached payload *bytes*,
+    not entry count — 256 near-``MAX_FRAME_BYTES`` payloads under an
+    entry-count bound would pin ~4 GiB.  Failed decodes are never
+    cached, so garbled payloads stay strict.
     """
+    cached = _decode_cache.get(payload)
+    if cached is not None:
+        return cached
     cur = _Cursor(payload)
     name = cur.string("channel name")
     n_columns = cur.u32()
@@ -443,10 +531,12 @@ def _decode_instance(
             )
         conns.append(Connection(left, right, cname))
     cur.done()
-    return (
+    instance = (
         channel_from_breaks(n_columns, breaks, name=name),
         ConnectionSet(conns),
     )
+    _decode_cache.put(payload, instance)
+    return instance
 
 
 def decode_route_frame(body: bytes):

@@ -78,3 +78,29 @@ def test_direct_construction_matches_cached():
     cached = channel_geometry(ch)
     assert direct.seg_index == cached.seg_index
     assert direct.seg_end == cached.seg_end
+
+
+def test_released_channel_is_collectable():
+    """Regression: the geometry memo must not pin channels alive.
+
+    The old ``lru_cache(maxsize=256)`` kept a strong reference to every
+    recent channel (and its O(T*N) tables) forever; the weak-keyed memo
+    releases the entry with the last reference to the channel.
+    """
+    import gc
+    import weakref
+
+    ch = channel_from_breaks(64, [(8, 16, 32), (4, 48), (24,)])
+    geom_ref = weakref.ref(channel_geometry(ch))
+    ch_ref = weakref.ref(ch)
+    del ch
+    gc.collect()
+    assert ch_ref() is None, "channel pinned by the geometry memo"
+    assert geom_ref() is None, "geometry tables pinned after release"
+
+
+def test_equal_channels_share_one_table_while_alive():
+    a = channel_from_breaks(9, [(2, 6), (3, 6), (5,)])
+    b = channel_from_breaks(9, [(2, 6), (3, 6), (5,)])
+    # Equality/hash by break tuples: one table for both, as before.
+    assert channel_geometry(a) is channel_geometry(b)

@@ -179,3 +179,43 @@ class TestWeightTableKey:
         bad = WeightTable(((1.0,),))  # one column, channel has two tracks
         with pytest.raises(ValueError):
             RoutingEngine().route(ch, conns, weight=bad)
+
+
+class TestMissAccounting:
+    def _instance(self):
+        return fig3_channel(), fig3_connections()
+
+    def test_probe_mode_counts_no_miss(self):
+        ch, conns = self._instance()
+        cache = InstanceCache()
+        key = canonical_key(ch, conns, 1, None, "auto")
+        assert cache.lookup(key, ch, count_miss=False) is None
+        assert (cache.hits, cache.misses) == (0, 0)
+        # A hit in probe mode still counts as a hit.
+        cache.store(key, ch, (1, 2, 0, 2, 0))
+        assert cache.lookup(key, ch, count_miss=False) is not None
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_peek_counts_nothing(self):
+        ch, conns = self._instance()
+        cache = InstanceCache()
+        key = canonical_key(ch, conns, 1, None, "auto")
+        assert cache.peek(key, ch) is None
+        cache.store(key, ch, (1, 2, 0, 2, 0))
+        assert cache.peek(key, ch) is not None
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_engine_fastpath_miss_counted_once(self):
+        """Regression: route_cached probe + full-path fallback used to
+        count two misses for one missed request."""
+        from repro.engine import RoutingEngine
+
+        ch, conns = self._instance()
+        engine = RoutingEngine()
+        assert engine.route_cached(ch, conns, max_segments=1) is None
+        assert engine.cache.misses == 0          # probe counts nothing
+        engine.route(ch, conns, max_segments=1)
+        assert engine.cache.misses == 1          # fallback counts once
+        assert engine.route_cached(ch, conns, max_segments=1) is not None
+        assert engine.cache.misses == 1          # hit adds no miss
+        assert engine.cache.hits == 1

@@ -1,0 +1,281 @@
+"""Persistent shared cache tier: validation, concurrency, restart reuse."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.core.errors import CacheCorruptionWarning
+from repro.engine import EngineConfig, RoutingEngine
+from repro.engine.cache import canonical_key
+from repro.engine.cache_store import CacheStore, key_digest
+from repro.generators.paper_examples import fig3_channel, fig3_connections
+
+
+def _digest(n: int) -> str:
+    return f"{n:064x}"
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_put_get(self, store_dir):
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            store.put(_digest(1), (0, 1, 2))
+            assert store.get(_digest(1)) == (0, 1, 2)
+            assert store.get(_digest(2)) is None
+
+    def test_survives_reopen(self, store_dir):
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            for i in range(20):
+                store.put(_digest(i), (i, i + 1))
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            assert len(store) == 20
+            for i in range(20):
+                assert store.get(_digest(i)) == (i, i + 1)
+            assert store.loads == 20
+
+    def test_put_is_idempotent(self, store_dir):
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            store.put(_digest(1), (3, 4))
+            store.put(_digest(1), (3, 4))
+            assert store.stores == 1
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            assert store.loads == 1
+
+    def test_key_digest_is_stable(self):
+        key = canonical_key(
+            fig3_channel(), fig3_connections(), 1, None, "auto"
+        )
+        assert key_digest(key) == key_digest(key)
+        assert len(key_digest(key)) == 64
+
+    def test_counters_snapshot(self, store_dir):
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            store.put(_digest(1), (0,))
+            store.get(_digest(1))
+            counters = store.counters()
+        assert counters["hits"] == 1
+        assert counters["stores"] == 1
+        assert counters["entries"] == 1
+
+    def test_bad_params_rejected(self, store_dir):
+        with pytest.raises(ValueError):
+            CacheStore(store_dir, fsync_interval=0)
+        with pytest.raises(ValueError):
+            CacheStore(store_dir, compact_threshold=1)
+
+
+def _segment_paths(store_dir):
+    return sorted(
+        os.path.join(store_dir, n)
+        for n in os.listdir(store_dir)
+        if n.startswith("seg-") and n.endswith(".jsonl")
+    )
+
+
+class TestCorruptionSemantics:
+    def _write_store(self, store_dir, n=5):
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            for i in range(n):
+                store.put(_digest(i), (i,))
+        [path] = _segment_paths(store_dir)
+        return path
+
+    def test_corrupt_record_mid_file_is_skipped(self, store_dir):
+        path = self._write_store(store_dir)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        # Flip the middle record's checksum field content.
+        lines[2] = lines[2].replace(b'"s":"', b'"s":"00', 1)
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with pytest.warns(CacheCorruptionWarning):
+            store = CacheStore(store_dir, refresh_interval_s=0.0)
+        assert store.corrupt_records == 1
+        assert store.get(_digest(2)) is None  # the corrupted one
+        for i in (0, 1, 3, 4):                # everything else survives
+            assert store.get(_digest(i)) == (i,)
+        store.close()
+
+    def test_unparseable_line_is_skipped(self, store_dir):
+        path = self._write_store(store_dir)
+        lines = open(path, "rb").read().splitlines(keepends=True)
+        lines[1] = b"!!!! not json at all\n"
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        with pytest.warns(CacheCorruptionWarning):
+            store = CacheStore(store_dir, refresh_interval_s=0.0)
+        assert store.corrupt_records == 1
+        assert len(store) == 4
+        store.close()
+
+    def test_torn_tail_is_ignored_not_corrupt(self, store_dir):
+        path = self._write_store(store_dir)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-7])  # SIGKILL mid-append: no trailing newline
+        store = CacheStore(store_dir, refresh_interval_s=0.0)
+        # The torn line is neither loaded nor counted as corruption —
+        # it could equally be another writer's append still in flight.
+        assert store.corrupt_records == 0
+        assert len(store) == 4
+        store.close()
+
+    def test_torn_tail_completes_on_later_refresh(self, store_dir):
+        path = self._write_store(store_dir, n=2)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-7])
+        store = CacheStore(store_dir, refresh_interval_s=0.0)
+        assert len(store) == 1
+        # The "in-flight" writer finishes its line: refresh resumes at
+        # the consumed offset and picks up the completed record.
+        with open(path, "ab") as fh:
+            fh.write(data[-7:])
+        assert store.get(_digest(1)) == (1,)
+        store.close()
+
+
+class TestMultiProcess:
+    _WRITER = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.engine.cache_store import CacheStore
+base, count = int(sys.argv[1]), int(sys.argv[2])
+with CacheStore({cache_dir!r}, refresh_interval_s=0.0) as store:
+    for i in range(base, base + count):
+        store.put(f"{{i:064x}}", (i, i + 1))
+"""
+
+    def test_two_writers_one_reader_no_lost_entries(self, store_dir, tmp_path):
+        src = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir, "src"
+        )
+        script = self._WRITER.format(
+            src=os.path.abspath(src), cache_dir=store_dir
+        )
+        os.makedirs(store_dir, exist_ok=True)
+        procs = [
+            subprocess.Popen([sys.executable, "-c", script, str(base), "40"])
+            for base in (0, 40)
+        ]
+        reader = CacheStore(store_dir, refresh_interval_s=0.0)
+        for proc in procs:
+            assert proc.wait(timeout=60) == 0
+        # Every entry from both writers, each exactly once, none mangled.
+        seen = {}
+        for i in range(80):
+            value = reader.get(f"{i:064x}")
+            assert value == (i, i + 1), f"entry {i} lost or mangled"
+            seen[i] = value
+        assert len(seen) == 80
+        assert reader.corrupt_records == 0
+        reader.close()
+
+
+class TestCompaction:
+    def test_compact_merges_segments(self, store_dir):
+        for i in range(4):  # four writer lifetimes → four segment files
+            with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+                store.put(_digest(i), (i,))
+        assert len(_segment_paths(store_dir)) == 4
+        store = CacheStore(store_dir, refresh_interval_s=0.0)
+        assert store.compact() == 4
+        assert store.compactions == 1
+        assert len(_segment_paths(store_dir)) == 1
+        for i in range(4):
+            assert store.get(_digest(i)) == (i,)
+        store.close()
+        # A fresh loader sees the compacted view, nothing lost.
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            assert len(store) == 4
+
+    def test_put_triggers_compaction_over_threshold(self, store_dir):
+        for i in range(4):
+            with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+                store.put(_digest(i), (i,))
+        store = CacheStore(
+            store_dir, refresh_interval_s=0.0, compact_threshold=3
+        )
+        store.put(_digest(99), (9, 9))
+        assert store.compactions >= 1
+        assert len(_segment_paths(store_dir)) == 1
+        store.close()
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            assert len(store) == 5
+
+    def test_writer_survives_concurrent_unlink(self, store_dir):
+        """A writer whose segment was compacted away re-appends its own
+        records — the no-lost-entries guarantee under compaction."""
+        writer = CacheStore(store_dir, refresh_interval_s=0.0)
+        writer.put(_digest(1), (1,))
+        # Another process compacts: the writer's file is renamed away
+        # (simulated by unlinking it directly).
+        [path] = _segment_paths(store_dir)
+        os.unlink(path)
+        writer.put(_digest(2), (2,))
+        writer.close()
+        with CacheStore(store_dir, refresh_interval_s=0.0) as store:
+            assert store.get(_digest(1)) == (1,)  # re-appended, not lost
+            assert store.get(_digest(2)) == (2,)
+
+
+class TestEngineIntegration:
+    def test_restart_reuse_hits_persistent_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        channel, conns = fig3_channel(), fig3_connections()
+        with RoutingEngine(EngineConfig(cache_dir=cache_dir)) as first:
+            solved = first.route(channel, conns, max_segments=1)
+            assert first.cache_store.stores == 1
+        # "Restarted process": a brand-new engine on the same directory
+        # answers via the cache fast path without re-solving.
+        with RoutingEngine(EngineConfig(cache_dir=cache_dir)) as second:
+            fast = second.route_cached(channel, conns, max_segments=1)
+            assert fast is not None and fast.cache_hit
+            assert fast.routing.assignment == solved.assignment
+            assert second.cache_store.hits == 1
+            assert second.stats()["counters"]["cache.persist.hits"] == 1
+
+    def test_close_closes_store(self, tmp_path):
+        engine = RoutingEngine(
+            EngineConfig(cache_dir=str(tmp_path / "cache"))
+        )
+        store = engine.cache_store
+        engine.close()
+        store.put(_digest(1), (0,))  # no-op after close, must not raise
+        assert store.get(_digest(1)) is None
+
+    def test_cache_dir_requires_cache(self, tmp_path):
+        with pytest.raises(ValueError):
+            EngineConfig(cache=False, cache_dir=str(tmp_path))
+
+
+class TestCLIDigestParity:
+    def test_batch_rerun_digest_identical_and_served_from_disk(
+        self, tmp_path, capsys
+    ):
+        from repro.io.text_format import dump_instance
+
+        inst = tmp_path / "fig3.sch"
+        dump_instance(inst, fig3_channel(), fig3_connections())
+        cache_dir = str(tmp_path / "cache")
+        metrics = tmp_path / "metrics.json"
+
+        argv = [
+            "batch", str(inst), "--k", "1",
+            "--cache-dir", cache_dir, "--format", "json",
+        ]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--metrics-out", str(metrics)]) == 0
+        warm = json.loads(capsys.readouterr().out)
+
+        assert warm["digest"] == cold["digest"]
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["cache.persist.hits"] > 0

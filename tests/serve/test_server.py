@@ -378,3 +378,78 @@ def test_port_file_written_after_bind(tmp_path):
             assert ports["pid"] == os.getpid()
 
     asyncio.run(main())
+
+
+def test_serve_path_counts_exactly_one_miss_per_missed_request():
+    """Regression: the fast-path probe must not add a second miss.
+
+    ``route_cached`` probes the canonical cache before the batcher
+    path; before the fix the probe counted one ``InstanceCache`` miss
+    and the batcher's full path counted another, so every missed
+    request was double-counted and ``hit_rate`` was skewed low.
+    """
+    corpus = build_corpus(1, seed=7)
+    channel, conns, k = corpus[0]
+
+    async def main():
+        server = RoutingServer(_config())
+        async with server:
+            async with AsyncRoutingClient(
+                "127.0.0.1", server.port, timeout=30
+            ) as client:
+                first = await client.route(channel, conns, max_segments=k)
+                cache = server.engine.cache
+                after_miss = (cache.hits, cache.misses)
+                second = await client.route(channel, conns, max_segments=k)
+                after_hit = (cache.hits, cache.misses)
+                counters = server.metrics_snapshot()["counters"]
+        return first, second, after_miss, after_hit, counters
+
+    first, second, after_miss, after_hit, counters = asyncio.run(main())
+    assert first.status == STATUS_OK and second.status == STATUS_OK
+    # One missed request -> exactly one counted miss (probe + fallback
+    # used to count two), and no phantom hits.
+    assert after_miss == (0, 1)
+    # The repeat is answered by the fast path: one hit, miss count
+    # unchanged.
+    assert after_hit == (1, 1)
+    assert counters["serve.cache_fastpath"] == 1
+    assert counters["cache.hits"] == 1
+    assert counters["cache.misses"] == 1
+
+
+def test_restarted_server_answers_from_persistent_cache(tmp_path):
+    """Acceptance: a restarted server (same ``cache_dir``) serves
+    previously-solved instances via the cache fast path, digest-
+    identical to the first life's answers."""
+    cache_dir = str(tmp_path / "cache")
+    corpus = build_corpus(6, seed=11)
+
+    async def one_life():
+        server = RoutingServer(_config(seed=11, cache_dir=cache_dir))
+        async with server:
+            async with AsyncRoutingClient(
+                "127.0.0.1", server.port, timeout=60
+            ) as client:
+                served = await client.route_many(
+                    [(c, s) for c, s, _ in corpus],
+                    max_segments=[k for _, _, k in corpus],
+                )
+            counters = server.metrics_snapshot()["counters"]
+        return served, counters
+
+    first, first_counters = asyncio.run(one_life())
+    assert all(r.status == STATUS_OK for r in first)
+    assert first_counters.get("cache.persist.stores", 0) == len(corpus)
+
+    # "Restart": a brand-new server process state over the same dir.
+    second, second_counters = asyncio.run(one_life())
+    assert all(r.status == STATUS_OK for r in second)
+    assert second_counters["cache.persist.hits"] >= len(corpus)
+    assert second_counters["serve.cache_fastpath"] == len(corpus)
+    # Digest-identical answers across the restart.
+    digest = lambda served: digest_records(
+        result_record(i, r.ok, r.assignment, r.error_type)
+        for i, r in enumerate(served)
+    )
+    assert digest(second) == digest(first)

@@ -299,3 +299,58 @@ def test_server_counts_binary_requests_and_fastpath_hits():
     assert counters["serve.wire_v2_requests"] == 2 * len(corpus)
     # The whole second pass is canonical-cache hits answered inline.
     assert counters["serve.cache_fastpath"] >= len(corpus)
+
+
+# ----------------------------------------------------------------------
+# decode-cache byte bound
+# ----------------------------------------------------------------------
+class TestDecodeCacheByteBound:
+    def _route_body(self, channel, conns, k):
+        codec = WireCodec()
+        frame = codec.encode_route("q1", channel, conns, max_segments=k)
+        return frame[HEADER_SIZE:]
+
+    def test_cache_bounded_by_total_payload_bytes(self):
+        """Regression: the decode memo is bounded by cached payload
+        *bytes*, not entry count — the old ``lru_cache(256)`` could pin
+        256 near-MAX_FRAME_BYTES payloads (~4 GiB)."""
+        from repro.serve.wire import _DecodeCache
+
+        cache = _DecodeCache(max_bytes=1000)
+        for i in range(50):
+            payload = bytes([i]) * 100  # 100 bytes each, 10 fit
+            cache.put(payload, (i,))
+        stats = cache.stats()
+        assert stats["bytes"] <= 1000
+        assert stats["entries"] == 10
+        # LRU: the most recent 10 survive, the oldest were evicted.
+        assert cache.get(bytes([49]) * 100) == (49,)
+        assert cache.get(bytes([0]) * 100) is None
+
+    def test_oversized_payload_never_cached(self):
+        from repro.serve.wire import _DecodeCache
+
+        cache = _DecodeCache(max_bytes=100)
+        cache.put(b"x" * 101, ("giant",))
+        assert cache.stats()["entries"] == 0
+
+    def test_repeat_decode_hits_shared_cache(self):
+        from repro.serve.wire import _decode_cache
+
+        corpus = build_corpus(2, seed=9)
+        channel, conns, k = corpus[0]
+        request = decode_route_frame(self._route_body(channel, conns, k))
+        before = _decode_cache.stats()
+        again = decode_route_frame(self._route_body(channel, conns, k))
+        after = _decode_cache.stats()
+        assert after["hits"] == before["hits"] + 1
+        # Memoized: the identical payload returns the same objects.
+        assert again.channel is request.channel
+        assert again.connections is request.connections
+
+    def test_wire_stats_expose_decode_cache_bound(self):
+        from repro.serve.wire import DECODE_CACHE_BYTES, WireStats
+
+        snap = WireStats().snapshot()
+        assert snap["decode_cache"]["max_bytes"] == DECODE_CACHE_BYTES
+        assert snap["decode_cache"]["bytes"] <= DECODE_CACHE_BYTES

@@ -258,6 +258,94 @@ def run_serve_bench(seed: int = 0) -> dict:
         "runs": runs,
         "runs_v1": runs_v1,
         "replicated_faulted": run_replicated_fault_bench(seed),
+        "warm_restart": run_warm_restart_bench(seed),
+    }
+
+
+def run_warm_restart_bench(seed: int = 0, requests: int = 32) -> dict:
+    """Persistent-cache warm restart: SIGKILL a server, relaunch, reuse.
+
+    Launches a real ``segroute serve`` subprocess with ``--cache-dir``,
+    drives one calm loadgen pass (the *cold* life: every instance is
+    solved and written through to the shared cache), SIGKILLs the
+    process — no drain, no fsync courtesy — relaunches it on the same
+    cache directory, and repeats the pass.  The warm life must answer
+    from the persistent tier (``cache.persist.hits`` > 0, every request
+    a ``serve.cache_fastpath`` hit) with answers digest-identical to the
+    cold life and to the offline engine.  Recorded in
+    ``BENCH_serve.json`` so the restart win (and its latency shape) is
+    tracked release over release.
+    """
+    import json as _json
+    import signal
+    import tempfile
+
+    from repro.engine import EngineConfig, RoutingEngine
+    from repro.io.results import result_stream_digest
+    from repro.serve.loadgen import build_corpus, run_loadgen
+    from repro.serve.replica import ReplicaSet
+
+    corpus = build_corpus(16, seed)
+
+    def one_life(workdir: str, cache_dir: str, life: int):
+        port_file = os.path.join(workdir, f"life-{life}.json")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--host", "127.0.0.1", "--port", "0", "--http-port", "0",
+                "--port-file", port_file,
+                "--seed", str(seed),
+                "--cache-dir", cache_dir,
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=ReplicaSet._child_env(),
+        )
+        deadline = time.monotonic() + 30
+        port = None
+        while time.monotonic() < deadline:
+            try:
+                with open(port_file, encoding="utf-8") as fh:
+                    port = int(_json.load(fh)["port"])
+                break
+            except (OSError, ValueError, KeyError):
+                time.sleep(0.05)
+        if port is None:
+            proc.kill()
+            raise RuntimeError("warm-restart bench: server failed to start")
+        report = run_loadgen(
+            "127.0.0.1", port, corpus=corpus,
+            requests=requests, mode="closed", concurrency=4, seed=seed,
+        )
+        return proc, report
+
+    with tempfile.TemporaryDirectory(prefix="segroute-warmbench-") as workdir:
+        cache_dir = os.path.join(workdir, "cache")
+        proc, cold = one_life(workdir, cache_dir, 0)
+        # SIGKILL: the ungraceful death the persistent tier must absorb.
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
+        proc, warm = one_life(workdir, cache_dir, 1)
+        proc.terminate()
+        proc.wait(timeout=15)
+
+    offline = RoutingEngine(EngineConfig(seed=seed)).route_many(
+        [(c, s) for c, s, _ in corpus],
+        max_segments=[k for _, _, k in corpus],
+    )
+    offline_digest = result_stream_digest(offline)
+    warm_counters = (warm.get("server") or {}).get("counters", {})
+    return {
+        "requests": requests,
+        "corpus_size": len(corpus),
+        "cold_p50_ms": cold["latency_ms"]["p50"],
+        "warm_p50_ms": warm["latency_ms"]["p50"],
+        "persist_hits": warm_counters.get("cache.persist.hits", 0),
+        "fastpath_hits": warm_counters.get("serve.cache_fastpath", 0),
+        "digest_identical": (
+            cold.get("digest") == offline_digest
+            and warm.get("digest") == offline_digest
+        ),
     }
 
 
@@ -417,12 +505,15 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_serve_bench()
         Path(args.serve_json).write_text(json.dumps(payload, indent=2) + "\n")
         faulted = payload["replicated_faulted"]
+        warm = payload["warm_restart"]
         print(
             f"wrote {args.serve_json} "
             f"({len(payload['runs'])} traffic shapes, digest "
             f"{'identical' if payload['digest_identical'] else 'DIVERGED'}; "
             f"replicated availability {faulted['availability']:.2%} with "
-            f"{faulted['failovers']} failovers under faults)"
+            f"{faulted['failovers']} failovers under faults; warm restart "
+            f"{warm['persist_hits']} persist hits, digest "
+            f"{'identical' if warm['digest_identical'] else 'DIVERGED'})"
         )
     return 0
 
