@@ -18,13 +18,19 @@ Usage (also available as ``python -m repro``)::
                       [--seed S] [--mean-segment L] -o OUT.sch
     segroute reduce --x 2,5,8 --y 9,11,12 --z 11,17,19 [--two-segment]
                     -o OUT.sch
-    segroute chip NETLIST.net --rows R --cells-per-row C [--timing]
+    segroute chip [NETLIST.net] --rows R --cells-per-row C [--timing]
+                  [--synthetic N] [--pipeline | --connect HOST:PORT]
+                  [--tracks T] [--channel-kind geometric|uniform]
+                  [--seg-length L] [--seg-ratio X] [--seg-types S]
+                  [--max-rounds R] [--jobs N] [--job-id ID]
+                  [--deadline S] [-o REPORT.json]
     segroute bench [--quick] [--check] [--repeats N] [-o BENCH_kernels.json]
     segroute serve [--port P] [--http-port P] [--max-batch B]
                    [--max-wait-ms MS] [--max-queue Q] [--rate R]
                    [--jobs N] [--timeout S] [--trace TRACE.jsonl]
                    [--replicas N] [--hedge-ms MS] [--inject-faults SPEC]
-                   [--port-file FILE]
+                   [--port-file FILE] [--jobs-dir DIR]
+                   [--max-active-jobs N] [--job-deadline S]
     segroute loadgen [INSTANCE ...] [--manifest FILE.jsonl]
                      [--requests N] [--mode closed|open] [--concurrency C]
                      [--rate R] [--deadline-ms MS] [--wire auto|v1|v2]
@@ -283,7 +289,10 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chip = sub.add_parser(
         "chip", help="route a .net netlist through the full FPGA flow"
     )
-    p_chip.add_argument("netlist", help="path to the .net file")
+    p_chip.add_argument(
+        "netlist", nargs="?", default=None,
+        help="path to the .net file (optional with --synthetic)",
+    )
     p_chip.add_argument("--rows", type=int, required=True)
     p_chip.add_argument("--cells-per-row", type=int, required=True)
     p_chip.add_argument("--inputs", type=int, default=3)
@@ -291,6 +300,84 @@ def _build_parser() -> argparse.ArgumentParser:
     p_chip.add_argument("--seed", type=int, default=0)
     p_chip.add_argument(
         "--timing", action="store_true", help="also run static timing analysis"
+    )
+    p_chip.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="generate a seeded random netlist of N nets instead of "
+             "reading a file",
+    )
+    p_chip.add_argument(
+        "--pipeline", action="store_true",
+        help="run the explicit chip pipeline (global route + negotiated "
+             "per-channel solves with per-round digests) instead of the "
+             "one-shot design flow; see docs/PIPELINE.md",
+    )
+    p_chip.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="submit the chip as a job to a running `segroute serve "
+             "--jobs-dir ...` server (or router) and poll it to "
+             "completion",
+    )
+    p_chip.add_argument(
+        "--algorithm", choices=ALGORITHMS, default="auto",
+        help="pipeline mode: per-channel routing algorithm",
+    )
+    p_chip.add_argument(
+        "--tracks", type=int, default=8,
+        help="pipeline mode: tracks per channel (default: 8)",
+    )
+    p_chip.add_argument(
+        "--channel-kind", choices=("geometric", "uniform"),
+        default="geometric",
+        help="pipeline mode: channel segmentation family",
+    )
+    p_chip.add_argument(
+        "--seg-length", type=int, default=4,
+        help="pipeline mode: shortest (geometric) or uniform segment "
+             "length (default: 4)",
+    )
+    p_chip.add_argument(
+        "--seg-ratio", type=float, default=2.0,
+        help="pipeline mode: geometric length ratio (default: 2)",
+    )
+    p_chip.add_argument(
+        "--seg-types", type=int, default=3,
+        help="pipeline mode: geometric segment-length types (default: 3)",
+    )
+    p_chip.add_argument(
+        "--max-rounds", type=int, default=8,
+        help="pipeline mode: congestion negotiation rounds (default: 8)",
+    )
+    p_chip.add_argument(
+        "--jobs", type=int, default=0,
+        help="offline pipeline: engine workers for per-channel solves "
+             "(default: 0, serial)",
+    )
+    p_chip.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="offline pipeline with --jobs: persistent shared result "
+             "cache directory",
+    )
+    p_chip.add_argument(
+        "--job-id", default=None,
+        help="with --connect: explicit job id (resubmitting the same "
+             "id + spec re-attaches to the existing job)",
+    )
+    p_chip.add_argument(
+        "--deadline", type=float, default=None, metavar="S",
+        help="with --connect: server-side job deadline in seconds",
+    )
+    p_chip.add_argument(
+        "--poll-interval", type=float, default=0.3, metavar="S",
+        help="with --connect: job.status poll period (default: 0.3)",
+    )
+    p_chip.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="S",
+        help="with --connect: give up polling after S seconds",
+    )
+    p_chip.add_argument(
+        "-o", "--output", default=None,
+        help="pipeline mode: write a JSON report (rounds + digest)",
     )
 
     p_bench = sub.add_parser(
@@ -390,6 +477,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persistent shared result cache directory; with --replicas "
              "all replicas share it, so solved instances survive "
              "replica restarts and cross replica boundaries",
+    )
+    p_serve.add_argument(
+        "--jobs-dir", metavar="DIR", default=None,
+        help="durable state directory for chip-routing jobs (job.* "
+             "ops / `segroute chip --connect`): specs, per-round "
+             "journals, and results live here, so a killed server "
+             "resumes its jobs bit-identically on restart "
+             "(see docs/PIPELINE.md)",
+    )
+    p_serve.add_argument(
+        "--max-active-jobs", type=int, default=1,
+        help="chip jobs run concurrently (job-class admission; "
+             "default: 1)",
+    )
+    p_serve.add_argument(
+        "--max-queued-jobs", type=int, default=16,
+        help="queued chip jobs before job.submit answers overloaded "
+             "(default: 16)",
+    )
+    p_serve.add_argument(
+        "--job-deadline", type=float, default=None, metavar="S",
+        help="default per-job wall-clock deadline in seconds",
     )
 
     p_load = sub.add_parser(
@@ -754,12 +863,151 @@ def _cmd_reduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chip_spec(args: argparse.Namespace):
+    """Build the :class:`~repro.jobs.ChipSpec` for the pipeline modes."""
+    from repro.fpga.netlist import random_netlist
+    from repro.io.netlist_format import dumps_netlist
+    from repro.jobs import ChipSpec
+
+    if args.synthetic is not None:
+        text = dumps_netlist(
+            random_netlist(args.synthetic, args.inputs, seed=args.seed)
+        )
+    elif args.netlist:
+        try:
+            with open(args.netlist, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ReproError(f"cannot read netlist: {exc}") from exc
+    else:
+        raise ReproError("chip needs a netlist path or --synthetic N")
+    return ChipSpec(
+        netlist_text=text,
+        rows=args.rows,
+        cells_per_row=args.cells_per_row,
+        inputs=args.inputs,
+        tracks=args.tracks,
+        channel_kind=args.channel_kind,
+        seg_length=args.seg_length,
+        seg_ratio=args.seg_ratio,
+        seg_types=args.seg_types,
+        max_segments=args.k,
+        algorithm=args.algorithm,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+    )
+
+
+def _write_chip_report(args: argparse.Namespace, report: dict) -> None:
+    if not args.output:
+        return
+    import json as _json
+
+    with open(args.output, "w", encoding="utf-8") as fh:
+        _json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+
+def _cmd_chip_offline(args: argparse.Namespace) -> int:
+    """``segroute chip --pipeline``: the explicit pipeline, in-process."""
+    from repro.jobs import run_chip_pipeline
+
+    spec = _chip_spec(args)
+    engine = None
+    if args.jobs and args.jobs > 0:
+        from repro.engine import EngineConfig, RoutingEngine
+
+        engine = RoutingEngine(EngineConfig(
+            jobs=args.jobs, seed=spec.seed, cache_dir=args.cache_dir,
+        ))
+
+    def on_round(report) -> None:
+        failed = ",".join(str(c) for c in report.failed_channels) or "-"
+        print(
+            f"round {report.round_index}: ok={report.ok} "
+            f"failed=[{failed}] moved={report.moved} "
+            f"digest={report.digest[:16]}"
+        )
+
+    try:
+        result = run_chip_pipeline(spec, engine=engine, on_round=on_round)
+    finally:
+        if engine is not None:
+            engine.close()
+    print(
+        f"pipeline {'ok' if result.ok else 'FAILED'}: "
+        f"{len(result.rounds)} round(s), best round "
+        f"{result.best_round}, digest {result.digest}"
+    )
+    _write_chip_report(args, {
+        "mode": "offline",
+        "spec": spec.to_payload(),
+        "ok": result.ok,
+        "digest": result.digest,
+        "best_round": result.best_round,
+        "rounds": [r.to_payload() for r in result.rounds],
+        "duration_s": result.duration_s,
+    })
+    return 0 if result.ok else 1
+
+
+def _cmd_chip_connect(args: argparse.Namespace) -> int:
+    """``segroute chip --connect``: submit as a job and poll it home."""
+    from repro.serve.client import RoutingClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ReproError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        ) from None
+    spec = _chip_spec(args)
+    with RoutingClient(host or "127.0.0.1", port) as client:
+        job = client.submit_job(
+            spec, job_id=args.job_id, deadline_s=args.deadline
+        )
+        job_id = job["job_id"]
+        print(f"submitted job {job_id}: {job['state']}")
+        status = client.wait_job(
+            job_id, poll_interval=args.poll_interval,
+            timeout=args.wait_timeout,
+        )
+        report = {"mode": "connect", "job": status}
+        if status["state"] != "done":
+            print(
+                f"job {job_id} {status['state']}: "
+                f"{status.get('error_type')}: {status.get('error')}"
+            )
+            _write_chip_report(args, report)
+            return 2
+        page = client.fetch_job_records(job_id)
+        report["digest"] = page["digest"]
+        report["n_records"] = len(page["records"])
+        print(
+            f"job {job_id} done: ok={status['ok']} "
+            f"rounds={status['n_rounds']} resumed={status['resumed']} "
+            f"records={len(page['records'])}"
+        )
+        print(f"digest {page['digest']}")
+        _write_chip_report(args, report)
+        return 0 if status.get("ok") else 1
+
+
 def _cmd_chip(args: argparse.Namespace) -> int:
+    if args.connect:
+        return _cmd_chip_connect(args)
+    if args.pipeline:
+        return _cmd_chip_offline(args)
     from repro.fpga.delay import DelayModel
     from repro.fpga.design_link import design_chip
     from repro.fpga.timing import analyze_timing
     from repro.io.netlist_format import load_netlist
 
+    if not args.netlist:
+        raise ReproError("chip needs a netlist path (or --pipeline "
+                         "--synthetic N)")
     netlist = load_netlist(args.netlist)
     closure = design_chip(
         netlist, args.rows, args.cells_per_row, args.inputs,
@@ -856,6 +1104,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate=args.rate, burst=args.burst, drain_grace=args.drain_grace,
         seed=args.seed, port_file=args.port_file,
         cache_dir=args.cache_dir,
+        jobs_dir=args.jobs_dir,
+        max_active_jobs=args.max_active_jobs,
+        max_queued_jobs=args.max_queued_jobs,
+        job_deadline_s=args.job_deadline,
+        fault_plan=_fault_plan(args),
     ), trace_sink=sink)
     try:
         asyncio.run(server.run())

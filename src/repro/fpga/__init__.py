@@ -13,7 +13,14 @@ trade-off, and bitstream (programmed-switch) extraction.
 from repro.fpga.architecture import FPGAArchitecture, PinRef
 from repro.fpga.bitstream import Bitstream, extract_bitstream
 from repro.fpga.delay import DelayModel, net_delays, routing_delay_profile
-from repro.fpga.detail_route import ChipRouting, route_chip
+from repro.fpga.detail_route import (
+    ChannelResult,
+    ChipRouting,
+    chip_digest,
+    chip_result_records,
+    route_chip,
+    solve_demands,
+)
 from repro.fpga.global_route import ChannelDemand, global_route
 from repro.fpga.netlist import Cell, Net, Netlist, random_netlist
 from repro.fpga.placement import Placement, place_greedy, improve_placement
@@ -34,8 +41,12 @@ __all__ = [
     "improve_placement",
     "ChannelDemand",
     "global_route",
+    "ChannelResult",
     "ChipRouting",
+    "chip_digest",
+    "chip_result_records",
     "route_chip",
+    "solve_demands",
     "DelayModel",
     "net_delays",
     "routing_delay_profile",

@@ -7,19 +7,28 @@ than one channel shared with the sink) are migrated out of the congested
 channel — most-flexible, longest-interval first — and the channel pair is
 re-routed.  This is a small negotiated-congestion router in the spirit of
 PathFinder, scoped to the paper's per-channel problem.
+
+Every step is deterministic: the greedy initial sink assignment, the
+move ordering (longest span first, ties by channel index), and the
+re-route itself.  :mod:`repro.jobs.pipeline` relies on this — it replays
+the identical round sequence after a crash and cross-checks each round's
+digest against its checkpoint journal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.errors import ReproError
 from repro.fpga.architecture import FPGAArchitecture
-from repro.fpga.detail_route import ChipRouting, route_chip
+from repro.fpga.detail_route import ChipRouting, route_chip, solve_demands
 from repro.fpga.global_route import ChannelDemand, global_route
 from repro.fpga.netlist import Netlist
 from repro.fpga.placement import Placement
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.engine import RoutingEngine
 
 __all__ = ["route_chip_negotiated"]
 
@@ -83,6 +92,46 @@ def _demands_from(
     return demands
 
 
+def _negotiate_moves(
+    assignments: list[_SinkAssignment],
+    failed_channels: list[int],
+    n_channels: int,
+) -> int:
+    """One negotiation step: migrate sinks out of failing channels.
+
+    Mutates ``assignments`` in place (the longest movable demand in each
+    failing channel moves to its least-loaded alternative) and returns
+    the number of sinks moved.  Zero means negotiation is stuck — no
+    sink in a failing channel has an alternative channel.
+    """
+    failing = set(failed_channels)
+    moved = 0
+    load = [0] * n_channels
+    for a in assignments:
+        load[a.chosen] += a.span
+    # Longest movable demands in failing channels move first.
+    movable = sorted(
+        (
+            a
+            for a in assignments
+            if a.chosen in failing and len(a.options) > 1
+        ),
+        key=lambda a: -a.span,
+    )
+    for a in movable:
+        alternatives = [c for c in a.options if c != a.chosen]
+        target = min(alternatives, key=lambda c: (load[c], c))
+        load[a.chosen] -= a.span
+        load[target] += a.span
+        a.chosen = target
+        moved += 1
+        # Move one demand per failing channel per round.
+        failing.discard(a.chosen)
+        if not failing:
+            break
+    return moved
+
+
 def route_chip_negotiated(
     architecture: FPGAArchitecture,
     netlist: Netlist,
@@ -90,6 +139,7 @@ def route_chip_negotiated(
     max_segments: Optional[int] = None,
     algorithm: str = "auto",
     max_rounds: int = 8,
+    engine: Optional["RoutingEngine"] = None,
 ) -> ChipRouting:
     """Detailed routing with congestion negotiation between channels.
 
@@ -98,9 +148,15 @@ def route_chip_negotiated(
     alternative channel, longest interval first) to its least-loaded
     alternative, then re-routes.  Returns the first fully routed result,
     or the best (fewest failing channels) attempt after ``max_rounds``.
+
+    With ``engine`` each round's channel solves are dispatched through
+    :meth:`RoutingEngine.route_many`; the round sequence and the result
+    are digest-identical to the serial default (see
+    :func:`repro.fpga.detail_route.solve_demands`).
     """
     first = route_chip(
-        architecture, netlist, placement, max_segments, algorithm
+        architecture, netlist, placement, max_segments, algorithm,
+        engine=engine,
     )
     if first.ok:
         return first
@@ -108,67 +164,23 @@ def route_chip_negotiated(
 
     assignments = _sink_assignments(architecture, netlist, placement)
     for _ in range(max_rounds):
-        failing = set(best.failed_channels)
+        failing = best.failed_channels
         if not failing:
             break
-        moved = False
-        load = [0] * architecture.n_channels
-        for a in assignments:
-            load[a.chosen] += a.span
-        # Longest movable demands in failing channels move first.
-        movable = sorted(
-            (
-                a
-                for a in assignments
-                if a.chosen in failing and len(a.options) > 1
-            ),
-            key=lambda a: -a.span,
-        )
-        for a in movable:
-            alternatives = [c for c in a.options if c != a.chosen]
-            target = min(alternatives, key=lambda c: (load[c], c))
-            load[a.chosen] -= a.span
-            load[target] += a.span
-            a.chosen = target
-            moved = True
-            # Move one demand per failing channel per round.
-            failing.discard(a.chosen)
-            if not failing:
-                break
-        if not moved:
+        if not _negotiate_moves(
+            assignments, failing, architecture.n_channels
+        ):
             break
 
         demands = _demands_from(architecture, assignments)
-        from repro.fpga.detail_route import ChannelResult, _empty_routing
-        from repro.core.api import route as core_route
-        from repro.core.errors import HeuristicFailure, RoutingInfeasibleError
-
-        results = []
-        for demand in demands:
-            conns = demand.connection_set()
-            channel = architecture.channels[demand.channel_index]
-            if len(conns) == 0:
-                results.append(
-                    ChannelResult(
-                        demand.channel_index, demand, _empty_routing(channel)
-                    )
-                )
-                continue
-            try:
-                routing = core_route(
-                    channel, conns, max_segments=max_segments,
-                    algorithm=algorithm,
-                )
-                results.append(
-                    ChannelResult(demand.channel_index, demand, routing)
-                )
-            except (RoutingInfeasibleError, HeuristicFailure) as exc:
-                results.append(
-                    ChannelResult(
-                        demand.channel_index, demand, None, failure=str(exc)
-                    )
-                )
-        attempt = ChipRouting(architecture, netlist, placement, tuple(results))
+        results = solve_demands(
+            architecture,
+            demands,
+            max_segments=max_segments,
+            algorithm=algorithm,
+            engine=engine,
+        )
+        attempt = ChipRouting(architecture, netlist, placement, results)
         if attempt.ok:
             return attempt
         if len(attempt.failed_channels) < len(best.failed_channels):

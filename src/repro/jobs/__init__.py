@@ -1,0 +1,48 @@
+"""Chip-routing jobs: the multi-channel pipeline and its job manager.
+
+This package composes the FPGA flow (:mod:`repro.fpga`) with the
+routing engine (:mod:`repro.engine`) into the serving tier's second
+traffic class: long-running, journal-checkpointed chip-routing jobs
+submitted over the ``job.*`` protocol ops (see ``docs/PIPELINE.md``).
+
+* :mod:`repro.jobs.pipeline` — one deterministic run: spec → placement
+  → global route → engine-backed per-channel solves → congestion
+  negotiation rounds, with per-round digests and crash-safe journals;
+* :mod:`repro.jobs.manager` — the submit/status/cancel/results
+  lifecycle: bounded worker threads, a dedicated job engine, per-job
+  deadlines, and restart recovery over a ``jobs_dir``.
+"""
+
+from repro.jobs.manager import (
+    JOB_STATES,
+    JobConflict,
+    JobError,
+    JobManager,
+    JobNotFound,
+    JobNotReady,
+    JobRecord,
+)
+from repro.jobs.pipeline import (
+    ChipSpec,
+    PipelineAbort,
+    PipelineResult,
+    RoundReport,
+    build_chip_instance,
+    run_chip_pipeline,
+)
+
+__all__ = [
+    "ChipSpec",
+    "PipelineAbort",
+    "PipelineResult",
+    "RoundReport",
+    "build_chip_instance",
+    "run_chip_pipeline",
+    "JOB_STATES",
+    "JobError",
+    "JobNotFound",
+    "JobConflict",
+    "JobNotReady",
+    "JobRecord",
+    "JobManager",
+]

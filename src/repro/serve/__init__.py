@@ -53,6 +53,7 @@ from repro.serve.protocol import (
     CAPABILITIES,
     CAP_WIRE_V1,
     CAP_WIRE_V2,
+    JOB_OPS,
     PROTOCOL_VERSION,
     STATUS_ERROR,
     STATUS_OK,
@@ -90,6 +91,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "SUPPORTED_VERSIONS",
     "CAPABILITIES",
+    "JOB_OPS",
     "CAP_WIRE_V1",
     "CAP_WIRE_V2",
     "WireCodec",

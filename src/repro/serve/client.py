@@ -37,21 +37,32 @@ import asyncio
 import itertools
 import socket
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.channel import SegmentedChannel
 from repro.core.connection import ConnectionSet
-from repro.core.errors import ConnectionLostError, ProtocolError, ServeError
+from repro.core.errors import (
+    AdmissionRejected,
+    ConnectionLostError,
+    ProtocolError,
+    ServeError,
+)
 from repro.engine.resilience.retry import RetryPolicy, backoff_delay
 from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.protocol import (
     CAP_WIRE_V2,
     PROTOCOL_VERSION,
+    REJECTION_STATUSES,
     STATUS_OK,
     RouteRequest,
     decode,
     hello_request,
+    job_cancel_request,
+    job_results_request,
+    job_status_request,
+    job_submit_request,
     route_request,
 )
 from repro.serve.wire import (
@@ -78,6 +89,47 @@ _CONNECT_POLICY = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=1.0)
 _HELLO_TIMEOUT = 2.0
 
 _UNSET = object()
+
+#: Job states after which ``job.status`` can never change again.
+_TERMINAL_JOB_STATES = ("done", "failed", "cancelled")
+
+
+def _new_job_id() -> str:
+    """Client-generated job id: the protocol requires one on every
+    ``job.*`` op so retried submits stay idempotent."""
+    return f"job-{uuid.uuid4().hex[:12]}"
+
+
+def _job_spec_payload(spec) -> dict:
+    """Accept a :class:`repro.jobs.ChipSpec` or a plain payload dict
+    (duck-typed so the client does not import the jobs package)."""
+    to_payload = getattr(spec, "to_payload", None)
+    if callable(to_payload):
+        return to_payload()
+    return dict(spec)
+
+
+def _job_payload(response: dict, key: str = "job") -> dict:
+    """Unwrap one ``job.*`` response; raise typed on non-``ok``.
+
+    Admission refusals surface as
+    :class:`~repro.core.errors.AdmissionRejected` (carrying the wire
+    status), everything else as :class:`~repro.core.errors.ServeError`.
+    """
+    status = str(response.get("status") or "")
+    if status in REJECTION_STATUSES:
+        raise AdmissionRejected(
+            str(response.get("error") or f"job request {status}"), status
+        )
+    if status != STATUS_OK:
+        raise ServeError(
+            f"job request failed ({status or 'no status'}): "
+            f"{response.get('error_type')}: {response.get('error')}"
+        )
+    payload = response.get(key)
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"job response lacks a {key!r} payload")
+    return payload
 
 
 @dataclass(frozen=True)
@@ -583,6 +635,97 @@ class AsyncRoutingClient:
             for (channel, connections), k in zip(instances, per_instance)
         )))
 
+    # ------------------------------------------------------------------
+    # job ops
+    # ------------------------------------------------------------------
+    async def submit_job(
+        self,
+        spec,
+        *,
+        job_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Submit a chip-routing job; returns its status payload.
+
+        ``spec`` is a :class:`repro.jobs.ChipSpec` or its payload dict.
+        Without ``job_id`` a fresh one is generated; resubmitting the
+        *same* ``(job_id, spec)`` is idempotent (it re-attaches to the
+        existing job), so callers may safely retry a submit whose
+        response was lost.
+        """
+        if job_id is None:
+            job_id = _new_job_id()
+        response = await self._call(job_submit_request(
+            self._next_id(), job_id, _job_spec_payload(spec),
+            deadline_s=deadline_s,
+        ))
+        return _job_payload(response)
+
+    async def job_status(self, job_id: str) -> dict:
+        """Fetch one job's status payload."""
+        response = await self._call(
+            job_status_request(self._next_id(), job_id)
+        )
+        return _job_payload(response)
+
+    async def cancel_job(self, job_id: str) -> dict:
+        """Request cancellation; returns the (possibly still
+        ``running``) status payload — a live job aborts at its next
+        round boundary."""
+        response = await self._call(
+            job_cancel_request(self._next_id(), job_id)
+        )
+        return _job_payload(response)
+
+    async def job_results(
+        self,
+        job_id: str,
+        *,
+        start: int = 0,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Fetch one cursor page of a finished job's channel records."""
+        response = await self._call(job_results_request(
+            self._next_id(), job_id, start=start, limit=limit,
+        ))
+        return _job_payload(response, "results")
+
+    async def fetch_job_records(
+        self, job_id: str, *, page_size: int = 128
+    ) -> dict:
+        """Stream every results page; returns the final page's metadata
+        with ``records`` replaced by the full concatenated list."""
+        records: list = []
+        start = 0
+        while True:
+            page = await self.job_results(
+                job_id, start=start, limit=page_size
+            )
+            records.extend(page.get("records") or [])
+            start = int(page.get("next", start))
+            if page.get("eof", True):
+                return {**page, "records": records, "start": 0}
+
+    async def wait_job(
+        self,
+        job_id: str,
+        *,
+        poll_interval: float = 0.25,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Poll ``job.status`` until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = await self.job_status(job_id)
+            if status.get("state") in _TERMINAL_JOB_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout}s"
+                )
+            await asyncio.sleep(poll_interval)
+
 
 class RoutingClient:
     """Blocking single-connection client (one request at a time).
@@ -758,3 +901,78 @@ class RoutingClient:
         started = time.monotonic()
         response = self._call_bytes(data)
         return _parse_response(response, time.monotonic() - started)
+
+    # ------------------------------------------------------------------
+    # job ops (blocking mirrors of the async client's)
+    # ------------------------------------------------------------------
+    def submit_job(
+        self,
+        spec,
+        *,
+        job_id: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Submit a chip-routing job; returns its status payload."""
+        if job_id is None:
+            job_id = _new_job_id()
+        response = self._call(job_submit_request(
+            self._next_id(), job_id, _job_spec_payload(spec),
+            deadline_s=deadline_s,
+        ))
+        return _job_payload(response)
+
+    def job_status(self, job_id: str) -> dict:
+        """Fetch one job's status payload."""
+        return _job_payload(
+            self._call(job_status_request(self._next_id(), job_id))
+        )
+
+    def cancel_job(self, job_id: str) -> dict:
+        """Request cancellation; returns the status payload."""
+        return _job_payload(
+            self._call(job_cancel_request(self._next_id(), job_id))
+        )
+
+    def job_results(
+        self,
+        job_id: str,
+        *,
+        start: int = 0,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """Fetch one cursor page of a finished job's channel records."""
+        response = self._call(job_results_request(
+            self._next_id(), job_id, start=start, limit=limit,
+        ))
+        return _job_payload(response, "results")
+
+    def fetch_job_records(self, job_id: str, *, page_size: int = 128) -> dict:
+        """Fetch every results page; ``records`` holds the full list."""
+        records: list = []
+        start = 0
+        while True:
+            page = self.job_results(job_id, start=start, limit=page_size)
+            records.extend(page.get("records") or [])
+            start = int(page.get("next", start))
+            if page.get("eof", True):
+                return {**page, "records": records, "start": 0}
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        poll_interval: float = 0.25,
+        timeout: Optional[float] = None,
+    ) -> dict:
+        """Poll ``job.status`` until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job_status(job_id)
+            if status.get("state") in _TERMINAL_JOB_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServeError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout}s"
+                )
+            time.sleep(poll_interval)

@@ -281,7 +281,7 @@ def run_loadgen(
             "counters": {
                 name: value
                 for name, value in server_stats.get("counters", {}).items()
-                if name.startswith(("serve.", "cache."))
+                if name.startswith(("serve.", "cache.", "jobs."))
             },
         }
         if "replicas" in server_stats:

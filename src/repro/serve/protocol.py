@@ -45,6 +45,29 @@ are the admission layer's typed refusals (see
 :class:`~repro.core.errors.AdmissionRejected`); they arrive quickly by
 design, instead of a timeout after queuing doomed work.
 
+The ``job.*`` operations carry the long-running chip-routing traffic
+class (see ``docs/PIPELINE.md``).  A *job* is one
+:class:`~repro.jobs.pipeline.ChipSpec` payload; the client names it
+with a ``job_id`` (required — the ID is the routing key for job
+affinity in the replicated tier, and resubmitting the identical spec
+under the same ID is idempotent, which is how clients re-attach after
+a restart)::
+
+    {"v": 1, "id": "r4", "op": "job.submit", "job_id": "chip-7",
+     "spec": {"netlist_text": "...", "rows": 3, ...},
+     "deadline_s": 120.0}
+    {"v": 1, "id": "r5", "op": "job.status", "job_id": "chip-7"}
+    {"v": 1, "id": "r6", "op": "job.cancel", "job_id": "chip-7"}
+    {"v": 1, "id": "r7", "op": "job.results", "job_id": "chip-7",
+     "start": 0, "limit": 32}
+
+``job.results`` is cursor-paged (the protocol is strictly
+one-response-per-id, so streaming is expressed as repeated pages):
+each response carries ``records`` (per-channel
+:func:`repro.io.results.result_record` dicts), ``next`` and ``eof``.
+Hashing all pages' records with
+:func:`repro.io.results.digest_records` reproduces the job's digest.
+
 Protocol version 2 keeps this message schema bit-for-bit and adds the
 *binary framing* of :mod:`repro.serve.wire` for the two hot message
 kinds (route requests and ``ok`` responses).  A client opts in with
@@ -78,11 +101,19 @@ __all__ = [
     "STATUS_SHED",
     "STATUS_OVERLOADED",
     "REJECTION_STATUSES",
+    "JOB_OPS",
     "RouteRequest",
     "encode",
     "decode",
     "route_request",
     "parse_route_request",
+    "job_submit_request",
+    "job_status_request",
+    "job_cancel_request",
+    "job_results_request",
+    "parse_job_id",
+    "parse_job_submit",
+    "parse_job_results",
     "ok_response",
     "failure_response",
     "hello_request",
@@ -113,7 +144,12 @@ STATUS_OVERLOADED = "overloaded"
 #: Statuses the admission layer produces instead of routing.
 REJECTION_STATUSES = (STATUS_SHED, STATUS_OVERLOADED)
 
-_OPS = ("route", "ping", "stats", "hello")
+#: Long-running chip-job operations (see ``docs/PIPELINE.md``); every
+#: one carries a ``job_id``, which doubles as the placement key for
+#: job-affinity forwarding in the replicated tier.
+JOB_OPS = ("job.submit", "job.status", "job.cancel", "job.results")
+
+_OPS = ("route", "ping", "stats", "hello") + JOB_OPS
 
 
 def encode(message: dict) -> bytes:
@@ -258,6 +294,105 @@ def _request_id(message: dict) -> str:
     if not isinstance(request_id, str) or not request_id:
         raise ProtocolError("message needs a non-empty string 'id'")
     return request_id
+
+
+# ----------------------------------------------------------------------
+# job operations
+# ----------------------------------------------------------------------
+def job_submit_request(
+    request_id: str,
+    job_id: str,
+    spec: dict,
+    *,
+    deadline_s: Optional[float] = None,
+) -> dict:
+    """Build one ``job.submit`` (client side); ``spec`` is a
+    :class:`~repro.jobs.pipeline.ChipSpec` payload."""
+    message: dict = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "op": "job.submit",
+        "job_id": job_id,
+        "spec": spec,
+    }
+    if deadline_s is not None:
+        message["deadline_s"] = deadline_s
+    return message
+
+
+def job_status_request(request_id: str, job_id: str) -> dict:
+    return {
+        "v": PROTOCOL_VERSION, "id": request_id,
+        "op": "job.status", "job_id": job_id,
+    }
+
+
+def job_cancel_request(request_id: str, job_id: str) -> dict:
+    return {
+        "v": PROTOCOL_VERSION, "id": request_id,
+        "op": "job.cancel", "job_id": job_id,
+    }
+
+
+def job_results_request(
+    request_id: str,
+    job_id: str,
+    *,
+    start: int = 0,
+    limit: Optional[int] = None,
+) -> dict:
+    message: dict = {
+        "v": PROTOCOL_VERSION, "id": request_id,
+        "op": "job.results", "job_id": job_id, "start": start,
+    }
+    if limit is not None:
+        message["limit"] = limit
+    return message
+
+
+def parse_job_id(message: dict) -> str:
+    """The ``job_id`` every ``job.*`` message must carry (server and
+    router side — the router also places on it)."""
+    job_id = message.get("job_id")
+    if not isinstance(job_id, str) or not job_id:
+        raise ProtocolError(
+            f"{message.get('op', 'job')} request needs a non-empty "
+            f"string 'job_id'"
+        )
+    return job_id
+
+
+def parse_job_submit(message: dict) -> tuple[str, dict, Optional[float]]:
+    """Validate one ``job.submit``: ``(job_id, spec, deadline_s)``.
+
+    The spec payload itself is validated by
+    :meth:`~repro.jobs.pipeline.ChipSpec.from_payload` at the manager —
+    this parser only checks the envelope.
+    """
+    job_id = parse_job_id(message)
+    spec = message.get("spec")
+    if not isinstance(spec, dict):
+        raise ProtocolError("job.submit needs an object 'spec' payload")
+    deadline_s = message.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or deadline_s <= 0:
+            raise ProtocolError(
+                f"'deadline_s' must be a positive number, got {deadline_s!r}"
+            )
+        deadline_s = float(deadline_s)
+    return job_id, spec, deadline_s
+
+
+def parse_job_results(message: dict) -> tuple[str, int, Optional[int]]:
+    """Validate one ``job.results``: ``(job_id, start, limit)``."""
+    job_id = parse_job_id(message)
+    start = message.get("start", 0)
+    if not isinstance(start, int) or start < 0:
+        raise ProtocolError(f"'start' must be an int >= 0, got {start!r}")
+    limit = message.get("limit")
+    if limit is not None and (not isinstance(limit, int) or limit < 1):
+        raise ProtocolError(f"'limit' must be an int >= 1, got {limit!r}")
+    return job_id, start, limit
 
 
 def ok_response(request_id: str, result) -> dict:

@@ -76,6 +76,7 @@ from repro.serve.admission import AdmissionController
 from repro.serve.client import AsyncRoutingClient
 from repro.serve.protocol import (
     CAPABILITIES,
+    JOB_OPS,
     PROTOCOL_VERSION,
     REJECTION_STATUSES,
     STATUS_ERROR,
@@ -86,6 +87,7 @@ from repro.serve.protocol import (
     encode,
     failure_response,
     hello_response,
+    parse_job_id,
     parse_route_request,
 )
 from repro.serve.wire import (
@@ -625,6 +627,10 @@ class RoutingRouter:
             await self._write(writer, write_lock, hello_response(
                 message.get("id"), message
             ), wire, codec)
+        elif op in JOB_OPS:
+            await self._handle_job_message(
+                message, writer, write_lock, wire, codec
+            )
         else:  # "route"
             self.metrics.incr("serve.router.requests")
             try:
@@ -640,6 +646,74 @@ class RoutingRouter:
             await self._handle_route_request(
                 request, writer, write_lock, wire, codec
             )
+
+    # ------------------------------------------------------------------
+    # the job-affinity path
+    # ------------------------------------------------------------------
+    async def _handle_job_message(
+        self,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        wire: str,
+        codec: WireCodec,
+    ) -> None:
+        """Forward one ``job.*`` op to the job's home replica."""
+        self.metrics.incr("serve.router.job_requests")
+        raw_id = message.get("id")
+        request_id = raw_id if isinstance(raw_id, str) else None
+        if not self._ready:
+            self.metrics.incr("serve.router.drain_refused")
+            await self._write(writer, write_lock, failure_response(
+                request_id, STATUS_OVERLOADED,
+                "ServeError", "router is draining",
+            ), wire, codec)
+            return
+        try:
+            job_id = parse_job_id(message)
+        except ProtocolError as exc:
+            self.metrics.incr("serve.router.protocol_errors")
+            await self._write(writer, write_lock, failure_response(
+                request_id, STATUS_ERROR, "ProtocolError", str(exc)
+            ), wire, codec)
+            return
+        response = dict(await self._forward_job(message, job_id))
+        response["id"] = request_id
+        await self._write(writer, write_lock, response, wire, codec)
+
+    async def _forward_job(self, message: dict, job_id: str) -> dict:
+        """Affinity forwarding: placement keyed ``job:<job_id>``.
+
+        Job state lives on one replica (its ``jobs_dir``), so *every*
+        op for a job — the submit, the status polls, each results page
+        — must land on the same replica; the consistent-hash walk keyed
+        by the job id (not the instance) guarantees that, across router
+        restarts too.  Only transport death moves to the next ring
+        candidate (an idempotent resubmit re-creates the job there); a
+        replica's actual answer, including refusals and ``JobNotFound``,
+        is authoritative for its jobs and is returned as-is.
+        """
+        last_error = "no live replica"
+        for idx in self.placement(f"job:{job_id}"):
+            if self.replica_set.endpoint(idx) is None:
+                self._replica_counts[idx]["down_skips"] += 1
+                continue
+            # Re-key under the router's forward-id namespace: the
+            # replica connection multiplexes many front connections,
+            # whose ids could collide with each other.
+            forward = dict(message)
+            forward["id"] = f"f{next(self._forward_ids)}"
+            try:
+                client = await self._client(idx)
+                return await client.call(forward)
+            except (ServeError, OSError) as exc:
+                last_error = str(exc)
+                self.metrics.incr("serve.router.job_failovers")
+        self.metrics.incr("serve.router.job_errors")
+        return failure_response(
+            None, STATUS_ERROR, "ReplicaError",
+            f"no replica could serve job {job_id!r}: {last_error}",
+        )
 
     def _usable_indices(self) -> list[int]:
         return [

@@ -40,16 +40,23 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.errors import AdmissionRejected, ProtocolError, ServeError
+from repro.core.errors import (
+    AdmissionRejected,
+    ProtocolError,
+    ReproError,
+    ServeError,
+)
 from repro.engine.config import EngineConfig
 from repro.engine.engine import RoutingEngine
 from repro.engine.metrics import Metrics
+from repro.jobs.manager import JobManager
 from repro.obs.prom import render_prometheus
 from repro.obs.trace import SpanCollector, TraceSink, derive_trace_id
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import MicroBatcher, PendingRequest
 from repro.serve.protocol import (
     CAPABILITIES,
+    JOB_OPS,
     PROTOCOL_VERSION,
     SUPPORTED_VERSIONS,
     STATUS_ERROR,
@@ -61,6 +68,9 @@ from repro.serve.protocol import (
     failure_response,
     hello_response,
     ok_response,
+    parse_job_id,
+    parse_job_results,
+    parse_job_submit,
     parse_route_request,
 )
 from repro.serve.wire import (
@@ -120,6 +130,20 @@ class ServeConfig:
         directory answer each other's solved instances via the cache
         fast path, and a restarted replica keeps its history — the
         shared cache tier of ``docs/SERVING.md``.
+    jobs_dir / max_active_jobs / max_queued_jobs / job_deadline_s:
+        The chip-job traffic class (see ``docs/PIPELINE.md``).  Jobs
+        run on a dedicated :class:`~repro.jobs.manager.JobManager`
+        with its own engine and worker threads — admission for jobs is
+        the manager's bounded queue, entirely separate from the
+        latency queue, so long chip jobs never starve single-channel
+        traffic.  ``jobs_dir`` enables journal-checkpointed durability
+        (a restarted server resumes unfinished jobs bit-identically);
+        ``job_deadline_s`` is the default per-job deadline when a
+        submission carries none.
+    fault_plan:
+        Seeded fault-injection plan forwarded to both engines (chaos
+        harness only); ``kill_after_checkpoints`` SIGKILLs the server
+        mid-job after that many journaled channel results.
     """
 
     host: str = "127.0.0.1"
@@ -138,6 +162,11 @@ class ServeConfig:
     decay_halflife_s: Optional[float] = 30.0
     port_file: Optional[str] = None
     cache_dir: Optional[str] = None
+    jobs_dir: Optional[str] = None
+    max_active_jobs: int = 1
+    max_queued_jobs: int = 16
+    job_deadline_s: Optional[float] = None
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -169,6 +198,7 @@ class RoutingServer:
                 seed=self.config.seed,
                 keep_pool=self.config.jobs > 1,
                 cache_dir=self.config.cache_dir,
+                fault_plan=self.config.fault_plan,
             ),
             trace_sink=trace_sink,
         )
@@ -176,6 +206,22 @@ class RoutingServer:
             self.engine.trace_sink
         )
         self.metrics = Metrics()
+        # The job traffic class: its own engine (no request timeout, so
+        # job results are digest-identical to the offline serial path)
+        # sharing the persistent cache_dir tier with the latency engine,
+        # and its own worker threads + bounded queue (job-class
+        # admission — chip jobs never touch the latency queue).
+        self.job_manager = JobManager(
+            max_active=self.config.max_active_jobs,
+            max_queued=self.config.max_queued_jobs,
+            jobs_dir=self.config.jobs_dir,
+            engine_jobs=self.config.jobs,
+            cache_dir=self.config.cache_dir,
+            seed=self.config.seed,
+            fault_plan=self.config.fault_plan,
+            trace_sink=self.trace_sink,
+            default_deadline_s=self.config.job_deadline_s,
+        )
         self.admission = AdmissionController(
             max_queue=self.config.max_queue,
             rate=self.config.rate,
@@ -275,6 +321,15 @@ class RoutingServer:
                 list(self._inflight), timeout=self.config.drain_grace
             )
         await self.batcher.close()
+        # Stop the job workers off-loop: a running job aborts at its
+        # next round boundary and its journals stay on disk, so a
+        # restart over the same jobs_dir resumes it bit-identically.
+        await asyncio.get_running_loop().run_in_executor(
+            None,
+            lambda: self.job_manager.close(
+                timeout=max(self.config.drain_grace, 0.1)
+            ),
+        )
         for writer in list(self._writers):
             self._close_writer(writer)
         if self._http is not None:
@@ -427,6 +482,10 @@ class RoutingServer:
             await self._write(writer, write_lock, hello_response(
                 message.get("id"), message
             ), wire, codec)
+        elif op in JOB_OPS:
+            await self._handle_job_request(
+                op, message, writer, write_lock, wire, codec
+            )
         else:  # "route" (decode() already rejected unknown ops)
             self.metrics.incr("serve.requests")
             started = time.monotonic()
@@ -443,6 +502,89 @@ class RoutingServer:
             await self._handle_route_request(
                 request, writer, write_lock, wire, codec, started
             )
+
+    # ------------------------------------------------------------------
+    # the job path
+    # ------------------------------------------------------------------
+    async def _handle_job_request(
+        self,
+        op: str,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        wire: str,
+        codec: WireCodec,
+    ) -> None:
+        """Answer one ``job.*`` op against the job manager.
+
+        Manager calls run on the default executor: submit parses the
+        netlist payload and fsyncs the job spec, cancel persists the
+        outcome — none of that belongs on the event loop.  Admission
+        for jobs is the manager's own bounded queue (plus the drain
+        gate for new submissions), not the latency admission queue.
+        """
+        self.metrics.incr("serve.job_requests")
+        request_id = message.get("id")
+        if not isinstance(request_id, str):
+            request_id = None
+        loop = asyncio.get_running_loop()
+        try:
+            if op == "job.submit":
+                if not self._ready:
+                    self.metrics.incr("serve.drain_refused")
+                    await self._write(writer, write_lock, failure_response(
+                        request_id, STATUS_OVERLOADED,
+                        "ServeError", "server is draining",
+                    ), wire, codec)
+                    return
+                job_id, spec, deadline_s = parse_job_submit(message)
+                payload = await loop.run_in_executor(
+                    None,
+                    lambda: self.job_manager.submit(
+                        spec, job_id=job_id, deadline_s=deadline_s
+                    ),
+                )
+                body = {"job": payload}
+            elif op == "job.status":
+                job_id = parse_job_id(message)
+                body = {"job": self.job_manager.status(job_id)}
+            elif op == "job.cancel":
+                job_id = parse_job_id(message)
+                payload = await loop.run_in_executor(
+                    None, lambda: self.job_manager.cancel(job_id)
+                )
+                body = {"job": payload}
+            else:  # job.results
+                job_id, start, limit = parse_job_results(message)
+                body = {"results": self.job_manager.results(
+                    job_id, start=start, limit=limit
+                )}
+        except AdmissionRejected as exc:
+            self.metrics.incr(
+                "serve.shed" if exc.status == STATUS_SHED
+                else "serve.overloaded"
+            )
+            response = failure_response(
+                request_id, exc.status, "AdmissionRejected", str(exc)
+            )
+        except ProtocolError as exc:
+            self.metrics.incr("serve.protocol_errors")
+            response = failure_response(
+                request_id, STATUS_ERROR, "ProtocolError", str(exc)
+            )
+        except ReproError as exc:
+            self.metrics.incr("serve.job_errors")
+            response = failure_response(
+                request_id, STATUS_ERROR, type(exc).__name__, str(exc)
+            )
+        else:
+            response = {
+                "v": PROTOCOL_VERSION,
+                "id": request_id,
+                "status": STATUS_OK,
+                **body,
+            }
+        await self._write(writer, write_lock, response, wire, codec)
 
     # ------------------------------------------------------------------
     # the route path
@@ -558,12 +700,19 @@ class RoutingServer:
     # admin HTTP (probes + metrics)
     # ------------------------------------------------------------------
     def metrics_snapshot(self) -> dict:
-        """Merged serve + engine metrics in the standard snapshot schema."""
+        """Merged serve + engine + job metrics (standard snapshot schema).
+
+        Job-manager counters are all ``jobs.*``-prefixed (its dedicated
+        engine appears under ``jobs.engine.*``), so the merge never
+        collides with the latency engine's counters.
+        """
         engine_snap = self.engine.stats()
         serve_snap = self.metrics.snapshot()
+        jobs_snap = self.job_manager.metrics_snapshot()
         return {
             "counters": {
                 **engine_snap["counters"], **serve_snap["counters"],
+                **jobs_snap["counters"],
             },
             "derived": {
                 **engine_snap["derived"], **serve_snap["derived"],
@@ -571,6 +720,7 @@ class RoutingServer:
             },
             "histograms": {
                 **engine_snap["histograms"], **serve_snap["histograms"],
+                **jobs_snap["histograms"],
             },
         }
 

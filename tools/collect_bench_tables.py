@@ -436,6 +436,105 @@ def run_replicated_fault_bench(
     }
 
 
+#: Pipeline-bench corpus: seeded 3-row chips at mixed track counts, so
+#: the sweep covers converging, partially-failing, and negotiation-heavy
+#: chips.  Mixed outcomes matter: only successful per-channel solves
+#: land in the canonical cache, so an all-infeasible corpus would make
+#: the warm-resubmit measurement vacuous.
+PIPELINE_CHIPS = 24
+PIPELINE_NETS = 14
+
+
+def _pipeline_corpus():
+    from repro.fpga.netlist import random_netlist
+    from repro.io.netlist_format import dumps_netlist
+    from repro.jobs import ChipSpec
+
+    specs = []
+    for seed in range(PIPELINE_CHIPS):
+        specs.append(ChipSpec(
+            netlist_text=dumps_netlist(
+                random_netlist(PIPELINE_NETS, 3, seed=seed)
+            ),
+            rows=3, cells_per_row=6, tracks=4 + seed % 3, seg_types=2,
+            seed=seed, max_rounds=8,
+        ))
+    return specs
+
+
+def run_pipeline_bench(jobs: int = 0) -> dict:
+    """Route a corpus of chips through the jobs pipeline three ways.
+
+    Serial (in-process per-channel solves), engine-backed (batched
+    ``route_many`` with a persistent cache dir), and a warm resubmit of
+    the same corpus against the already-populated cache — the second
+    ``job.submit`` a long-lived serving tier actually sees.  Returns
+    the ``BENCH_pipeline.json`` payload with wall-times, channel
+    throughput, the warm cache-hit rate, and the digest-parity verdict
+    across all three passes.
+    """
+    import tempfile
+
+    from repro.engine import EngineConfig, RoutingEngine, default_jobs
+    from repro.jobs import run_chip_pipeline
+
+    jobs = jobs or default_jobs()
+    specs = _pipeline_corpus()
+
+    start = time.perf_counter()
+    serial = [run_chip_pipeline(spec) for spec in specs]
+    serial_s = time.perf_counter() - start
+    channels = sum(
+        sum(r.n_solved for r in result.rounds) for result in serial
+    )
+
+    with tempfile.TemporaryDirectory(prefix="segroute-pipebench-") as cache:
+        engine = RoutingEngine(
+            EngineConfig(jobs=jobs, seed=0, cache_dir=cache)
+        )
+        try:
+            start = time.perf_counter()
+            engined = [
+                run_chip_pipeline(spec, engine=engine) for spec in specs
+            ]
+            engine_s = time.perf_counter() - start
+
+            engine.reset_stats()
+            start = time.perf_counter()
+            warm = [
+                run_chip_pipeline(spec, engine=engine) for spec in specs
+            ]
+            warm_s = time.perf_counter() - start
+            snapshot = engine.stats()
+        finally:
+            engine.close()
+
+    return {
+        "generated_unix": int(time.time()),
+        "cpus": os.cpu_count(),
+        "chips": len(specs),
+        "nets_per_chip": PIPELINE_NETS,
+        "converged_chips": sum(1 for r in serial if r.ok),
+        "channel_solves": channels,
+        "jobs": jobs,
+        "serial_s": round(serial_s, 4),
+        "engine_s": round(engine_s, 4),
+        "warm_submit_s": round(warm_s, 4),
+        "serial_channels_per_s": round(channels / serial_s, 1),
+        "engine_channels_per_s": round(channels / engine_s, 1),
+        "warm_channels_per_s": round(channels / warm_s, 1),
+        "engine_speedup": round(serial_s / engine_s, 3) if engine_s else None,
+        "warm_speedup": round(serial_s / warm_s, 3) if warm_s else None,
+        "warm_cache_hit_rate": round(
+            snapshot["derived"].get("cache.hit_rate", 0.0), 4
+        ),
+        "digest_identical": all(
+            a.digest == b.digest == c.digest
+            for a, b, c in zip(serial, engined, warm)
+        ),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--from-log", help="parse an existing bench log")
@@ -468,6 +567,18 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the serving benchmark",
     )
     parser.add_argument(
+        "--pipeline-json", default="BENCH_pipeline.json",
+        help="where to write the chip-pipeline benchmark JSON",
+    )
+    parser.add_argument(
+        "--pipeline-only", action="store_true",
+        help="run only the chip-pipeline benchmark",
+    )
+    parser.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the chip-pipeline benchmark",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=0,
         help="worker count for the engine benchmark (default: per CPU)",
     )
@@ -475,8 +586,14 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.serve_only:
         args.no_engine = True
+        args.no_pipeline = True
+    if args.engine_only:
+        args.no_pipeline = True
+    if args.pipeline_only:
+        args.no_engine = True
+        args.no_serve = True
 
-    if not args.engine_only and not args.serve_only:
+    if not args.engine_only and not args.serve_only and not args.pipeline_only:
         if args.from_log:
             text = Path(args.from_log).read_text()
         else:
@@ -499,6 +616,22 @@ def main(argv: list[str] | None = None) -> int:
             f"wrote {args.engine_json} "
             f"({len(payload['entries'])} corpus shapes, "
             f"{payload['cpus']} cpus)"
+        )
+
+    if not args.no_pipeline:
+        payload = run_pipeline_bench(jobs=args.jobs)
+        Path(args.pipeline_json).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        print(
+            f"wrote {args.pipeline_json} "
+            f"({payload['channel_solves']} channel solves over "
+            f"{payload['chips']} chips, "
+            f"{payload['converged_chips']} converged; serial "
+            f"{payload['serial_channels_per_s']}/s, engine "
+            f"{payload['engine_channels_per_s']}/s, warm resubmit "
+            f"{payload['warm_channels_per_s']}/s, digest "
+            f"{'identical' if payload['digest_identical'] else 'DIVERGED'})"
         )
 
     if not args.no_serve:
